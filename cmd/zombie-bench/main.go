@@ -1,0 +1,50 @@
+// Command zombie-bench regenerates the paper's tables and figures (as
+// reconstructed in DESIGN.md §4) at configurable scale.
+//
+// Usage:
+//
+//	zombie-bench [-exp T2] [-scale 1.0] [-seed 20160516]
+//	zombie-bench -exp all -scale 0.25
+//	zombie-bench -list
+//
+// Scale 1.0 builds the full 20k-input corpora per task; smaller scales are
+// proportionally faster and preserve the result shapes down to ~0.1.
+// Output goes to stdout in the table/series formats recorded in
+// EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"zombie/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (T1-T4, F1-F7, or 'all')")
+	scale := flag.Float64("scale", 1.0, "corpus scale multiplier (1.0 = 20k inputs per task)")
+	seed := flag.Int64("seed", 0, "random seed (0 = default)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Printf("%-4s %s\n", id, experiments.Title(id))
+		}
+		return
+	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed}
+	var err error
+	if strings.EqualFold(*exp, "all") {
+		err = experiments.RunAll(cfg, os.Stdout)
+	} else {
+		err = experiments.Run(strings.ToUpper(*exp), cfg, os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "zombie-bench:", err)
+		os.Exit(1)
+	}
+}

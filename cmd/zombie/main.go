@@ -1,0 +1,240 @@
+// Command zombie runs one feature-evaluation inner loop over a JSONL
+// corpus (see cmd/zombie-datagen) and prints the learning curve and run
+// summary. It is the CLI face of the public zombie API.
+//
+// Usage:
+//
+//	zombie -corpus wiki.jsonl -task wiki -mode zombie -policy eps-greedy:0.1 -k 32
+//	zombie -corpus wiki.jsonl -task wiki -mode scan-random
+//	zombie -corpus images.jsonl -task image -mode zombie -early-stop
+//	zombie -corpus wiki.jsonl -task wiki -index groups.gob   # reuse a saved index
+//	zombie -corpus wiki.jsonl -task wiki -save-index groups.gob
+//	zombie -corpus wiki.jsonl -task wiki -session            # full 8-version session
+//	zombie -corpus big.jsonl -task wiki -stream              # corpus larger than RAM
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"zombie/internal/bandit"
+	"zombie/internal/core"
+	"zombie/internal/corpus"
+	"zombie/internal/featurepipe"
+	"zombie/internal/index"
+	"zombie/internal/learner"
+	"zombie/internal/rng"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zombie:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	corpusPath := flag.String("corpus", "", "JSONL corpus path (required)")
+	stream := flag.Bool("stream", false, "read the corpus lazily from disk instead of loading it")
+	sessionMode := flag.Bool("session", false, "replay the standard 8-version engineering session (wiki only)")
+	taskName := flag.String("task", "wiki", "task: wiki, songs, or image")
+	mode := flag.String("mode", "zombie", "mode: zombie, scan-random, scan-sequential, or oracle")
+	policy := flag.String("policy", "eps-greedy:0.1", "bandit policy spec")
+	k := flag.Int("k", 32, "number of index groups")
+	seed := flag.Int64("seed", 1, "random seed")
+	maxInputs := flag.Int("max", 0, "input budget (0 = exhaust the pool)")
+	maxTime := flag.Duration("max-time", 0, "simulated-time budget, e.g. 20m (0 = none)")
+	earlyStop := flag.Bool("early-stop", false, "enable plateau early stopping")
+	version := flag.Int("feature-version", 0, "feature-code version (0 = task default)")
+	indexPath := flag.String("index", "", "load a saved index instead of building one")
+	saveIndex := flag.String("save-index", "", "save the built index to this path")
+	curveEvery := flag.Int("curve-every", 0, "print every Nth curve point (0 = last 10)")
+	flag.Parse()
+
+	if *corpusPath == "" {
+		return fmt.Errorf("-corpus is required")
+	}
+	var store corpus.Store
+	if *stream {
+		ds, err := corpus.OpenDiskStore(*corpusPath)
+		if err != nil {
+			return err
+		}
+		defer ds.Close()
+		store = ds
+	} else {
+		inputs, err := corpus.ReadJSONL(*corpusPath)
+		if err != nil {
+			return err
+		}
+		store = corpus.NewMemStore(inputs)
+	}
+	task, grouper, err := buildTask(*taskName, store, *version, rng.New(*seed).Split("task"))
+	if err != nil {
+		return err
+	}
+
+	var groups *index.Groups
+	if *mode == "zombie" || *sessionMode {
+		if *indexPath != "" {
+			groups, err = index.LoadGroups(*indexPath)
+		} else {
+			start := time.Now()
+			groups, err = grouper.Group(store, *k, rng.New(*seed).Split("index"))
+			if err == nil {
+				fmt.Printf("built %s index: k=%d in %s\n", groups.Strategy, groups.K(), time.Since(start).Round(time.Millisecond))
+			}
+		}
+		if err != nil {
+			return err
+		}
+		if *saveIndex != "" {
+			if err := groups.Save(*saveIndex); err != nil {
+				return err
+			}
+			fmt.Printf("saved index to %s\n", *saveIndex)
+		}
+	}
+
+	cfg := core.Config{
+		Policy:     bandit.Spec(*policy),
+		Seed:       *seed,
+		MaxInputs:  *maxInputs,
+		MaxSimTime: *maxTime,
+	}
+	if *earlyStop {
+		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
+	}
+	eng, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if *sessionMode {
+		return runSession(eng, task, groups)
+	}
+
+	var res *core.RunResult
+	switch *mode {
+	case "zombie":
+		res, err = eng.Run(task, groups)
+	case "scan-random":
+		res, err = eng.RunScan(task, true)
+	case "scan-sequential":
+		res, err = eng.RunScan(task, false)
+	case "oracle":
+		res, err = eng.RunOracle(task)
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Println(res.Summary())
+	fmt.Println("inputs,quality,sim_seconds")
+	points := res.Curve
+	if *curveEvery > 0 {
+		kept := points[:0:0]
+		for i, p := range points {
+			if i%*curveEvery == 0 || i == len(points)-1 {
+				kept = append(kept, p)
+			}
+		}
+		points = kept
+	} else if len(points) > 10 {
+		points = points[len(points)-10:]
+	}
+	for _, p := range points {
+		fmt.Printf("%d,%.4f,%.1f\n", p.Inputs, p.Quality, p.SimTime.Seconds())
+	}
+	if res.Arms != nil {
+		fmt.Println("arm,pulls,mean_reward")
+		for _, a := range res.Arms {
+			fmt.Printf("%d,%d,%.4f\n", a.Arm, a.Pulls, a.Mean)
+		}
+	}
+	return nil
+}
+
+// runSession replays the standard wiki engineering session under both the
+// scan baseline and zombie, printing the engineer-wait comparison.
+func runSession(eng *core.Engine, task *featurepipe.Task, groups *index.Groups) error {
+	session := featurepipe.StandardWikiSession()
+	if task.Feature.NumClasses() != session.Versions[0].NumClasses() {
+		return fmt.Errorf("-session supports the wiki task only")
+	}
+	scan, err := eng.RunSession(session, task, nil, false)
+	if err != nil {
+		return err
+	}
+	zom, err := eng.RunSession(session, task, groups, true)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12s %8s %14s %8s %s\n", "version", "scan-inputs", "scan-q", "zombie-inputs", "zombie-q", "stop")
+	for i := range scan.Iterations {
+		s := scan.Iterations[i].Run
+		z := zom.Iterations[i].Run
+		fmt.Printf("%-10s %12d %8.3f %14d %8.3f %s\n",
+			scan.Iterations[i].Version, s.InputsProcessed, s.FinalQuality,
+			z.InputsProcessed, z.FinalQuality, z.Stop)
+	}
+	fmt.Printf("scan total %s | zombie total %s | speedup %.2fx\n",
+		scan.TotalTime().Round(time.Second), zom.TotalTime().Round(time.Second),
+		float64(scan.TotalTime())/float64(zom.TotalTime()))
+	return nil
+}
+
+// buildTask assembles the named task over the store, mirroring the
+// experiment workloads' learner and cost choices.
+func buildTask(name string, store corpus.Store, version int, r *rng.RNG) (*featurepipe.Task, index.Grouper, error) {
+	switch name {
+	case "wiki":
+		if version == 0 {
+			version = 4
+		}
+		feature := featurepipe.NewWikiFeature(version)
+		task, err := featurepipe.NewTask("wiki", store, feature,
+			func(f featurepipe.FeatureFunc) learner.Model { return learner.NewMultinomialNB(f.Dim(), 2, 1) },
+			learner.MetricF1, 1,
+			featurepipe.CostModel{PerInput: 150 * time.Millisecond},
+			featurepipe.TaskOptions{}, r)
+		grouper := &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25}}
+		return task, grouper, err
+	case "songs":
+		gen := corpus.DefaultSongConfig()
+		if version == 0 {
+			version = 1
+		}
+		feature := featurepipe.NewSongFeature(version, gen)
+		task, err := featurepipe.NewTask("songs", store, feature,
+			func(f featurepipe.FeatureFunc) learner.Model { return learner.NewGaussianNB(f.Dim(), gen.Genres, 1e-3) },
+			learner.MetricMacroF1, 0,
+			featurepipe.CostModel{PerInput: 30 * time.Millisecond},
+			featurepipe.TaskOptions{}, r)
+		numeric := index.NewNumeric(gen.Dim)
+		numeric.FitStandardize(store)
+		grouper := &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}}
+		return task, grouper, err
+	case "image":
+		gen := corpus.DefaultImageConfig()
+		if version == 0 {
+			version = 1
+		}
+		feature := featurepipe.NewImageFeature(version, gen)
+		task, err := featurepipe.NewTask("image", store, feature,
+			func(f featurepipe.FeatureFunc) learner.Model { return learner.NewGaussianNB(f.Dim(), 2, 1e-3) },
+			learner.MetricF1, 1,
+			featurepipe.CostModel{PerInput: 400 * time.Millisecond},
+			featurepipe.TaskOptions{}, r)
+		numeric := index.NewNumeric(gen.Dim)
+		numeric.FitStandardize(store)
+		grouper := &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}}
+		return task, grouper, err
+	default:
+		return nil, nil, fmt.Errorf("unknown task %q (want wiki, songs, or image)", name)
+	}
+}

@@ -1,0 +1,3 @@
+module zombie
+
+go 1.22

@@ -1,0 +1,265 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"zombie/internal/rng"
+	"zombie/internal/stats"
+)
+
+// SWUCB is sliding-window UCB (Garivier & Moulines): UCB computed over
+// only the most recent `window` plays across all arms. Where plain UCB1
+// never forgets, SW-UCB tracks the drifting arm payoffs Zombie induces as
+// index groups deplete — the policy-level counterpart of the windowed
+// estimator ablated in experiment F7.
+type SWUCB struct {
+	n      int
+	window int
+	c      float64
+	r      *rng.RNG
+	// ring of the last `window` (arm, reward) plays.
+	arms    *stats.Window // stores arm indices as float64
+	rewards *stats.Window
+	pulls   []int64
+	total   int64
+}
+
+// NewSWUCB returns a sliding-window UCB policy over nArms arms with the
+// given window and exploration constant c. It panics on window < 1 or
+// c < 0.
+func NewSWUCB(nArms, window int, c float64, r *rng.RNG) *SWUCB {
+	if nArms <= 0 {
+		panic("bandit: SWUCB requires at least one arm")
+	}
+	if window < 1 {
+		panic("bandit: SWUCB window must be >= 1")
+	}
+	if c < 0 {
+		panic("bandit: SWUCB exploration constant must be >= 0")
+	}
+	return &SWUCB{
+		n:       nArms,
+		window:  window,
+		c:       c,
+		r:       r,
+		arms:    stats.NewWindow(window),
+		rewards: stats.NewWindow(window),
+		pulls:   make([]int64, nArms),
+	}
+}
+
+// Name implements Policy.
+func (p *SWUCB) Name() string { return fmt.Sprintf("sw-ucb(%d,%.2f)", p.window, p.c) }
+
+// NumArms implements Policy.
+func (p *SWUCB) NumArms() int { return p.n }
+
+// windowStats returns per-arm (count, mean) over the sliding window.
+func (p *SWUCB) windowStats() (counts []float64, means []float64) {
+	counts = make([]float64, p.n)
+	sums := make([]float64, p.n)
+	armVals := p.arms.Values()
+	rewVals := p.rewards.Values()
+	for i := range armVals {
+		a := int(armVals[i])
+		counts[a]++
+		sums[a] += rewVals[i]
+	}
+	means = make([]float64, p.n)
+	for a := range means {
+		if counts[a] > 0 {
+			means[a] = sums[a] / counts[a]
+		}
+	}
+	return counts, means
+}
+
+// Select implements Policy.
+func (p *SWUCB) Select(eligible []bool) int {
+	idx := checkEligible(p.n, eligible)
+	counts, means := p.windowStats()
+	// Any eligible arm absent from the window is played first.
+	var unseen []int
+	for _, a := range idx {
+		if counts[a] == 0 {
+			unseen = append(unseen, a)
+		}
+	}
+	if len(unseen) > 0 {
+		return unseen[p.r.Choice(len(unseen))]
+	}
+	t := float64(p.arms.Len())
+	best := math.Inf(-1)
+	var ties []int
+	for _, a := range idx {
+		score := means[a] + p.c*math.Sqrt(2*math.Log(t)/counts[a])
+		switch {
+		case score > best:
+			best = score
+			ties = ties[:0]
+			ties = append(ties, a)
+		case score == best:
+			ties = append(ties, a)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[p.r.Choice(len(ties))]
+}
+
+// Update implements Policy.
+func (p *SWUCB) Update(arm int, reward float64) {
+	if arm < 0 || arm >= p.n {
+		panic(fmt.Sprintf("bandit: Update arm %d out of range [0,%d)", arm, p.n))
+	}
+	p.arms.Add(float64(arm))
+	p.rewards.Add(reward)
+	p.pulls[arm]++
+	p.total++
+}
+
+// Snapshot implements Policy.
+func (p *SWUCB) Snapshot() []ArmSnapshot {
+	counts, means := p.windowStats()
+	out := make([]ArmSnapshot, p.n)
+	for a := range out {
+		out[a] = ArmSnapshot{Arm: a, Pulls: p.pulls[a], Mean: means[a], Recent: means[a]}
+		_ = counts
+	}
+	return out
+}
+
+// Reset implements Policy.
+func (p *SWUCB) Reset() {
+	p.arms.Reset()
+	p.rewards.Reset()
+	for a := range p.pulls {
+		p.pulls[a] = 0
+	}
+	p.total = 0
+}
+
+// DUCB is discounted UCB (Kocsis & Szepesvári / Garivier & Moulines):
+// every observation's weight decays by gamma per play, so the policy
+// continuously forgets. The exploration bonus uses the effective sample
+// counts.
+type DUCB struct {
+	n     int
+	gamma float64
+	c     float64
+	r     *rng.RNG
+	// Discounted sufficient statistics.
+	discN   []float64
+	discSum []float64
+	pulls   []int64
+	total   int64
+}
+
+// NewDUCB returns a discounted-UCB policy. It panics on gamma outside
+// (0,1) or c < 0.
+func NewDUCB(nArms int, gamma, c float64, r *rng.RNG) *DUCB {
+	if nArms <= 0 {
+		panic("bandit: DUCB requires at least one arm")
+	}
+	if gamma <= 0 || gamma >= 1 {
+		panic("bandit: DUCB gamma must be in (0,1)")
+	}
+	if c < 0 {
+		panic("bandit: DUCB exploration constant must be >= 0")
+	}
+	return &DUCB{
+		n:       nArms,
+		gamma:   gamma,
+		c:       c,
+		r:       r,
+		discN:   make([]float64, nArms),
+		discSum: make([]float64, nArms),
+		pulls:   make([]int64, nArms),
+	}
+}
+
+// Name implements Policy.
+func (p *DUCB) Name() string { return fmt.Sprintf("d-ucb(%.3f,%.2f)", p.gamma, p.c) }
+
+// NumArms implements Policy.
+func (p *DUCB) NumArms() int { return p.n }
+
+// Select implements Policy.
+func (p *DUCB) Select(eligible []bool) int {
+	idx := checkEligible(p.n, eligible)
+	var unseen []int
+	for _, a := range idx {
+		if p.discN[a] <= 1e-9 {
+			unseen = append(unseen, a)
+		}
+	}
+	if len(unseen) > 0 {
+		return unseen[p.r.Choice(len(unseen))]
+	}
+	totalN := 0.0
+	for _, a := range idx {
+		totalN += p.discN[a]
+	}
+	if totalN < 1 {
+		totalN = 1
+	}
+	best := math.Inf(-1)
+	var ties []int
+	for _, a := range idx {
+		mean := p.discSum[a] / p.discN[a]
+		score := mean + p.c*math.Sqrt(2*math.Log(totalN)/p.discN[a])
+		switch {
+		case score > best:
+			best = score
+			ties = ties[:0]
+			ties = append(ties, a)
+		case score == best:
+			ties = append(ties, a)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[p.r.Choice(len(ties))]
+}
+
+// Update implements Policy. Every arm's statistics decay on every play,
+// which is what lets stale estimates fade even for unplayed arms.
+func (p *DUCB) Update(arm int, reward float64) {
+	if arm < 0 || arm >= p.n {
+		panic(fmt.Sprintf("bandit: Update arm %d out of range [0,%d)", arm, p.n))
+	}
+	for a := 0; a < p.n; a++ {
+		p.discN[a] *= p.gamma
+		p.discSum[a] *= p.gamma
+	}
+	p.discN[arm]++
+	p.discSum[arm] += reward
+	p.pulls[arm]++
+	p.total++
+}
+
+// Snapshot implements Policy.
+func (p *DUCB) Snapshot() []ArmSnapshot {
+	out := make([]ArmSnapshot, p.n)
+	for a := range out {
+		mean := 0.0
+		if p.discN[a] > 0 {
+			mean = p.discSum[a] / p.discN[a]
+		}
+		out[a] = ArmSnapshot{Arm: a, Pulls: p.pulls[a], Mean: mean, Recent: mean}
+	}
+	return out
+}
+
+// Reset implements Policy.
+func (p *DUCB) Reset() {
+	for a := 0; a < p.n; a++ {
+		p.discN[a] = 0
+		p.discSum[a] = 0
+		p.pulls[a] = 0
+	}
+	p.total = 0
+}

@@ -1,0 +1,216 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"zombie/internal/rng"
+)
+
+// EpsilonGreedy plays the best-estimate arm with probability 1-ε and a
+// uniformly random eligible arm with probability ε. This is Zombie's
+// default policy. With DecayRate > 0 the effective ε at step t is
+// ε / (1 + DecayRate·t), shifting from exploration to exploitation as the
+// run progresses.
+type EpsilonGreedy struct {
+	*arms
+	Epsilon   float64
+	DecayRate float64
+	r         *rng.RNG
+	step      int64
+}
+
+// NewEpsilonGreedy returns an ε-greedy policy over n arms. It panics if
+// epsilon is outside [0,1] or decayRate is negative.
+func NewEpsilonGreedy(n int, epsilon, decayRate float64, cfg StatsConfig, r *rng.RNG) *EpsilonGreedy {
+	if epsilon < 0 || epsilon > 1 {
+		panic("bandit: epsilon must be in [0,1]")
+	}
+	if decayRate < 0 {
+		panic("bandit: decayRate must be >= 0")
+	}
+	return &EpsilonGreedy{arms: newArms(n, cfg), Epsilon: epsilon, DecayRate: decayRate, r: r}
+}
+
+// Name implements Policy.
+func (p *EpsilonGreedy) Name() string {
+	if p.DecayRate > 0 {
+		return fmt.Sprintf("eps-greedy(%.2f,decay=%.3f)", p.Epsilon, p.DecayRate)
+	}
+	return fmt.Sprintf("eps-greedy(%.2f)", p.Epsilon)
+}
+
+// NumArms implements Policy.
+func (p *EpsilonGreedy) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *EpsilonGreedy) Select(eligible []bool) int {
+	idx := checkEligible(p.n(), eligible)
+	p.step++
+	eps := p.Epsilon
+	if p.DecayRate > 0 {
+		eps = p.Epsilon / (1 + p.DecayRate*float64(p.step))
+	}
+	if p.r.Bernoulli(eps) {
+		return idx[p.r.Choice(len(idx))]
+	}
+	return bestEligible(p.arms, idx, p.r)
+}
+
+// Update implements Policy.
+func (p *EpsilonGreedy) Update(arm int, reward float64) { p.update(arm, reward) }
+
+// Snapshot implements Policy.
+func (p *EpsilonGreedy) Snapshot() []ArmSnapshot { return p.snapshot() }
+
+// Reset implements Policy.
+func (p *EpsilonGreedy) Reset() { p.reset(); p.step = 0 }
+
+// bestEligible returns the eligible arm with the highest estimate. Unpulled
+// arms are treated as optimistic (estimate +Inf) so every arm is tried at
+// least once; ties break uniformly at random to avoid index bias.
+func bestEligible(a *arms, idx []int, r *rng.RNG) int {
+	best := math.Inf(-1)
+	var ties []int
+	for _, i := range idx {
+		v := a.est[i].Value()
+		if a.pulls[i] == 0 {
+			v = math.Inf(1)
+		}
+		switch {
+		case v > best:
+			best = v
+			ties = ties[:0]
+			ties = append(ties, i)
+		case v == best:
+			ties = append(ties, i)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[r.Choice(len(ties))]
+}
+
+// Softmax (Boltzmann exploration) selects arms with probability
+// proportional to exp(estimate/Temperature).
+type Softmax struct {
+	*arms
+	Temperature float64
+	r           *rng.RNG
+}
+
+// NewSoftmax returns a Boltzmann policy. It panics if temperature <= 0.
+func NewSoftmax(n int, temperature float64, cfg StatsConfig, r *rng.RNG) *Softmax {
+	if temperature <= 0 {
+		panic("bandit: softmax temperature must be > 0")
+	}
+	return &Softmax{arms: newArms(n, cfg), Temperature: temperature, r: r}
+}
+
+// Name implements Policy.
+func (p *Softmax) Name() string { return fmt.Sprintf("softmax(%.2f)", p.Temperature) }
+
+// NumArms implements Policy.
+func (p *Softmax) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *Softmax) Select(eligible []bool) int {
+	idx := checkEligible(p.n(), eligible)
+	// Max-shift for stability, computed over eligible arms only.
+	max := math.Inf(-1)
+	for _, i := range idx {
+		if v := p.est[i].Value(); v > max {
+			max = v
+		}
+	}
+	weights := make([]float64, len(idx))
+	for k, i := range idx {
+		weights[k] = math.Exp((p.est[i].Value() - max) / p.Temperature)
+	}
+	return idx[p.r.WeightedChoice(weights)]
+}
+
+// Update implements Policy.
+func (p *Softmax) Update(arm int, reward float64) { p.update(arm, reward) }
+
+// Snapshot implements Policy.
+func (p *Softmax) Snapshot() []ArmSnapshot { return p.snapshot() }
+
+// Reset implements Policy.
+func (p *Softmax) Reset() { p.reset() }
+
+// RoundRobin cycles deterministically through the eligible arms; it
+// ignores rewards. It is the "fair scan over groups" baseline.
+type RoundRobin struct {
+	*arms
+	next int
+}
+
+// NewRoundRobin returns a round-robin policy over n arms.
+func NewRoundRobin(n int, cfg StatsConfig) *RoundRobin {
+	return &RoundRobin{arms: newArms(n, cfg)}
+}
+
+// Name implements Policy.
+func (p *RoundRobin) Name() string { return "round-robin" }
+
+// NumArms implements Policy.
+func (p *RoundRobin) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *RoundRobin) Select(eligible []bool) int {
+	checkEligible(p.n(), eligible)
+	for off := 0; off < p.n(); off++ {
+		arm := (p.next + off) % p.n()
+		if eligible[arm] {
+			p.next = (arm + 1) % p.n()
+			return arm
+		}
+	}
+	panic("bandit: unreachable — checkEligible guarantees an eligible arm")
+}
+
+// Update implements Policy.
+func (p *RoundRobin) Update(arm int, reward float64) { p.update(arm, reward) }
+
+// Snapshot implements Policy.
+func (p *RoundRobin) Snapshot() []ArmSnapshot { return p.snapshot() }
+
+// Reset implements Policy.
+func (p *RoundRobin) Reset() { p.reset(); p.next = 0 }
+
+// UniformRandom picks an eligible arm uniformly at random; it ignores
+// rewards. Selecting groups at random then draining inputs from them is
+// statistically equivalent to a shuffled scan, making this the bandit-form
+// random baseline.
+type UniformRandom struct {
+	*arms
+	r *rng.RNG
+}
+
+// NewUniformRandom returns a uniform-random policy over n arms.
+func NewUniformRandom(n int, cfg StatsConfig, r *rng.RNG) *UniformRandom {
+	return &UniformRandom{arms: newArms(n, cfg), r: r}
+}
+
+// Name implements Policy.
+func (p *UniformRandom) Name() string { return "uniform-random" }
+
+// NumArms implements Policy.
+func (p *UniformRandom) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *UniformRandom) Select(eligible []bool) int {
+	idx := checkEligible(p.n(), eligible)
+	return idx[p.r.Choice(len(idx))]
+}
+
+// Update implements Policy.
+func (p *UniformRandom) Update(arm int, reward float64) { p.update(arm, reward) }
+
+// Snapshot implements Policy.
+func (p *UniformRandom) Snapshot() []ArmSnapshot { return p.snapshot() }
+
+// Reset implements Policy.
+func (p *UniformRandom) Reset() { p.reset() }

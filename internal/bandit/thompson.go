@@ -1,0 +1,168 @@
+package bandit
+
+import (
+	"math"
+
+	"zombie/internal/rng"
+)
+
+// ThompsonBernoulli implements Thompson sampling with a Beta–Bernoulli
+// posterior per arm. Rewards are clamped into [0,1] and applied as
+// fractional pseudo-counts (alpha += r, beta += 1-r), which reduces to the
+// textbook update for binary usefulness rewards — Zombie's default reward —
+// while still accepting graded quality-delta rewards.
+type ThompsonBernoulli struct {
+	*arms
+	alpha []float64
+	beta  []float64
+	r     *rng.RNG
+	// PriorAlpha and PriorBeta set the Beta prior; (1,1) is uniform.
+	PriorAlpha, PriorBeta float64
+}
+
+// NewThompsonBernoulli returns a Thompson-sampling policy over n arms with
+// a uniform Beta(1,1) prior.
+func NewThompsonBernoulli(n int, cfg StatsConfig, r *rng.RNG) *ThompsonBernoulli {
+	p := &ThompsonBernoulli{
+		arms:       newArms(n, cfg),
+		alpha:      make([]float64, n),
+		beta:       make([]float64, n),
+		r:          r,
+		PriorAlpha: 1,
+		PriorBeta:  1,
+	}
+	for i := 0; i < n; i++ {
+		p.alpha[i] = p.PriorAlpha
+		p.beta[i] = p.PriorBeta
+	}
+	return p
+}
+
+// Name implements Policy.
+func (p *ThompsonBernoulli) Name() string { return "thompson" }
+
+// NumArms implements Policy.
+func (p *ThompsonBernoulli) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *ThompsonBernoulli) Select(eligible []bool) int {
+	idx := checkEligible(p.n(), eligible)
+	best := math.Inf(-1)
+	bestArm := idx[0]
+	for _, i := range idx {
+		draw := p.r.Beta(p.alpha[i], p.beta[i])
+		if draw > best {
+			best = draw
+			bestArm = i
+		}
+	}
+	return bestArm
+}
+
+// Update implements Policy.
+func (p *ThompsonBernoulli) Update(arm int, reward float64) {
+	p.update(arm, reward)
+	r := reward
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	p.alpha[arm] += r
+	p.beta[arm] += 1 - r
+}
+
+// Snapshot implements Policy.
+func (p *ThompsonBernoulli) Snapshot() []ArmSnapshot {
+	out := p.snapshot()
+	for i := range out {
+		out[i].Recent = p.alpha[i] / (p.alpha[i] + p.beta[i])
+	}
+	return out
+}
+
+// Reset implements Policy.
+func (p *ThompsonBernoulli) Reset() {
+	p.reset()
+	for i := range p.alpha {
+		p.alpha[i] = p.PriorAlpha
+		p.beta[i] = p.PriorBeta
+	}
+}
+
+// ThompsonGaussian implements Thompson sampling with a Gaussian posterior
+// over each arm's mean reward (known-variance approximation). It handles
+// rewards of any scale, which matters for the quality-delta reward whose
+// magnitude shrinks as the learning curve flattens.
+type ThompsonGaussian struct {
+	*arms
+	sum  []float64
+	sum2 []float64
+	r    *rng.RNG
+	// PriorStd is the standard deviation assumed before any observation.
+	PriorStd float64
+}
+
+// NewThompsonGaussian returns a Gaussian Thompson-sampling policy. It
+// panics if priorStd <= 0.
+func NewThompsonGaussian(n int, priorStd float64, cfg StatsConfig, r *rng.RNG) *ThompsonGaussian {
+	if priorStd <= 0 {
+		panic("bandit: ThompsonGaussian priorStd must be > 0")
+	}
+	return &ThompsonGaussian{
+		arms:     newArms(n, cfg),
+		sum:      make([]float64, n),
+		sum2:     make([]float64, n),
+		r:        r,
+		PriorStd: priorStd,
+	}
+}
+
+// Name implements Policy.
+func (p *ThompsonGaussian) Name() string { return "thompson-gaussian" }
+
+// NumArms implements Policy.
+func (p *ThompsonGaussian) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *ThompsonGaussian) Select(eligible []bool) int {
+	idx := checkEligible(p.n(), eligible)
+	best := math.Inf(-1)
+	bestArm := idx[0]
+	for _, i := range idx {
+		n := float64(p.pulls[i])
+		var mean, std float64
+		if n == 0 {
+			mean, std = 0, p.PriorStd
+		} else {
+			mean = p.sum[i] / n
+			// Posterior std of the mean shrinks as 1/sqrt(n).
+			std = p.PriorStd / math.Sqrt(n)
+		}
+		draw := p.r.Gaussian(mean, std)
+		if draw > best {
+			best = draw
+			bestArm = i
+		}
+	}
+	return bestArm
+}
+
+// Update implements Policy.
+func (p *ThompsonGaussian) Update(arm int, reward float64) {
+	p.update(arm, reward)
+	p.sum[arm] += reward
+	p.sum2[arm] += reward * reward
+}
+
+// Snapshot implements Policy.
+func (p *ThompsonGaussian) Snapshot() []ArmSnapshot { return p.snapshot() }
+
+// Reset implements Policy.
+func (p *ThompsonGaussian) Reset() {
+	p.reset()
+	for i := range p.sum {
+		p.sum[i], p.sum2[i] = 0, 0
+	}
+}

@@ -1,0 +1,77 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+
+	"zombie/internal/rng"
+)
+
+// UCB1 implements the classic upper-confidence-bound policy of Auer,
+// Cesa-Bianchi and Fischer: each arm scores estimate + C·sqrt(2·ln t / n_i)
+// and the highest score wins. Unpulled eligible arms are played first.
+// C scales the exploration bonus; C=1 is the textbook setting.
+type UCB1 struct {
+	*arms
+	C float64
+	r *rng.RNG
+}
+
+// NewUCB1 returns a UCB1 policy over n arms. It panics if c < 0.
+func NewUCB1(n int, c float64, cfg StatsConfig, r *rng.RNG) *UCB1 {
+	if c < 0 {
+		panic("bandit: UCB1 exploration constant must be >= 0")
+	}
+	return &UCB1{arms: newArms(n, cfg), C: c, r: r}
+}
+
+// Name implements Policy.
+func (p *UCB1) Name() string { return fmt.Sprintf("ucb1(%.2f)", p.C) }
+
+// NumArms implements Policy.
+func (p *UCB1) NumArms() int { return p.n() }
+
+// Select implements Policy.
+func (p *UCB1) Select(eligible []bool) int {
+	idx := checkEligible(p.n(), eligible)
+	// Play each eligible unpulled arm once before scoring.
+	var unpulled []int
+	for _, i := range idx {
+		if p.pulls[i] == 0 {
+			unpulled = append(unpulled, i)
+		}
+	}
+	if len(unpulled) > 0 {
+		return unpulled[p.r.Choice(len(unpulled))]
+	}
+	t := float64(p.total)
+	if t < 1 {
+		t = 1
+	}
+	best := math.Inf(-1)
+	var ties []int
+	for _, i := range idx {
+		score := p.est[i].Value() + p.C*math.Sqrt(2*math.Log(t)/float64(p.pulls[i]))
+		switch {
+		case score > best:
+			best = score
+			ties = ties[:0]
+			ties = append(ties, i)
+		case score == best:
+			ties = append(ties, i)
+		}
+	}
+	if len(ties) == 1 {
+		return ties[0]
+	}
+	return ties[p.r.Choice(len(ties))]
+}
+
+// Update implements Policy.
+func (p *UCB1) Update(arm int, reward float64) { p.update(arm, reward) }
+
+// Snapshot implements Policy.
+func (p *UCB1) Snapshot() []ArmSnapshot { return p.snapshot() }
+
+// Reset implements Policy.
+func (p *UCB1) Reset() { p.reset() }

@@ -1,0 +1,185 @@
+// Package core implements the Zombie engine — the paper's primary
+// contribution. Given a Task (corpus + feature code + learner + metric)
+// and a set of index Groups built offline, the engine runs the online
+// inner loop: a multi-armed bandit repeatedly picks an index group, the
+// group's next unprocessed input is run through the feature code, the
+// resulting example trains the incremental learner, and the observed
+// reward (usefulness or holdout-quality movement) updates the bandit.
+// A plateau detector over the learning curve stops the run early once the
+// quality estimate has converged.
+//
+// The package also implements the baselines the paper compares against —
+// sequential scan, shuffled random scan, and the ground-truth oracle —
+// over exactly the same loop, so measured differences isolate input
+// selection.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"zombie/internal/bandit"
+)
+
+// RewardKind selects how the engine converts a step's outcome into a
+// bandit reward.
+type RewardKind int
+
+const (
+	// RewardUsefulness pays 1 when the feature code marks the input
+	// useful (paper default: cheap, exact attribution).
+	RewardUsefulness RewardKind = iota
+	// RewardQualityDelta pays the clamped, scaled improvement of a small
+	// holdout subsample's quality caused by training on the example.
+	RewardQualityDelta
+	// RewardHybrid averages the two.
+	RewardHybrid
+)
+
+// String returns the reward's table label.
+func (k RewardKind) String() string {
+	switch k {
+	case RewardUsefulness:
+		return "usefulness"
+	case RewardQualityDelta:
+		return "quality-delta"
+	case RewardHybrid:
+		return "hybrid"
+	default:
+		return fmt.Sprintf("RewardKind(%d)", int(k))
+	}
+}
+
+// EarlyStopConfig tunes plateau detection over the learning curve. The
+// detector sees one quality sample per evaluation (every Config.EvalEvery
+// inputs), so Window and Patience are measured in evaluations.
+type EarlyStopConfig struct {
+	// Enabled turns early stopping on.
+	Enabled bool
+	// Window is how many recent quality samples the slope is fitted over
+	// (default 8).
+	Window int
+	// SlopeThreshold is the absolute per-sample slope below which the
+	// curve counts as flat (default 0.002).
+	SlopeThreshold float64
+	// Patience is how many consecutive flat checks are required
+	// (default 2).
+	Patience int
+	// MinInputs prevents stopping before this many inputs regardless of
+	// slope (default 200).
+	MinInputs int
+}
+
+func (c EarlyStopConfig) withDefaults() EarlyStopConfig {
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.SlopeThreshold <= 0 {
+		c.SlopeThreshold = 0.002
+	}
+	if c.Patience <= 0 {
+		c.Patience = 2
+	}
+	if c.MinInputs <= 0 {
+		c.MinInputs = 200
+	}
+	return c
+}
+
+// Config parameterizes an engine. The zero value plus a Policy is usable;
+// New fills in defaults.
+type Config struct {
+	// Policy names the bandit policy (see bandit.Spec). Default
+	// "eps-greedy:0.1", the paper's workhorse.
+	Policy bandit.Spec
+	// PolicyStats configures per-arm reward aging (default cumulative).
+	PolicyStats bandit.StatsConfig
+	// Reward selects the reward function.
+	Reward RewardKind
+	// RewardSubsample is the holdout subsample size used by the
+	// quality-delta reward (default 50). Ignored for RewardUsefulness.
+	RewardSubsample int
+	// RewardScale multiplies the quality delta before clamping to [0,1]
+	// (default 20).
+	RewardScale float64
+	// EvalEvery evaluates the full holdout every N processed inputs
+	// (default 25). Smaller is a finer learning curve but more eval cost.
+	EvalEvery int
+	// EvalIncremental evaluates the running incremental model instead of
+	// the default set-based evaluation, which retrains a fresh model on a
+	// shuffled copy of every example collected so far at each evaluation
+	// point. The default measures what the engineer cares about — the
+	// quality of the collected example set — and is immune to
+	// input-order artifacts of incremental learners (a bandit stream is
+	// heavily ordered by construction). Incremental evaluation is cheaper
+	// and matches the reward path exactly.
+	EvalIncremental bool
+	// EvalEpochs is how many shuffled passes set-based evaluation trains
+	// for (default 1). SGD learners stabilize with 2-3 epochs over small
+	// collected sets; count-based learners are unaffected.
+	EvalEpochs int
+	// EarlyStop configures plateau detection.
+	EarlyStop EarlyStopConfig
+	// MaxInputs caps processed inputs; 0 means run to exhaustion (or
+	// early stop).
+	MaxInputs int
+	// MaxSimTime caps the simulated processing clock — the engineer's
+	// "give me the best estimate you can in 20 minutes" budget; 0 means
+	// no time cap.
+	MaxSimTime time.Duration
+	// Seed drives every random choice the engine makes.
+	Seed int64
+	// TraceEvents records a step-level trace into the result.
+	TraceEvents bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Policy == "" {
+		c.Policy = "eps-greedy:0.1"
+	}
+	if c.RewardSubsample <= 0 {
+		c.RewardSubsample = 50
+	}
+	if c.RewardScale <= 0 {
+		c.RewardScale = 20
+	}
+	if c.EvalEvery <= 0 {
+		c.EvalEvery = 25
+	}
+	if c.EvalEpochs <= 0 {
+		c.EvalEpochs = 1
+	}
+	c.EarlyStop = c.EarlyStop.withDefaults()
+	return c
+}
+
+// Engine runs feature-evaluation inner loops. An Engine is immutable and
+// safe to reuse across runs; each Run derives its own random substreams
+// from Config.Seed, so repeated identical calls produce identical results.
+type Engine struct {
+	cfg Config
+}
+
+// New validates the configuration and returns an engine.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if cfg.MaxInputs < 0 {
+		return nil, fmt.Errorf("core: MaxInputs must be >= 0, got %d", cfg.MaxInputs)
+	}
+	if cfg.MaxSimTime < 0 {
+		return nil, fmt.Errorf("core: MaxSimTime must be >= 0, got %v", cfg.MaxSimTime)
+	}
+	// Validate the policy spec eagerly with a throwaway build.
+	if _, err := cfg.Policy.Build(2, cfg.PolicyStats, dummyRNG()); err != nil {
+		return nil, err
+	}
+	switch cfg.Reward {
+	case RewardUsefulness, RewardQualityDelta, RewardHybrid:
+	default:
+		return nil, fmt.Errorf("core: unknown RewardKind %d", int(cfg.Reward))
+	}
+	return &Engine{cfg: cfg}, nil
+}
+
+// Config returns the engine's effective (defaulted) configuration.
+func (e *Engine) Config() Config { return e.cfg }

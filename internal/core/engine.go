@@ -1,0 +1,256 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"zombie/internal/corpus"
+	"zombie/internal/featurepipe"
+	"zombie/internal/index"
+	"zombie/internal/learner"
+	"zombie/internal/rng"
+	"zombie/internal/stats"
+	"zombie/internal/trace"
+)
+
+// Run executes the Zombie inner loop over the task's input pool, selecting
+// inputs through the index groups with the configured bandit policy.
+func (e *Engine) Run(task *featurepipe.Task, groups *index.Groups) (*RunResult, error) {
+	r := rng.New(e.cfg.Seed).Split("run:" + task.Name + ":" + task.Feature.Name())
+	src, err := newBanditSource(groups, task.PoolSet(), e.cfg.Policy, e.cfg.PolicyStats, r.Split("policy"))
+	if err != nil {
+		return nil, err
+	}
+	return e.loop(task, src, r)
+}
+
+// RunScan executes the same loop over a fixed input order: the sequential
+// baseline (shuffle=false) or the paper's random-sampling baseline
+// (shuffle=true).
+func (e *Engine) RunScan(task *featurepipe.Task, shuffle bool) (*RunResult, error) {
+	r := rng.New(e.cfg.Seed).Split("scan:" + task.Name + ":" + task.Feature.Name())
+	var src inputSource
+	if shuffle {
+		src = newRandomScan(task.PoolIdx, r.Split("order"))
+	} else {
+		src = newSequentialScan(task.PoolIdx)
+	}
+	return e.loop(task, src, r)
+}
+
+// RunOracle executes the loop over the ground-truth-best order: all
+// useful inputs first. No realizable selector can beat it; experiments use
+// it as the skyline.
+func (e *Engine) RunOracle(task *featurepipe.Task) (*RunResult, error) {
+	r := rng.New(e.cfg.Seed).Split("oracle:" + task.Name + ":" + task.Feature.Name())
+	var useful, rest []int
+	for _, idx := range task.PoolIdx {
+		if oracleUseful(task.Store.Get(idx), task.Feature) {
+			useful = append(useful, idx)
+		} else {
+			rest = append(rest, idx)
+		}
+	}
+	src := newOracleScan(useful, rest, r.Split("order"))
+	return e.loop(task, src, r)
+}
+
+// oracleUseful mirrors the task feature functions' usefulness definitions
+// at the ground-truth level, without paying for extraction.
+func oracleUseful(in *corpus.Input, f featurepipe.FeatureFunc) bool {
+	if sf, ok := f.(*featurepipe.SongFeature); ok {
+		return in.Truth.Class >= sf.Genres/2
+	}
+	return in.Truth.Class == 1
+}
+
+// loop is the shared inner loop: one iteration per processed input.
+func (e *Engine) loop(task *featurepipe.Task, src inputSource, r *rng.RNG) (*RunResult, error) {
+	wallStart := time.Now()
+	holdout, err := task.BuildHoldout()
+	if err != nil {
+		return nil, err
+	}
+	// The quality-delta reward evaluates a small fixed subsample before
+	// and after each update; build it once per run.
+	var rewardHold *learner.Holdout
+	if e.cfg.Reward != RewardUsefulness {
+		rewardHold = subsampleHoldout(holdout, e.cfg.RewardSubsample, r.Split("reward-subsample"))
+	}
+
+	model := task.NewModel(task.Feature)
+	detector := stats.NewPlateauDetector(e.cfg.EarlyStop.Window, e.cfg.EarlyStop.SlopeThreshold, e.cfg.EarlyStop.Patience)
+
+	// Set-based evaluation (the default) retrains a fresh model on the
+	// examples collected so far, shuffled deterministically, so the
+	// learning curve measures the example set rather than the stream
+	// order the bandit imposed.
+	var collected []learner.Example
+	evalRNG := r.Split("eval")
+	evaluate := func() float64 {
+		if e.cfg.EvalIncremental {
+			return holdout.Quality(model)
+		}
+		m := task.NewModel(task.Feature)
+		for epoch := 0; epoch < e.cfg.EvalEpochs; epoch++ {
+			for _, i := range evalRNG.Perm(len(collected)) {
+				m.PartialFit(collected[i])
+			}
+		}
+		return holdout.Quality(m)
+	}
+
+	res := &RunResult{
+		Task:     task.Name,
+		Strategy: src.name(),
+	}
+	var events *trace.Log
+	if e.cfg.TraceEvents {
+		events = &trace.Log{}
+	}
+
+	var simTime time.Duration
+	res.Curve = append(res.Curve, CurvePoint{Inputs: 0, Quality: evaluate(), SimTime: 0})
+
+	stop := StopExhausted
+	steps := 0
+loop:
+	for {
+		if e.cfg.MaxInputs > 0 && steps >= e.cfg.MaxInputs {
+			stop = StopBudget
+			break
+		}
+		if e.cfg.MaxSimTime > 0 && simTime >= e.cfg.MaxSimTime {
+			stop = StopBudget
+			break
+		}
+		idx, arm, ok := src.next()
+		if !ok {
+			break // pool exhausted
+		}
+		steps++
+		in := task.Store.Get(idx)
+		simTime += task.Cost.Cost(in)
+
+		extRes, extErr := safeExtract(task.Feature, in)
+		reward := 0.0
+		errMsg := ""
+		switch {
+		case extErr != nil:
+			res.Errors++
+			errMsg = extErr.Error()
+		case extRes.Produced:
+			res.Produced++
+			if extRes.Useful {
+				res.Useful++
+			}
+			reward = e.rewardFor(extRes, model, rewardHold)
+			if !e.cfg.EvalIncremental {
+				collected = append(collected, extRes.Example)
+			}
+		}
+		src.feedback(arm, reward)
+		events.Record(trace.Event{
+			Step: steps, InputIdx: idx, Arm: arm, Reward: reward,
+			Produced: extRes.Produced, Useful: extRes.Useful, Err: errMsg,
+			SimTime: simTime,
+		})
+
+		if steps%e.cfg.EvalEvery == 0 {
+			q := evaluate()
+			res.Curve = append(res.Curve, CurvePoint{Inputs: steps, Quality: q, SimTime: simTime})
+			plateau := detector.Observe(q)
+			if e.cfg.EarlyStop.Enabled && plateau && steps >= e.cfg.EarlyStop.MinInputs {
+				stop = StopEarly
+				break loop
+			}
+		}
+	}
+
+	// Reuse the last in-loop evaluation when it already covers the final
+	// step: set-based evaluation shuffles, so re-evaluating the same point
+	// can return a slightly different number for order-sensitive learners.
+	var final float64
+	if n := len(res.Curve); n > 0 && res.Curve[n-1].Inputs == steps {
+		final = res.Curve[n-1].Quality
+	} else {
+		final = evaluate()
+		res.Curve = append(res.Curve, CurvePoint{Inputs: steps, Quality: final, SimTime: simTime})
+	}
+	res.InputsProcessed = steps
+	res.FinalQuality = final
+	res.SimTime = simTime
+	res.WallTime = time.Since(wallStart)
+	res.Stop = stop
+	res.Arms = src.arms()
+	res.Events = events
+	return res, nil
+}
+
+// rewardFor computes the configured reward for a produced example. For
+// delta-based rewards, the model is trained inside this function (the
+// before/after measurement brackets the update); for pure usefulness the
+// model is trained here too, keeping the call site uniform.
+func (e *Engine) rewardFor(extRes featurepipe.Result, model learner.Model, rewardHold *learner.Holdout) float64 {
+	switch e.cfg.Reward {
+	case RewardUsefulness:
+		model.PartialFit(extRes.Example)
+		if extRes.Useful {
+			return 1
+		}
+		return 0
+	case RewardQualityDelta:
+		before := rewardHold.Quality(model)
+		model.PartialFit(extRes.Example)
+		after := rewardHold.Quality(model)
+		return clamp01((after - before) * e.cfg.RewardScale)
+	default: // RewardHybrid
+		before := rewardHold.Quality(model)
+		model.PartialFit(extRes.Example)
+		after := rewardHold.Quality(model)
+		delta := clamp01((after - before) * e.cfg.RewardScale)
+		useful := 0.0
+		if extRes.Useful {
+			useful = 1
+		}
+		return 0.5*useful + 0.5*delta
+	}
+}
+
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// safeExtract runs feature code with panic isolation: the code under
+// evaluation is by definition unfinished, and a panic on one input must
+// cost one reward, not the run.
+func safeExtract(f featurepipe.FeatureFunc, in *corpus.Input) (res featurepipe.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			res = featurepipe.Result{}
+			err = fmt.Errorf("core: feature code panicked on %s: %v", in.ID, p)
+		}
+	}()
+	return f.Extract(in)
+}
+
+// subsampleHoldout returns a holdout over up to n examples sampled without
+// replacement from h, preserving metric configuration. With n >= len it
+// reuses the full example set.
+func subsampleHoldout(h *learner.Holdout, n int, r *rng.RNG) *learner.Holdout {
+	if n >= len(h.Examples) {
+		return h
+	}
+	picks := r.SampleWithoutReplacement(len(h.Examples), n)
+	sub := make([]learner.Example, n)
+	for i, p := range picks {
+		sub[i] = h.Examples[p]
+	}
+	return learner.NewHoldout(sub, h.Metric, h.Positive)
+}

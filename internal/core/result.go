@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"zombie/internal/bandit"
+	"zombie/internal/trace"
+)
+
+// StopReason records why a run ended.
+type StopReason int
+
+const (
+	// StopExhausted: the input pool ran dry.
+	StopExhausted StopReason = iota
+	// StopBudget: Config.MaxInputs was reached.
+	StopBudget
+	// StopEarly: the learning-curve plateau detector fired.
+	StopEarly
+)
+
+// String returns the reason's label.
+func (s StopReason) String() string {
+	switch s {
+	case StopExhausted:
+		return "exhausted"
+	case StopBudget:
+		return "budget"
+	case StopEarly:
+		return "early-stop"
+	default:
+		return fmt.Sprintf("StopReason(%d)", int(s))
+	}
+}
+
+// CurvePoint is one sample of the learning curve.
+type CurvePoint struct {
+	// Inputs is the number of inputs processed when the sample was taken.
+	Inputs int
+	// Quality is the full-holdout quality at that point.
+	Quality float64
+	// SimTime is the cumulative simulated processing time.
+	SimTime time.Duration
+}
+
+// RunResult is everything one feature-evaluation run reports.
+type RunResult struct {
+	// Task and Strategy label the run ("wiki", "zombie(eps-greedy(0.10))").
+	Task     string
+	Strategy string
+	// Curve is the learning curve, including the step-0 floor and the
+	// final point.
+	Curve []CurvePoint
+	// InputsProcessed counts inputs actually run through feature code.
+	InputsProcessed int
+	// Produced / Useful / Errors break down the step outcomes.
+	Produced int
+	Useful   int
+	Errors   int
+	// FinalQuality is the last holdout evaluation.
+	FinalQuality float64
+	// SimTime is the total simulated processing time.
+	SimTime time.Duration
+	// WallTime is the real time the run took (engine overhead included).
+	WallTime time.Duration
+	// Stop records why the run ended.
+	Stop StopReason
+	// Arms holds final per-group bandit statistics (nil for scans).
+	Arms []bandit.ArmSnapshot
+	// Events is the step trace when Config.TraceEvents was set.
+	Events *trace.Log
+}
+
+// InputsToQuality returns the first curve point at or above the target
+// quality, reporting the inputs processed and simulated time it took.
+// ok is false when the run never reached the target.
+func (r *RunResult) InputsToQuality(target float64) (inputs int, sim time.Duration, ok bool) {
+	for _, p := range r.Curve {
+		if p.Quality >= target {
+			return p.Inputs, p.SimTime, true
+		}
+	}
+	return 0, 0, false
+}
+
+// QualityAtInputs returns the quality of the last curve sample at or
+// before the given input count (the step-0 floor when none). It lets
+// experiments compare strategies at a fixed budget.
+func (r *RunResult) QualityAtInputs(inputs int) float64 {
+	q := 0.0
+	if len(r.Curve) > 0 {
+		q = r.Curve[0].Quality
+	}
+	for _, p := range r.Curve {
+		if p.Inputs > inputs {
+			break
+		}
+		q = p.Quality
+	}
+	return q
+}
+
+// UsefulRate returns Useful / InputsProcessed (0 for an empty run).
+func (r *RunResult) UsefulRate() float64 {
+	if r.InputsProcessed == 0 {
+		return 0
+	}
+	return float64(r.Useful) / float64(r.InputsProcessed)
+}
+
+// Summary renders a one-line human-readable digest.
+func (r *RunResult) Summary() string {
+	return fmt.Sprintf("%s/%s: inputs=%d useful=%d (%.1f%%) errors=%d quality=%.4f sim=%s stop=%s",
+		r.Task, r.Strategy, r.InputsProcessed, r.Useful, 100*r.UsefulRate(),
+		r.Errors, r.FinalQuality, r.SimTime.Round(time.Millisecond), r.Stop)
+}

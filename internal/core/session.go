@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"zombie/internal/featurepipe"
+	"zombie/internal/index"
+)
+
+// IterationResult is one feature-code version's evaluation inside a
+// session.
+type IterationResult struct {
+	Version string
+	Run     *RunResult
+}
+
+// SessionResult aggregates a whole engineering session — the paper's
+// end-to-end unit of account (8 hours → 5 hours).
+type SessionResult struct {
+	// Name and Mode label the session and the system under test
+	// ("zombie" or "scan").
+	Name string
+	Mode string
+	// Iterations holds one result per feature-code version, in order.
+	Iterations []IterationResult
+	// IndexBuild is the one-time indexing cost charged to Zombie
+	// sessions (zero for scans).
+	IndexBuild time.Duration
+	// ThinkTime is the engineer's fixed between-run time, counted once
+	// per iteration under both modes.
+	ThinkTime time.Duration
+	// ProcessingTime is the summed simulated processing across runs.
+	ProcessingTime time.Duration
+}
+
+// TotalTime is the engineer's wait: indexing (if any) + processing +
+// think time.
+func (s *SessionResult) TotalTime() time.Duration {
+	return s.IndexBuild + s.ProcessingTime + s.ThinkTime
+}
+
+// TotalInputs sums inputs processed across iterations.
+func (s *SessionResult) TotalInputs() int {
+	total := 0
+	for _, it := range s.Iterations {
+		total += it.Run.InputsProcessed
+	}
+	return total
+}
+
+// RunSession replays an engineering session: each feature-code version is
+// evaluated in order against the same task split. With useZombie, runs go
+// through the index groups under the engine's policy and early stopping,
+// and the one-time index build cost is charged up front; otherwise each
+// run is a full random scan with early stopping disabled (the status-quo
+// engineer who processes the corpus every iteration).
+func (e *Engine) RunSession(s *featurepipe.Session, base *featurepipe.Task, groups *index.Groups, useZombie bool) (*SessionResult, error) {
+	if s == nil || len(s.Versions) == 0 {
+		return nil, fmt.Errorf("core: RunSession requires a non-empty session")
+	}
+	out := &SessionResult{Name: s.Name}
+	thinkPer := time.Duration(s.ThinkTimeMinutes * float64(time.Minute))
+
+	if useZombie {
+		if groups == nil {
+			return nil, fmt.Errorf("core: zombie session requires groups")
+		}
+		out.Mode = "zombie"
+		out.IndexBuild = groups.BuildTime
+	} else {
+		out.Mode = "scan"
+	}
+
+	scanEngine := e
+	if !useZombie {
+		cfg := e.cfg
+		cfg.EarlyStop.Enabled = false
+		var err error
+		scanEngine, err = New(cfg)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	for i, version := range s.Versions {
+		task := base.WithFeature(version)
+		var run *RunResult
+		var err error
+		if useZombie {
+			run, err = e.Run(task, groups)
+		} else {
+			run, err = scanEngine.RunScan(task, true)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("core: session %s iteration %d (%s): %w", s.Name, i, version.Name(), err)
+		}
+		out.Iterations = append(out.Iterations, IterationResult{Version: version.Name(), Run: run})
+		out.ProcessingTime += run.SimTime
+		out.ThinkTime += thinkPer
+	}
+	return out, nil
+}

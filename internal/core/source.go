@@ -1,0 +1,141 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"zombie/internal/bandit"
+	"zombie/internal/index"
+	"zombie/internal/rng"
+)
+
+// inputSource abstracts where the next input comes from, so the bandit
+// engine and the scan baselines share one inner loop.
+type inputSource interface {
+	// next returns the next input's store index and the arm that chose
+	// it; ok is false when the source is exhausted.
+	next() (inputIdx, arm int, ok bool)
+	// feedback credits the reward for the most recent pull of arm.
+	feedback(arm int, reward float64)
+	// name labels the selection strategy in results.
+	name() string
+	// arms returns per-arm statistics (nil for scans).
+	arms() []bandit.ArmSnapshot
+}
+
+func dummyRNG() *rng.RNG { return rng.New(0) }
+
+// banditSource walks index groups under a bandit policy. Group member
+// lists are pre-filtered to the task's input pool; each group keeps a
+// cursor, and a group becomes ineligible when its cursor reaches the end.
+type banditSource struct {
+	policy  bandit.Policy
+	members [][]int
+	cursor  []int
+	elig    []bool
+	label   string
+}
+
+// newBanditSource filters groups to the pool mask and builds the policy.
+func newBanditSource(groups *index.Groups, pool []bool, spec bandit.Spec,
+	stats bandit.StatsConfig, r *rng.RNG) (*banditSource, error) {
+	if groups == nil || groups.K() == 0 {
+		return nil, fmt.Errorf("core: bandit run requires non-empty groups")
+	}
+	if len(pool) != groups.Len() {
+		return nil, fmt.Errorf("core: pool mask length %d does not match groups over %d inputs", len(pool), groups.Len())
+	}
+	members := make([][]int, groups.K())
+	total := 0
+	for g, ms := range groups.Members {
+		for _, idx := range ms {
+			if pool[idx] {
+				members[g] = append(members[g], idx)
+			}
+		}
+		total += len(members[g])
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("core: no pool inputs fall inside the groups")
+	}
+	policy, err := spec.Build(groups.K(), stats, r)
+	if err != nil {
+		return nil, err
+	}
+	s := &banditSource{
+		policy:  policy,
+		members: members,
+		cursor:  make([]int, groups.K()),
+		elig:    make([]bool, groups.K()),
+		label:   fmt.Sprintf("zombie(%s)", policy.Name()),
+	}
+	return s, nil
+}
+
+func (s *banditSource) next() (int, int, bool) {
+	any := false
+	for g := range s.members {
+		ok := s.cursor[g] < len(s.members[g])
+		s.elig[g] = ok
+		any = any || ok
+	}
+	if !any {
+		return 0, 0, false
+	}
+	arm := s.policy.Select(s.elig)
+	idx := s.members[arm][s.cursor[arm]]
+	s.cursor[arm]++
+	return idx, arm, true
+}
+
+func (s *banditSource) feedback(arm int, reward float64) { s.policy.Update(arm, reward) }
+func (s *banditSource) name() string                     { return s.label }
+func (s *banditSource) arms() []bandit.ArmSnapshot       { return s.policy.Snapshot() }
+
+// scanSource yields a fixed order of pool indices: the sequential and
+// shuffled-scan baselines, and the oracle ordering.
+type scanSource struct {
+	order  []int
+	cursor int
+	label  string
+}
+
+func (s *scanSource) next() (int, int, bool) {
+	if s.cursor >= len(s.order) {
+		return 0, 0, false
+	}
+	idx := s.order[s.cursor]
+	s.cursor++
+	return idx, 0, true
+}
+
+func (s *scanSource) feedback(int, float64)      {}
+func (s *scanSource) name() string               { return s.label }
+func (s *scanSource) arms() []bandit.ArmSnapshot { return nil }
+
+// newSequentialScan processes the pool in ascending store order — the
+// "just run the job" baseline whose order is whatever the crawl wrote.
+func newSequentialScan(pool []int) *scanSource {
+	order := append([]int(nil), pool...)
+	sort.Ints(order)
+	return &scanSource{order: order, label: "scan(sequential)"}
+}
+
+// newRandomScan processes the pool in seeded shuffled order — the
+// paper's primary baseline (uniform random sampling without replacement).
+func newRandomScan(pool []int, r *rng.RNG) *scanSource {
+	order := append([]int(nil), pool...)
+	r.ShuffleInts(order)
+	return &scanSource{order: order, label: "scan(random)"}
+}
+
+// newOracleScan processes ground-truth useful inputs first — the skyline
+// no selector can beat. usefulFirst lists pool indices with Truth-level
+// usefulness; rest is everything else.
+func newOracleScan(usefulFirst, rest []int, r *rng.RNG) *scanSource {
+	a := append([]int(nil), usefulFirst...)
+	b := append([]int(nil), rest...)
+	r.ShuffleInts(a)
+	r.ShuffleInts(b)
+	return &scanSource{order: append(a, b...), label: "scan(oracle)"}
+}

@@ -1,0 +1,360 @@
+package corpus
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+func TestMemStore(t *testing.T) {
+	ins := []*Input{{ID: "a"}, {ID: "b"}}
+	s := NewMemStore(ins)
+	if s.Len() != 2 || s.Get(1).ID != "b" {
+		t.Fatal("MemStore basics wrong")
+	}
+	if len(s.All()) != 2 {
+		t.Fatal("All wrong")
+	}
+	mustPanic(t, "oob", func() { s.Get(2) })
+	mustPanic(t, "neg", func() { s.Get(-1) })
+}
+
+func TestKindString(t *testing.T) {
+	if TextKind.String() != "text" || NumericKind.String() != "numeric" {
+		t.Fatal("Kind labels wrong")
+	}
+	if Kind(7).String() != "Kind(7)" {
+		t.Fatal("unknown Kind label wrong")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if (&Input{Kind: TextKind, Text: "hello"}).SizeBytes() != 5 {
+		t.Fatal("text size wrong")
+	}
+	if (&Input{Kind: NumericKind, Values: []float64{1, 2, 3}}).SizeBytes() != 24 {
+		t.Fatal("numeric size wrong")
+	}
+}
+
+func TestGenerateWikiDeterministic(t *testing.T) {
+	cfg := DefaultWikiConfig()
+	cfg.N = 200
+	a, err := GenerateWiki(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateWiki(cfg, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i].Text != b[i].Text || a[i].Truth != b[i].Truth {
+			t.Fatalf("wiki generation not deterministic at %d", i)
+		}
+	}
+}
+
+func TestGenerateWikiProperties(t *testing.T) {
+	cfg := DefaultWikiConfig()
+	cfg.N = 3000
+	ins, err := GenerateWiki(cfg, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ComputeStats(NewMemStore(ins))
+	if st.Inputs != 3000 {
+		t.Fatalf("Inputs = %d", st.Inputs)
+	}
+	// Overall relevance must be rare but present.
+	if st.RelevantFrac < 0.01 || st.RelevantFrac > 0.25 {
+		t.Fatalf("relevant fraction %v outside expected band", st.RelevantFrac)
+	}
+	// Relevant pages contain the infobox marker; class matches relevance.
+	relByCat := map[string][2]int{}
+	for _, in := range ins {
+		if in.Kind != TextKind || in.Text == "" {
+			t.Fatal("wiki input missing text")
+		}
+		if in.Truth.Relevant {
+			if !strings.Contains(in.Text, "infobox") {
+				t.Fatal("relevant page missing infobox marker")
+			}
+			if in.Truth.Class != 1 {
+				t.Fatal("relevant page class != 1")
+			}
+		} else if in.Truth.Class != 0 {
+			t.Fatal("irrelevant page class != 0")
+		}
+		cat := in.Meta["category"]
+		pair := relByCat[cat]
+		pair[1]++
+		if in.Truth.Relevant {
+			pair[0]++
+		}
+		relByCat[cat] = pair
+	}
+	// Relevance must be concentrated: some categories rich, most poor.
+	rich := 0
+	for _, pair := range relByCat {
+		if pair[1] >= 20 && float64(pair[0])/float64(pair[1]) > 0.15 {
+			rich++
+		}
+	}
+	if rich == 0 {
+		t.Fatal("no relevance-rich category found; skew is the core corpus property")
+	}
+	if rich > cfg.TargetCategories+1 {
+		t.Fatalf("too many rich categories: %d", rich)
+	}
+}
+
+func TestGenerateWikiValidation(t *testing.T) {
+	bad := DefaultWikiConfig()
+	bad.N = 0
+	if _, err := GenerateWiki(bad, rng.New(1)); err == nil {
+		t.Fatal("expected error for N=0")
+	}
+	bad = DefaultWikiConfig()
+	bad.TargetCategories = 1000
+	if _, err := GenerateWiki(bad, rng.New(1)); err == nil {
+		t.Fatal("expected error for TargetCategories > Categories")
+	}
+	bad = DefaultWikiConfig()
+	bad.TargetRelevantRate = 2
+	if _, err := GenerateWiki(bad, rng.New(1)); err == nil {
+		t.Fatal("expected error for rate > 1")
+	}
+}
+
+func TestGenerateSongsProperties(t *testing.T) {
+	cfg := DefaultSongConfig()
+	cfg.N = 2000
+	ins, err := GenerateSongs(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	classCount := map[int]int{}
+	for _, in := range ins {
+		if len(in.Values) != cfg.Dim {
+			t.Fatalf("song dim = %d", len(in.Values))
+		}
+		if !in.Truth.Relevant {
+			t.Fatal("songs are all relevant")
+		}
+		if in.Truth.Class < 0 || in.Truth.Class >= cfg.Genres {
+			t.Fatalf("genre %d out of range", in.Truth.Class)
+		}
+		if in.Truth.Target < 1900 || in.Truth.Target > 2050 {
+			t.Fatalf("implausible year %v", in.Truth.Target)
+		}
+		classCount[in.Truth.Class]++
+	}
+	// Zipf skew: genre 0 much more common than the rarest genre.
+	minC, maxC := math.MaxInt32, 0
+	for g := 0; g < cfg.Genres; g++ {
+		c := classCount[g]
+		if c < minC {
+			minC = c
+		}
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC < 3*minC {
+		t.Fatalf("genre popularity not skewed enough: min=%d max=%d", minC, maxC)
+	}
+}
+
+func TestGenerateSongsGenreSeparation(t *testing.T) {
+	cfg := DefaultSongConfig()
+	cfg.N = 1000
+	ins, _ := GenerateSongs(cfg, rng.New(10))
+	// Within-genre distance must be smaller than cross-genre distance on
+	// average, or the clustering index could never work.
+	byGenre := map[int][][]float64{}
+	for _, in := range ins {
+		byGenre[in.Truth.Class] = append(byGenre[in.Truth.Class], in.Values)
+	}
+	mean := func(vs [][]float64) []float64 {
+		m := make([]float64, cfg.Dim)
+		for _, v := range vs {
+			for d := range v {
+				m[d] += v[d]
+			}
+		}
+		for d := range m {
+			m[d] /= float64(len(vs))
+		}
+		return m
+	}
+	g0, g1 := byGenre[0], byGenre[1]
+	if len(g0) < 10 || len(g1) < 10 {
+		t.Skip("not enough samples in top genres")
+	}
+	m0, m1 := mean(g0), mean(g1)
+	dist := 0.0
+	for d := range m0 {
+		diff := m0[d] - m1[d]
+		dist += diff * diff
+	}
+	within := 0.0
+	for _, v := range g0[:10] {
+		for d := range v {
+			diff := v[d] - m0[d]
+			within += diff * diff
+		}
+	}
+	within /= 10
+	if dist < within/4 {
+		t.Fatalf("genres not separated: cross=%v within=%v", dist, within)
+	}
+}
+
+func TestGenerateImagesProperties(t *testing.T) {
+	cfg := DefaultImageConfig()
+	cfg.N = 4000
+	ins, err := GenerateImages(cfg, rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := 0
+	for _, in := range ins {
+		if len(in.Values) != cfg.Dim {
+			t.Fatalf("image dim = %d", len(in.Values))
+		}
+		if in.Truth.Class == 1 {
+			pos++
+		}
+	}
+	rate := float64(pos) / float64(len(ins))
+	if rate < 0.005 || rate > 0.08 {
+		t.Fatalf("positive rate %v outside needle-in-haystack band", rate)
+	}
+}
+
+func TestGenerateConfigValidationErrors(t *testing.T) {
+	if _, err := GenerateSongs(SongConfig{}, rng.New(1)); err == nil {
+		t.Fatal("zero SongConfig should fail")
+	}
+	if _, err := GenerateImages(ImageConfig{}, rng.New(1)); err == nil {
+		t.Fatal("zero ImageConfig should fail")
+	}
+	bad := DefaultImageConfig()
+	bad.PositiveConcepts = 100
+	if _, err := GenerateImages(bad, rng.New(1)); err == nil {
+		t.Fatal("PositiveConcepts > Concepts should fail")
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	cfg := DefaultWikiConfig()
+	cfg.N = 50
+	ins, _ := GenerateWiki(cfg, rng.New(12))
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := WriteJSONL(path, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(ins) {
+		t.Fatalf("round trip lost inputs: %d vs %d", len(back), len(ins))
+	}
+	for i := range ins {
+		if back[i].ID != ins[i].ID || back[i].Text != ins[i].Text ||
+			back[i].Truth != ins[i].Truth || back[i].Meta["category"] != ins[i].Meta["category"] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestJSONLNumericRoundTrip(t *testing.T) {
+	cfg := DefaultSongConfig()
+	cfg.N = 20
+	ins, _ := GenerateSongs(cfg, rng.New(13))
+	path := filepath.Join(t.TempDir(), "songs.jsonl")
+	if err := WriteJSONL(path, ins); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSONL(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range ins {
+		if len(back[i].Values) != len(ins[i].Values) {
+			t.Fatal("values lost")
+		}
+		for d := range ins[i].Values {
+			if back[i].Values[d] != ins[i].Values[d] {
+				t.Fatal("float round trip mismatch")
+			}
+		}
+	}
+}
+
+func TestDecodeJSONLSkipsBlankAndReportsErrors(t *testing.T) {
+	good := `{"id":"a","kind":0,"text":"x"}
+
+{"id":"b","kind":0,"text":"y"}`
+	ins, err := DecodeJSONL(bytes.NewBufferString(good))
+	if err != nil || len(ins) != 2 {
+		t.Fatalf("decode: %v, %d inputs", err, len(ins))
+	}
+	if _, err := DecodeJSONL(bytes.NewBufferString("{bad json")); err == nil {
+		t.Fatal("expected decode error")
+	}
+	_, err = DecodeJSONL(bytes.NewBufferString("{}\n{bad"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("error should name the line: %v", err)
+	}
+}
+
+func TestWriteJSONLNilInput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.jsonl")
+	if err := WriteJSONL(path, []*Input{nil}); err == nil {
+		t.Fatal("expected error for nil input")
+	}
+}
+
+func TestReadJSONLMissingFile(t *testing.T) {
+	if _, err := ReadJSONL("/nonexistent/nope.jsonl"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	ins := []*Input{
+		{Kind: TextKind, Text: "abcd", Truth: Truth{Relevant: true, Class: 1}},
+		{Kind: TextKind, Text: "ab", Truth: Truth{}},
+		{Kind: NumericKind, Values: []float64{1}, Truth: Truth{Relevant: true, Class: 2}},
+	}
+	st := ComputeStats(NewMemStore(ins))
+	if st.Inputs != 3 || st.Relevant != 2 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if math.Abs(st.RelevantFrac-2.0/3.0) > 1e-12 {
+		t.Fatalf("RelevantFrac = %v", st.RelevantFrac)
+	}
+	if st.TotalBytes != 4+2+8 {
+		t.Fatalf("TotalBytes = %d", st.TotalBytes)
+	}
+	if st.Classes[1] != 1 || st.Classes[2] != 1 {
+		t.Fatalf("Classes = %v", st.Classes)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s: expected panic", name)
+		}
+	}()
+	f()
+}

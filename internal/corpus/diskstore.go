@@ -1,0 +1,112 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// DiskStore is a read-only Store over a JSONL corpus file that never
+// materializes the whole corpus in memory: construction indexes line
+// offsets in one sequential pass, and Get reads and decodes a single
+// record on demand. This is the corpus option for crawls larger than RAM
+// — exactly the "over each page in a Web crawl" setting the paper's
+// abstract motivates. A one-slot cache makes the engine's common pattern
+// (Get followed by feature extraction of the same input) free.
+//
+// A DiskStore is not safe for concurrent use; the engine's inner loop is
+// single-threaded by design.
+type DiskStore struct {
+	path    string
+	f       *os.File
+	offsets []int64 // line start offsets; len = #inputs + 1 (end sentinel)
+	lastIdx int
+	lastIn  *Input
+}
+
+// OpenDiskStore indexes the JSONL file at path and returns the store.
+// The file stays open until Close.
+func OpenDiskStore(path string) (*DiskStore, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	s := &DiskStore{path: path, f: f, lastIdx: -1}
+	r := bufio.NewReaderSize(f, 1<<20)
+	var off int64
+	for {
+		line, err := r.ReadBytes('\n')
+		if len(line) > 0 {
+			// Skip blank lines but keep offset accounting exact.
+			if !isBlank(line) {
+				s.offsets = append(s.offsets, off)
+			}
+			off += int64(len(line))
+		}
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("corpus: index %s: %w", path, err)
+		}
+	}
+	s.offsets = append(s.offsets, off) // end sentinel
+	return s, nil
+}
+
+func isBlank(line []byte) bool {
+	for _, b := range line {
+		if b != ' ' && b != '\t' && b != '\n' && b != '\r' {
+			return false
+		}
+	}
+	return true
+}
+
+// Len implements Store.
+func (s *DiskStore) Len() int { return len(s.offsets) - 1 }
+
+// Get implements Store. It panics on out-of-range indices (matching
+// MemStore) and on read or decode failures, which on an indexed file
+// indicate corruption rather than a recoverable condition.
+func (s *DiskStore) Get(i int) *Input {
+	if i < 0 || i >= s.Len() {
+		panic(fmt.Sprintf("corpus: DiskStore.Get(%d) out of range [0,%d)", i, s.Len()))
+	}
+	if i == s.lastIdx {
+		return s.lastIn
+	}
+	start, end := s.offsets[i], s.offsets[i+1]
+	buf := make([]byte, end-start)
+	if _, err := s.f.ReadAt(buf, start); err != nil && err != io.EOF {
+		panic(fmt.Sprintf("corpus: DiskStore read %s record %d: %v", s.path, i, err))
+	}
+	in := new(Input)
+	if err := json.Unmarshal(trimRecord(buf), in); err != nil {
+		panic(fmt.Sprintf("corpus: DiskStore decode %s record %d: %v", s.path, i, err))
+	}
+	s.lastIdx, s.lastIn = i, in
+	return in
+}
+
+// trimRecord strips trailing newline bytes and any interleaved blank
+// lines captured between offsets.
+func trimRecord(b []byte) []byte {
+	end := len(b)
+	for end > 0 && (b[end-1] == '\n' || b[end-1] == '\r' || b[end-1] == ' ' || b[end-1] == '\t') {
+		end--
+	}
+	return b[:end]
+}
+
+// Path returns the backing file path.
+func (s *DiskStore) Path() string { return s.path }
+
+// Close releases the underlying file. The store is unusable afterwards.
+func (s *DiskStore) Close() error {
+	s.lastIdx, s.lastIn = -1, nil
+	return s.f.Close()
+}

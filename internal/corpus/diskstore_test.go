@@ -1,0 +1,141 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+func writeTestCorpus(t *testing.T, n int, seed int64) (string, []*Input) {
+	t.Helper()
+	cfg := DefaultWikiConfig()
+	cfg.N = n
+	ins, err := GenerateWiki(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.jsonl")
+	if err := WriteJSONL(path, ins); err != nil {
+		t.Fatal(err)
+	}
+	return path, ins
+}
+
+func TestDiskStoreMatchesMemStore(t *testing.T) {
+	path, ins := writeTestCorpus(t, 120, 700)
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Len() != len(ins) {
+		t.Fatalf("Len = %d, want %d", ds.Len(), len(ins))
+	}
+	if ds.Path() != path {
+		t.Fatal("Path wrong")
+	}
+	// Random-order access must return identical records.
+	order := rng.New(701).Perm(len(ins))
+	for _, i := range order {
+		got := ds.Get(i)
+		want := ins[i]
+		if got.ID != want.ID || got.Text != want.Text || got.Truth != want.Truth {
+			t.Fatalf("record %d differs: %s vs %s", i, got.ID, want.ID)
+		}
+	}
+}
+
+func TestDiskStoreRepeatedGetUsesCache(t *testing.T) {
+	path, _ := writeTestCorpus(t, 10, 702)
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	a := ds.Get(3)
+	b := ds.Get(3)
+	if a != b {
+		t.Fatal("repeated Get should return the cached pointer")
+	}
+	c := ds.Get(4)
+	if c == a {
+		t.Fatal("different index returned cached record")
+	}
+}
+
+func TestDiskStoreBlankLines(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blanks.jsonl")
+	content := `{"id":"a","kind":0,"text":"x"}
+
+{"id":"b","kind":0,"text":"y"}
+
+{"id":"c","kind":0,"text":"z"}
+`
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", ds.Len())
+	}
+	if ds.Get(0).ID != "a" || ds.Get(1).ID != "b" || ds.Get(2).ID != "c" {
+		t.Fatal("blank-line handling broke record alignment")
+	}
+}
+
+func TestDiskStoreNoTrailingNewline(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "notrail.jsonl")
+	if err := os.WriteFile(path, []byte(`{"id":"only","kind":0,"text":"x"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	if ds.Len() != 1 || ds.Get(0).ID != "only" {
+		t.Fatalf("Len=%d", ds.Len())
+	}
+}
+
+func TestDiskStorePanics(t *testing.T) {
+	path, _ := writeTestCorpus(t, 5, 703)
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	mustPanic(t, "oob", func() { ds.Get(5) })
+	mustPanic(t, "neg", func() { ds.Get(-1) })
+}
+
+func TestDiskStoreMissingFile(t *testing.T) {
+	if _, err := OpenDiskStore("/nonexistent/nope.jsonl"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestDiskStoreAsEngineStore(t *testing.T) {
+	// The Store interface contract: ComputeStats over a DiskStore matches
+	// the in-memory result.
+	path, ins := writeTestCorpus(t, 80, 704)
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	var s Store = ds
+	got := ComputeStats(s)
+	want := ComputeStats(NewMemStore(ins))
+	if got.Inputs != want.Inputs || got.Relevant != want.Relevant || got.TotalBytes != want.TotalBytes {
+		t.Fatalf("stats differ: %+v vs %+v", got, want)
+	}
+}

@@ -1,0 +1,149 @@
+package corpus
+
+import (
+	"fmt"
+
+	"zombie/internal/rng"
+)
+
+// ImageConfig parameterizes the synthetic image corpus: each "image" is a
+// dense visual-descriptor vector drawn from one of many visual-concept
+// clusters, and the positive class (the paper's running example is
+// detecting a particular animal) is rare overall but concentrated in a
+// handful of those clusters. This is the needle-in-a-haystack regime where
+// the paper reports Zombie's largest speedups: a random scan sees a
+// positive every ~1/rate inputs, while the bandit homes in on the
+// positive-bearing clusters.
+type ImageConfig struct {
+	// N is the number of images.
+	N int
+	// Dim is the descriptor dimensionality.
+	Dim int
+	// Concepts is the number of visual-concept clusters.
+	Concepts int
+	// PositiveConcepts is how many clusters contain positives at
+	// PositiveRateInConcept; other clusters contain none.
+	PositiveConcepts      int
+	PositiveRateInConcept float64
+	// ClusterStd is the within-concept descriptor standard deviation.
+	ClusterStd float64
+	// PositivePull in [0,1] blends positive descriptors toward a shared
+	// positive core: 0 leaves positives at their concept's centroid
+	// (hardest to detect), 1 collapses them onto one dedicated cluster
+	// (trivially indexable). Real rare classes sit in between — visually
+	// similar to each other while still colored by their surroundings.
+	PositivePull float64
+	// DecoyRate is the fraction of negatives (corpus-wide) drawn as
+	// decoys: visually positive-like (pulled toward the positive core at
+	// DecoyPull) but labeled negative. Decoys cap achievable precision
+	// until the detector has seen enough positives to tighten its
+	// boundary, which keeps the learning curve gradual.
+	DecoyRate float64
+	// DecoyPull is the core pull applied to decoys (less than
+	// PositivePull, so the classes remain separable).
+	DecoyPull float64
+}
+
+// DefaultImageConfig returns the parameters used by the experiments
+// (overall positive rate ≈ PositiveConcepts/Concepts × rate ≈ 2.5%).
+func DefaultImageConfig() ImageConfig {
+	return ImageConfig{
+		N:                     20000,
+		Dim:                   32,
+		Concepts:              24,
+		PositiveConcepts:      3,
+		PositiveRateInConcept: 0.2,
+		ClusterStd:            0.35,
+		PositivePull:          0.6,
+		DecoyRate:             0.05,
+		DecoyPull:             0.42,
+	}
+}
+
+func (c ImageConfig) validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("corpus: ImageConfig.N must be > 0, got %d", c.N)
+	case c.Dim <= 0:
+		return fmt.Errorf("corpus: ImageConfig.Dim must be > 0, got %d", c.Dim)
+	case c.Concepts <= 0:
+		return fmt.Errorf("corpus: ImageConfig.Concepts must be > 0, got %d", c.Concepts)
+	case c.PositiveConcepts <= 0 || c.PositiveConcepts > c.Concepts:
+		return fmt.Errorf("corpus: ImageConfig.PositiveConcepts must be in [1,%d], got %d", c.Concepts, c.PositiveConcepts)
+	case c.PositiveRateInConcept <= 0 || c.PositiveRateInConcept > 1:
+		return fmt.Errorf("corpus: ImageConfig.PositiveRateInConcept out of (0,1]: %v", c.PositiveRateInConcept)
+	case c.ClusterStd <= 0:
+		return fmt.Errorf("corpus: ImageConfig.ClusterStd must be > 0, got %v", c.ClusterStd)
+	case c.PositivePull < 0 || c.PositivePull > 1:
+		return fmt.Errorf("corpus: ImageConfig.PositivePull out of [0,1]: %v", c.PositivePull)
+	case c.DecoyRate < 0 || c.DecoyRate > 1:
+		return fmt.Errorf("corpus: ImageConfig.DecoyRate out of [0,1]: %v", c.DecoyRate)
+	case c.DecoyPull < 0 || c.DecoyPull > 1:
+		return fmt.Errorf("corpus: ImageConfig.DecoyPull out of [0,1]: %v", c.DecoyPull)
+	}
+	return nil
+}
+
+// GenerateImages builds the corpus deterministically from the seed.
+func GenerateImages(cfg ImageConfig, r *rng.RNG) ([]*Input, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	centroidRNG := r.Split("centroids")
+	centroids := make([][]float64, cfg.Concepts)
+	for c := range centroids {
+		centroids[c] = make([]float64, cfg.Dim)
+		for d := range centroids[c] {
+			centroids[c][d] = centroidRNG.Range(-1, 1)
+		}
+	}
+	// Positives live in evenly spread concepts so popularity is not
+	// confounded with the positive class.
+	posConcepts := map[int]bool{}
+	for i := 0; i < cfg.PositiveConcepts; i++ {
+		posConcepts[(i*cfg.Concepts)/cfg.PositiveConcepts] = true
+	}
+	// Positives are pulled toward a shared positive core so the class is
+	// learnable (and partially indexable) while keeping its concept's
+	// coloring.
+	posCore := make([]float64, cfg.Dim)
+	for d := range posCore {
+		posCore[d] = centroidRNG.Range(-1, 1)
+	}
+
+	feat := r.Split("features")
+	pick := r.Split("concepts")
+	lab := r.Split("labels")
+
+	inputs := make([]*Input, cfg.N)
+	for i := range inputs {
+		concept := pick.Intn(cfg.Concepts)
+		positive := posConcepts[concept] && lab.Bernoulli(cfg.PositiveRateInConcept)
+		decoy := !positive && lab.Bernoulli(cfg.DecoyRate)
+		pull := 0.0
+		if positive {
+			pull = cfg.PositivePull
+		} else if decoy {
+			pull = cfg.DecoyPull
+		}
+		vals := make([]float64, cfg.Dim)
+		for d := range vals {
+			mean := (1-pull)*centroids[concept][d] + pull*posCore[d]
+			vals[d] = feat.Gaussian(mean, cfg.ClusterStd)
+		}
+		cls := 0
+		if positive {
+			cls = 1
+		}
+		inputs[i] = &Input{
+			ID:     fmt.Sprintf("img-%06d", i),
+			Kind:   NumericKind,
+			Values: vals,
+			Meta: map[string]string{
+				"camera": fmt.Sprintf("cam-%d", concept%5),
+			},
+			Truth: Truth{Relevant: true, Class: cls},
+		}
+	}
+	return inputs, nil
+}

@@ -1,0 +1,140 @@
+// Package corpus models the raw-input side of Zombie: the large collection
+// of expensive-to-process data objects (web pages, songs, images) that the
+// engineer's feature code runs over.
+//
+// Because the paper's corpora (a Wikipedia crawl, the Million Song
+// Dataset, a labeled image collection) are not redistributable, the
+// package also provides deterministic synthetic generators that reproduce
+// the *statistical* properties Zombie's evaluation depends on: inputs are
+// expensive, usefulness is rare and unevenly distributed, and cheap
+// surface features of an input correlate with its usefulness. See
+// DESIGN.md §3 for the substitution argument.
+package corpus
+
+import "fmt"
+
+// Kind distinguishes the raw payload a feature function will find in an
+// Input.
+type Kind int
+
+const (
+	// TextKind inputs carry a Text payload (wiki pages).
+	TextKind Kind = iota
+	// NumericKind inputs carry a Values payload (audio features, image
+	// descriptors).
+	NumericKind
+)
+
+// String returns the kind's label.
+func (k Kind) String() string {
+	switch k {
+	case TextKind:
+		return "text"
+	case NumericKind:
+		return "numeric"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Truth carries the generator's ground-truth annotations for an input.
+// Feature functions may read Truth only to produce training labels
+// (standing in for the paper's distant supervision / engineer-provided
+// labels); they must not leak it into features. Index groupers never see
+// Truth.
+type Truth struct {
+	// Relevant reports whether the input contains any signal of interest
+	// — e.g., a wiki page that actually mentions the target entity type.
+	// Processing an irrelevant input yields no training example, which is
+	// exactly the waste Zombie's input selection avoids.
+	Relevant bool
+	// Class is the classification label (task-specific).
+	Class int
+	// Target is the regression target (task-specific).
+	Target float64
+}
+
+// Input is one raw data object. Exactly one of Text or Values is populated
+// depending on Kind. Meta holds cheap surface attributes (category tags,
+// source hints) available to indexing without processing the payload.
+type Input struct {
+	ID     string            `json:"id"`
+	Kind   Kind              `json:"kind"`
+	Text   string            `json:"text,omitempty"`
+	Values []float64         `json:"values,omitempty"`
+	Meta   map[string]string `json:"meta,omitempty"`
+	Truth  Truth             `json:"truth"`
+}
+
+// SizeBytes approximates the raw payload size, which the cost model uses
+// to scale simulated processing time.
+func (in *Input) SizeBytes() int {
+	if in.Kind == TextKind {
+		return len(in.Text)
+	}
+	return 8 * len(in.Values)
+}
+
+// Store is a read-only, randomly addressable collection of inputs. Zombie
+// indexes a Store offline and draws individual inputs from it online; it
+// never needs mutation.
+type Store interface {
+	// Len returns the number of inputs.
+	Len() int
+	// Get returns the i-th input. Implementations panic on out-of-range i.
+	Get(i int) *Input
+}
+
+// MemStore is an in-memory Store backed by a slice.
+type MemStore struct {
+	inputs []*Input
+}
+
+// NewMemStore wraps inputs in a Store. The slice is not copied.
+func NewMemStore(inputs []*Input) *MemStore {
+	return &MemStore{inputs: inputs}
+}
+
+// Len implements Store.
+func (s *MemStore) Len() int { return len(s.inputs) }
+
+// Get implements Store.
+func (s *MemStore) Get(i int) *Input {
+	if i < 0 || i >= len(s.inputs) {
+		panic(fmt.Sprintf("corpus: MemStore.Get(%d) out of range [0,%d)", i, len(s.inputs)))
+	}
+	return s.inputs[i]
+}
+
+// All returns the backing slice (not a copy) for bulk operations like
+// index construction.
+func (s *MemStore) All() []*Input { return s.inputs }
+
+// Stats summarizes a store for dataset tables (experiment T1).
+type Stats struct {
+	Inputs       int
+	Relevant     int
+	RelevantFrac float64
+	Classes      map[int]int
+	TotalBytes   int64
+	MeanBytes    float64
+}
+
+// ComputeStats scans the store once and returns its summary.
+func ComputeStats(s Store) Stats {
+	st := Stats{Classes: map[int]int{}}
+	for i := 0; i < s.Len(); i++ {
+		in := s.Get(i)
+		st.Inputs++
+		if in.Truth.Relevant {
+			st.Relevant++
+			st.Classes[in.Truth.Class]++
+		}
+		st.TotalBytes += int64(in.SizeBytes())
+	}
+	if st.Inputs > 0 {
+		st.RelevantFrac = float64(st.Relevant) / float64(st.Inputs)
+		st.MeanBytes = float64(st.TotalBytes) / float64(st.Inputs)
+	}
+	return st
+}

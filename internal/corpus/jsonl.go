@@ -1,0 +1,72 @@
+package corpus
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// WriteJSONL writes inputs to path as one JSON object per line, the
+// interchange format cmd/zombie-datagen produces and cmd/zombie consumes.
+// The file is created or truncated.
+func WriteJSONL(path string, inputs []*Input) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("corpus: create %s: %w", path, err)
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("corpus: close %s: %w", path, cerr)
+		}
+	}()
+	w := bufio.NewWriterSize(f, 1<<20)
+	enc := json.NewEncoder(w)
+	for i, in := range inputs {
+		if in == nil {
+			return fmt.Errorf("corpus: nil input at index %d", i)
+		}
+		if err := enc.Encode(in); err != nil {
+			return fmt.Errorf("corpus: encode input %d (%s): %w", i, in.ID, err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return fmt.Errorf("corpus: flush %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadJSONL loads every input from a JSONL file written by WriteJSONL.
+func ReadJSONL(path string) ([]*Input, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return DecodeJSONL(f)
+}
+
+// DecodeJSONL reads inputs from an io.Reader in JSONL form.
+func DecodeJSONL(r io.Reader) ([]*Input, error) {
+	var out []*Input
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24) // pages can be long lines
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		in := new(Input)
+		if err := json.Unmarshal(raw, in); err != nil {
+			return nil, fmt.Errorf("corpus: line %d: %w", line, err)
+		}
+		out = append(out, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("corpus: scan: %w", err)
+	}
+	return out, nil
+}

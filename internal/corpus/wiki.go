@@ -1,0 +1,182 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"zombie/internal/rng"
+)
+
+// WikiConfig parameterizes the synthetic wiki-like corpus generator. It
+// stands in for the paper's Wikipedia crawl: pages are bags of Zipfian
+// tokens, each page belongs to a topical category, and the pages relevant
+// to the extraction task (those that actually contain the target entity
+// type) are heavily concentrated in a few categories. Because category
+// membership shows through each page's surface vocabulary, cheap index
+// features (hashed bags of words) correlate with relevance — the property
+// Zombie's index groups exploit.
+type WikiConfig struct {
+	// N is the number of pages.
+	N int
+	// Categories is the number of topical categories.
+	Categories int
+	// TargetCategories is how many categories concentrate the relevant
+	// pages (e.g., "NFL players" pages under sports categories).
+	TargetCategories int
+	// TargetRelevantRate is the probability a page in a target category is
+	// relevant; BackgroundRelevantRate applies elsewhere.
+	TargetRelevantRate     float64
+	BackgroundRelevantRate float64
+	// Vocab is the size of the shared background vocabulary; TopicWords is
+	// the number of category-specific words per category.
+	Vocab      int
+	TopicWords int
+	// MeanLength is the mean page length in tokens (Poisson).
+	MeanLength float64
+	// CategorySkew is the Zipf exponent of category popularity.
+	CategorySkew float64
+}
+
+// DefaultWikiConfig returns the parameters used by the experiments
+// (documented in DESIGN.md §4).
+func DefaultWikiConfig() WikiConfig {
+	return WikiConfig{
+		N:                      20000,
+		Categories:             40,
+		TargetCategories:       6,
+		TargetRelevantRate:     0.25,
+		BackgroundRelevantRate: 0.01,
+		Vocab:                  5000,
+		TopicWords:             30,
+		MeanLength:             120,
+		CategorySkew:           1.05,
+	}
+}
+
+func (c WikiConfig) validate() error {
+	switch {
+	case c.N <= 0:
+		return fmt.Errorf("corpus: WikiConfig.N must be > 0, got %d", c.N)
+	case c.Categories <= 0:
+		return fmt.Errorf("corpus: WikiConfig.Categories must be > 0, got %d", c.Categories)
+	case c.TargetCategories <= 0 || c.TargetCategories > c.Categories:
+		return fmt.Errorf("corpus: WikiConfig.TargetCategories must be in [1,%d], got %d", c.Categories, c.TargetCategories)
+	case c.TargetRelevantRate < 0 || c.TargetRelevantRate > 1:
+		return fmt.Errorf("corpus: WikiConfig.TargetRelevantRate out of [0,1]: %v", c.TargetRelevantRate)
+	case c.BackgroundRelevantRate < 0 || c.BackgroundRelevantRate > 1:
+		return fmt.Errorf("corpus: WikiConfig.BackgroundRelevantRate out of [0,1]: %v", c.BackgroundRelevantRate)
+	case c.Vocab <= 0 || c.TopicWords <= 0:
+		return fmt.Errorf("corpus: WikiConfig vocabulary sizes must be > 0")
+	case c.MeanLength <= 0:
+		return fmt.Errorf("corpus: WikiConfig.MeanLength must be > 0, got %v", c.MeanLength)
+	case c.CategorySkew <= 0:
+		return fmt.Errorf("corpus: WikiConfig.CategorySkew must be > 0, got %v", c.CategorySkew)
+	}
+	return nil
+}
+
+// EntityMarkers are the tokens a relevant page's infobox-like section
+// contains. The task feature code looks for them; they are deliberately
+// rare outside relevant pages.
+var EntityMarkers = []string{"infobox", "born", "career", "team", "position"}
+
+// GenerateWiki builds the corpus. The same config and seed always produce
+// the identical corpus.
+func GenerateWiki(cfg WikiConfig, r *rng.RNG) ([]*Input, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	catZipf := r.Split("cat").NewZipf(cfg.CategorySkew, cfg.Categories)
+	wordZipf := r.Split("vocab").NewZipf(1.1, cfg.Vocab)
+	// Topic vocabularies for candidate sections: biography ranks draw
+	// from the bottom of the shared range, news ranks from the top, so
+	// they overlap in the middle.
+	const topicRange = 400
+	bioZipf := r.Split("bio").NewZipf(0.6, 260)
+	newsZipf := r.Split("news").NewZipf(0.6, 260)
+	body := r.Split("body")
+	rel := r.Split("relevance")
+
+	// The first TargetCategories ranks of the Zipf are popular categories;
+	// to avoid conflating popularity with relevance, spread the target
+	// categories across the popularity range deterministically.
+	targets := map[int]bool{}
+	for i := 0; i < cfg.TargetCategories; i++ {
+		targets[(i*cfg.Categories)/(cfg.TargetCategories+1)+1] = true
+	}
+
+	inputs := make([]*Input, cfg.N)
+	for i := range inputs {
+		cat := catZipf.Draw()
+		isTarget := targets[cat]
+		rate := cfg.BackgroundRelevantRate
+		if isTarget {
+			rate = cfg.TargetRelevantRate
+		}
+		relevant := rel.Bernoulli(rate)
+
+		length := body.Poisson(cfg.MeanLength)
+		if length < 20 {
+			length = 20
+		}
+		var sb strings.Builder
+		sb.Grow(length * 6)
+		for t := 0; t < length; t++ {
+			// 30% of tokens are category topic words; the rest come from
+			// the shared background vocabulary.
+			if body.Bernoulli(0.3) {
+				fmt.Fprintf(&sb, "c%dt%d ", cat, body.Intn(cfg.TopicWords))
+			} else {
+				fmt.Fprintf(&sb, "w%d ", wordZipf.Draw())
+			}
+		}
+		if relevant {
+			// Candidate section: entity markers plus biography-flavored
+			// vocabulary. Markers only flag a page as a *candidate*; the
+			// class signal lives in the topic-vocabulary distribution, so
+			// the learner needs many positives before precision and
+			// recall stabilize.
+			sb.WriteString(EntityMarkers[0])
+			sb.WriteByte(' ')
+			for _, m := range EntityMarkers[1:] {
+				if body.Bernoulli(0.7) {
+					fmt.Fprintf(&sb, "%s ", m)
+				}
+			}
+			for t := 0; t < 8; t++ {
+				fmt.Fprintf(&sb, "t%d ", bioZipf.Draw())
+			}
+		} else if body.Bernoulli(0.10) {
+			// Hard negatives: candidate-looking pages (markers present)
+			// with news-flavored vocabulary that overlaps the biography
+			// vocabulary. These cap precision until the vocabulary
+			// statistics are learned.
+			for _, m := range EntityMarkers[1:] {
+				if body.Bernoulli(0.5) {
+					fmt.Fprintf(&sb, "%s ", m)
+				}
+			}
+			fmt.Fprintf(&sb, "%s ", EntityMarkers[1+body.Intn(len(EntityMarkers)-1)])
+			for t := 0; t < 8; t++ {
+				// News ranks map to the top of the shared token range so
+				// the two topic distributions overlap in their tails.
+				fmt.Fprintf(&sb, "t%d ", topicRange-1-newsZipf.Draw())
+			}
+		}
+
+		cls := 0
+		if relevant {
+			cls = 1
+		}
+		inputs[i] = &Input{
+			ID:   fmt.Sprintf("wiki-%06d", i),
+			Kind: TextKind,
+			Text: strings.TrimSpace(sb.String()),
+			Meta: map[string]string{
+				"category": fmt.Sprintf("cat-%02d", cat),
+			},
+			Truth: Truth{Relevant: relevant, Class: cls},
+		}
+	}
+	return inputs, nil
+}

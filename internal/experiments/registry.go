@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"zombie/internal/index"
+	"zombie/internal/rng"
+)
+
+// buildNamedGroups builds groups for a workload with a named strategy;
+// used by the indexing ablation. "default" uses the workload's grouper.
+func buildNamedGroups(wl *Workload, strategy string, k int, seed int64) (*index.Groups, error) {
+	r := rng.New(seed)
+	switch strategy {
+	case "default":
+		return wl.Groups(k, seed)
+	case "kmeans-text":
+		g := &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25}}
+		return g.Group(wl.Store, k, r)
+	case "kmeans-tfidf":
+		tfidf := index.NewTFIDF(256)
+		tfidf.Fit(wl.Store)
+		g := &index.KMeansGrouper{Vectorizer: tfidf, Config: index.KMeansConfig{MaxIter: 25}}
+		return g.Group(wl.Store, k, r)
+	case "lsh-text":
+		g := &index.LSHGrouper{Vectorizer: index.NewHashedText(256)}
+		return g.Group(wl.Store, k, r)
+	case "kmeans-numeric":
+		dim := 0
+		for i := 0; i < wl.Store.Len(); i++ {
+			if v := wl.Store.Get(i).Values; len(v) > 0 {
+				dim = len(v)
+				break
+			}
+		}
+		if dim == 0 {
+			return nil, fmt.Errorf("experiments: kmeans-numeric needs numeric inputs")
+		}
+		v := index.NewNumeric(dim)
+		v.FitStandardize(wl.Store)
+		g := &index.KMeansGrouper{Vectorizer: v, Config: index.KMeansConfig{MaxIter: 25}}
+		return g.Group(wl.Store, k, r)
+	case "hash":
+		return index.HashGrouper{}.Group(wl.Store, k, r)
+	case "random":
+		return index.RandomGrouper{}.Group(wl.Store, k, r)
+	case "oracle":
+		return index.OracleGrouper{}.Group(wl.Store, k, r)
+	default:
+		if len(strategy) > len("attribute:") && strategy[:len("attribute:")] == "attribute:" {
+			g := &index.AttributeGrouper{Attr: strategy[len("attribute:"):]}
+			return g.Group(wl.Store, k, r)
+		}
+		return nil, fmt.Errorf("experiments: unknown index strategy %q", strategy)
+	}
+}
+
+// Runner executes one experiment, writing its tables/series to w.
+type Runner func(cfg Config, w io.Writer) error
+
+var registry = map[string]struct {
+	Title string
+	Run   Runner
+}{
+	"T1": {"Dataset statistics", T1DatasetStats},
+	"T2": {"Headline speedup (time to 95% quality)", T2Headline},
+	"T3": {"End-to-end engineering session", T3Session},
+	"T4": {"Index cost amortization", T4IndexCost},
+	"F1": {"Learning curves", F1LearningCurves},
+	"F2": {"Speedup vs group count", F2GroupCount},
+	"F3": {"Bandit policy comparison", F3Policies},
+	"F4": {"Reward-function ablation", F4Rewards},
+	"F5": {"Early stopping", F5EarlyStop},
+	"F6": {"Indexing-strategy ablation", F6Indexing},
+	"F7": {"Arm-statistics aging ablation", F7Nonstationary},
+	"F8": {"Speedup vs corpus size (extension)", F8Scaling},
+}
+
+// IDs returns every experiment id in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns an experiment's title, or "" for an unknown id.
+func Title(id string) string { return registry[id].Title }
+
+// Run executes the experiment with the given id.
+func Run(id string, cfg Config, w io.Writer) error {
+	entry, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return entry.Run(cfg, w)
+}
+
+// RunAll executes every experiment in order.
+func RunAll(cfg Config, w io.Writer) error {
+	for _, id := range IDs() {
+		if err := Run(id, cfg, w); err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, err)
+		}
+	}
+	return nil
+}

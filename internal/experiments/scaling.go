@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// F8Scaling is an extension experiment beyond the paper's figures: Zombie's
+// speedup as a function of corpus size on the image task. Input selection
+// pays more the bigger the haystack — the number of inputs needed to reach
+// the quality target is roughly constant for Zombie (it depends on how
+// many *useful* inputs the learner needs) while the random scan's grows
+// linearly with the corpus, so the speedup should grow with N.
+func F8Scaling(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	table := &Table{
+		ID:     "F8",
+		Title:  "Speedup vs corpus size (image task; extension)",
+		Header: []string{"corpus-n", "target-q", "scan-inputs", "zombie-inputs", "speedup"},
+	}
+	for _, frac := range []float64{0.125, 0.25, 0.5, 1.0} {
+		sub := cfg
+		sub.Scale = cfg.Scale * frac
+		wl, err := ImageWorkload(sub)
+		if err != nil {
+			return err
+		}
+		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
+		if err != nil {
+			return err
+		}
+		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, nil)
+		if err != nil {
+			return err
+		}
+		if !c.ScanReached || !c.ZombieReached {
+			table.AddRow(d(wl.Store.Len()), f(c.Target), "n/a", "n/a", "n/a")
+			continue
+		}
+		table.AddRow(
+			d(wl.Store.Len()),
+			f(c.Target),
+			d(c.ScanInputs),
+			d(c.ZombieInputs),
+			spd(c.SpeedupInputs()),
+		)
+	}
+	table.Notes = append(table.Notes,
+		fmt.Sprintf("fractions of the configured scale (%.2f); corpus floor is 400 inputs", cfg.Scale),
+		"expected shape: speedup grows with corpus size — the scan pays for the whole haystack, zombie only for the needles")
+	return table.Fprint(w)
+}

@@ -1,0 +1,210 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"zombie/internal/bandit"
+	"zombie/internal/core"
+	"zombie/internal/corpus"
+	"zombie/internal/featurepipe"
+	"zombie/internal/index"
+	"zombie/internal/learner"
+	"zombie/internal/rng"
+)
+
+// Config scales and seeds an experiment run. Scale 1.0 is the full
+// 20k-input corpora; the repo-root benchmarks use ~0.1.
+type Config struct {
+	Scale float64
+	Seed  int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 20160516 // the paper's publication date
+	}
+	return c
+}
+
+func (c Config) n(full int) int {
+	n := int(float64(full) * c.Scale)
+	if n < 400 {
+		n = 400
+	}
+	return n
+}
+
+// Workload is a ready-to-run task plus its corpus and default index
+// parameters.
+type Workload struct {
+	Task  *featurepipe.Task
+	Store *corpus.MemStore
+	// DefaultK is the index group count the headline experiments use.
+	DefaultK int
+	// Grouper builds the task's informative index.
+	Grouper index.Grouper
+	// QualityTarget is the fraction of full-scan quality the
+	// time-to-quality experiments aim for.
+	QualityTarget float64
+	// Reward is the task's default reward function. Extraction-style
+	// tasks use the cheap usefulness bit; dense tasks (every input
+	// produces an example) have no meaningful usefulness bit and default
+	// to the quality-delta reward.
+	Reward core.RewardKind
+	// RewardSubsample overrides the delta-reward subsample size (0 keeps
+	// the engine default). Dense multi-class metrics need a larger
+	// subsample to de-noise per-step deltas.
+	RewardSubsample int
+	// PolicyStats overrides arm-statistics aging (zero value keeps the
+	// engine default). Delta rewards decay as the learner saturates, so
+	// dense tasks age their arm estimates.
+	PolicyStats bandit.StatsConfig
+	// Policy overrides the default bandit policy for this task ("" keeps
+	// the experiment's choice).
+	Policy bandit.Spec
+}
+
+// Groups builds the workload's default index.
+func (w *Workload) Groups(k int, seed int64) (*index.Groups, error) {
+	return w.Grouper.Group(w.Store, k, rng.New(seed))
+}
+
+// WikiWorkload is the extraction task: rare relevant pages, hashed-text
+// k-means index, F1 of the positive class. Inputs cost 150ms simulated
+// (parse + extract over a full page), the cost that makes the paper's
+// full-corpus runs hour-scale.
+func WikiWorkload(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	gen := corpus.DefaultWikiConfig()
+	gen.N = cfg.n(20000)
+	ins, err := corpus.GenerateWiki(gen, rng.New(cfg.Seed).Split("wiki-corpus"))
+	if err != nil {
+		return nil, err
+	}
+	store := corpus.NewMemStore(ins)
+	feature := featurepipe.NewWikiFeature(4)
+	task, err := featurepipe.NewTask("wiki", store, feature,
+		func(f featurepipe.FeatureFunc) learner.Model {
+			// Multinomial NB over hashed token counts: incremental and
+			// order-insensitive, so the bandit's skewed input order cannot
+			// erase earlier learning (plain SGD forgets the rare class
+			// once its groups deplete).
+			return learner.NewMultinomialNB(f.Dim(), 2, 1)
+		},
+		learner.MetricF1, 1,
+		featurepipe.CostModel{PerInput: 150 * time.Millisecond},
+		featurepipe.TaskOptions{}, rng.New(cfg.Seed).Split("wiki-task"))
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Task:          task,
+		Store:         store,
+		DefaultK:      32,
+		Grouper:       &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25}},
+		QualityTarget: 0.95,
+	}, nil
+}
+
+// SongWorkload is the MSD-style genre-classification task: every input
+// produces an example (dense), quality is macro-F1 over Zipf-skewed
+// genres, and the rare genres are both scarcer and fuzzier (higher
+// within-class variance), so they need disproportionately many examples.
+// Useful inputs are the rare-genre songs. Dense tasks are where the
+// paper's speedups are smallest: the default policy keeps exploration
+// high (decaying ε) because macro-F1 punishes starving any class.
+func SongWorkload(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	gen := corpus.DefaultSongConfig()
+	gen.N = cfg.n(20000)
+	ins, err := corpus.GenerateSongs(gen, rng.New(cfg.Seed).Split("song-corpus"))
+	if err != nil {
+		return nil, err
+	}
+	store := corpus.NewMemStore(ins)
+	feature := featurepipe.NewSongFeature(1, gen)
+	task, err := featurepipe.NewTask("songs", store, feature,
+		func(f featurepipe.FeatureFunc) learner.Model {
+			// Gaussian NB: per-class statistics are unaffected by the
+			// sampling distribution over other classes, so bandit-skewed
+			// streams cannot bias the fit (a global least-squares
+			// regressor, by contrast, inherits the sampling bias).
+			return learner.NewGaussianNB(f.Dim(), gen.Genres, 1e-3)
+		},
+		learner.MetricMacroF1, 0,
+		featurepipe.CostModel{PerInput: 30 * time.Millisecond},
+		featurepipe.TaskOptions{}, rng.New(cfg.Seed).Split("song-task"))
+	if err != nil {
+		return nil, err
+	}
+	numeric := index.NewNumeric(gen.Dim)
+	numeric.FitStandardize(store)
+	return &Workload{
+		Task:          task,
+		Store:         store,
+		DefaultK:      32,
+		Grouper:       &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}},
+		QualityTarget: 0.95,
+		Reward:        core.RewardUsefulness,
+		Policy:        "eps-decay:0.9:0.002",
+	}, nil
+}
+
+// ImageWorkload is the needle-in-a-haystack detection task: ~2.5%
+// positives concentrated in a few visual clusters, numeric k-means index,
+// F1 of the positive class. This is where the paper reports its largest
+// (up to 8x) speedups. Vision feature code is the most expensive: 400ms
+// simulated per input.
+func ImageWorkload(cfg Config) (*Workload, error) {
+	cfg = cfg.withDefaults()
+	gen := corpus.DefaultImageConfig()
+	gen.N = cfg.n(20000)
+	ins, err := corpus.GenerateImages(gen, rng.New(cfg.Seed).Split("image-corpus"))
+	if err != nil {
+		return nil, err
+	}
+	store := corpus.NewMemStore(ins)
+	feature := featurepipe.NewImageFeature(1, gen)
+	task, err := featurepipe.NewTask("image", store, feature,
+		func(f featurepipe.FeatureFunc) learner.Model {
+			// Gaussian NB: incremental, order-insensitive, near-optimal on
+			// the cluster-Gaussian descriptors.
+			return learner.NewGaussianNB(f.Dim(), 2, 1e-3)
+		},
+		learner.MetricF1, 1,
+		featurepipe.CostModel{PerInput: 400 * time.Millisecond},
+		featurepipe.TaskOptions{}, rng.New(cfg.Seed).Split("image-task"))
+	if err != nil {
+		return nil, err
+	}
+	numeric := index.NewNumeric(gen.Dim)
+	numeric.FitStandardize(store)
+	return &Workload{
+		Task:          task,
+		Store:         store,
+		DefaultK:      32,
+		Grouper:       &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}},
+		QualityTarget: 0.95,
+	}, nil
+}
+
+// AllWorkloads builds the three evaluation tasks.
+func AllWorkloads(cfg Config) ([]*Workload, error) {
+	wiki, err := WikiWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: wiki workload: %w", err)
+	}
+	songs, err := SongWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: song workload: %w", err)
+	}
+	image, err := ImageWorkload(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: image workload: %w", err)
+	}
+	return []*Workload{wiki, songs, image}, nil
+}

@@ -1,0 +1,81 @@
+package featurepipe
+
+import (
+	"fmt"
+
+	"zombie/internal/corpus"
+	"zombie/internal/learner"
+	"zombie/internal/linalg"
+)
+
+// CompositeFeature concatenates the feature vectors of several feature
+// functions into one — the "add a new signal to the existing code" step of
+// an engineering session, without rewriting the earlier extractors. The
+// composite produces an example only when every part produces one (each
+// part sees the same raw input); labels are taken from the first part, and
+// the input counts as useful if any part marks it useful.
+type CompositeFeature struct {
+	FuncCore
+	parts []FeatureFunc
+}
+
+// NewCompositeFeature builds a composite over the given parts. It returns
+// an error when fewer than two parts are supplied or the parts disagree on
+// class count.
+func NewCompositeFeature(name string, parts ...FeatureFunc) (*CompositeFeature, error) {
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("featurepipe: composite %s needs at least two parts", name)
+	}
+	dim := 0
+	classes := parts[0].NumClasses()
+	for i, p := range parts {
+		if p == nil {
+			return nil, fmt.Errorf("featurepipe: composite %s: part %d is nil", name, i)
+		}
+		if p.NumClasses() != classes {
+			return nil, fmt.Errorf("featurepipe: composite %s: part %s has %d classes, want %d",
+				name, p.Name(), p.NumClasses(), classes)
+		}
+		dim += p.Dim()
+	}
+	c := &CompositeFeature{
+		FuncCore: FuncCore{FuncName: name, FuncDim: dim, Classes: classes},
+		parts:    parts,
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Extract implements FeatureFunc.
+func (c *CompositeFeature) Extract(in *corpus.Input) (Result, error) {
+	offset := 0
+	entries := map[int]float64{}
+	useful := false
+	var first *Result
+	for _, p := range c.parts {
+		res, err := p.Extract(in)
+		if err != nil {
+			return Result{}, fmt.Errorf("featurepipe: composite %s: part %s: %w", c.FuncName, p.Name(), err)
+		}
+		if !res.Produced {
+			return Result{}, nil
+		}
+		if first == nil {
+			r := res
+			first = &r
+		}
+		useful = useful || res.Useful
+		res.Example.Features.ForEachNonZero(func(i int, x float64) {
+			entries[offset+i] = x
+		})
+		offset += p.Dim()
+	}
+	ex := learner.Example{
+		Features: learner.SparseVec(linalg.SparseFromMap(c.FuncDim, entries)),
+		Class:    first.Example.Class,
+		Target:   first.Example.Target,
+	}
+	return Result{Example: ex, Produced: true, Useful: useful}, nil
+}

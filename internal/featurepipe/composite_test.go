@@ -1,0 +1,106 @@
+package featurepipe
+
+import (
+	"strings"
+	"testing"
+
+	"zombie/internal/corpus"
+	"zombie/internal/rng"
+)
+
+func TestCompositeFeatureConcatenates(t *testing.T) {
+	cfg := corpus.DefaultImageConfig()
+	cfg.N = 50
+	ins, _ := corpus.GenerateImages(cfg, rng.New(900))
+	v1 := NewImageFeature(1, cfg)
+	v3 := NewImageFeature(3, cfg)
+	comp, err := NewCompositeFeature("img-combo", v1, v3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Dim() != v1.Dim()+v3.Dim() {
+		t.Fatalf("composite dim = %d", comp.Dim())
+	}
+	if comp.NumClasses() != 2 || comp.Name() != "img-combo" {
+		t.Fatal("composite metadata wrong")
+	}
+	for _, in := range ins[:10] {
+		res, err := comp.Extract(in)
+		if err != nil || !res.Produced {
+			t.Fatal("composite extraction failed")
+		}
+		r1, _ := v1.Extract(in)
+		r3, _ := v3.Extract(in)
+		// First block matches part 1, second block matches part 3.
+		for d := 0; d < v1.Dim(); d++ {
+			if res.Example.Features.At(d) != r1.Example.Features.At(d) {
+				t.Fatalf("block 1 mismatch at %d", d)
+			}
+		}
+		for d := 0; d < v3.Dim(); d++ {
+			if res.Example.Features.At(v1.Dim()+d) != r3.Example.Features.At(d) {
+				t.Fatalf("block 2 mismatch at %d", d)
+			}
+		}
+		if res.Example.Class != in.Truth.Class {
+			t.Fatal("composite label wrong")
+		}
+		if res.Useful != (in.Truth.Class == 1) {
+			t.Fatal("composite usefulness wrong")
+		}
+	}
+}
+
+func TestCompositeFeatureSkipsWhenAnyPartSkips(t *testing.T) {
+	wcfg := corpus.DefaultWikiConfig()
+	wcfg.N = 300
+	ins, _ := corpus.GenerateWiki(wcfg, rng.New(901))
+	v1 := NewWikiFeature(1)
+	v4 := NewWikiFeature(4)
+	comp, err := NewCompositeFeature("wiki-combo", v1, v4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	skipped := 0
+	for _, in := range ins {
+		res, err := comp.Extract(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, _ := v1.Extract(in)
+		if res.Produced != r1.Produced {
+			t.Fatal("composite production should match its parts (same candidate logic)")
+		}
+		if !res.Produced {
+			skipped++
+		}
+	}
+	if skipped == 0 {
+		t.Fatal("no skipped inputs; wiki extraction waste missing")
+	}
+}
+
+func TestCompositeFeatureErrors(t *testing.T) {
+	cfg := corpus.DefaultImageConfig()
+	v1 := NewImageFeature(1, cfg)
+	if _, err := NewCompositeFeature("x", v1); err == nil {
+		t.Fatal("single part should fail")
+	}
+	if _, err := NewCompositeFeature("x", v1, nil); err == nil {
+		t.Fatal("nil part should fail")
+	}
+	scfg := corpus.DefaultSongConfig()
+	song := NewSongFeature(1, scfg)
+	if _, err := NewCompositeFeature("x", v1, song); err == nil {
+		t.Fatal("class-count mismatch should fail")
+	}
+	comp, err := NewCompositeFeature("x", v1, NewImageFeature(2, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Part errors propagate with context.
+	if _, err := comp.Extract(&corpus.Input{Kind: corpus.TextKind, Text: "t"}); err == nil ||
+		!strings.Contains(err.Error(), "image-v1") {
+		t.Fatalf("part error not propagated: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package featurepipe
+
+import (
+	"fmt"
+
+	"zombie/internal/corpus"
+	"zombie/internal/index"
+)
+
+// FaultyFeature wraps a feature function and injects failures on a
+// deterministic subset of inputs, for failure-injection tests and for
+// demonstrating that the engine survives buggy feature code (a central
+// reality of feature engineering: the code under evaluation is by
+// definition unfinished).
+type FaultyFeature struct {
+	// Inner is the wrapped feature code.
+	Inner FeatureFunc
+	// ErrPct of inputs (by ID hash, 0-100) return an error.
+	ErrPct int
+	// PanicPct of inputs (by ID hash, disjoint range above ErrPct) panic.
+	PanicPct int
+	// Exempt inputs (by ID) never fault — e.g., the holdout inputs, whose
+	// extraction happens under the engineer's eye before the run.
+	Exempt map[string]bool
+}
+
+// Name implements FeatureFunc.
+func (f *FaultyFeature) Name() string { return f.Inner.Name() + "+faults" }
+
+// Dim implements FeatureFunc.
+func (f *FaultyFeature) Dim() int { return f.Inner.Dim() }
+
+// NumClasses implements FeatureFunc.
+func (f *FaultyFeature) NumClasses() int { return f.Inner.NumClasses() }
+
+// Extract implements FeatureFunc, failing deterministically by input ID.
+func (f *FaultyFeature) Extract(in *corpus.Input) (Result, error) {
+	if f.Exempt[in.ID] {
+		return f.Inner.Extract(in)
+	}
+	h := index.HashToken("fault:"+in.ID, 100)
+	if h < f.ErrPct {
+		return Result{}, fmt.Errorf("featurepipe: injected error on %s", in.ID)
+	}
+	if h < f.ErrPct+f.PanicPct {
+		panic(fmt.Sprintf("featurepipe: injected panic on %s", in.ID))
+	}
+	return f.Inner.Extract(in)
+}

@@ -1,0 +1,227 @@
+package featurepipe
+
+import (
+	"fmt"
+	"strings"
+
+	"zombie/internal/corpus"
+	"zombie/internal/index"
+	"zombie/internal/learner"
+	"zombie/internal/linalg"
+)
+
+// WikiFeature is the extraction-task feature code over wiki-like pages:
+// it detects candidate pages by their entity-marker tokens and emits a
+// hashed bag-of-words example labeled by ground truth (standing in for
+// the engineer's distant supervision). Successive versions widen the hash
+// space, boost the marker signal, and add bigrams — the kind of small
+// iterative changes the paper's engineer makes between evaluation runs.
+type WikiFeature struct {
+	FuncCore
+	// MarkerBoost multiplies the weight of entity-marker tokens.
+	MarkerBoost float64
+	// Bigrams adds hashed token bigrams to the feature space.
+	Bigrams bool
+	// NegSamplePct is the percentage (0-100) of marker-free pages that
+	// still emit a negative example, keyed deterministically off the
+	// input ID.
+	NegSamplePct int
+}
+
+// NewWikiFeature returns the canonical version-v wiki feature code
+// (v in [1,8]); quality improves with v. It panics on other versions.
+func NewWikiFeature(v int) *WikiFeature {
+	specs := map[int]*WikiFeature{
+		1: {FuncCore: FuncCore{FuncDim: 256}, MarkerBoost: 1},
+		2: {FuncCore: FuncCore{FuncDim: 1024}, MarkerBoost: 1},
+		3: {FuncCore: FuncCore{FuncDim: 1024}, MarkerBoost: 3},
+		4: {FuncCore: FuncCore{FuncDim: 4096}, MarkerBoost: 3},
+		5: {FuncCore: FuncCore{FuncDim: 4096}, MarkerBoost: 3, Bigrams: true},
+		6: {FuncCore: FuncCore{FuncDim: 8192}, MarkerBoost: 5, Bigrams: true},
+		7: {FuncCore: FuncCore{FuncDim: 16384}, MarkerBoost: 5, Bigrams: true},
+		8: {FuncCore: FuncCore{FuncDim: 16384}, MarkerBoost: 8, Bigrams: true},
+	}
+	f, ok := specs[v]
+	if !ok {
+		panic(fmt.Sprintf("featurepipe: no canonical wiki feature version %d", v))
+	}
+	f.FuncName = fmt.Sprintf("wiki-v%d", v)
+	f.Classes = 2
+	f.NegSamplePct = 25
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// markerSet is the lowercase entity-marker lookup shared by Extract calls.
+var markerSet = func() map[string]bool {
+	m := map[string]bool{}
+	for _, w := range corpus.EntityMarkers {
+		m[strings.ToLower(w)] = true
+	}
+	return m
+}()
+
+// Extract implements FeatureFunc.
+func (f *WikiFeature) Extract(in *corpus.Input) (Result, error) {
+	if in.Kind != corpus.TextKind {
+		return Result{}, fmt.Errorf("featurepipe: %s: input %s is not text", f.FuncName, in.ID)
+	}
+	tokens := index.Tokenize(in.Text)
+	hasMarker := false
+	for _, tok := range tokens {
+		if markerSet[tok] {
+			hasMarker = true
+			break
+		}
+	}
+	if !hasMarker {
+		// No candidate on the page. Sometimes emit a plain negative so the
+		// learner sees background pages; deterministic via the ID hash.
+		if index.HashToken(in.ID, 100) >= f.NegSamplePct {
+			return Result{}, nil
+		}
+	}
+	counts := map[int]float64{}
+	var prev string
+	for _, tok := range tokens {
+		w := 1.0
+		if markerSet[tok] {
+			w = f.MarkerBoost
+		}
+		counts[index.HashToken(tok, f.FuncDim)] += w
+		if f.Bigrams && prev != "" {
+			counts[index.HashToken(prev+"_"+tok, f.FuncDim)]++
+		}
+		prev = tok
+	}
+	vec := linalg.SparseFromMap(f.FuncDim, counts)
+	ex := learner.Example{
+		Features: learner.SparseVec(vec),
+		Class:    in.Truth.Class,
+	}
+	return Result{Example: ex, Produced: true, Useful: in.Truth.Class == 1}, nil
+}
+
+// SongFeature is the genre-classification feature code over song records:
+// the raw timbre vector, optionally augmented with squared terms (a later
+// "version" an engineer might try). Usefulness marks examples of the rare
+// genre half — the examples macro-F1 is starved for.
+type SongFeature struct {
+	FuncCore
+	// Squares appends per-dimension squared features.
+	Squares bool
+	// Genres is the total number of genres (classes).
+	Genres  int
+	baseDim int
+}
+
+// NewSongFeature returns the version-v song feature code (v in [1,2]) for
+// corpora generated with the given SongConfig dimensions.
+func NewSongFeature(v int, cfg corpus.SongConfig) *SongFeature {
+	f := &SongFeature{Genres: cfg.Genres, baseDim: cfg.Dim}
+	dim := cfg.Dim
+	switch v {
+	case 1:
+	case 2:
+		f.Squares = true
+		dim = 2 * cfg.Dim
+	default:
+		panic(fmt.Sprintf("featurepipe: no canonical song feature version %d", v))
+	}
+	f.FuncCore = FuncCore{
+		FuncName: fmt.Sprintf("song-v%d", v),
+		FuncDim:  dim,
+		Classes:  cfg.Genres,
+	}
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Extract implements FeatureFunc.
+func (f *SongFeature) Extract(in *corpus.Input) (Result, error) {
+	if in.Kind != corpus.NumericKind || len(in.Values) != f.baseDim {
+		return Result{}, fmt.Errorf("featurepipe: %s: input %s has wrong payload", f.FuncName, in.ID)
+	}
+	vals := make([]float64, 0, f.FuncDim)
+	vals = append(vals, in.Values...)
+	if f.Squares {
+		for _, x := range in.Values {
+			vals = append(vals, x*x)
+		}
+	}
+	ex := learner.Example{
+		Features: learner.DenseVec(vals),
+		Class:    in.Truth.Class,
+		Target:   in.Truth.Target,
+	}
+	// Rare-genre examples are the useful ones: Zipf popularity makes the
+	// upper half of genre indices scarce.
+	useful := in.Truth.Class >= f.Genres/2
+	return Result{Example: ex, Produced: true, Useful: useful}, nil
+}
+
+// ImageFeature is the rare-class detection feature code over image
+// descriptors. Useful inputs are the positives the detector is starving
+// for (the paper's strongest speedup regime).
+type ImageFeature struct {
+	FuncCore
+	baseDim int
+	// Normalize L2-normalizes descriptors (the engineer's v2 tweak).
+	Normalize bool
+	// Squares appends per-dimension squared terms (the engineer's v3
+	// change), which lets a linear model express spherical boundaries —
+	// exactly what a compact rare class needs.
+	Squares bool
+}
+
+// NewImageFeature returns the version-v image feature code (v in [1,3])
+// for corpora generated with the given ImageConfig dimensions.
+func NewImageFeature(v int, cfg corpus.ImageConfig) *ImageFeature {
+	f := &ImageFeature{baseDim: cfg.Dim}
+	dim := cfg.Dim
+	switch v {
+	case 1:
+	case 2:
+		f.Normalize = true
+	case 3:
+		f.Squares = true
+		dim = 2 * cfg.Dim
+	default:
+		panic(fmt.Sprintf("featurepipe: no canonical image feature version %d", v))
+	}
+	f.FuncCore = FuncCore{
+		FuncName: fmt.Sprintf("image-v%d", v),
+		FuncDim:  dim,
+		Classes:  2,
+	}
+	if err := f.Validate(); err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Extract implements FeatureFunc.
+func (f *ImageFeature) Extract(in *corpus.Input) (Result, error) {
+	if in.Kind != corpus.NumericKind || len(in.Values) != f.baseDim {
+		return Result{}, fmt.Errorf("featurepipe: %s: input %s has wrong payload", f.FuncName, in.ID)
+	}
+	vals := make([]float64, 0, f.FuncDim)
+	vals = append(vals, in.Values...)
+	if f.Normalize {
+		linalg.Normalize(vals)
+	}
+	if f.Squares {
+		for _, x := range in.Values {
+			vals = append(vals, x*x)
+		}
+	}
+	ex := learner.Example{
+		Features: learner.DenseVec(vals),
+		Class:    in.Truth.Class,
+	}
+	return Result{Example: ex, Produced: true, Useful: in.Truth.Class == 1}, nil
+}

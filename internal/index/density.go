@@ -1,0 +1,108 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"zombie/internal/corpus"
+)
+
+// GroupDensity summarizes one index group's usefulness concentration.
+type GroupDensity struct {
+	Group   int
+	Size    int
+	Useful  int
+	Density float64
+}
+
+// DensityReport measures how well a grouping concentrates useful inputs,
+// given a usefulness predicate (typically ground truth in experiments, or
+// the outcome of a previous run in production). It is the diagnostic
+// behind the paper's claim that cheap index features correlate with
+// usefulness: a good index has a few groups far above the base rate.
+type DensityReport struct {
+	// Groups lists per-group densities sorted densest-first.
+	Groups []GroupDensity
+	// BaseRate is the corpus-wide useful fraction.
+	BaseRate float64
+	// Lift is the densest group's density divided by the base rate
+	// (1 means the index is uninformative).
+	Lift float64
+	// Gini is the Gini coefficient of useful inputs across groups:
+	// 0 = usefulness spread evenly, 1 = concentrated in one group.
+	Gini float64
+}
+
+// Density builds the report for a grouping over a store. It returns an
+// error when the grouping does not match the store.
+func Density(g *Groups, store corpus.Store, useful func(*corpus.Input) bool) (*DensityReport, error) {
+	if g.Len() != store.Len() {
+		return nil, fmt.Errorf("index: density: groups cover %d inputs, store has %d", g.Len(), store.Len())
+	}
+	report := &DensityReport{}
+	totalUseful := 0
+	for grp, members := range g.Members {
+		gd := GroupDensity{Group: grp, Size: len(members)}
+		for _, idx := range members {
+			if useful(store.Get(idx)) {
+				gd.Useful++
+			}
+		}
+		if gd.Size > 0 {
+			gd.Density = float64(gd.Useful) / float64(gd.Size)
+		}
+		totalUseful += gd.Useful
+		report.Groups = append(report.Groups, gd)
+	}
+	sort.Slice(report.Groups, func(a, b int) bool {
+		return report.Groups[a].Density > report.Groups[b].Density
+	})
+	if store.Len() > 0 {
+		report.BaseRate = float64(totalUseful) / float64(store.Len())
+	}
+	if report.BaseRate > 0 && len(report.Groups) > 0 {
+		report.Lift = report.Groups[0].Density / report.BaseRate
+	}
+	report.Gini = giniOfUseful(report.Groups, totalUseful)
+	return report, nil
+}
+
+// giniOfUseful computes the Gini coefficient of the per-group useful
+// counts, weighting groups equally.
+func giniOfUseful(groups []GroupDensity, total int) float64 {
+	if total == 0 || len(groups) < 2 {
+		return 0
+	}
+	counts := make([]float64, len(groups))
+	for i, g := range groups {
+		counts[i] = float64(g.Useful)
+	}
+	sort.Float64s(counts)
+	n := float64(len(counts))
+	cum := 0.0
+	weighted := 0.0
+	for i, c := range counts {
+		cum += c
+		weighted += float64(i+1) * c
+	}
+	if cum == 0 {
+		return 0
+	}
+	g := (2*weighted)/(n*cum) - (n+1)/n
+	return math.Max(0, g)
+}
+
+// TopK returns the densest k groups (or all if fewer).
+func (r *DensityReport) TopK(k int) []GroupDensity {
+	if k > len(r.Groups) {
+		k = len(r.Groups)
+	}
+	return r.Groups[:k]
+}
+
+// String renders a one-line summary.
+func (r *DensityReport) String() string {
+	return fmt.Sprintf("base=%.3f lift=%.1fx gini=%.2f over %d groups",
+		r.BaseRate, r.Lift, r.Gini, len(r.Groups))
+}

@@ -1,0 +1,137 @@
+package index
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"zombie/internal/corpus"
+	"zombie/internal/rng"
+)
+
+func usefulTruth(in *corpus.Input) bool { return in.Truth.Class == 1 }
+
+func TestDensityOracleGroupingIsMaximal(t *testing.T) {
+	store := wikiStore(t, 1000, 500)
+	oracle, err := OracleGrouper{}.Group(store, 8, rng.New(501))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Density(oracle, store, usefulTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Groups[0].Density != 1 {
+		t.Fatalf("oracle densest group density = %v, want 1", rep.Groups[0].Density)
+	}
+	if rep.Lift < 2 {
+		t.Fatalf("oracle lift = %v, want >= 2", rep.Lift)
+	}
+	if rep.Gini < 0.4 {
+		t.Fatalf("oracle gini = %v, expected strong concentration", rep.Gini)
+	}
+}
+
+func TestDensityRandomGroupingIsFlat(t *testing.T) {
+	store := wikiStore(t, 2000, 502)
+	random, err := RandomGrouper{}.Group(store, 8, rng.New(503))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Density(random, store, usefulTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uninformative grouping: lift close to 1, low concentration.
+	if rep.Lift > 2.5 {
+		t.Fatalf("random grouping lift = %v, should be near 1", rep.Lift)
+	}
+	if rep.Gini > 0.5 {
+		t.Fatalf("random grouping gini = %v, should be low", rep.Gini)
+	}
+}
+
+func TestDensityKMeansBeatsRandom(t *testing.T) {
+	store := wikiStore(t, 2000, 504)
+	km := &KMeansGrouper{Vectorizer: NewHashedText(128), Config: KMeansConfig{MaxIter: 20}}
+	informative, err := km.Group(store, 16, rng.New(505))
+	if err != nil {
+		t.Fatal(err)
+	}
+	random, err := RandomGrouper{}.Group(store, 16, rng.New(505))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Density(informative, store, usefulTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := Density(random, store, usefulTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ri.Lift <= rr.Lift {
+		t.Fatalf("k-means lift %v should exceed random %v", ri.Lift, rr.Lift)
+	}
+}
+
+func TestDensityAccounting(t *testing.T) {
+	store := wikiStore(t, 300, 506)
+	groups, _ := RandomGrouper{}.Group(store, 5, rng.New(507))
+	rep, err := Density(groups, store, usefulTruth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totalUseful := 0
+	totalSize := 0
+	for _, g := range rep.Groups {
+		if g.Useful > g.Size {
+			t.Fatalf("group %d: useful %d > size %d", g.Group, g.Useful, g.Size)
+		}
+		totalUseful += g.Useful
+		totalSize += g.Size
+	}
+	if totalSize != 300 {
+		t.Fatalf("sizes sum to %d", totalSize)
+	}
+	wantBase := float64(totalUseful) / 300
+	if math.Abs(rep.BaseRate-wantBase) > 1e-12 {
+		t.Fatalf("base rate %v, want %v", rep.BaseRate, wantBase)
+	}
+	// Sorted densest-first.
+	for i := 1; i < len(rep.Groups); i++ {
+		if rep.Groups[i].Density > rep.Groups[i-1].Density {
+			t.Fatal("groups not sorted by density")
+		}
+	}
+	if k := rep.TopK(3); len(k) != 3 {
+		t.Fatalf("TopK = %d", len(k))
+	}
+	if k := rep.TopK(99); len(k) != 5 {
+		t.Fatalf("oversized TopK = %d", len(k))
+	}
+	if !strings.Contains(rep.String(), "lift=") {
+		t.Fatalf("String = %q", rep.String())
+	}
+}
+
+func TestDensityMismatchError(t *testing.T) {
+	store := wikiStore(t, 100, 508)
+	other := wikiStore(t, 200, 509)
+	groups, _ := RandomGrouper{}.Group(store, 4, rng.New(510))
+	if _, err := Density(groups, other, usefulTruth); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestDensityNoUsefulInputs(t *testing.T) {
+	store := wikiStore(t, 200, 511)
+	groups, _ := RandomGrouper{}.Group(store, 4, rng.New(512))
+	rep, err := Density(groups, store, func(*corpus.Input) bool { return false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BaseRate != 0 || rep.Lift != 0 || rep.Gini != 0 {
+		t.Fatalf("empty usefulness should zero the report: %+v", rep)
+	}
+}

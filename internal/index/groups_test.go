@@ -1,0 +1,287 @@
+package index
+
+import (
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"zombie/internal/corpus"
+	"zombie/internal/rng"
+)
+
+func wikiStore(t *testing.T, n int, seed int64) *corpus.MemStore {
+	t.Helper()
+	cfg := corpus.DefaultWikiConfig()
+	cfg.N = n
+	ins, err := corpus.GenerateWiki(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus.NewMemStore(ins)
+}
+
+func imageStore(t *testing.T, n int, seed int64) *corpus.MemStore {
+	t.Helper()
+	cfg := corpus.DefaultImageConfig()
+	cfg.N = n
+	ins, err := corpus.GenerateImages(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return corpus.NewMemStore(ins)
+}
+
+func allGroupers() []Grouper {
+	return []Grouper{
+		&KMeansGrouper{Vectorizer: NewHashedText(64), Config: KMeansConfig{MaxIter: 10}},
+		&LSHGrouper{Vectorizer: NewHashedText(64)},
+		&AttributeGrouper{Attr: "category"},
+		HashGrouper{},
+		RandomGrouper{},
+		OracleGrouper{},
+	}
+}
+
+func TestAllGroupersProduceValidPartitions(t *testing.T) {
+	store := wikiStore(t, 500, 70)
+	r := rng.New(71)
+	for _, g := range allGroupers() {
+		groups, err := g.Group(store, 8, r.Split(g.Name()))
+		if err != nil {
+			t.Fatalf("%s: %v", g.Name(), err)
+		}
+		if groups.K() != 8 {
+			t.Fatalf("%s: K = %d", g.Name(), groups.K())
+		}
+		if groups.Len() != 500 {
+			t.Fatalf("%s: Len = %d", g.Name(), groups.Len())
+		}
+		if err := groups.Validate(); err != nil {
+			t.Fatalf("%s: invalid partition: %v", g.Name(), err)
+		}
+		total := 0
+		for _, s := range groups.Sizes() {
+			total += s
+		}
+		if total != 500 {
+			t.Fatalf("%s: sizes sum to %d", g.Name(), total)
+		}
+	}
+}
+
+func TestGroupersRejectBadK(t *testing.T) {
+	store := wikiStore(t, 50, 72)
+	r := rng.New(73)
+	for _, g := range allGroupers() {
+		if _, err := g.Group(store, 0, r); err == nil {
+			t.Fatalf("%s: k=0 should fail", g.Name())
+		}
+	}
+}
+
+func TestKMeansGrouperConcentratesRelevance(t *testing.T) {
+	// The core index property: with an informative vectorizer, some group
+	// must end up with a relevance density far above the corpus average.
+	store := wikiStore(t, 2000, 74)
+	g := &KMeansGrouper{Vectorizer: NewHashedText(128), Config: KMeansConfig{MaxIter: 20}}
+	groups, err := g.Group(store, 16, rng.New(75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRate := corpus.ComputeStats(store).RelevantFrac
+	bestDensity := 0.0
+	for _, members := range groups.Members {
+		if len(members) < 10 {
+			continue
+		}
+		rel := 0
+		for _, idx := range members {
+			if store.Get(idx).Truth.Relevant {
+				rel++
+			}
+		}
+		if d := float64(rel) / float64(len(members)); d > bestDensity {
+			bestDensity = d
+		}
+	}
+	if bestDensity < 2*baseRate {
+		t.Fatalf("k-means index failed to concentrate relevance: best %.3f vs base %.3f", bestDensity, baseRate)
+	}
+}
+
+func TestHashGrouperUniformDensity(t *testing.T) {
+	// The uninformative baseline: group densities should all be near the
+	// corpus average.
+	store := imageStore(t, 4000, 76)
+	groups, err := HashGrouper{}.Group(store, 8, rng.New(77))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := corpus.ComputeStats(store).RelevantFrac
+	_ = base
+	basePos := 0
+	for i := 0; i < store.Len(); i++ {
+		if store.Get(i).Truth.Class == 1 {
+			basePos++
+		}
+	}
+	baseRate := float64(basePos) / float64(store.Len())
+	for grp, members := range groups.Members {
+		pos := 0
+		for _, idx := range members {
+			if store.Get(idx).Truth.Class == 1 {
+				pos++
+			}
+		}
+		rate := float64(pos) / float64(len(members))
+		if rate > 4*baseRate+0.02 {
+			t.Fatalf("hash group %d suspiciously dense: %.3f vs %.3f", grp, rate, baseRate)
+		}
+	}
+}
+
+func TestRandomGrouperBalanced(t *testing.T) {
+	store := wikiStore(t, 1000, 78)
+	groups, err := RandomGrouper{}.Group(store, 7, rng.New(79))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for grp, size := range groups.Sizes() {
+		if size < 1000/7-1 || size > 1000/7+1 {
+			t.Fatalf("random group %d size %d not balanced", grp, size)
+		}
+	}
+}
+
+func TestOracleGrouperSeparatesRelevance(t *testing.T) {
+	store := wikiStore(t, 1000, 80)
+	groups, err := OracleGrouper{}.Group(store, 8, rng.New(81))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for grp, members := range groups.Members {
+		for _, idx := range members {
+			rel := store.Get(idx).Truth.Relevant
+			if grp < 4 && !rel {
+				t.Fatalf("irrelevant input in oracle relevant-group %d", grp)
+			}
+			if grp >= 4 && rel {
+				t.Fatalf("relevant input in oracle irrelevant-group %d", grp)
+			}
+		}
+	}
+	if _, err := (OracleGrouper{}).Group(store, 1, rng.New(1)); err == nil {
+		t.Fatal("oracle with k=1 should fail")
+	}
+}
+
+func TestAttributeGrouperDedicatesTopValues(t *testing.T) {
+	store := wikiStore(t, 1000, 82)
+	groups, err := (&AttributeGrouper{Attr: "category"}).Group(store, 10, rng.New(83))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every member of group 0 (the most common category) must share the
+	// same attribute value.
+	if len(groups.Members[0]) == 0 {
+		t.Fatal("top attribute group empty")
+	}
+	first := store.Get(groups.Members[0][0]).Meta["category"]
+	for _, idx := range groups.Members[0] {
+		if store.Get(idx).Meta["category"] != first {
+			t.Fatal("top attribute group mixes values")
+		}
+	}
+}
+
+func TestLSHGrouperConcentratesRelevance(t *testing.T) {
+	// LSH groups are noisier than k-means but must still concentrate
+	// relevance above the base rate on the skewed wiki corpus.
+	store := wikiStore(t, 2000, 600)
+	g := &LSHGrouper{Vectorizer: NewHashedText(128)}
+	groups, err := g.Group(store, 16, rng.New(601))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Density(groups, store, func(in *corpus.Input) bool { return in.Truth.Class == 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Lift < 1.5 {
+		t.Fatalf("LSH lift %v too low; index uninformative", rep.Lift)
+	}
+}
+
+func TestLSHGrouperDeterministic(t *testing.T) {
+	store := wikiStore(t, 300, 602)
+	g := &LSHGrouper{Vectorizer: NewHashedText(64)}
+	a, _ := g.Group(store, 8, rng.New(603))
+	b, _ := g.Group(store, 8, rng.New(603))
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("LSH grouping not deterministic")
+		}
+	}
+}
+
+func TestBitsFor(t *testing.T) {
+	for _, tc := range []struct{ k, min int }{{1, 1}, {2, 3}, {8, 5}, {64, 8}} {
+		if got := bitsFor(tc.k); got < tc.min {
+			t.Fatalf("bitsFor(%d) = %d, want >= %d", tc.k, got, tc.min)
+		}
+	}
+	if bitsFor(1<<25) > 20 {
+		t.Fatal("bitsFor should cap at 20")
+	}
+}
+
+func TestGroupsValidateCatchesCorruption(t *testing.T) {
+	store := wikiStore(t, 100, 84)
+	groups, _ := RandomGrouper{}.Group(store, 4, rng.New(85))
+	// Corrupt: move a member without updating Assign.
+	groups.Members[0] = append(groups.Members[0], groups.Members[1][0])
+	if err := groups.Validate(); err == nil {
+		t.Fatal("Validate missed duplicated input")
+	}
+}
+
+func TestGroupsSaveLoadRoundTrip(t *testing.T) {
+	store := wikiStore(t, 200, 86)
+	groups, _ := (&AttributeGrouper{Attr: "category"}).Group(store, 6, rng.New(87))
+	path := filepath.Join(t.TempDir(), "groups.gob")
+	if err := groups.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadGroups(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.K() != groups.K() || back.Strategy != groups.Strategy || back.Len() != groups.Len() {
+		t.Fatal("round trip lost metadata")
+	}
+	for g := range groups.Members {
+		if len(back.Members[g]) != len(groups.Members[g]) {
+			t.Fatal("round trip lost members")
+		}
+	}
+}
+
+func TestLoadGroupsMissingFile(t *testing.T) {
+	if _, err := LoadGroups("/nonexistent/groups.gob"); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestFromAssignPropertyEveryInputOnce(t *testing.T) {
+	if err := quick.Check(func(raw [64]uint8, kRaw uint8) bool {
+		k := int(kRaw%7) + 1
+		assign := make([]int, len(raw))
+		for i, v := range raw {
+			assign[i] = int(v) % k
+		}
+		g := fromAssign("test", assign, k)
+		return g.Validate() == nil && g.K() == k && g.Len() == len(raw)
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

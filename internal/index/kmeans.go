@@ -1,0 +1,180 @@
+package index
+
+import (
+	"fmt"
+	"math"
+
+	"zombie/internal/linalg"
+	"zombie/internal/rng"
+)
+
+// KMeansConfig controls Lloyd's algorithm. Zero values get sane defaults
+// from normalize().
+type KMeansConfig struct {
+	// K is the number of clusters; required.
+	K int
+	// MaxIter bounds the number of Lloyd iterations (default 50).
+	MaxIter int
+	// Tol stops early when the relative inertia improvement falls below
+	// it (default 1e-4).
+	Tol float64
+	// MiniBatch > 0 switches to mini-batch k-means with that batch size,
+	// trading exactness for speed on large corpora (the paper's indexer
+	// must scale to full crawls).
+	MiniBatch int
+	// MiniBatchIters is the number of mini-batch steps (default 100·K).
+	MiniBatchIters int
+}
+
+func (c KMeansConfig) normalize(n int) (KMeansConfig, error) {
+	if c.K <= 0 {
+		return c, fmt.Errorf("index: KMeans requires K > 0, got %d", c.K)
+	}
+	if n < c.K {
+		return c, fmt.Errorf("index: KMeans with K=%d needs at least K points, got %d", c.K, n)
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 50
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-4
+	}
+	if c.MiniBatch > 0 && c.MiniBatchIters <= 0 {
+		c.MiniBatchIters = 100 * c.K
+	}
+	return c, nil
+}
+
+// KMeansResult holds a fitted clustering.
+type KMeansResult struct {
+	// Centroids are the K cluster centers.
+	Centroids [][]float64
+	// Assign maps each point index to its cluster.
+	Assign []int
+	// Inertia is the total within-cluster squared distance.
+	Inertia float64
+	// Iters is the number of Lloyd iterations performed (0 for pure
+	// mini-batch runs, which report batch steps in BatchSteps).
+	Iters int
+	// BatchSteps is the number of mini-batch updates performed.
+	BatchSteps int
+}
+
+// KMeans clusters points with k-means++ initialization followed by
+// Lloyd's algorithm (or mini-batch updates when configured). Points must
+// all share one dimensionality. The result is deterministic given r.
+func KMeans(points [][]float64, cfg KMeansConfig, r *rng.RNG) (*KMeansResult, error) {
+	cfg, err := cfg.normalize(len(points))
+	if err != nil {
+		return nil, err
+	}
+	dim := len(points[0])
+	for i, p := range points {
+		if len(p) != dim {
+			return nil, fmt.Errorf("index: KMeans point %d has dim %d, want %d", i, len(p), dim)
+		}
+	}
+	centroids := kmeansPlusPlus(points, cfg.K, r)
+	res := &KMeansResult{Centroids: centroids, Assign: make([]int, len(points))}
+	if cfg.MiniBatch > 0 {
+		miniBatch(points, res, cfg, r)
+	} else {
+		lloyd(points, res, cfg, r)
+	}
+	// Final assignment + inertia (mini-batch needs it; Lloyd refreshes it).
+	res.Inertia = assignAll(points, res.Centroids, res.Assign)
+	return res, nil
+}
+
+// kmeansPlusPlus seeds centroids with D² weighting.
+func kmeansPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	first := points[r.Intn(len(points))]
+	centroids = append(centroids, linalg.Clone(first))
+	d2 := make([]float64, len(points))
+	for i, p := range points {
+		d2[i] = linalg.SqDist(p, centroids[0])
+	}
+	for len(centroids) < k {
+		idx := r.WeightedChoice(d2)
+		centroids = append(centroids, linalg.Clone(points[idx]))
+		last := centroids[len(centroids)-1]
+		for i, p := range points {
+			if d := linalg.SqDist(p, last); d < d2[i] {
+				d2[i] = d
+			}
+		}
+	}
+	return centroids
+}
+
+// assignAll assigns every point to its nearest centroid and returns the
+// inertia.
+func assignAll(points [][]float64, centroids [][]float64, assign []int) float64 {
+	inertia := 0.0
+	for i, p := range points {
+		best, bestD := 0, math.Inf(1)
+		for c, cent := range centroids {
+			if d := linalg.SqDist(p, cent); d < bestD {
+				best, bestD = c, d
+			}
+		}
+		assign[i] = best
+		inertia += bestD
+	}
+	return inertia
+}
+
+func lloyd(points [][]float64, res *KMeansResult, cfg KMeansConfig, r *rng.RNG) {
+	prev := math.Inf(1)
+	counts := make([]int, cfg.K)
+	for iter := 0; iter < cfg.MaxIter; iter++ {
+		inertia := assignAll(points, res.Centroids, res.Assign)
+		res.Iters = iter + 1
+		// Recompute centroids.
+		for c := range res.Centroids {
+			linalg.Zero(res.Centroids[c])
+			counts[c] = 0
+		}
+		for i, p := range points {
+			c := res.Assign[i]
+			linalg.Add(p, res.Centroids[c])
+			counts[c]++
+		}
+		for c := range res.Centroids {
+			if counts[c] == 0 {
+				// Empty cluster: reseed at a random point so K is
+				// preserved (matters because K is the bandit arm count).
+				copy(res.Centroids[c], points[r.Intn(len(points))])
+				continue
+			}
+			linalg.Scale(1/float64(counts[c]), res.Centroids[c])
+		}
+		if prev-inertia < cfg.Tol*prev {
+			break
+		}
+		prev = inertia
+	}
+}
+
+func miniBatch(points [][]float64, res *KMeansResult, cfg KMeansConfig, r *rng.RNG) {
+	counts := make([]float64, cfg.K)
+	for step := 0; step < cfg.MiniBatchIters; step++ {
+		for b := 0; b < cfg.MiniBatch; b++ {
+			p := points[r.Intn(len(points))]
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range res.Centroids {
+				if d := linalg.SqDist(p, cent); d < bestD {
+					best, bestD = c, d
+				}
+			}
+			counts[best]++
+			eta := 1 / counts[best]
+			cent := res.Centroids[best]
+			for d := range cent {
+				cent[d] += eta * (p[d] - cent[d])
+			}
+		}
+		res.BatchSteps++
+	}
+}

@@ -1,0 +1,175 @@
+package index
+
+import (
+	"testing"
+
+	"zombie/internal/linalg"
+	"zombie/internal/rng"
+)
+
+// blobs generates n points around k well-separated centers.
+func blobs(n, k int, r *rng.RNG) (points [][]float64, labels []int) {
+	centers := make([][]float64, k)
+	for c := range centers {
+		centers[c] = []float64{float64(c * 10), float64((c % 2) * 10)}
+	}
+	points = make([][]float64, n)
+	labels = make([]int, n)
+	for i := range points {
+		c := i % k
+		labels[i] = c
+		points[i] = []float64{
+			r.Gaussian(centers[c][0], 0.5),
+			r.Gaussian(centers[c][1], 0.5),
+		}
+	}
+	return points, labels
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	r := rng.New(60)
+	points, labels := blobs(600, 3, r.Split("data"))
+	res, err := KMeans(points, KMeansConfig{K: 3}, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every true blob must map to a single dominant cluster and distinct
+	// blobs to distinct clusters.
+	vote := map[int]map[int]int{}
+	for i, a := range res.Assign {
+		if vote[labels[i]] == nil {
+			vote[labels[i]] = map[int]int{}
+		}
+		vote[labels[i]][a]++
+	}
+	used := map[int]bool{}
+	for blob, counts := range vote {
+		best, bestN, total := -1, 0, 0
+		for c, n := range counts {
+			total += n
+			if n > bestN {
+				best, bestN = c, n
+			}
+		}
+		if float64(bestN)/float64(total) < 0.95 {
+			t.Fatalf("blob %d split across clusters: %v", blob, counts)
+		}
+		if used[best] {
+			t.Fatalf("two blobs share cluster %d", best)
+		}
+		used[best] = true
+	}
+	if res.Iters == 0 {
+		t.Fatal("no Lloyd iterations recorded")
+	}
+}
+
+func TestKMeansAssignmentIsNearestCentroid(t *testing.T) {
+	r := rng.New(61)
+	points, _ := blobs(300, 4, r.Split("data"))
+	res, err := KMeans(points, KMeansConfig{K: 4}, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range points {
+		own := linalg.SqDist(p, res.Centroids[res.Assign[i]])
+		for c := range res.Centroids {
+			if d := linalg.SqDist(p, res.Centroids[c]); d < own-1e-9 {
+				t.Fatalf("point %d assigned to %d but %d is closer (%v < %v)",
+					i, res.Assign[i], c, d, own)
+			}
+		}
+	}
+}
+
+func TestKMeansInertiaMatchesAssignment(t *testing.T) {
+	r := rng.New(62)
+	points, _ := blobs(200, 2, r.Split("data"))
+	res, _ := KMeans(points, KMeansConfig{K: 2}, r.Split("fit"))
+	want := 0.0
+	for i, p := range points {
+		want += linalg.SqDist(p, res.Centroids[res.Assign[i]])
+	}
+	if diff := res.Inertia - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("Inertia = %v, recomputed %v", res.Inertia, want)
+	}
+}
+
+func TestKMeansDeterministic(t *testing.T) {
+	points, _ := blobs(200, 3, rng.New(63))
+	a, _ := KMeans(points, KMeansConfig{K: 3}, rng.New(7))
+	b, _ := KMeans(points, KMeansConfig{K: 3}, rng.New(7))
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatalf("k-means not deterministic at point %d", i)
+		}
+	}
+}
+
+func TestKMeansMiniBatch(t *testing.T) {
+	r := rng.New(64)
+	points, labels := blobs(1000, 3, r.Split("data"))
+	res, err := KMeans(points, KMeansConfig{K: 3, MiniBatch: 32, MiniBatchIters: 200}, r.Split("fit"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BatchSteps != 200 {
+		t.Fatalf("BatchSteps = %d", res.BatchSteps)
+	}
+	// Mini-batch should still basically separate well-spread blobs.
+	agree := 0
+	vote := map[[2]int]int{}
+	for i := range points {
+		vote[[2]int{labels[i], res.Assign[i]}]++
+	}
+	for blob := 0; blob < 3; blob++ {
+		best := 0
+		for c := 0; c < 3; c++ {
+			if vote[[2]int{blob, c}] > best {
+				best = vote[[2]int{blob, c}]
+			}
+		}
+		agree += best
+	}
+	if float64(agree)/float64(len(points)) < 0.9 {
+		t.Fatalf("mini-batch purity %v too low", float64(agree)/float64(len(points)))
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	points := [][]float64{{1, 2}, {3, 4}}
+	if _, err := KMeans(points, KMeansConfig{K: 0}, rng.New(1)); err == nil {
+		t.Fatal("K=0 should fail")
+	}
+	if _, err := KMeans(points, KMeansConfig{K: 3}, rng.New(1)); err == nil {
+		t.Fatal("K > n should fail")
+	}
+	ragged := [][]float64{{1, 2}, {3}}
+	if _, err := KMeans(ragged, KMeansConfig{K: 1}, rng.New(1)); err == nil {
+		t.Fatal("ragged points should fail")
+	}
+}
+
+func TestKMeansKEqualsN(t *testing.T) {
+	points := [][]float64{{0, 0}, {10, 0}, {0, 10}}
+	res, err := KMeans(points, KMeansConfig{K: 3}, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inertia > 1e-9 {
+		t.Fatalf("K=n should give zero inertia, got %v", res.Inertia)
+	}
+}
+
+func TestKMeansSingleCluster(t *testing.T) {
+	points, _ := blobs(50, 2, rng.New(65))
+	res, err := KMeans(points, KMeansConfig{K: 1}, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range res.Assign {
+		if a != 0 {
+			t.Fatal("K=1 must assign everything to cluster 0")
+		}
+	}
+}

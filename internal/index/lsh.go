@@ -1,0 +1,105 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"zombie/internal/corpus"
+	"zombie/internal/rng"
+)
+
+// LSHGrouper partitions a corpus by random-hyperplane locality-sensitive
+// hashing: each input's index-feature vector is reduced to a sign
+// signature over ⌈log2 k⌉ random hyperplanes, and equal signatures share a
+// group. Compared to k-means it needs one pass, no iteration and no
+// centroid storage — the cheap-at-crawl-scale indexing option — at the
+// cost of noisier groups, which the bandit layer is designed to tolerate.
+type LSHGrouper struct {
+	// Vectorizer produces the vectors the hyperplanes cut.
+	Vectorizer Vectorizer
+}
+
+// Name implements Grouper.
+func (g *LSHGrouper) Name() string {
+	return fmt.Sprintf("lsh(%s)", g.Vectorizer.Name())
+}
+
+// Group implements Grouper. The number of hyperplanes is ⌈log2 k⌉, giving
+// up to 2^h signatures; signatures are then mapped onto exactly k groups
+// (merging the rarest signatures into the last group when 2^h > k).
+func (g *LSHGrouper) Group(store corpus.Store, k int, r *rng.RNG) (*Groups, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("index: k must be > 0, got %d", k)
+	}
+	start := time.Now()
+	dim := g.Vectorizer.Dim()
+	h := bitsFor(k)
+	planes := make([][]float64, h)
+	for i := range planes {
+		planes[i] = make([]float64, dim)
+		for d := range planes[i] {
+			planes[i][d] = r.NormFloat64()
+		}
+	}
+	// First pass: signatures.
+	sig := make([]int, store.Len())
+	sigCount := map[int]int{}
+	for i := 0; i < store.Len(); i++ {
+		v := g.Vectorizer.Vectorize(store.Get(i))
+		s := 0
+		for b, plane := range planes {
+			dot := 0.0
+			for d, x := range v {
+				dot += x * plane[d]
+			}
+			if dot >= 0 {
+				s |= 1 << b
+			}
+		}
+		sig[i] = s
+		sigCount[s]++
+	}
+	// Map signatures to group ids: most frequent signatures get dedicated
+	// groups; overflow signatures merge into the final group.
+	sigs := make([]int, 0, len(sigCount))
+	for s := range sigCount {
+		sigs = append(sigs, s)
+	}
+	sort.Slice(sigs, func(a, b int) bool {
+		if sigCount[sigs[a]] != sigCount[sigs[b]] {
+			return sigCount[sigs[a]] > sigCount[sigs[b]]
+		}
+		return sigs[a] < sigs[b]
+	})
+	sigGroup := map[int]int{}
+	for rank, s := range sigs {
+		if rank < k {
+			sigGroup[s] = rank
+		} else {
+			sigGroup[s] = k - 1
+		}
+	}
+	assign := make([]int, store.Len())
+	for i := range assign {
+		assign[i] = sigGroup[sig[i]]
+	}
+	out := fromAssign(g.Name(), assign, k)
+	out.BuildTime = time.Since(start)
+	return out, nil
+}
+
+// bitsFor returns the number of hyperplanes needed to address at least k
+// signatures, with a floor of 1 and two extra bits of slack so popular
+// regions can split across groups.
+func bitsFor(k int) int {
+	h := int(math.Ceil(math.Log2(float64(k)))) + 2
+	if h < 1 {
+		h = 1
+	}
+	if h > 20 {
+		h = 20
+	}
+	return h
+}

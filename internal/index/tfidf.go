@@ -1,0 +1,122 @@
+package index
+
+import (
+	"math"
+
+	"zombie/internal/corpus"
+	"zombie/internal/linalg"
+)
+
+// TFIDF is a hashed tf-idf vectorizer: tokens hash into dim buckets, and
+// each bucket's term frequency is reweighted by the inverse document
+// frequency fitted over a corpus. Compared to plain HashedText it
+// suppresses background vocabulary (the Zipf head every page shares) so
+// the k-means index groups align with topical — and therefore relevance —
+// structure rather than with page length or stopword mix.
+type TFIDF struct {
+	dim  int
+	idf  []float64
+	docs int
+}
+
+// NewTFIDF returns an unfitted hashed tf-idf vectorizer with the given
+// bucket count. It panics if dim <= 0.
+func NewTFIDF(dim int) *TFIDF {
+	if dim <= 0 {
+		panic("index: TFIDF dim must be > 0")
+	}
+	return &TFIDF{dim: dim}
+}
+
+// Fit computes smoothed inverse document frequencies over the store:
+// idf(b) = ln((1+N)/(1+df(b))) + 1. Non-text inputs are skipped.
+func (v *TFIDF) Fit(store corpus.Store) {
+	df := make([]int, v.dim)
+	docs := 0
+	seen := make([]bool, v.dim)
+	for i := 0; i < store.Len(); i++ {
+		in := store.Get(i)
+		if in.Kind != corpus.TextKind {
+			continue
+		}
+		docs++
+		for b := range seen {
+			seen[b] = false
+		}
+		for _, tok := range Tokenize(in.Text) {
+			seen[HashToken(tok, v.dim)] = true
+		}
+		for b, s := range seen {
+			if s {
+				df[b]++
+			}
+		}
+	}
+	v.docs = docs
+	v.idf = make([]float64, v.dim)
+	for b := range v.idf {
+		v.idf[b] = math.Log((1+float64(docs))/(1+float64(df[b]))) + 1
+	}
+}
+
+// Fitted reports whether Fit has been called.
+func (v *TFIDF) Fitted() bool { return v.idf != nil }
+
+// Docs returns the number of documents seen during Fit.
+func (v *TFIDF) Docs() int { return v.docs }
+
+// Vectorize implements Vectorizer. It panics if called before Fit, since
+// silently returning raw term frequencies would defeat the vectorizer's
+// purpose. Non-text inputs vectorize to zeros.
+func (v *TFIDF) Vectorize(in *corpus.Input) []float64 {
+	if v.idf == nil {
+		panic("index: TFIDF.Vectorize before Fit")
+	}
+	out := make([]float64, v.dim)
+	if in.Kind != corpus.TextKind {
+		return out
+	}
+	for _, tok := range Tokenize(in.Text) {
+		out[HashToken(tok, v.dim)]++
+	}
+	for b := range out {
+		if out[b] > 0 {
+			out[b] = (1 + math.Log(out[b])) * v.idf[b] // sublinear tf
+		}
+	}
+	linalg.Normalize(out)
+	return out
+}
+
+// Dim implements Vectorizer.
+func (v *TFIDF) Dim() int { return v.dim }
+
+// Name implements Vectorizer.
+func (v *TFIDF) Name() string { return "tfidf" }
+
+// SparseVectorize returns the tf-idf vector in sparse form for callers
+// (like the wiki feature code) that feed linear learners directly.
+func (v *TFIDF) SparseVectorize(in *corpus.Input) *linalg.Sparse {
+	if v.idf == nil {
+		panic("index: TFIDF.SparseVectorize before Fit")
+	}
+	counts := map[int]float64{}
+	if in.Kind == corpus.TextKind {
+		for _, tok := range Tokenize(in.Text) {
+			counts[HashToken(tok, v.dim)]++
+		}
+	}
+	norm := 0.0
+	for b, c := range counts {
+		w := (1 + math.Log(c)) * v.idf[b]
+		counts[b] = w
+		norm += w * w
+	}
+	if norm > 0 {
+		norm = math.Sqrt(norm)
+		for b := range counts {
+			counts[b] /= norm
+		}
+	}
+	return linalg.SparseFromMap(v.dim, counts)
+}

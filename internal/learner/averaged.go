@@ -1,0 +1,99 @@
+package learner
+
+import "zombie/internal/linalg"
+
+// AveragedPerceptron is the averaged variant of the multiclass perceptron
+// (Freund & Schapire's voted perceptron in its practical form): predictions
+// use the running average of all intermediate weight vectors rather than
+// the final one, which substantially reduces the plain perceptron's
+// sensitivity to the order and noise of its stream — a property worth
+// having when the stream is a bandit's.
+type AveragedPerceptron struct {
+	w      [][]float64 // current weights
+	u      [][]float64 // weighted accumulator for averaging
+	bias   []float64
+	biasU  []float64
+	scores []float64
+	t      float64 // 1-based update counter
+	seen   int
+}
+
+// NewAveragedPerceptron returns an averaged multiclass perceptron over dim
+// features.
+func NewAveragedPerceptron(dim, numClasses int) *AveragedPerceptron {
+	if dim <= 0 || numClasses < 2 {
+		panic("learner: AveragedPerceptron requires dim > 0 and numClasses >= 2")
+	}
+	m := &AveragedPerceptron{
+		w:      make([][]float64, numClasses),
+		u:      make([][]float64, numClasses),
+		bias:   make([]float64, numClasses),
+		biasU:  make([]float64, numClasses),
+		scores: make([]float64, numClasses),
+	}
+	for c := range m.w {
+		m.w[c] = make([]float64, dim)
+		m.u[c] = make([]float64, dim)
+	}
+	return m
+}
+
+// rawPredict scores with the current (non-averaged) weights.
+func (m *AveragedPerceptron) rawPredict(v FeatureVector) int {
+	for c := range m.w {
+		m.scores[c] = v.Dot(m.w[c]) + m.bias[c]
+	}
+	return linalg.ArgMax(m.scores)
+}
+
+// PartialFit implements Model. The averaging trick keeps the update O(nnz):
+// u accumulates t-weighted updates so that w - u/t is the average of all
+// intermediate weight vectors.
+func (m *AveragedPerceptron) PartialFit(ex Example) {
+	checkDim(len(m.w[0]), ex.Features, "AveragedPerceptron")
+	checkClass(len(m.w), ex.Class, "AveragedPerceptron")
+	m.t++
+	if pred := m.rawPredict(ex.Features); pred != ex.Class {
+		ex.Features.Axpy(1, m.w[ex.Class])
+		m.bias[ex.Class]++
+		ex.Features.Axpy(-1, m.w[pred])
+		m.bias[pred]--
+		// t-weighted mirror updates.
+		ex.Features.Axpy(m.t, m.u[ex.Class])
+		m.biasU[ex.Class] += m.t
+		ex.Features.Axpy(-m.t, m.u[pred])
+		m.biasU[pred] -= m.t
+	}
+	m.seen++
+}
+
+// PredictClass implements Classifier with the averaged weights
+// w_avg = w - u/t.
+func (m *AveragedPerceptron) PredictClass(v FeatureVector) int {
+	checkDim(len(m.w[0]), v, "AveragedPerceptron")
+	if m.t == 0 {
+		return 0
+	}
+	for c := range m.w {
+		m.scores[c] = (v.Dot(m.w[c]) + m.bias[c]) - (v.Dot(m.u[c])+m.biasU[c])/m.t
+	}
+	return linalg.ArgMax(m.scores)
+}
+
+// NumClasses implements Classifier.
+func (m *AveragedPerceptron) NumClasses() int { return len(m.w) }
+
+// Seen implements Model.
+func (m *AveragedPerceptron) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *AveragedPerceptron) Reset() {
+	for c := range m.w {
+		linalg.Zero(m.w[c])
+		linalg.Zero(m.u[c])
+		m.bias[c] = 0
+		m.biasU[c] = 0
+	}
+	m.t = 0
+	m.seen = 0
+}

@@ -1,0 +1,175 @@
+package learner
+
+import (
+	"fmt"
+	"sort"
+
+	"zombie/internal/rng"
+)
+
+// Metric selects the quality measure a Holdout evaluator reports. All
+// metrics are oriented so that higher is better, which the Zombie engine's
+// reward functions and early-stopping detector rely on.
+type Metric int
+
+const (
+	// MetricAccuracy is classification accuracy.
+	MetricAccuracy Metric = iota
+	// MetricF1 is the F1 of the evaluator's Positive class — the paper's
+	// headline measure for extraction tasks, where positives are rare.
+	MetricF1
+	// MetricMacroF1 is the unweighted mean F1 across classes.
+	MetricMacroF1
+	// MetricR2 is the coefficient of determination for regression.
+	MetricR2
+	// MetricNegRMSE is -RMSE so that higher remains better.
+	MetricNegRMSE
+)
+
+// String returns the metric's table label.
+func (m Metric) String() string {
+	switch m {
+	case MetricAccuracy:
+		return "accuracy"
+	case MetricF1:
+		return "f1"
+	case MetricMacroF1:
+		return "macro-f1"
+	case MetricR2:
+		return "r2"
+	case MetricNegRMSE:
+		return "-rmse"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// IsClassification reports whether the metric applies to classifiers.
+func (m Metric) IsClassification() bool {
+	return m == MetricAccuracy || m == MetricF1 || m == MetricMacroF1
+}
+
+// Holdout evaluates a model against a fixed labeled example set. Zombie
+// computes its learning curve — and its quality-delta rewards — by
+// re-evaluating the incrementally trained model against this set as inputs
+// stream in. The holdout is built once per task from ground-truth labels
+// (in the paper: the engineer's labeled evaluation data) and never fed to
+// the model.
+type Holdout struct {
+	Examples []Example
+	Metric   Metric
+	// Positive is the class treated as positive by MetricF1.
+	Positive int
+}
+
+// NewHoldout returns an evaluator over the given examples. It panics on an
+// empty example set.
+func NewHoldout(examples []Example, metric Metric, positive int) *Holdout {
+	if len(examples) == 0 {
+		panic("learner: Holdout requires at least one example")
+	}
+	return &Holdout{Examples: examples, Metric: metric, Positive: positive}
+}
+
+// Quality evaluates the model and returns the configured metric, higher
+// better. It panics when the metric does not match the model kind (e.g.,
+// accuracy for a pure Regressor) so that misconfigured tasks fail loudly
+// rather than optimizing a meaningless number. An untrained model (Seen()
+// == 0) scores the metric's natural floor without touching the model.
+func (h *Holdout) Quality(m Model) float64 {
+	if m.Seen() == 0 {
+		// k-NN and friends cannot predict before any example; report the
+		// floor so learning curves start at a defined point.
+		if h.Metric == MetricNegRMSE {
+			return negRMSEFloor(h.Examples)
+		}
+		return 0
+	}
+	if h.Metric.IsClassification() {
+		c, ok := m.(Classifier)
+		if !ok {
+			panic(fmt.Sprintf("learner: metric %v needs a Classifier, got %T", h.Metric, m))
+		}
+		cm := NewConfusionMatrix(c.NumClasses())
+		for _, ex := range h.Examples {
+			cm.Observe(ex.Class, c.PredictClass(ex.Features))
+		}
+		switch h.Metric {
+		case MetricAccuracy:
+			return cm.Accuracy()
+		case MetricF1:
+			_, _, f1 := cm.PrecisionRecallF1(h.Positive)
+			return f1
+		default:
+			return cm.MacroF1()
+		}
+	}
+	r, ok := m.(Regressor)
+	if !ok {
+		panic(fmt.Sprintf("learner: metric %v needs a Regressor, got %T", h.Metric, m))
+	}
+	var rm RegressionMetrics
+	for _, ex := range h.Examples {
+		rm.Observe(ex.Target, r.Predict(ex.Features))
+	}
+	if h.Metric == MetricR2 {
+		return rm.R2()
+	}
+	return -rm.RMSE()
+}
+
+// negRMSEFloor returns -RMSE of the all-zero predictor, a defined starting
+// point for regression learning curves.
+func negRMSEFloor(examples []Example) float64 {
+	var rm RegressionMetrics
+	for _, ex := range examples {
+		rm.Observe(ex.Target, 0)
+	}
+	return -rm.RMSE()
+}
+
+// StratifiedSplit partitions examples into a training pool and a holdout
+// of approximately holdoutFrac of the data, preserving per-class
+// proportions. Examples are shuffled with r before splitting. For
+// regression tasks (no meaningful Class) use Split instead. It panics if
+// holdoutFrac is outside (0,1).
+func StratifiedSplit(examples []Example, holdoutFrac float64, r *rng.RNG) (train, holdout []Example) {
+	if holdoutFrac <= 0 || holdoutFrac >= 1 {
+		panic("learner: holdoutFrac must be in (0,1)")
+	}
+	byClass := map[int][]Example{}
+	for _, ex := range examples {
+		byClass[ex.Class] = append(byClass[ex.Class], ex)
+	}
+	// Iterate classes in stable order for determinism.
+	classes := make([]int, 0, len(byClass))
+	for c := range byClass {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	for _, c := range classes {
+		group := byClass[c]
+		r.Shuffle(len(group), func(i, j int) { group[i], group[j] = group[j], group[i] })
+		k := int(holdoutFrac * float64(len(group)))
+		if k == 0 && len(group) > 1 {
+			k = 1 // every class with 2+ examples contributes to the holdout
+		}
+		holdout = append(holdout, group[:k]...)
+		train = append(train, group[k:]...)
+	}
+	r.Shuffle(len(train), func(i, j int) { train[i], train[j] = train[j], train[i] })
+	r.Shuffle(len(holdout), func(i, j int) { holdout[i], holdout[j] = holdout[j], holdout[i] })
+	return train, holdout
+}
+
+// Split partitions examples into train/holdout without stratification.
+// It panics if holdoutFrac is outside (0,1).
+func Split(examples []Example, holdoutFrac float64, r *rng.RNG) (train, holdout []Example) {
+	if holdoutFrac <= 0 || holdoutFrac >= 1 {
+		panic("learner: holdoutFrac must be in (0,1)")
+	}
+	shuffled := append([]Example(nil), examples...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	k := int(holdoutFrac * float64(len(shuffled)))
+	return shuffled[k:], shuffled[:k]
+}

@@ -1,0 +1,65 @@
+package learner
+
+import (
+	"fmt"
+	"math"
+
+	"zombie/internal/rng"
+)
+
+// KFoldResult summarizes a cross-validation run.
+type KFoldResult struct {
+	// FoldQuality is the held-out quality of each fold, higher better.
+	FoldQuality []float64
+	// Mean and Std summarize the folds.
+	Mean float64
+	Std  float64
+}
+
+// KFold estimates a model family's quality by k-fold cross-validation:
+// examples are shuffled (deterministically in r) and split into k folds;
+// for each fold a fresh model from newModel is trained on the other k-1
+// folds and scored on the held-out fold with the given metric. The
+// engineer's outer loop uses this to validate a feature-code version on
+// the examples a run collected, independent of the run's own holdout.
+func KFold(examples []Example, k int, newModel func() Model,
+	metric Metric, positive int, r *rng.RNG) (*KFoldResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("learner: KFold requires k >= 2, got %d", k)
+	}
+	if len(examples) < k {
+		return nil, fmt.Errorf("learner: KFold with k=%d needs at least k examples, got %d", k, len(examples))
+	}
+	if newModel == nil {
+		return nil, fmt.Errorf("learner: KFold requires a model factory")
+	}
+	shuffled := append([]Example(nil), examples...)
+	r.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+
+	res := &KFoldResult{}
+	for fold := 0; fold < k; fold++ {
+		lo := fold * len(shuffled) / k
+		hi := (fold + 1) * len(shuffled) / k
+		test := shuffled[lo:hi]
+		model := newModel()
+		for i, ex := range shuffled {
+			if i < lo || i >= hi {
+				model.PartialFit(ex)
+			}
+		}
+		holdout := NewHoldout(test, metric, positive)
+		res.FoldQuality = append(res.FoldQuality, holdout.Quality(model))
+	}
+	sum, sum2 := 0.0, 0.0
+	for _, q := range res.FoldQuality {
+		sum += q
+		sum2 += q * q
+	}
+	n := float64(len(res.FoldQuality))
+	res.Mean = sum / n
+	variance := sum2/n - res.Mean*res.Mean
+	if variance > 0 {
+		res.Std = math.Sqrt(variance)
+	}
+	return res, nil
+}

@@ -1,0 +1,80 @@
+package learner
+
+import (
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+func TestKFoldOnSeparableData(t *testing.T) {
+	r := rng.New(800)
+	exs := linearlySeparable(300, r.Split("data"))
+	res, err := KFold(exs, 5, func() Model {
+		return NewLogisticSGD(2, 0.5, 0, ConstantLR)
+	}, MetricAccuracy, 1, r.Split("cv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.FoldQuality) != 5 {
+		t.Fatalf("folds = %d", len(res.FoldQuality))
+	}
+	if res.Mean < 0.9 {
+		t.Fatalf("CV mean accuracy %.3f on separable data", res.Mean)
+	}
+	if res.Std < 0 || res.Std > 0.2 {
+		t.Fatalf("CV std %.3f implausible", res.Std)
+	}
+	// Every example appears in exactly one test fold: fold sizes sum to n.
+	total := 0
+	for fold := 0; fold < 5; fold++ {
+		lo := fold * 300 / 5
+		hi := (fold + 1) * 300 / 5
+		total += hi - lo
+	}
+	if total != 300 {
+		t.Fatalf("fold partition covers %d of 300", total)
+	}
+}
+
+func TestKFoldDeterministic(t *testing.T) {
+	exs := linearlySeparable(100, rng.New(801))
+	run := func() float64 {
+		res, err := KFold(exs, 4, func() Model {
+			return NewGaussianNB(2, 2, 1e-3)
+		}, MetricAccuracy, 1, rng.New(802))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Mean
+	}
+	if run() != run() {
+		t.Fatal("KFold not deterministic with a fixed seed")
+	}
+}
+
+func TestKFoldDoesNotMutateInput(t *testing.T) {
+	exs := linearlySeparable(50, rng.New(803))
+	first := exs[0].Features.At(0)
+	if _, err := KFold(exs, 5, func() Model {
+		return NewPerceptron(2, 2)
+	}, MetricAccuracy, 1, rng.New(804)); err != nil {
+		t.Fatal(err)
+	}
+	if exs[0].Features.At(0) != first {
+		t.Fatal("KFold reordered the caller's slice")
+	}
+}
+
+func TestKFoldValidation(t *testing.T) {
+	exs := linearlySeparable(10, rng.New(805))
+	nm := func() Model { return NewPerceptron(2, 2) }
+	if _, err := KFold(exs, 1, nm, MetricAccuracy, 1, rng.New(1)); err == nil {
+		t.Fatal("k=1 should fail")
+	}
+	if _, err := KFold(exs[:3], 5, nm, MetricAccuracy, 1, rng.New(1)); err == nil {
+		t.Fatal("fewer examples than folds should fail")
+	}
+	if _, err := KFold(exs, 5, nil, MetricAccuracy, 1, rng.New(1)); err == nil {
+		t.Fatal("nil factory should fail")
+	}
+}

@@ -1,0 +1,142 @@
+package learner
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// KNN is a k-nearest-neighbors model that serves both classification
+// (majority vote) and regression (mean target). It is trivially
+// incremental — PartialFit just stores the example — at the cost of O(n)
+// prediction, which is why the evaluation harness prefers the linear
+// learners on large holdouts. MaxStored bounds memory: once full, new
+// examples overwrite the oldest (FIFO), keeping the model usable on
+// unbounded streams.
+type KNN struct {
+	k          int
+	numClasses int
+	maxStored  int
+	examples   []Example
+	next       int // FIFO overwrite cursor once full
+	seen       int
+}
+
+// NewKNN returns a k-NN model. numClasses may be 0 for regression-only
+// use. maxStored <= 0 means unbounded. It panics if k <= 0.
+func NewKNN(k, numClasses, maxStored int) *KNN {
+	if k <= 0 {
+		panic("learner: KNN requires k > 0")
+	}
+	if numClasses < 0 {
+		panic("learner: KNN numClasses must be >= 0")
+	}
+	return &KNN{k: k, numClasses: numClasses, maxStored: maxStored}
+}
+
+// PartialFit implements Model.
+func (m *KNN) PartialFit(ex Example) {
+	if m.numClasses > 0 {
+		checkClass(m.numClasses, ex.Class, "KNN")
+	}
+	if m.maxStored > 0 && len(m.examples) == m.maxStored {
+		m.examples[m.next] = ex
+		m.next = (m.next + 1) % m.maxStored
+	} else {
+		m.examples = append(m.examples, ex)
+	}
+	m.seen++
+}
+
+// Stored returns how many examples are currently retained.
+func (m *KNN) Stored() int { return len(m.examples) }
+
+// neighborHeap is a max-heap on distance so the farthest of the current
+// k candidates sits at the root and is evicted first.
+type neighborHeap []neighbor
+
+type neighbor struct {
+	dist float64
+	idx  int
+}
+
+func (h neighborHeap) Len() int            { return len(h) }
+func (h neighborHeap) Less(i, j int) bool  { return h[i].dist > h[j].dist }
+func (h neighborHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *neighborHeap) Push(x interface{}) { *h = append(*h, x.(neighbor)) }
+func (h *neighborHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// nearest returns the indices of the (up to) k nearest stored examples.
+func (m *KNN) nearest(v FeatureVector) []int {
+	if len(m.examples) == 0 {
+		panic("learner: KNN prediction before any example")
+	}
+	h := make(neighborHeap, 0, m.k)
+	for i := range m.examples {
+		d := v.SqDist(m.examples[i].Features)
+		if len(h) < m.k {
+			heap.Push(&h, neighbor{d, i})
+		} else if d < h[0].dist {
+			h[0] = neighbor{d, i}
+			heap.Fix(&h, 0)
+		}
+	}
+	out := make([]int, len(h))
+	for i, nb := range h {
+		out[i] = nb.idx
+	}
+	return out
+}
+
+// PredictClass implements Classifier by majority vote among the k nearest
+// stored examples, breaking ties toward the lower class index.
+func (m *KNN) PredictClass(v FeatureVector) int {
+	if m.numClasses == 0 {
+		panic("learner: KNN built without classes used as classifier")
+	}
+	votes := make([]int, m.numClasses)
+	for _, i := range m.nearest(v) {
+		votes[m.examples[i].Class]++
+	}
+	best := 0
+	for c := 1; c < len(votes); c++ {
+		if votes[c] > votes[best] {
+			best = c
+		}
+	}
+	return best
+}
+
+// Predict implements Regressor as the mean target of the k nearest stored
+// examples.
+func (m *KNN) Predict(v FeatureVector) float64 {
+	idx := m.nearest(v)
+	sum := 0.0
+	for _, i := range idx {
+		sum += m.examples[i].Target
+	}
+	return sum / float64(len(idx))
+}
+
+// NumClasses implements Classifier.
+func (m *KNN) NumClasses() int { return m.numClasses }
+
+// Seen implements Model.
+func (m *KNN) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *KNN) Reset() {
+	m.examples = m.examples[:0]
+	m.next = 0
+	m.seen = 0
+}
+
+// String describes the model configuration.
+func (m *KNN) String() string {
+	return fmt.Sprintf("knn(k=%d,classes=%d,stored=%d)", m.k, m.numClasses, len(m.examples))
+}

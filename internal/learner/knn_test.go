@@ -1,0 +1,108 @@
+package learner
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestKNNClassification(t *testing.T) {
+	m := NewKNN(3, 2, 0)
+	pts := []struct {
+		x   []float64
+		cls int
+	}{
+		{[]float64{0, 0}, 0}, {[]float64{0.1, 0}, 0}, {[]float64{0, 0.1}, 0},
+		{[]float64{5, 5}, 1}, {[]float64{5.1, 5}, 1}, {[]float64{5, 5.1}, 1},
+	}
+	for _, p := range pts {
+		m.PartialFit(Example{Features: DenseVec(p.x), Class: p.cls})
+	}
+	if m.PredictClass(DenseVec([]float64{0.05, 0.05})) != 0 {
+		t.Fatal("origin cluster misclassified")
+	}
+	if m.PredictClass(DenseVec([]float64{4.9, 5.2})) != 1 {
+		t.Fatal("far cluster misclassified")
+	}
+	if m.Stored() != 6 || m.Seen() != 6 {
+		t.Fatalf("Stored/Seen = %d/%d", m.Stored(), m.Seen())
+	}
+}
+
+func TestKNNRegression(t *testing.T) {
+	m := NewKNN(2, 0, 0)
+	m.PartialFit(Example{Features: DenseVec([]float64{0}), Target: 1})
+	m.PartialFit(Example{Features: DenseVec([]float64{0.1}), Target: 3})
+	m.PartialFit(Example{Features: DenseVec([]float64{10}), Target: 100})
+	got := m.Predict(DenseVec([]float64{0.05}))
+	if math.Abs(got-2) > 1e-12 {
+		t.Fatalf("Predict = %v, want 2 (mean of 2 nearest)", got)
+	}
+}
+
+func TestKNNFewerStoredThanK(t *testing.T) {
+	m := NewKNN(5, 2, 0)
+	m.PartialFit(Example{Features: DenseVec([]float64{1}), Class: 1})
+	if m.PredictClass(DenseVec([]float64{0})) != 1 {
+		t.Fatal("single stored example should decide the vote")
+	}
+}
+
+func TestKNNBoundedMemoryFIFO(t *testing.T) {
+	m := NewKNN(1, 2, 3)
+	for i := 0; i < 10; i++ {
+		cls := 0
+		if i >= 7 {
+			cls = 1 // the three newest are class 1
+		}
+		m.PartialFit(Example{Features: DenseVec([]float64{float64(i)}), Class: cls})
+	}
+	if m.Stored() != 3 {
+		t.Fatalf("Stored = %d, want 3", m.Stored())
+	}
+	// All remaining examples are class 1; any query must return 1.
+	if m.PredictClass(DenseVec([]float64{0})) != 1 {
+		t.Fatal("FIFO eviction failed: old class still winning")
+	}
+	if m.Seen() != 10 {
+		t.Fatalf("Seen = %d, want 10", m.Seen())
+	}
+}
+
+func TestKNNPanics(t *testing.T) {
+	mustPanic(t, "k", func() { NewKNN(0, 2, 0) })
+	mustPanic(t, "classes", func() { NewKNN(1, -1, 0) })
+	empty := NewKNN(1, 2, 0)
+	mustPanic(t, "predict before fit", func() { empty.PredictClass(DenseVec([]float64{0})) })
+	reg := NewKNN(1, 0, 0)
+	reg.PartialFit(Example{Features: DenseVec([]float64{0}), Target: 1})
+	mustPanic(t, "classify without classes", func() { reg.PredictClass(DenseVec([]float64{0})) })
+}
+
+func TestKNNReset(t *testing.T) {
+	m := NewKNN(1, 2, 0)
+	m.PartialFit(Example{Features: DenseVec([]float64{0}), Class: 0})
+	m.Reset()
+	if m.Stored() != 0 || m.Seen() != 0 {
+		t.Fatal("Reset failed")
+	}
+}
+
+func TestKNNString(t *testing.T) {
+	m := NewKNN(3, 2, 10)
+	if !strings.Contains(m.String(), "k=3") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestKNNMixedSparseDense(t *testing.T) {
+	m := NewKNN(1, 2, 0)
+	m.PartialFit(Example{Features: sv(3, map[int]float64{0: 1}), Class: 1})
+	m.PartialFit(Example{Features: DenseVec([]float64{0, 0, 5}), Class: 0})
+	if m.PredictClass(DenseVec([]float64{1.1, 0, 0})) != 1 {
+		t.Fatal("sparse stored example not matched")
+	}
+	if m.PredictClass(sv(3, map[int]float64{2: 4.5})) != 0 {
+		t.Fatal("sparse query not matched to dense example")
+	}
+}

@@ -1,0 +1,379 @@
+package learner
+
+import (
+	"math"
+
+	"zombie/internal/linalg"
+)
+
+// LRSchedule selects how the SGD learning rate evolves with the number of
+// examples seen.
+type LRSchedule int
+
+const (
+	// ConstantLR keeps the initial rate forever.
+	ConstantLR LRSchedule = iota
+	// InvScalingLR decays the rate as lr0 / sqrt(1+t).
+	InvScalingLR
+)
+
+// sgdBase holds the bookkeeping shared by the SGD linear models.
+type sgdBase struct {
+	lr0      float64
+	schedule LRSchedule
+	l2       float64
+	t        int
+}
+
+func newSGDBase(lr0, l2 float64, schedule LRSchedule) sgdBase {
+	if lr0 <= 0 {
+		panic("learner: learning rate must be > 0")
+	}
+	if l2 < 0 {
+		panic("learner: L2 penalty must be >= 0")
+	}
+	return sgdBase{lr0: lr0, schedule: schedule, l2: l2}
+}
+
+// rate returns the step size for the next update and advances t.
+func (b *sgdBase) rate() float64 {
+	b.t++
+	switch b.schedule {
+	case InvScalingLR:
+		return b.lr0 / math.Sqrt(1+float64(b.t))
+	default:
+		return b.lr0
+	}
+}
+
+// LogisticSGD is an incremental binary logistic-regression classifier
+// trained with stochastic gradient descent and optional L2 regularization.
+// Classes are 0 (negative) and 1 (positive). This is the default learner
+// for Zombie's extraction-style tasks, matching the linear classifiers the
+// paper drives through scikit-learn.
+type LogisticSGD struct {
+	sgdBase
+	w    []float64
+	bias float64
+	seen int
+}
+
+// NewLogisticSGD returns a binary logistic classifier over dim features.
+func NewLogisticSGD(dim int, lr0, l2 float64, schedule LRSchedule) *LogisticSGD {
+	if dim <= 0 {
+		panic("learner: LogisticSGD dim must be > 0")
+	}
+	return &LogisticSGD{sgdBase: newSGDBase(lr0, l2, schedule), w: make([]float64, dim)}
+}
+
+// PartialFit implements Model.
+func (m *LogisticSGD) PartialFit(ex Example) {
+	checkDim(len(m.w), ex.Features, "LogisticSGD")
+	checkClass(2, ex.Class, "LogisticSGD")
+	lr := m.rate()
+	p := linalg.Sigmoid(ex.Features.Dot(m.w) + m.bias)
+	grad := p - float64(ex.Class) // dLoss/dLogit
+	if m.l2 > 0 {
+		linalg.Scale(1-lr*m.l2, m.w)
+	}
+	ex.Features.Axpy(-lr*grad, m.w)
+	m.bias -= lr * grad
+	m.seen++
+}
+
+// PredictClass implements Classifier.
+func (m *LogisticSGD) PredictClass(v FeatureVector) int {
+	if m.Proba(v)[1] >= 0.5 {
+		return 1
+	}
+	return 0
+}
+
+// Proba implements ProbClassifier.
+func (m *LogisticSGD) Proba(v FeatureVector) []float64 {
+	checkDim(len(m.w), v, "LogisticSGD")
+	p := linalg.Sigmoid(v.Dot(m.w) + m.bias)
+	return []float64{1 - p, p}
+}
+
+// NumClasses implements Classifier.
+func (m *LogisticSGD) NumClasses() int { return 2 }
+
+// Seen implements Model.
+func (m *LogisticSGD) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *LogisticSGD) Reset() {
+	linalg.Zero(m.w)
+	m.bias = 0
+	m.t = 0
+	m.seen = 0
+}
+
+// Weights exposes the learned weight vector (not a copy) for inspection.
+func (m *LogisticSGD) Weights() []float64 { return m.w }
+
+// SoftmaxSGD is an incremental multiclass logistic-regression (maximum
+// entropy) classifier trained with SGD.
+type SoftmaxSGD struct {
+	sgdBase
+	w      [][]float64 // per-class weight rows
+	bias   []float64
+	logits []float64 // scratch, reused across calls
+	seen   int
+}
+
+// NewSoftmaxSGD returns a multiclass classifier over dim features and
+// numClasses classes.
+func NewSoftmaxSGD(dim, numClasses int, lr0, l2 float64, schedule LRSchedule) *SoftmaxSGD {
+	if dim <= 0 || numClasses < 2 {
+		panic("learner: SoftmaxSGD requires dim > 0 and numClasses >= 2")
+	}
+	m := &SoftmaxSGD{
+		sgdBase: newSGDBase(lr0, l2, schedule),
+		w:       make([][]float64, numClasses),
+		bias:    make([]float64, numClasses),
+		logits:  make([]float64, numClasses),
+	}
+	for c := range m.w {
+		m.w[c] = make([]float64, dim)
+	}
+	return m
+}
+
+func (m *SoftmaxSGD) computeProba(v FeatureVector, out []float64) {
+	for c := range m.w {
+		m.logits[c] = v.Dot(m.w[c]) + m.bias[c]
+	}
+	linalg.Softmax(m.logits, out)
+}
+
+// PartialFit implements Model.
+func (m *SoftmaxSGD) PartialFit(ex Example) {
+	checkDim(len(m.w[0]), ex.Features, "SoftmaxSGD")
+	checkClass(len(m.w), ex.Class, "SoftmaxSGD")
+	lr := m.rate()
+	proba := make([]float64, len(m.w))
+	m.computeProba(ex.Features, proba)
+	for c := range m.w {
+		grad := proba[c]
+		if c == ex.Class {
+			grad -= 1
+		}
+		if m.l2 > 0 {
+			linalg.Scale(1-lr*m.l2, m.w[c])
+		}
+		ex.Features.Axpy(-lr*grad, m.w[c])
+		m.bias[c] -= lr * grad
+	}
+	m.seen++
+}
+
+// PredictClass implements Classifier.
+func (m *SoftmaxSGD) PredictClass(v FeatureVector) int {
+	checkDim(len(m.w[0]), v, "SoftmaxSGD")
+	for c := range m.w {
+		m.logits[c] = v.Dot(m.w[c]) + m.bias[c]
+	}
+	return linalg.ArgMax(m.logits)
+}
+
+// Proba implements ProbClassifier.
+func (m *SoftmaxSGD) Proba(v FeatureVector) []float64 {
+	checkDim(len(m.w[0]), v, "SoftmaxSGD")
+	out := make([]float64, len(m.w))
+	m.computeProba(v, out)
+	return out
+}
+
+// NumClasses implements Classifier.
+func (m *SoftmaxSGD) NumClasses() int { return len(m.w) }
+
+// Seen implements Model.
+func (m *SoftmaxSGD) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *SoftmaxSGD) Reset() {
+	for c := range m.w {
+		linalg.Zero(m.w[c])
+		m.bias[c] = 0
+	}
+	m.t = 0
+	m.seen = 0
+}
+
+// Perceptron is an incremental multiclass perceptron: on a mistake it adds
+// the example to the true class row and subtracts it from the predicted
+// row. Mistake-driven and hyperparameter-free, it is the cheapest learner
+// in the suite.
+type Perceptron struct {
+	w      [][]float64
+	bias   []float64
+	scores []float64
+	seen   int
+}
+
+// NewPerceptron returns a multiclass perceptron over dim features.
+func NewPerceptron(dim, numClasses int) *Perceptron {
+	if dim <= 0 || numClasses < 2 {
+		panic("learner: Perceptron requires dim > 0 and numClasses >= 2")
+	}
+	m := &Perceptron{
+		w:      make([][]float64, numClasses),
+		bias:   make([]float64, numClasses),
+		scores: make([]float64, numClasses),
+	}
+	for c := range m.w {
+		m.w[c] = make([]float64, dim)
+	}
+	return m
+}
+
+// PartialFit implements Model.
+func (m *Perceptron) PartialFit(ex Example) {
+	checkDim(len(m.w[0]), ex.Features, "Perceptron")
+	checkClass(len(m.w), ex.Class, "Perceptron")
+	pred := m.PredictClass(ex.Features)
+	if pred != ex.Class {
+		ex.Features.Axpy(1, m.w[ex.Class])
+		m.bias[ex.Class]++
+		ex.Features.Axpy(-1, m.w[pred])
+		m.bias[pred]--
+	}
+	m.seen++
+}
+
+// PredictClass implements Classifier.
+func (m *Perceptron) PredictClass(v FeatureVector) int {
+	checkDim(len(m.w[0]), v, "Perceptron")
+	for c := range m.w {
+		m.scores[c] = v.Dot(m.w[c]) + m.bias[c]
+	}
+	return linalg.ArgMax(m.scores)
+}
+
+// NumClasses implements Classifier.
+func (m *Perceptron) NumClasses() int { return len(m.w) }
+
+// Seen implements Model.
+func (m *Perceptron) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *Perceptron) Reset() {
+	for c := range m.w {
+		linalg.Zero(m.w[c])
+		m.bias[c] = 0
+	}
+	m.seen = 0
+}
+
+// PassiveAggressive is the binary PA-I classifier of Crammer et al.:
+// on each example it makes the smallest weight update that achieves a
+// hinge margin of 1, capped by aggressiveness C. Classes are 0 and 1
+// (mapped internally to ±1).
+type PassiveAggressive struct {
+	w    []float64
+	bias float64
+	c    float64
+	seen int
+}
+
+// NewPassiveAggressive returns a PA-I classifier over dim features with
+// aggressiveness cap c. It panics if c <= 0.
+func NewPassiveAggressive(dim int, c float64) *PassiveAggressive {
+	if dim <= 0 {
+		panic("learner: PassiveAggressive dim must be > 0")
+	}
+	if c <= 0 {
+		panic("learner: PassiveAggressive C must be > 0")
+	}
+	return &PassiveAggressive{w: make([]float64, dim), c: c}
+}
+
+// PartialFit implements Model.
+func (m *PassiveAggressive) PartialFit(ex Example) {
+	checkDim(len(m.w), ex.Features, "PassiveAggressive")
+	checkClass(2, ex.Class, "PassiveAggressive")
+	y := float64(2*ex.Class - 1) // {0,1} -> {-1,+1}
+	margin := y * (ex.Features.Dot(m.w) + m.bias)
+	loss := 1 - margin
+	if loss > 0 {
+		// +1 accounts for the implicit bias feature.
+		tau := loss / (ex.Features.Norm2Sq() + 1)
+		if tau > m.c {
+			tau = m.c
+		}
+		ex.Features.Axpy(tau*y, m.w)
+		m.bias += tau * y
+	}
+	m.seen++
+}
+
+// PredictClass implements Classifier.
+func (m *PassiveAggressive) PredictClass(v FeatureVector) int {
+	checkDim(len(m.w), v, "PassiveAggressive")
+	if v.Dot(m.w)+m.bias >= 0 {
+		return 1
+	}
+	return 0
+}
+
+// NumClasses implements Classifier.
+func (m *PassiveAggressive) NumClasses() int { return 2 }
+
+// Seen implements Model.
+func (m *PassiveAggressive) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *PassiveAggressive) Reset() {
+	linalg.Zero(m.w)
+	m.bias = 0
+	m.seen = 0
+}
+
+// LinearRegSGD is an incremental least-squares linear regressor trained
+// with SGD and optional L2 regularization.
+type LinearRegSGD struct {
+	sgdBase
+	w    []float64
+	bias float64
+	seen int
+}
+
+// NewLinearRegSGD returns a linear regressor over dim features.
+func NewLinearRegSGD(dim int, lr0, l2 float64, schedule LRSchedule) *LinearRegSGD {
+	if dim <= 0 {
+		panic("learner: LinearRegSGD dim must be > 0")
+	}
+	return &LinearRegSGD{sgdBase: newSGDBase(lr0, l2, schedule), w: make([]float64, dim)}
+}
+
+// PartialFit implements Model.
+func (m *LinearRegSGD) PartialFit(ex Example) {
+	checkDim(len(m.w), ex.Features, "LinearRegSGD")
+	lr := m.rate()
+	err := ex.Features.Dot(m.w) + m.bias - ex.Target
+	if m.l2 > 0 {
+		linalg.Scale(1-lr*m.l2, m.w)
+	}
+	ex.Features.Axpy(-lr*err, m.w)
+	m.bias -= lr * err
+	m.seen++
+}
+
+// Predict implements Regressor.
+func (m *LinearRegSGD) Predict(v FeatureVector) float64 {
+	checkDim(len(m.w), v, "LinearRegSGD")
+	return v.Dot(m.w) + m.bias
+}
+
+// Seen implements Model.
+func (m *LinearRegSGD) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *LinearRegSGD) Reset() {
+	linalg.Zero(m.w)
+	m.bias = 0
+	m.t = 0
+	m.seen = 0
+}

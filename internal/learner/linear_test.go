@@ -1,0 +1,245 @@
+package learner
+
+import (
+	"math"
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+// linearlySeparable builds a 2-D binary problem: class 1 iff x0+x1 > 0,
+// with a comfortable margin.
+func linearlySeparable(n int, r *rng.RNG) []Example {
+	out := make([]Example, n)
+	for i := range out {
+		x := []float64{r.Range(-1, 1), r.Range(-1, 1)}
+		cls := 0
+		if x[0]+x[1] > 0 {
+			cls = 1
+		}
+		// Push points away from the boundary for a clean margin.
+		shift := 0.3
+		if cls == 1 {
+			x[0] += shift
+			x[1] += shift
+		} else {
+			x[0] -= shift
+			x[1] -= shift
+		}
+		out[i] = Example{Features: DenseVec(x), Class: cls}
+	}
+	return out
+}
+
+func trainAll(m Model, exs []Example, epochs int) {
+	for e := 0; e < epochs; e++ {
+		for _, ex := range exs {
+			m.PartialFit(ex)
+		}
+	}
+}
+
+func classifierAccuracy(c Classifier, exs []Example) float64 {
+	correct := 0
+	for _, ex := range exs {
+		if c.PredictClass(ex.Features) == ex.Class {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(exs))
+}
+
+func TestBinaryClassifiersLearnSeparableProblem(t *testing.T) {
+	r := rng.New(1)
+	train := linearlySeparable(400, r.Split("train"))
+	test := linearlySeparable(200, r.Split("test"))
+	for _, tc := range []struct {
+		name string
+		m    Classifier
+	}{
+		{"logistic", NewLogisticSGD(2, 0.5, 0, ConstantLR)},
+		{"logistic-l2", NewLogisticSGD(2, 0.5, 0.001, ConstantLR)},
+		{"logistic-inv", NewLogisticSGD(2, 1.0, 0, InvScalingLR)},
+		{"softmax", NewSoftmaxSGD(2, 2, 0.5, 0, ConstantLR)},
+		{"perceptron", NewPerceptron(2, 2)},
+		{"pa", NewPassiveAggressive(2, 1)},
+	} {
+		trainAll(tc.m, train, 3)
+		if acc := classifierAccuracy(tc.m, test); acc < 0.95 {
+			t.Errorf("%s: accuracy %.3f < 0.95 on separable data", tc.name, acc)
+		}
+		if tc.m.Seen() != 1200 {
+			t.Errorf("%s: Seen = %d, want 1200", tc.name, tc.m.Seen())
+		}
+	}
+}
+
+func TestSoftmaxMulticlass(t *testing.T) {
+	// Three Gaussian blobs in 2-D.
+	r := rng.New(2)
+	centers := [][]float64{{2, 0}, {-2, 0}, {0, 2.5}}
+	gen := func(n int, rr *rng.RNG) []Example {
+		out := make([]Example, n)
+		for i := range out {
+			c := i % 3
+			out[i] = Example{
+				Features: DenseVec([]float64{
+					rr.Gaussian(centers[c][0], 0.4),
+					rr.Gaussian(centers[c][1], 0.4),
+				}),
+				Class: c,
+			}
+		}
+		return out
+	}
+	train := gen(600, r.Split("train"))
+	test := gen(300, r.Split("test"))
+	for _, tc := range []struct {
+		name string
+		m    Classifier
+	}{
+		{"softmax", NewSoftmaxSGD(2, 3, 0.3, 0, ConstantLR)},
+		{"perceptron", NewPerceptron(2, 3)},
+		{"gauss-nb", NewGaussianNB(2, 3, 1e-3)},
+		{"knn", NewKNN(5, 3, 0)},
+	} {
+		trainAll(tc.m, train, 2)
+		if acc := classifierAccuracy(tc.m, test); acc < 0.9 {
+			t.Errorf("%s: accuracy %.3f < 0.9 on 3 blobs", tc.name, acc)
+		}
+	}
+}
+
+func TestLogisticProbaSumsToOne(t *testing.T) {
+	m := NewLogisticSGD(3, 0.1, 0, ConstantLR)
+	m.PartialFit(Example{Features: DenseVec([]float64{1, 2, 3}), Class: 1})
+	p := m.Proba(DenseVec([]float64{0.5, -1, 2}))
+	if math.Abs(p[0]+p[1]-1) > 1e-12 {
+		t.Fatalf("proba sums to %v", p[0]+p[1])
+	}
+}
+
+func TestSoftmaxProbaSumsToOne(t *testing.T) {
+	m := NewSoftmaxSGD(2, 4, 0.1, 0, ConstantLR)
+	m.PartialFit(Example{Features: DenseVec([]float64{1, -1}), Class: 2})
+	p := m.Proba(DenseVec([]float64{3, 1}))
+	total := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Fatalf("negative probability %v", v)
+		}
+		total += v
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Fatalf("proba sums to %v", total)
+	}
+}
+
+func TestLinearRegSGDRecoversLine(t *testing.T) {
+	r := rng.New(3)
+	// y = 2*x0 - 3*x1 + 1 + noise
+	m := NewLinearRegSGD(2, 0.05, 0, InvScalingLR)
+	for i := 0; i < 20000; i++ {
+		x := []float64{r.Range(-1, 1), r.Range(-1, 1)}
+		y := 2*x[0] - 3*x[1] + 1 + r.Gaussian(0, 0.01)
+		m.PartialFit(Example{Features: DenseVec(x), Target: y})
+	}
+	for _, tc := range []struct {
+		x    []float64
+		want float64
+	}{
+		{[]float64{0, 0}, 1},
+		{[]float64{1, 0}, 3},
+		{[]float64{0, 1}, -2},
+	} {
+		if got := m.Predict(DenseVec(tc.x)); math.Abs(got-tc.want) > 0.15 {
+			t.Errorf("Predict(%v) = %v, want ~%v", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestSGDWithSparseFeatures(t *testing.T) {
+	// Sparse text-like features: token 3 implies class 1, token 7 class 0.
+	m := NewLogisticSGD(16, 0.5, 0, ConstantLR)
+	r := rng.New(4)
+	for i := 0; i < 500; i++ {
+		if r.Bernoulli(0.5) {
+			m.PartialFit(Example{Features: sv(16, map[int]float64{3: 1, int(r.Intn(3)) + 10: 1}), Class: 1})
+		} else {
+			m.PartialFit(Example{Features: sv(16, map[int]float64{7: 1, int(r.Intn(3)) + 10: 1}), Class: 0})
+		}
+	}
+	if m.PredictClass(sv(16, map[int]float64{3: 1})) != 1 {
+		t.Fatal("positive token not learned")
+	}
+	if m.PredictClass(sv(16, map[int]float64{7: 1})) != 0 {
+		t.Fatal("negative token not learned")
+	}
+}
+
+func TestResetRestoresUntrainedState(t *testing.T) {
+	exs := linearlySeparable(50, rng.New(5))
+	models := []Model{
+		NewLogisticSGD(2, 0.1, 0.01, ConstantLR),
+		NewSoftmaxSGD(2, 2, 0.1, 0, ConstantLR),
+		NewPerceptron(2, 2),
+		NewPassiveAggressive(2, 1),
+		NewLinearRegSGD(2, 0.1, 0, ConstantLR),
+	}
+	for _, m := range models {
+		trainAll(m, exs, 1)
+		if m.Seen() == 0 {
+			t.Fatalf("%T: training did not register", m)
+		}
+		m.Reset()
+		if m.Seen() != 0 {
+			t.Errorf("%T: Seen after Reset = %d", m, m.Seen())
+		}
+	}
+	// After reset, logistic predictions are the 0.5 coin flip.
+	m := NewLogisticSGD(2, 0.1, 0, ConstantLR)
+	trainAll(m, exs, 1)
+	m.Reset()
+	p := m.Proba(DenseVec([]float64{1, 1}))
+	if p[1] != 0.5 {
+		t.Errorf("reset logistic proba = %v, want 0.5", p[1])
+	}
+}
+
+func TestDimAndClassValidation(t *testing.T) {
+	m := NewLogisticSGD(3, 0.1, 0, ConstantLR)
+	mustPanic(t, "dim", func() {
+		m.PartialFit(Example{Features: DenseVec([]float64{1}), Class: 0})
+	})
+	mustPanic(t, "class", func() {
+		m.PartialFit(Example{Features: DenseVec([]float64{1, 2, 3}), Class: 2})
+	})
+	mustPanic(t, "predict dim", func() { m.PredictClass(DenseVec([]float64{1})) })
+	sm := NewSoftmaxSGD(2, 3, 0.1, 0, ConstantLR)
+	mustPanic(t, "softmax class", func() {
+		sm.PartialFit(Example{Features: DenseVec([]float64{1, 2}), Class: 3})
+	})
+}
+
+func TestConstructorPanics(t *testing.T) {
+	mustPanic(t, "lr", func() { NewLogisticSGD(2, 0, 0, ConstantLR) })
+	mustPanic(t, "l2", func() { NewLogisticSGD(2, 0.1, -1, ConstantLR) })
+	mustPanic(t, "dim", func() { NewLogisticSGD(0, 0.1, 0, ConstantLR) })
+	mustPanic(t, "classes", func() { NewSoftmaxSGD(2, 1, 0.1, 0, ConstantLR) })
+	mustPanic(t, "pa c", func() { NewPassiveAggressive(2, 0) })
+	mustPanic(t, "perceptron", func() { NewPerceptron(0, 2) })
+	mustPanic(t, "linreg", func() { NewLinearRegSGD(-1, 0.1, 0, ConstantLR) })
+}
+
+func TestL2ShrinksWeights(t *testing.T) {
+	strong := NewLogisticSGD(2, 0.1, 0.1, ConstantLR)
+	none := NewLogisticSGD(2, 0.1, 0, ConstantLR)
+	exs := linearlySeparable(500, rng.New(6))
+	trainAll(strong, exs, 3)
+	trainAll(none, exs, 3)
+	ns := math.Abs(strong.Weights()[0]) + math.Abs(strong.Weights()[1])
+	nn := math.Abs(none.Weights()[0]) + math.Abs(none.Weights()[1])
+	if ns >= nn {
+		t.Fatalf("L2 should shrink weights: with=%v without=%v", ns, nn)
+	}
+}

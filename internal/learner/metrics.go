@@ -1,0 +1,203 @@
+package learner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ConfusionMatrix accumulates classification outcomes. Cell [t][p] counts
+// examples of true class t predicted as class p.
+type ConfusionMatrix struct {
+	Cells [][]int64
+}
+
+// NewConfusionMatrix returns an empty numClasses×numClasses matrix.
+func NewConfusionMatrix(numClasses int) *ConfusionMatrix {
+	if numClasses <= 0 {
+		panic("learner: ConfusionMatrix requires numClasses > 0")
+	}
+	m := &ConfusionMatrix{Cells: make([][]int64, numClasses)}
+	for i := range m.Cells {
+		m.Cells[i] = make([]int64, numClasses)
+	}
+	return m
+}
+
+// Observe records one (true, predicted) pair.
+func (m *ConfusionMatrix) Observe(trueClass, predClass int) {
+	n := len(m.Cells)
+	if trueClass < 0 || trueClass >= n || predClass < 0 || predClass >= n {
+		panic(fmt.Sprintf("learner: ConfusionMatrix.Observe(%d,%d) out of range [0,%d)", trueClass, predClass, n))
+	}
+	m.Cells[trueClass][predClass]++
+}
+
+// Total returns the number of observations.
+func (m *ConfusionMatrix) Total() int64 {
+	var t int64
+	for _, row := range m.Cells {
+		for _, c := range row {
+			t += c
+		}
+	}
+	return t
+}
+
+// Accuracy returns the fraction of correct predictions, or 0 when empty.
+func (m *ConfusionMatrix) Accuracy() float64 {
+	total := m.Total()
+	if total == 0 {
+		return 0
+	}
+	var correct int64
+	for i := range m.Cells {
+		correct += m.Cells[i][i]
+	}
+	return float64(correct) / float64(total)
+}
+
+// PrecisionRecallF1 returns precision, recall, and F1 for one class
+// treated as positive. An undefined ratio (zero denominator) is reported
+// as 0, the usual information-extraction convention.
+func (m *ConfusionMatrix) PrecisionRecallF1(class int) (precision, recall, f1 float64) {
+	n := len(m.Cells)
+	if class < 0 || class >= n {
+		panic(fmt.Sprintf("learner: PrecisionRecallF1 class %d out of range [0,%d)", class, n))
+	}
+	var tp, fp, fn int64
+	tp = m.Cells[class][class]
+	for i := 0; i < n; i++ {
+		if i != class {
+			fp += m.Cells[i][class]
+			fn += m.Cells[class][i]
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	if precision+recall > 0 {
+		f1 = 2 * precision * recall / (precision + recall)
+	}
+	return precision, recall, f1
+}
+
+// MacroF1 returns the unweighted mean F1 across all classes.
+func (m *ConfusionMatrix) MacroF1() float64 {
+	total := 0.0
+	for c := range m.Cells {
+		_, _, f1 := m.PrecisionRecallF1(c)
+		total += f1
+	}
+	return total / float64(len(m.Cells))
+}
+
+// RegressionMetrics accumulates regression outcomes online.
+type RegressionMetrics struct {
+	n         int
+	sumErr2   float64
+	sumAbsErr float64
+	// Welford over targets for R².
+	meanY float64
+	m2Y   float64
+}
+
+// Observe records one (true target, prediction) pair.
+func (m *RegressionMetrics) Observe(target, pred float64) {
+	err := pred - target
+	m.sumErr2 += err * err
+	m.sumAbsErr += math.Abs(err)
+	m.n++
+	delta := target - m.meanY
+	m.meanY += delta / float64(m.n)
+	m.m2Y += delta * (target - m.meanY)
+}
+
+// N returns the number of observations.
+func (m *RegressionMetrics) N() int { return m.n }
+
+// RMSE returns the root-mean-squared error, or 0 when empty.
+func (m *RegressionMetrics) RMSE() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return math.Sqrt(m.sumErr2 / float64(m.n))
+}
+
+// MAE returns the mean absolute error, or 0 when empty.
+func (m *RegressionMetrics) MAE() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sumAbsErr / float64(m.n)
+}
+
+// R2 returns the coefficient of determination. A constant target series
+// yields 1 for a perfect fit and 0 otherwise; an empty series yields 0.
+func (m *RegressionMetrics) R2() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	if m.m2Y == 0 {
+		if m.sumErr2 == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - m.sumErr2/m.m2Y
+}
+
+// AUC returns the area under the ROC curve for binary labels (0/1) given
+// per-example positive-class scores, computed with the rank statistic
+// (equivalent to the Mann–Whitney U). Ties in score contribute half. It
+// returns 0.5 when either class is absent, and panics on length mismatch.
+func AUC(labels []int, scores []float64) float64 {
+	if len(labels) != len(scores) {
+		panic("learner: AUC length mismatch")
+	}
+	type pair struct {
+		score float64
+		label int
+	}
+	pairs := make([]pair, len(labels))
+	var pos, neg int
+	for i := range labels {
+		if labels[i] != 0 && labels[i] != 1 {
+			panic(fmt.Sprintf("learner: AUC label %d not binary", labels[i]))
+		}
+		pairs[i] = pair{scores[i], labels[i]}
+		if labels[i] == 1 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].score < pairs[j].score })
+	// Assign average ranks, handling ties.
+	ranks := make([]float64, len(pairs))
+	for i := 0; i < len(pairs); {
+		j := i
+		for j < len(pairs) && pairs[j].score == pairs[i].score {
+			j++
+		}
+		avg := float64(i+j-1)/2 + 1 // ranks are 1-based
+		for k := i; k < j; k++ {
+			ranks[k] = avg
+		}
+		i = j
+	}
+	sumPosRanks := 0.0
+	for i, p := range pairs {
+		if p.label == 1 {
+			sumPosRanks += ranks[i]
+		}
+	}
+	u := sumPosRanks - float64(pos)*float64(pos+1)/2
+	return u / (float64(pos) * float64(neg))
+}

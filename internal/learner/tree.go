@@ -1,0 +1,231 @@
+package learner
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DecisionTree is a CART-style classification tree over dense features.
+// It honors the incremental Model contract the way RidgeClosed does:
+// PartialFit appends the example and marks the model dirty; the first
+// prediction after new data refits the tree from scratch. That makes it
+// order-insensitive (the fit depends only on the example set), a good
+// match for the engine's set-based evaluation, at the cost of O(n·d·log n)
+// per refit — use it on modest corpora or as a session's "try a tree"
+// iteration.
+type DecisionTree struct {
+	maxDepth   int
+	minLeaf    int
+	numClasses int
+	dim        int
+	examples   []Example
+	root       *treeNode
+	dirty      bool
+	seen       int
+}
+
+type treeNode struct {
+	// Leaf payload.
+	class int
+	leaf  bool
+	// Split payload.
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+}
+
+// NewDecisionTree returns a tree classifier over dim features. maxDepth
+// bounds tree height (>=1); minLeaf is the minimum examples per leaf
+// (>=1).
+func NewDecisionTree(dim, numClasses, maxDepth, minLeaf int) *DecisionTree {
+	if dim <= 0 || numClasses < 2 {
+		panic("learner: DecisionTree requires dim > 0 and numClasses >= 2")
+	}
+	if maxDepth < 1 {
+		panic("learner: DecisionTree maxDepth must be >= 1")
+	}
+	if minLeaf < 1 {
+		panic("learner: DecisionTree minLeaf must be >= 1")
+	}
+	return &DecisionTree{maxDepth: maxDepth, minLeaf: minLeaf, numClasses: numClasses, dim: dim}
+}
+
+// PartialFit implements Model.
+func (m *DecisionTree) PartialFit(ex Example) {
+	checkDim(m.dim, ex.Features, "DecisionTree")
+	checkClass(m.numClasses, ex.Class, "DecisionTree")
+	m.examples = append(m.examples, ex)
+	m.dirty = true
+	m.seen++
+}
+
+// PredictClass implements Classifier.
+func (m *DecisionTree) PredictClass(v FeatureVector) int {
+	checkDim(m.dim, v, "DecisionTree")
+	if m.dirty {
+		m.refit()
+	}
+	if m.root == nil {
+		panic("learner: DecisionTree prediction before any example")
+	}
+	node := m.root
+	for !node.leaf {
+		if v.At(node.feature) <= node.threshold {
+			node = node.left
+		} else {
+			node = node.right
+		}
+	}
+	return node.class
+}
+
+// NumClasses implements Classifier.
+func (m *DecisionTree) NumClasses() int { return m.numClasses }
+
+// Seen implements Model.
+func (m *DecisionTree) Seen() int { return m.seen }
+
+// Reset implements Model.
+func (m *DecisionTree) Reset() {
+	m.examples = m.examples[:0]
+	m.root = nil
+	m.dirty = false
+	m.seen = 0
+}
+
+// Depth returns the fitted tree's depth (0 when unfitted), refitting if
+// needed.
+func (m *DecisionTree) Depth() int {
+	if m.dirty {
+		m.refit()
+	}
+	return depth(m.root)
+}
+
+func depth(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depth(n.left), depth(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+func (m *DecisionTree) refit() {
+	idx := make([]int, len(m.examples))
+	for i := range idx {
+		idx[i] = i
+	}
+	m.root = m.build(idx, m.maxDepth)
+	m.dirty = false
+}
+
+// build grows a subtree over the examples at idx.
+func (m *DecisionTree) build(idx []int, depthLeft int) *treeNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	counts := make([]int, m.numClasses)
+	for _, i := range idx {
+		counts[m.examples[i].Class]++
+	}
+	majority, pure := majorityClass(counts, len(idx))
+	if pure || depthLeft == 0 || len(idx) < 2*m.minLeaf {
+		return &treeNode{leaf: true, class: majority}
+	}
+	feature, threshold, ok := m.bestSplit(idx, counts)
+	if !ok {
+		return &treeNode{leaf: true, class: majority}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if m.examples[i].Features.At(feature) <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < m.minLeaf || len(right) < m.minLeaf {
+		return &treeNode{leaf: true, class: majority}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      m.build(left, depthLeft-1),
+		right:     m.build(right, depthLeft-1),
+	}
+}
+
+func majorityClass(counts []int, total int) (class int, pure bool) {
+	best := 0
+	for c := 1; c < len(counts); c++ {
+		if counts[c] > counts[best] {
+			best = c
+		}
+	}
+	return best, counts[best] == total
+}
+
+// bestSplit scans every feature's sorted values for the split minimizing
+// weighted Gini impurity. totalCounts are the class counts over idx.
+func (m *DecisionTree) bestSplit(idx []int, totalCounts []int) (feature int, threshold float64, ok bool) {
+	n := len(idx)
+	bestGini := gini(totalCounts, n) // must strictly improve on the parent
+	type fv struct {
+		value float64
+		class int
+	}
+	column := make([]fv, n)
+	leftCounts := make([]int, m.numClasses)
+	rightCounts := make([]int, m.numClasses)
+	for f := 0; f < m.dim; f++ {
+		for j, i := range idx {
+			column[j] = fv{m.examples[i].Features.At(f), m.examples[i].Class}
+		}
+		sort.Slice(column, func(a, b int) bool { return column[a].value < column[b].value })
+		for c := range leftCounts {
+			leftCounts[c] = 0
+			rightCounts[c] = totalCounts[c]
+		}
+		for j := 0; j < n-1; j++ {
+			leftCounts[column[j].class]++
+			rightCounts[column[j].class]--
+			if column[j].value == column[j+1].value {
+				continue // can't split between equal values
+			}
+			nl, nr := j+1, n-j-1
+			if nl < m.minLeaf || nr < m.minLeaf {
+				continue
+			}
+			g := (float64(nl)*gini(leftCounts, nl) + float64(nr)*gini(rightCounts, nr)) / float64(n)
+			if g < bestGini-1e-12 {
+				bestGini = g
+				feature = f
+				threshold = (column[j].value + column[j+1].value) / 2
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// gini returns the Gini impurity of the class counts.
+func gini(counts []int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	s := 1.0
+	for _, c := range counts {
+		p := float64(c) / float64(total)
+		s -= p * p
+	}
+	return s
+}
+
+// String describes the model.
+func (m *DecisionTree) String() string {
+	return fmt.Sprintf("tree(depth<=%d,minLeaf=%d,stored=%d)", m.maxDepth, m.minLeaf, len(m.examples))
+}

@@ -1,0 +1,192 @@
+package learner
+
+import (
+	"strings"
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+func TestDecisionTreeAxisAlignedProblem(t *testing.T) {
+	// XOR-free axis-aligned problem a depth-2 tree nails but a linear
+	// model can also solve: class 1 iff x0 > 0.5.
+	m := NewDecisionTree(2, 2, 3, 1)
+	r := rng.New(1)
+	for i := 0; i < 400; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		cls := 0
+		if x[0] > 0.5 {
+			cls = 1
+		}
+		m.PartialFit(Example{Features: DenseVec(x), Class: cls})
+	}
+	correct := 0
+	for i := 0; i < 200; i++ {
+		x := []float64{r.Float64(), r.Float64()}
+		want := 0
+		if x[0] > 0.5 {
+			want = 1
+		}
+		if m.PredictClass(DenseVec(x)) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 200; acc < 0.97 {
+		t.Fatalf("accuracy %.3f on trivial split", acc)
+	}
+	if d := m.Depth(); d < 1 || d > 3 {
+		t.Fatalf("depth = %d", d)
+	}
+}
+
+func TestDecisionTreeConjunction(t *testing.T) {
+	// "x0 > 0 AND x1 > 0" needs depth 2 and, unlike XOR, has a
+	// greedy-visible first split (greedy CART cannot split XOR at all:
+	// every root split has zero Gini gain).
+	m := NewDecisionTree(2, 2, 2, 1)
+	r := rng.New(2)
+	gen := func(rr *rng.RNG) ([]float64, int) {
+		x := []float64{rr.Range(-1, 1), rr.Range(-1, 1)}
+		cls := 0
+		if x[0] > 0 && x[1] > 0 {
+			cls = 1
+		}
+		return x, cls
+	}
+	for i := 0; i < 600; i++ {
+		x, cls := gen(r)
+		m.PartialFit(Example{Features: DenseVec(x), Class: cls})
+	}
+	correct := 0
+	for i := 0; i < 300; i++ {
+		x, want := gen(r)
+		if m.PredictClass(DenseVec(x)) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 300; acc < 0.93 {
+		t.Fatalf("conjunction accuracy %.3f", acc)
+	}
+	// A depth-1 stump cannot represent the conjunction exactly; its best
+	// achievable accuracy is ~0.75 plus class-imbalance slack.
+	stump := NewDecisionTree(2, 2, 1, 1)
+	r2 := rng.New(3)
+	for i := 0; i < 600; i++ {
+		x, cls := gen(r2)
+		stump.PartialFit(Example{Features: DenseVec(x), Class: cls})
+	}
+	correct = 0
+	for i := 0; i < 300; i++ {
+		x, want := gen(r2)
+		if stump.PredictClass(DenseVec(x)) == want {
+			correct++
+		}
+	}
+	if acc := float64(correct) / 300; acc > 0.93 {
+		t.Fatalf("stump should not match the full tree, got accuracy %.3f", acc)
+	}
+}
+
+func TestDecisionTreeOrderInsensitive(t *testing.T) {
+	r := rng.New(4)
+	examples := make([]Example, 200)
+	for i := range examples {
+		x := []float64{r.Range(-1, 1), r.Range(-1, 1)}
+		cls := 0
+		if x[1] > 0.2 {
+			cls = 1
+		}
+		examples[i] = Example{Features: DenseVec(x), Class: cls}
+	}
+	a := NewDecisionTree(2, 2, 3, 2)
+	b := NewDecisionTree(2, 2, 3, 2)
+	for _, ex := range examples {
+		a.PartialFit(ex)
+	}
+	for i := len(examples) - 1; i >= 0; i-- {
+		b.PartialFit(examples[i])
+	}
+	for i := 0; i < 100; i++ {
+		x := DenseVec([]float64{r.Range(-1, 1), r.Range(-1, 1)})
+		if a.PredictClass(x) != b.PredictClass(x) {
+			t.Fatal("tree depends on insertion order")
+		}
+	}
+}
+
+func TestDecisionTreeMinLeafPruning(t *testing.T) {
+	m := NewDecisionTree(1, 2, 10, 50)
+	r := rng.New(5)
+	// 60 examples: any split would leave < 50 on one side.
+	for i := 0; i < 60; i++ {
+		cls := 0
+		if r.Bernoulli(0.3) {
+			cls = 1
+		}
+		m.PartialFit(Example{Features: DenseVec([]float64{r.Float64()}), Class: cls})
+	}
+	if d := m.Depth(); d != 0 {
+		t.Fatalf("minLeaf should force a leaf, depth = %d", d)
+	}
+	// Majority class prediction.
+	if m.PredictClass(DenseVec([]float64{0.5})) != 0 {
+		t.Fatal("leaf should predict majority class")
+	}
+}
+
+func TestDecisionTreeResetAndValidation(t *testing.T) {
+	m := NewDecisionTree(2, 2, 2, 1)
+	m.PartialFit(Example{Features: DenseVec([]float64{0, 0}), Class: 0})
+	if m.Seen() != 1 {
+		t.Fatal("Seen wrong")
+	}
+	m.Reset()
+	if m.Seen() != 0 {
+		t.Fatal("Reset failed")
+	}
+	mustPanic(t, "predict before fit", func() { m.PredictClass(DenseVec([]float64{0, 0})) })
+	mustPanic(t, "dim", func() { NewDecisionTree(0, 2, 2, 1) })
+	mustPanic(t, "classes", func() { NewDecisionTree(2, 1, 2, 1) })
+	mustPanic(t, "depth", func() { NewDecisionTree(2, 2, 0, 1) })
+	mustPanic(t, "minLeaf", func() { NewDecisionTree(2, 2, 2, 0) })
+	mustPanic(t, "bad class", func() {
+		m.PartialFit(Example{Features: DenseVec([]float64{0, 0}), Class: 9})
+	})
+	if m.NumClasses() != 2 {
+		t.Fatal("NumClasses wrong")
+	}
+	if !strings.Contains(m.String(), "tree(") {
+		t.Fatalf("String = %q", m.String())
+	}
+}
+
+func TestDecisionTreeConstantFeatures(t *testing.T) {
+	// All feature values equal: no split possible; must not loop or panic.
+	m := NewDecisionTree(1, 2, 5, 1)
+	for i := 0; i < 20; i++ {
+		m.PartialFit(Example{Features: DenseVec([]float64{1}), Class: i % 2})
+	}
+	if got := m.PredictClass(DenseVec([]float64{1})); got != 0 {
+		t.Fatalf("tie should go to lower class, got %d", got)
+	}
+	if m.Depth() != 0 {
+		t.Fatal("constant features should yield a leaf")
+	}
+}
+
+func TestDecisionTreeMulticlass(t *testing.T) {
+	m := NewDecisionTree(1, 3, 3, 1)
+	r := rng.New(6)
+	for i := 0; i < 600; i++ {
+		x := r.Range(0, 3)
+		m.PartialFit(Example{Features: DenseVec([]float64{x}), Class: int(x)})
+	}
+	for _, tc := range []struct {
+		x    float64
+		want int
+	}{{0.5, 0}, {1.5, 1}, {2.5, 2}} {
+		if got := m.PredictClass(DenseVec([]float64{tc.x})); got != tc.want {
+			t.Fatalf("PredictClass(%v) = %d, want %d", tc.x, got, tc.want)
+		}
+	}
+}

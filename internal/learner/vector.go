@@ -1,0 +1,212 @@
+// Package learner is the machine-learning substrate under the Zombie
+// engine. The paper's prototype delegates model training to scikit-learn;
+// Go has no equivalent standard library, so this package implements the
+// learners Zombie needs from scratch: incremental linear models (logistic
+// and softmax SGD, perceptron, passive-aggressive, linear regression),
+// naive Bayes (multinomial and Gaussian), k-nearest-neighbors, a small
+// ridge solver, and the metrics and holdout evaluation the reward
+// functions and learning curves are computed from.
+//
+// Everything is incremental: Zombie feeds the learner exactly one example
+// per raw input processed, so every model implements PartialFit and keeps
+// its state updatable in O(features) per example.
+package learner
+
+import (
+	"fmt"
+
+	"zombie/internal/linalg"
+)
+
+// FeatureVector is a feature vector that is either dense or sparse.
+// Feature code over text produces hashed sparse vectors; numeric tasks
+// (audio features, image descriptors) produce dense ones. Learners accept
+// both through this type without copying.
+type FeatureVector struct {
+	dense  []float64
+	sparse *linalg.Sparse
+	dim    int
+}
+
+// DenseVec wraps a dense feature slice. The slice is not copied; callers
+// must not mutate it afterwards.
+func DenseVec(x []float64) FeatureVector {
+	return FeatureVector{dense: x, dim: len(x)}
+}
+
+// SparseVec wraps a sparse vector. The vector is not copied.
+func SparseVec(s *linalg.Sparse) FeatureVector {
+	if s == nil {
+		panic("learner: SparseVec(nil)")
+	}
+	return FeatureVector{sparse: s, dim: s.Dim}
+}
+
+// Dim returns the dimensionality of the vector.
+func (v FeatureVector) Dim() int { return v.dim }
+
+// IsZero reports whether the vector was never initialized (no backing
+// storage), as opposed to an all-zero vector of positive dimension.
+func (v FeatureVector) IsZero() bool { return v.dense == nil && v.sparse == nil }
+
+// IsSparse reports whether the vector has a sparse backing store.
+func (v FeatureVector) IsSparse() bool { return v.sparse != nil }
+
+// At returns element i. It panics when i is out of range.
+func (v FeatureVector) At(i int) float64 {
+	if v.sparse != nil {
+		return v.sparse.At(i)
+	}
+	if i < 0 || i >= len(v.dense) {
+		panic(fmt.Sprintf("learner: FeatureVector.At index %d out of range [0,%d)", i, len(v.dense)))
+	}
+	return v.dense[i]
+}
+
+// Dot returns the inner product with a dense weight vector. It panics on
+// dimension mismatch.
+func (v FeatureVector) Dot(w []float64) float64 {
+	if v.sparse != nil {
+		return v.sparse.DotDense(w)
+	}
+	return linalg.Dot(v.dense, w)
+}
+
+// Axpy computes w += alpha * v into the dense weight vector w. It panics
+// on dimension mismatch. This is the SGD hot path; the sparse form touches
+// only the non-zero coordinates.
+func (v FeatureVector) Axpy(alpha float64, w []float64) {
+	if v.sparse != nil {
+		v.sparse.AxpyDense(alpha, w)
+		return
+	}
+	linalg.Axpy(alpha, v.dense, w)
+}
+
+// Dense materializes the vector as a new dense slice.
+func (v FeatureVector) Dense() []float64 {
+	if v.sparse != nil {
+		return v.sparse.Dense()
+	}
+	return linalg.Clone(v.dense)
+}
+
+// NNZ returns the number of non-zero coordinates (exact for sparse,
+// counted for dense).
+func (v FeatureVector) NNZ() int {
+	if v.sparse != nil {
+		return v.sparse.NNZ()
+	}
+	n := 0
+	for _, x := range v.dense {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// ForEachNonZero calls f(i, x) for every non-zero coordinate x at index i,
+// in increasing index order. For sparse vectors this touches only stored
+// entries, which keeps count-based learners O(nnz) per example.
+func (v FeatureVector) ForEachNonZero(f func(i int, x float64)) {
+	if v.sparse != nil {
+		for k, i := range v.sparse.Idx {
+			f(i, v.sparse.Val[k])
+		}
+		return
+	}
+	for i, x := range v.dense {
+		if x != 0 {
+			f(i, x)
+		}
+	}
+}
+
+// Norm2Sq returns the squared Euclidean norm of the vector.
+func (v FeatureVector) Norm2Sq() float64 {
+	if v.sparse != nil {
+		n := v.sparse.Norm2()
+		return n * n
+	}
+	n := linalg.Norm2(v.dense)
+	return n * n
+}
+
+// SqDist returns the squared Euclidean distance to another vector of the
+// same dimension. Used by k-NN. It panics on dimension mismatch.
+func (v FeatureVector) SqDist(o FeatureVector) float64 {
+	switch {
+	case v.sparse == nil && o.sparse == nil:
+		return linalg.SqDist(v.dense, o.dense)
+	case v.sparse != nil && o.sparse == nil:
+		return v.sparse.SqDistDense(o.dense)
+	case v.sparse == nil && o.sparse != nil:
+		return o.sparse.SqDistDense(v.dense)
+	default:
+		// ||a||² - 2a·b + ||b||²
+		na, nb := v.sparse.Norm2(), o.sparse.Norm2()
+		d := na*na - 2*v.sparse.DotSparse(o.sparse) + nb*nb
+		if d < 0 {
+			return 0
+		}
+		return d
+	}
+}
+
+// Example is one labeled training or evaluation example produced by a
+// feature function. Class carries the classification label; Target carries
+// the regression target. Which one is meaningful depends on the task.
+type Example struct {
+	Features FeatureVector
+	Class    int
+	Target   float64
+}
+
+// checkDim panics with a descriptive message when an example's
+// dimensionality does not match the model's.
+func checkDim(modelDim int, v FeatureVector, model string) {
+	if v.Dim() != modelDim {
+		panic(fmt.Sprintf("learner: %s built for dim %d got vector of dim %d", model, modelDim, v.Dim()))
+	}
+}
+
+// checkClass panics when a class label is outside the model's range.
+func checkClass(numClasses, class int, model string) {
+	if class < 0 || class >= numClasses {
+		panic(fmt.Sprintf("learner: %s built for %d classes got class %d", model, numClasses, class))
+	}
+}
+
+// Model is the minimal contract the Zombie engine needs from any learner.
+type Model interface {
+	// PartialFit folds a single example into the model.
+	PartialFit(ex Example)
+	// Seen returns how many examples the model has absorbed.
+	Seen() int
+	// Reset restores the model to its untrained state.
+	Reset()
+}
+
+// Classifier predicts a discrete class.
+type Classifier interface {
+	Model
+	// PredictClass returns the most likely class for v.
+	PredictClass(v FeatureVector) int
+	// NumClasses returns the number of classes the model was built with.
+	NumClasses() int
+}
+
+// ProbClassifier additionally exposes per-class probabilities.
+type ProbClassifier interface {
+	Classifier
+	// Proba returns a probability distribution over classes for v.
+	Proba(v FeatureVector) []float64
+}
+
+// Regressor predicts a real-valued target.
+type Regressor interface {
+	Model
+	// Predict returns the predicted target for v.
+	Predict(v FeatureVector) float64
+}

@@ -1,0 +1,210 @@
+// Package linalg provides the small dense- and sparse-vector algebra that
+// the learners and the indexing layer are built on.
+//
+// Everything here is deliberately allocation-conscious: the Zombie inner
+// loop performs one learner update per raw input processed, so the hot
+// operations (Dot, Axpy, Scale) write into caller-provided storage and
+// never allocate. The package has no dependencies beyond math.
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dot returns the inner product of a and b. It panics if the lengths
+// differ, since a silent truncation would corrupt a model.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Axpy computes y += alpha * x in place. It panics on length mismatch.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add computes y += x in place. It panics on length mismatch.
+func Add(x, y []float64) { Axpy(1, x, y) }
+
+// Sub computes y -= x in place. It panics on length mismatch.
+func Sub(x, y []float64) { Axpy(-1, x, y) }
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Norm1 returns the L1 norm of x.
+func Norm1(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += math.Abs(v)
+	}
+	return s
+}
+
+// SqDist returns the squared Euclidean distance between a and b. It panics
+// on length mismatch. This is the k-means hot path.
+func SqDist(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("linalg: SqDist length mismatch %d vs %d", len(a), len(b)))
+	}
+	s := 0.0
+	for i, v := range a {
+		d := v - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// Cosine returns the cosine similarity of a and b, or 0 when either vector
+// is all zeros. It panics on length mismatch.
+func Cosine(a, b []float64) float64 {
+	na, nb := Norm2(a), Norm2(b)
+	if na == 0 || nb == 0 {
+		// Dot still validates lengths for the zero case.
+		_ = Dot(a, b)
+		return 0
+	}
+	return Dot(a, b) / (na * nb)
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// ArgMax returns the index of the largest element, breaking ties toward the
+// lower index. It panics on an empty slice.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		panic("linalg: ArgMax on empty slice")
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the smallest element, breaking ties toward
+// the lower index. It panics on an empty slice.
+func ArgMin(x []float64) int {
+	if len(x) == 0 {
+		panic("linalg: ArgMin on empty slice")
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Sum returns the sum of the elements of x.
+func Sum(x []float64) float64 {
+	s := 0.0
+	for _, v := range x {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	return Sum(x) / float64(len(x))
+}
+
+// Normalize scales x in place to unit Euclidean norm. A zero vector is left
+// unchanged. It returns the original norm.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n > 0 {
+		Scale(1/n, x)
+	}
+	return n
+}
+
+// Softmax writes the softmax of logits into out (which may alias logits)
+// using the max-shift trick for numerical stability. It panics on length
+// mismatch or empty input.
+func Softmax(logits, out []float64) {
+	if len(logits) == 0 {
+		panic("linalg: Softmax on empty slice")
+	}
+	if len(logits) != len(out) {
+		panic(fmt.Sprintf("linalg: Softmax length mismatch %d vs %d", len(logits), len(out)))
+	}
+	max := logits[ArgMax(logits)]
+	total := 0.0
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		total += e
+	}
+	for i := range out {
+		out[i] /= total
+	}
+}
+
+// Sigmoid returns 1/(1+exp(-x)) computed stably for large |x|.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,228 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestDot(t *testing.T) {
+	if got := Dot([]float64{1, 2, 3}, []float64{4, 5, 6}); got != 32 {
+		t.Fatalf("Dot = %v, want 32", got)
+	}
+	if got := Dot(nil, nil); got != 0 {
+		t.Fatalf("Dot(nil,nil) = %v, want 0", got)
+	}
+	mustPanic(t, func() { Dot([]float64{1}, []float64{1, 2}) })
+}
+
+func TestAxpy(t *testing.T) {
+	y := []float64{1, 1, 1}
+	Axpy(2, []float64{1, 2, 3}, y)
+	want := []float64{3, 5, 7}
+	for i := range y {
+		if y[i] != want[i] {
+			t.Fatalf("Axpy[%d] = %v, want %v", i, y[i], want[i])
+		}
+	}
+	mustPanic(t, func() { Axpy(1, []float64{1}, []float64{1, 2}) })
+}
+
+func TestAddSub(t *testing.T) {
+	y := []float64{5, 5}
+	Add([]float64{1, 2}, y)
+	if y[0] != 6 || y[1] != 7 {
+		t.Fatalf("Add gave %v", y)
+	}
+	Sub([]float64{1, 2}, y)
+	if y[0] != 5 || y[1] != 5 {
+		t.Fatalf("Sub gave %v", y)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	x := []float64{3, -4}
+	if !almostEq(Norm2(x), 5) {
+		t.Fatalf("Norm2 = %v", Norm2(x))
+	}
+	if !almostEq(Norm1(x), 7) {
+		t.Fatalf("Norm1 = %v", Norm1(x))
+	}
+	if Norm2(nil) != 0 || Norm1(nil) != 0 {
+		t.Fatal("norms of empty vector should be 0")
+	}
+}
+
+func TestSqDistMatchesDefinition(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}
+	if err := quick.Check(func(a, b [8]float64) bool {
+		for i := range a {
+			if math.IsNaN(a[i]) || math.IsInf(a[i], 0) || math.IsNaN(b[i]) || math.IsInf(b[i], 0) {
+				return true
+			}
+			a[i] = math.Mod(a[i], 1000)
+			b[i] = math.Mod(b[i], 1000)
+		}
+		d := SqDist(a[:], b[:])
+		diff := make([]float64, 8)
+		copy(diff, a[:])
+		Sub(b[:], diff)
+		n := Norm2(diff)
+		return math.Abs(d-n*n) < 1e-6*(1+d)
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if !almostEq(Cosine([]float64{1, 0}, []float64{1, 0}), 1) {
+		t.Fatal("parallel cosine != 1")
+	}
+	if !almostEq(Cosine([]float64{1, 0}, []float64{0, 1}), 0) {
+		t.Fatal("orthogonal cosine != 0")
+	}
+	if !almostEq(Cosine([]float64{1, 0}, []float64{-2, 0}), -1) {
+		t.Fatal("antiparallel cosine != -1")
+	}
+	if Cosine([]float64{0, 0}, []float64{1, 1}) != 0 {
+		t.Fatal("zero-vector cosine should be 0")
+	}
+	mustPanic(t, func() { Cosine([]float64{0, 0}, []float64{1}) })
+}
+
+func TestArgMaxMin(t *testing.T) {
+	x := []float64{1, 5, 5, -2}
+	if ArgMax(x) != 1 {
+		t.Fatalf("ArgMax tie-break wrong: %d", ArgMax(x))
+	}
+	if ArgMin(x) != 3 {
+		t.Fatalf("ArgMin = %d", ArgMin(x))
+	}
+	mustPanic(t, func() { ArgMax(nil) })
+	mustPanic(t, func() { ArgMin(nil) })
+}
+
+func TestNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	n := Normalize(x)
+	if !almostEq(n, 5) {
+		t.Fatalf("returned norm %v", n)
+	}
+	if !almostEq(Norm2(x), 1) {
+		t.Fatalf("normalized norm %v", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 || z[0] != 0 {
+		t.Fatal("zero vector should be unchanged")
+	}
+}
+
+func TestSoftmax(t *testing.T) {
+	out := make([]float64, 3)
+	Softmax([]float64{1, 2, 3}, out)
+	total := Sum(out)
+	if !almostEq(total, 1) {
+		t.Fatalf("softmax sums to %v", total)
+	}
+	if !(out[2] > out[1] && out[1] > out[0]) {
+		t.Fatalf("softmax not monotone: %v", out)
+	}
+	// Large logits must not overflow.
+	Softmax([]float64{1000, 1001}, out[:2])
+	if math.IsNaN(out[0]) || math.IsInf(out[1], 0) {
+		t.Fatalf("softmax unstable: %v", out[:2])
+	}
+	// Aliasing input and output is allowed.
+	x := []float64{0, 0}
+	Softmax(x, x)
+	if !almostEq(x[0], 0.5) {
+		t.Fatalf("aliased softmax: %v", x)
+	}
+	mustPanic(t, func() { Softmax(nil, nil) })
+}
+
+func TestSoftmaxSumsToOneProperty(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(func(logits [6]float64) bool {
+		for i := range logits {
+			if math.IsNaN(logits[i]) || math.IsInf(logits[i], 0) {
+				return true
+			}
+			// quick generates huge magnitudes; scale into a sane range.
+			logits[i] = math.Mod(logits[i], 50)
+		}
+		out := make([]float64, 6)
+		Softmax(logits[:], out)
+		s := Sum(out)
+		for _, v := range out {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return math.Abs(s-1) < 1e-9
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSigmoid(t *testing.T) {
+	if !almostEq(Sigmoid(0), 0.5) {
+		t.Fatalf("Sigmoid(0) = %v", Sigmoid(0))
+	}
+	if Sigmoid(1000) != 1 && math.Abs(Sigmoid(1000)-1) > 1e-12 {
+		t.Fatalf("Sigmoid(1000) = %v", Sigmoid(1000))
+	}
+	if Sigmoid(-1000) > 1e-12 {
+		t.Fatalf("Sigmoid(-1000) = %v", Sigmoid(-1000))
+	}
+	// Symmetry property: sigmoid(-x) = 1 - sigmoid(x).
+	for _, x := range []float64{0.1, 1, 5, 30} {
+		if !almostEq(Sigmoid(-x), 1-Sigmoid(x)) {
+			t.Fatalf("sigmoid symmetry broken at %v", x)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp wrong")
+	}
+}
+
+func TestCloneZeroScaleMeanSum(t *testing.T) {
+	x := []float64{1, 2, 3}
+	c := Clone(x)
+	c[0] = 99
+	if x[0] != 1 {
+		t.Fatal("Clone aliases input")
+	}
+	Scale(2, x)
+	if x[2] != 6 {
+		t.Fatalf("Scale gave %v", x)
+	}
+	if Sum(x) != 12 || !almostEq(Mean(x), 4) {
+		t.Fatalf("Sum/Mean wrong: %v %v", Sum(x), Mean(x))
+	}
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	Zero(x)
+	if Sum(x) != 0 {
+		t.Fatal("Zero failed")
+	}
+}
+
+func mustPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

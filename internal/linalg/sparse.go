@@ -1,0 +1,205 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is an immutable-by-convention sparse vector in coordinate form.
+// Indices are strictly increasing and values are non-zero; NewSparse
+// establishes the invariant and the arithmetic below relies on it. The
+// feature-hashing vectorizer and the tf-idf index produce Sparse vectors;
+// the linear learners consume them without densifying.
+type Sparse struct {
+	Idx []int
+	Val []float64
+	Dim int
+}
+
+// NewSparse builds a Sparse vector of dimension dim from parallel
+// index/value slices. It copies its arguments, drops zero values, sorts by
+// index, and sums duplicate indices. It panics if the slices have different
+// lengths or any index is outside [0, dim).
+func NewSparse(dim int, idx []int, val []float64) *Sparse {
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("linalg: NewSparse index/value length mismatch %d vs %d", len(idx), len(val)))
+	}
+	type pair struct {
+		i int
+		v float64
+	}
+	pairs := make([]pair, 0, len(idx))
+	for k, i := range idx {
+		if i < 0 || i >= dim {
+			panic(fmt.Sprintf("linalg: NewSparse index %d out of range [0,%d)", i, dim))
+		}
+		if val[k] != 0 {
+			pairs = append(pairs, pair{i, val[k]})
+		}
+	}
+	sort.Slice(pairs, func(a, b int) bool { return pairs[a].i < pairs[b].i })
+	s := &Sparse{Dim: dim}
+	for _, p := range pairs {
+		if n := len(s.Idx); n > 0 && s.Idx[n-1] == p.i {
+			s.Val[n-1] += p.v
+			continue
+		}
+		s.Idx = append(s.Idx, p.i)
+		s.Val = append(s.Val, p.v)
+	}
+	// Duplicate merging can cancel to zero; sweep those out.
+	w := 0
+	for k := range s.Idx {
+		if s.Val[k] != 0 {
+			s.Idx[w], s.Val[w] = s.Idx[k], s.Val[k]
+			w++
+		}
+	}
+	s.Idx, s.Val = s.Idx[:w], s.Val[:w]
+	return s
+}
+
+// SparseFromMap builds a Sparse vector from an index→value map.
+func SparseFromMap(dim int, m map[int]float64) *Sparse {
+	idx := make([]int, 0, len(m))
+	val := make([]float64, 0, len(m))
+	for i, v := range m {
+		idx = append(idx, i)
+		val = append(val, v)
+	}
+	return NewSparse(dim, idx, val)
+}
+
+// NNZ returns the number of stored (non-zero) entries.
+func (s *Sparse) NNZ() int { return len(s.Idx) }
+
+// At returns the value at index i (0 if not stored). It panics if i is out
+// of range.
+func (s *Sparse) At(i int) float64 {
+	if i < 0 || i >= s.Dim {
+		panic(fmt.Sprintf("linalg: Sparse.At index %d out of range [0,%d)", i, s.Dim))
+	}
+	k := sort.SearchInts(s.Idx, i)
+	if k < len(s.Idx) && s.Idx[k] == i {
+		return s.Val[k]
+	}
+	return 0
+}
+
+// Dense materializes the vector into a new dense slice of length Dim.
+func (s *Sparse) Dense() []float64 {
+	out := make([]float64, s.Dim)
+	for k, i := range s.Idx {
+		out[i] = s.Val[k]
+	}
+	return out
+}
+
+// DotDense returns the inner product with a dense vector. It panics on
+// dimension mismatch.
+func (s *Sparse) DotDense(d []float64) float64 {
+	if len(d) != s.Dim {
+		panic(fmt.Sprintf("linalg: Sparse.DotDense dimension mismatch %d vs %d", s.Dim, len(d)))
+	}
+	sum := 0.0
+	for k, i := range s.Idx {
+		sum += s.Val[k] * d[i]
+	}
+	return sum
+}
+
+// AxpyDense computes d += alpha * s into the dense vector d. It panics on
+// dimension mismatch.
+func (s *Sparse) AxpyDense(alpha float64, d []float64) {
+	if len(d) != s.Dim {
+		panic(fmt.Sprintf("linalg: Sparse.AxpyDense dimension mismatch %d vs %d", s.Dim, len(d)))
+	}
+	if alpha == 0 {
+		return
+	}
+	for k, i := range s.Idx {
+		d[i] += alpha * s.Val[k]
+	}
+}
+
+// DotSparse returns the inner product with another sparse vector via an
+// ordered merge. It panics on dimension mismatch.
+func (s *Sparse) DotSparse(o *Sparse) float64 {
+	if s.Dim != o.Dim {
+		panic(fmt.Sprintf("linalg: Sparse.DotSparse dimension mismatch %d vs %d", s.Dim, o.Dim))
+	}
+	sum := 0.0
+	a, b := 0, 0
+	for a < len(s.Idx) && b < len(o.Idx) {
+		switch {
+		case s.Idx[a] == o.Idx[b]:
+			sum += s.Val[a] * o.Val[b]
+			a++
+			b++
+		case s.Idx[a] < o.Idx[b]:
+			a++
+		default:
+			b++
+		}
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm.
+func (s *Sparse) Norm2() float64 {
+	sum := 0.0
+	for _, v := range s.Val {
+		sum += v * v
+	}
+	return math.Sqrt(sum)
+}
+
+// Scale returns a new Sparse equal to alpha * s. Scaling by zero returns an
+// empty vector of the same dimension.
+func (s *Sparse) Scale(alpha float64) *Sparse {
+	if alpha == 0 {
+		return &Sparse{Dim: s.Dim}
+	}
+	out := &Sparse{
+		Idx: append([]int(nil), s.Idx...),
+		Val: make([]float64, len(s.Val)),
+		Dim: s.Dim,
+	}
+	for k, v := range s.Val {
+		out.Val[k] = alpha * v
+	}
+	return out
+}
+
+// CosineSparse returns the cosine similarity between two sparse vectors,
+// or 0 when either is all zeros.
+func (s *Sparse) CosineSparse(o *Sparse) float64 {
+	ns, no := s.Norm2(), o.Norm2()
+	if ns == 0 || no == 0 {
+		return 0
+	}
+	return s.DotSparse(o) / (ns * no)
+}
+
+// SqDistDense returns the squared Euclidean distance to a dense vector,
+// computed in O(nnz + |d|) without materializing s.
+func (s *Sparse) SqDistDense(d []float64) float64 {
+	if len(d) != s.Dim {
+		panic(fmt.Sprintf("linalg: Sparse.SqDistDense dimension mismatch %d vs %d", s.Dim, len(d)))
+	}
+	// ||s-d||^2 = ||d||^2 - 2*s·d + ||s||^2
+	nd := 0.0
+	for _, v := range d {
+		nd += v * v
+	}
+	ns := 0.0
+	for _, v := range s.Val {
+		ns += v * v
+	}
+	dist := nd - 2*s.DotDense(d) + ns
+	if dist < 0 { // floating-point cancellation
+		return 0
+	}
+	return dist
+}

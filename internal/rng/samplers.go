@@ -1,0 +1,183 @@
+package rng
+
+import "math"
+
+// Gaussian returns a normal deviate with the given mean and standard
+// deviation. A non-positive stddev returns mean exactly.
+func (r *RNG) Gaussian(mean, stddev float64) float64 {
+	if stddev <= 0 {
+		return mean
+	}
+	return mean + stddev*r.NormFloat64()
+}
+
+// TruncGaussian returns a Gaussian deviate rejected into [lo, hi]. It
+// panics if lo > hi. For pathological truncation windows (far tails) it
+// falls back to clamping after a bounded number of rejections rather than
+// looping forever.
+func (r *RNG) TruncGaussian(mean, stddev, lo, hi float64) float64 {
+	if lo > hi {
+		panic("rng: TruncGaussian requires lo <= hi")
+	}
+	for i := 0; i < 64; i++ {
+		x := r.Gaussian(mean, stddev)
+		if x >= lo && x <= hi {
+			return x
+		}
+	}
+	return math.Min(hi, math.Max(lo, mean))
+}
+
+// Exponential returns an exponential deviate with the given rate λ; the
+// mean of the distribution is 1/λ. It panics if rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("rng: Exponential requires rate > 0")
+	}
+	return r.ExpFloat64() / rate
+}
+
+// Gamma returns a Gamma(shape, scale) deviate using the Marsaglia–Tsang
+// squeeze method, with the standard shape<1 boost. It panics if shape or
+// scale is non-positive.
+func (r *RNG) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma requires positive shape and scale")
+	}
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+		u := r.Float64()
+		for u == 0 {
+			u = r.Float64()
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1.0 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.NormFloat64()
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return scale * d * v
+		}
+		if u > 0 && math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return scale * d * v
+		}
+	}
+}
+
+// Beta returns a Beta(alpha, beta) deviate via the two-Gamma construction.
+// It panics if either parameter is non-positive.
+func (r *RNG) Beta(alpha, beta float64) float64 {
+	if alpha <= 0 || beta <= 0 {
+		panic("rng: Beta requires positive parameters")
+	}
+	x := r.Gamma(alpha, 1)
+	y := r.Gamma(beta, 1)
+	if x+y == 0 {
+		return 0.5
+	}
+	return x / (x + y)
+}
+
+// Dirichlet returns a point on the simplex drawn from a symmetric
+// Dirichlet(alpha) of dimension n. It panics if n <= 0 or alpha <= 0.
+func (r *RNG) Dirichlet(alpha float64, n int) []float64 {
+	if n <= 0 || alpha <= 0 {
+		panic("rng: Dirichlet requires n > 0 and alpha > 0")
+	}
+	out := make([]float64, n)
+	total := 0.0
+	for i := range out {
+		out[i] = r.Gamma(alpha, 1)
+		total += out[i]
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1 / float64(n)
+		}
+		return out
+	}
+	for i := range out {
+		out[i] /= total
+	}
+	return out
+}
+
+// Zipf draws ranks in [0, n) following a Zipf distribution with exponent s
+// (s > 1 is required by math/rand; we additionally support s in (0, 1] with
+// a direct inverse-CDF table for the corpus generators).
+type Zipf struct {
+	cdf []float64
+	r   *RNG
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s > 0. Rank 0 is
+// the most probable. The CDF table costs O(n) once; draws are O(log n).
+func (r *RNG) NewZipf(s float64, n int) *Zipf {
+	if n <= 0 || s <= 0 {
+		panic("rng: NewZipf requires n > 0 and s > 0")
+	}
+	cdf := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = total
+	}
+	for i := range cdf {
+		cdf[i] /= total
+	}
+	return &Zipf{cdf: cdf, r: r}
+}
+
+// Draw returns a rank in [0, n).
+func (z *Zipf) Draw() int {
+	x := z.r.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Poisson returns a Poisson(lambda) deviate using Knuth's method for small
+// lambda and a Gaussian approximation (rounded, clamped at 0) for large
+// lambda. It panics if lambda < 0.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda < 0 {
+		panic("rng: Poisson requires lambda >= 0")
+	}
+	if lambda == 0 {
+		return 0
+	}
+	if lambda > 64 {
+		x := r.Gaussian(lambda, math.Sqrt(lambda))
+		if x < 0 {
+			return 0
+		}
+		return int(x + 0.5)
+	}
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}

@@ -1,0 +1,99 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGaussianZeroStd(t *testing.T) {
+	r := New(1)
+	for i := 0; i < 10; i++ {
+		if got := r.Gaussian(3.5, 0); got != 3.5 {
+			t.Fatalf("zero-std Gaussian = %v", got)
+		}
+		if got := r.Gaussian(3.5, -1); got != 3.5 {
+			t.Fatalf("negative-std Gaussian = %v", got)
+		}
+	}
+}
+
+func TestGaussianMoments(t *testing.T) {
+	r := New(2)
+	n := 40000
+	var sum, sum2 float64
+	for i := 0; i < n; i++ {
+		x := r.Gaussian(2, 3)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / float64(n)
+	std := math.Sqrt(sum2/float64(n) - mean*mean)
+	if math.Abs(mean-2) > 0.05 || math.Abs(std-3) > 0.05 {
+		t.Fatalf("Gaussian(2,3): mean=%v std=%v", mean, std)
+	}
+}
+
+func TestTruncGaussianPanics(t *testing.T) {
+	r := New(3)
+	mustPanic(t, "lo>hi", func() { r.TruncGaussian(0, 1, 2, 1) })
+}
+
+func TestGammaPanics(t *testing.T) {
+	r := New(4)
+	mustPanic(t, "shape", func() { r.Gamma(0, 1) })
+	mustPanic(t, "scale", func() { r.Gamma(1, 0) })
+}
+
+func TestBetaPanics(t *testing.T) {
+	r := New(5)
+	mustPanic(t, "alpha", func() { r.Beta(0, 1) })
+	mustPanic(t, "beta", func() { r.Beta(1, -1) })
+}
+
+func TestDirichletPanics(t *testing.T) {
+	r := New(6)
+	mustPanic(t, "n", func() { r.Dirichlet(1, 0) })
+	mustPanic(t, "alpha", func() { r.Dirichlet(0, 3) })
+}
+
+func TestZipfPanics(t *testing.T) {
+	r := New(7)
+	mustPanic(t, "n", func() { r.NewZipf(1, 0) })
+	mustPanic(t, "s", func() { r.NewZipf(0, 10) })
+}
+
+func TestPoissonPanics(t *testing.T) {
+	r := New(8)
+	mustPanic(t, "lambda", func() { r.Poisson(-1) })
+}
+
+func TestRangeBounds(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-2, 5)
+		if v < -2 || v >= 5 {
+			t.Fatalf("Range out of bounds: %v", v)
+		}
+	}
+}
+
+func TestChoicePanics(t *testing.T) {
+	r := New(10)
+	mustPanic(t, "choice", func() { r.Choice(0) })
+}
+
+func TestSeedAccessor(t *testing.T) {
+	r := New(42)
+	if r.Seed() != 42 {
+		t.Fatalf("Seed = %d", r.Seed())
+	}
+	sub := r.Split("x")
+	if sub.Seed() == 42 {
+		t.Fatal("substream should report derived seed")
+	}
+}
+
+func TestSampleWithoutReplacementPanicsNegative(t *testing.T) {
+	r := New(11)
+	mustPanic(t, "k<0", func() { r.SampleWithoutReplacement(5, -1) })
+}

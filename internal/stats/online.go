@@ -1,0 +1,148 @@
+// Package stats provides the online-statistics substrate used across the
+// Zombie system: Welford accumulators, exponentially weighted averages,
+// fixed-size sliding windows, histograms with percentile queries, ordinary
+// least squares over short series (the early-stopping plateau detector is
+// built on the OLS slope), and bootstrap confidence intervals for the
+// experiment harness.
+//
+// All types are plain values with no goroutine-safety guarantees; callers
+// that share them across goroutines must synchronize externally. The
+// Zombie inner loop is single-threaded by design (the paper's system
+// processes one input at a time so reward attribution stays exact), so
+// this is the common case.
+package stats
+
+import "math"
+
+// Online accumulates count, mean and variance in a single pass using
+// Welford's algorithm, which stays numerically stable for long streams.
+type Online struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds x into the accumulator.
+func (o *Online) Add(x float64) {
+	o.n++
+	if o.n == 1 {
+		o.min, o.max = x, x
+	} else {
+		if x < o.min {
+			o.min = x
+		}
+		if x > o.max {
+			o.max = x
+		}
+	}
+	delta := x - o.mean
+	o.mean += delta / float64(o.n)
+	o.m2 += delta * (x - o.mean)
+}
+
+// AddAll folds every value of xs into the accumulator.
+func (o *Online) AddAll(xs []float64) {
+	for _, x := range xs {
+		o.Add(x)
+	}
+}
+
+// N returns the number of observations.
+func (o *Online) N() int { return o.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (o *Online) Mean() float64 { return o.mean }
+
+// Var returns the unbiased sample variance, or 0 with fewer than two
+// observations.
+func (o *Online) Var() float64 {
+	if o.n < 2 {
+		return 0
+	}
+	return o.m2 / float64(o.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (o *Online) Std() float64 { return math.Sqrt(o.Var()) }
+
+// Min returns the smallest observation, or 0 before any observation.
+func (o *Online) Min() float64 { return o.min }
+
+// Max returns the largest observation, or 0 before any observation.
+func (o *Online) Max() float64 { return o.max }
+
+// Sum returns mean*n; exact enough for reporting.
+func (o *Online) Sum() float64 { return o.mean * float64(o.n) }
+
+// Merge folds another accumulator into this one (parallel Welford merge).
+func (o *Online) Merge(b *Online) {
+	if b.n == 0 {
+		return
+	}
+	if o.n == 0 {
+		*o = *b
+		return
+	}
+	n := o.n + b.n
+	delta := b.mean - o.mean
+	mean := o.mean + delta*float64(b.n)/float64(n)
+	m2 := o.m2 + b.m2 + delta*delta*float64(o.n)*float64(b.n)/float64(n)
+	if b.min < o.min {
+		o.min = b.min
+	}
+	if b.max > o.max {
+		o.max = b.max
+	}
+	o.n, o.mean, o.m2 = n, mean, m2
+}
+
+// EWMA is an exponentially weighted moving average. Alpha in (0, 1] is the
+// weight of the newest observation; larger alpha forgets faster.
+type EWMA struct {
+	alpha float64
+	value float64
+	init  bool
+}
+
+// NewEWMA returns an EWMA with the given smoothing factor. It panics if
+// alpha is outside (0, 1].
+func NewEWMA(alpha float64) *EWMA {
+	if alpha <= 0 || alpha > 1 {
+		panic("stats: EWMA alpha must be in (0,1]")
+	}
+	return &EWMA{alpha: alpha}
+}
+
+// Add folds x into the average. The first observation initializes the
+// average exactly.
+func (e *EWMA) Add(x float64) {
+	if !e.init {
+		e.value = x
+		e.init = true
+		return
+	}
+	e.value = e.alpha*x + (1-e.alpha)*e.value
+}
+
+// Value returns the current average, or 0 before any observation.
+func (e *EWMA) Value() float64 { return e.value }
+
+// Initialized reports whether at least one observation has been added.
+func (e *EWMA) Initialized() bool { return e.init }
+
+// Counter is a simple monotone event counter with a rate helper, used by
+// the trace layer.
+type Counter struct {
+	n int64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.n++ }
+
+// Addn adds n events.
+func (c *Counter) Addn(n int64) { c.n += n }
+
+// Count returns the total.
+func (c *Counter) Count() int64 { return c.n }

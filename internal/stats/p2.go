@@ -1,0 +1,122 @@
+package stats
+
+import (
+	"fmt"
+	"sort"
+)
+
+// P2Quantile is the Jain & Chlamtac P² streaming quantile estimator: it
+// maintains five markers and estimates a fixed quantile of an unbounded
+// stream in O(1) memory and time per observation — no buffering, no
+// sorting. Use it to summarize unbounded per-step streams (rewards,
+// per-input costs) where retaining the observations would defeat the
+// purpose of a streaming run.
+type P2Quantile struct {
+	p       float64
+	q       [5]float64 // marker heights
+	n       [5]float64 // marker positions (1-based)
+	nDesire [5]float64 // desired positions
+	dn      [5]float64 // desired-position increments
+	count   int
+	init    []float64
+}
+
+// NewP2Quantile returns an estimator for quantile p in (0,1).
+func NewP2Quantile(p float64) *P2Quantile {
+	if p <= 0 || p >= 1 {
+		panic(fmt.Sprintf("stats: P2Quantile p must be in (0,1), got %v", p))
+	}
+	e := &P2Quantile{p: p}
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add folds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	e.count++
+	if len(e.init) < 5 {
+		e.init = append(e.init, x)
+		if len(e.init) == 5 {
+			sort.Float64s(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.n[i] = float64(i + 1)
+			}
+			e.nDesire = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+		}
+		return
+	}
+
+	// Locate the cell containing x and clamp the extremes.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.n[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.nDesire[i] += e.dn[i]
+	}
+	// Adjust interior markers with the piecewise-parabolic formula.
+	for i := 1; i <= 3; i++ {
+		d := e.nDesire[i] - e.n[i]
+		if (d >= 1 && e.n[i+1]-e.n[i] > 1) || (d <= -1 && e.n[i-1]-e.n[i] < -1) {
+			sign := 1.0
+			if d < 0 {
+				sign = -1
+			}
+			qNew := e.parabolic(i, sign)
+			if e.q[i-1] < qNew && qNew < e.q[i+1] {
+				e.q[i] = qNew
+			} else {
+				e.q[i] = e.linear(i, sign)
+			}
+			e.n[i] += sign
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, d float64) float64 {
+	return e.q[i] + d/(e.n[i+1]-e.n[i-1])*
+		((e.n[i]-e.n[i-1]+d)*(e.q[i+1]-e.q[i])/(e.n[i+1]-e.n[i])+
+			(e.n[i+1]-e.n[i]-d)*(e.q[i]-e.q[i-1])/(e.n[i]-e.n[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, d float64) float64 {
+	j := i + int(d)
+	return e.q[i] + d*(e.q[j]-e.q[i])/(e.n[j]-e.n[i])
+}
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact order statistic of what it has;
+// with none it returns 0.
+func (e *P2Quantile) Value() float64 {
+	if e.count == 0 {
+		return 0
+	}
+	if len(e.init) < 5 {
+		s := append([]float64(nil), e.init...)
+		sort.Float64s(s)
+		idx := int(e.p * float64(len(s)))
+		if idx >= len(s) {
+			idx = len(s) - 1
+		}
+		return s[idx]
+	}
+	return e.q[2]
+}
+
+// N returns the number of observations.
+func (e *P2Quantile) N() int { return e.count }

@@ -1,0 +1,83 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestP2QuantileUniform(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		e := NewP2Quantile(p)
+		for i := 0; i < 50000; i++ {
+			e.Add(r.Float64())
+		}
+		if got := e.Value(); math.Abs(got-p) > 0.02 {
+			t.Fatalf("p=%.2f: estimate %.4f", p, got)
+		}
+		if e.N() != 50000 {
+			t.Fatalf("N = %d", e.N())
+		}
+	}
+}
+
+func TestP2QuantileGaussianMedian(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	e := NewP2Quantile(0.5)
+	for i := 0; i < 50000; i++ {
+		e.Add(10 + 3*r.NormFloat64())
+	}
+	if got := e.Value(); math.Abs(got-10) > 0.15 {
+		t.Fatalf("median estimate %.4f, want ~10", got)
+	}
+}
+
+func TestP2QuantileAgainstExact(t *testing.T) {
+	// Compare against the exact percentile on a retained sample.
+	r := rand.New(rand.NewSource(3))
+	e := NewP2Quantile(0.9)
+	var xs []float64
+	for i := 0; i < 20000; i++ {
+		// Skewed distribution: exponential.
+		x := r.ExpFloat64() * 5
+		e.Add(x)
+		xs = append(xs, x)
+	}
+	exact := Percentile(xs, 90)
+	if math.Abs(e.Value()-exact) > 0.15*exact {
+		t.Fatalf("P2 %.4f vs exact %.4f", e.Value(), exact)
+	}
+}
+
+func TestP2QuantileSmallStreams(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	if e.Value() != 0 {
+		t.Fatal("empty estimator should return 0")
+	}
+	e.Add(7)
+	if e.Value() != 7 {
+		t.Fatalf("single observation: %v", e.Value())
+	}
+	e.Add(1)
+	e.Add(9)
+	// Exact order statistic for 3 values at p=0.5 is the middle one.
+	if e.Value() != 7 {
+		t.Fatalf("three observations: %v", e.Value())
+	}
+}
+
+func TestP2QuantileMonotoneInputs(t *testing.T) {
+	e := NewP2Quantile(0.5)
+	for i := 1; i <= 10001; i++ {
+		e.Add(float64(i))
+	}
+	if got := e.Value(); math.Abs(got-5001) > 250 {
+		t.Fatalf("median of 1..10001 estimated %.1f", got)
+	}
+}
+
+func TestP2QuantilePanics(t *testing.T) {
+	mustPanic(t, func() { NewP2Quantile(0) })
+	mustPanic(t, func() { NewP2Quantile(1) })
+}

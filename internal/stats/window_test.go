@@ -1,0 +1,89 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3)
+	if w.Len() != 0 || w.Cap() != 3 || w.Full() {
+		t.Fatal("fresh window state wrong")
+	}
+	if w.Sum() != 0 || w.Mean() != 0 {
+		t.Fatal("empty window sums should be 0")
+	}
+	w.Add(1)
+	w.Add(2)
+	w.Add(3)
+	if !w.Full() || w.Sum() != 6 || w.Mean() != 2 {
+		t.Fatalf("full window wrong: sum=%v mean=%v", w.Sum(), w.Mean())
+	}
+	w.Add(4) // evicts 1
+	if w.Sum() != 9 || w.First() != 2 || w.Last() != 4 {
+		t.Fatalf("eviction wrong: sum=%v first=%v last=%v", w.Sum(), w.First(), w.Last())
+	}
+	vals := w.Values()
+	if len(vals) != 3 || vals[0] != 2 || vals[2] != 4 {
+		t.Fatalf("Values order wrong: %v", vals)
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	w := NewWindow(4)
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Len() != 0 || w.Sum() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+	w.Add(9)
+	if w.Last() != 9 || w.Len() != 1 {
+		t.Fatal("window unusable after Reset")
+	}
+}
+
+func TestWindowPanics(t *testing.T) {
+	mustPanic(t, func() { NewWindow(0) })
+	w := NewWindow(2)
+	mustPanic(t, func() { w.Last() })
+	mustPanic(t, func() { w.First() })
+}
+
+func TestWindowSumMatchesValues(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(func(xs [40]float64, capRaw uint8) bool {
+		capacity := int(capRaw%10) + 1
+		w := NewWindow(capacity)
+		for _, x := range xs {
+			if bad(x) {
+				return true
+			}
+			w.Add(math.Mod(x, 1e4))
+		}
+		want := 0.0
+		for _, v := range w.Values() {
+			want += v
+		}
+		return math.Abs(w.Sum()-want) < 1e-6*(1+math.Abs(want)) &&
+			w.Len() == min(capacity, len(xs))
+	}, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowLongStreamNoDrift(t *testing.T) {
+	w := NewWindow(7)
+	for i := 0; i < 100000; i++ {
+		w.Add(float64(i%13) * 0.1)
+	}
+	want := 0.0
+	for _, v := range w.Values() {
+		want += v
+	}
+	if math.Abs(w.Sum()-want) > 1e-6 {
+		t.Fatalf("sum drifted: incremental=%v recomputed=%v", w.Sum(), want)
+	}
+}

@@ -1,0 +1,108 @@
+// Package trace records what a Zombie run did, step by step, and renders
+// run series as CSV for the experiment harness. Traces exist for two
+// consumers: tests that assert on engine behavior (exact replay, reward
+// attribution) and the bench harness that prints learning-curve series.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// Event is one step of the inner loop.
+type Event struct {
+	// Step is the 1-based step number.
+	Step int
+	// InputIdx is the store index of the processed input.
+	InputIdx int
+	// Arm is the index group the input came from (0 for scan baselines).
+	Arm int
+	// Reward is the bandit reward credited for this step.
+	Reward float64
+	// Produced and Useful mirror the feature function's result.
+	Produced bool
+	Useful   bool
+	// Err holds the extraction error message, if any.
+	Err string
+	// SimTime is the cumulative simulated processing time after the step.
+	SimTime time.Duration
+}
+
+// Log is an append-only event recorder. A nil *Log is valid and records
+// nothing, so the engine can trace unconditionally.
+type Log struct {
+	Events []Event
+}
+
+// Record appends an event. Recording on a nil log is a no-op.
+func (l *Log) Record(e Event) {
+	if l == nil {
+		return
+	}
+	l.Events = append(l.Events, e)
+}
+
+// Len returns the number of recorded events (0 for nil).
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	return len(l.Events)
+}
+
+// WriteCSV renders the event log with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "step,input,arm,reward,produced,useful,err,sim_ms"); err != nil {
+		return err
+	}
+	if l == nil {
+		return nil
+	}
+	for _, e := range l.Events {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%t,%t,%q,%.3f\n",
+			e.Step, e.InputIdx, e.Arm, e.Reward, e.Produced, e.Useful, e.Err,
+			float64(e.SimTime)/float64(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Series is a named (x, y) sequence — one line of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// AddPoint appends one point. It panics if the series has drifted out of
+// sync, which would mean a harness bug.
+func (s *Series) AddPoint(x, y float64) {
+	if len(s.X) != len(s.Y) {
+		panic(fmt.Sprintf("trace: series %q corrupt: %d xs vs %d ys", s.Name, len(s.X), len(s.Y)))
+	}
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// WriteSeriesCSV renders multiple series long-form: series,x,y.
+func WriteSeriesCSV(w io.Writer, series ...*Series) error {
+	if _, err := fmt.Fprintln(w, "series,x,y"); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("trace: series %q has %d xs but %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			if _, err := fmt.Fprintf(w, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

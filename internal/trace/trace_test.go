@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Record(Event{Step: 1})
+	if l.Len() != 0 {
+		t.Fatal("nil log should record nothing")
+	}
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "step,") {
+		t.Fatal("nil log CSV missing header")
+	}
+}
+
+func TestLogRecordAndCSV(t *testing.T) {
+	l := &Log{}
+	l.Record(Event{Step: 1, InputIdx: 42, Arm: 3, Reward: 0.5, Produced: true, Useful: true, SimTime: 20 * time.Millisecond})
+	l.Record(Event{Step: 2, InputIdx: 7, Err: "boom"})
+	if l.Len() != 2 {
+		t.Fatalf("Len = %d", l.Len())
+	}
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[1], "1,42,3,0.500000,true,true") {
+		t.Fatalf("row 1 wrong: %s", lines[1])
+	}
+	if !strings.Contains(lines[2], `"boom"`) {
+		t.Fatalf("error not quoted: %s", lines[2])
+	}
+	if !strings.Contains(lines[1], "20.000") {
+		t.Fatalf("sim time wrong: %s", lines[1])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "zombie"}
+	s.AddPoint(0, 0.1)
+	s.AddPoint(25, 0.4)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	var buf bytes.Buffer
+	if err := WriteSeriesCSV(&buf, s, &Series{Name: "scan", X: []float64{0}, Y: []float64{0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "zombie,25,0.4") || !strings.Contains(out, "scan,0,0.1") {
+		t.Fatalf("series CSV wrong:\n%s", out)
+	}
+}
+
+func TestWriteSeriesCSVCorrupt(t *testing.T) {
+	bad := &Series{Name: "bad", X: []float64{1, 2}, Y: []float64{1}}
+	if err := WriteSeriesCSV(&bytes.Buffer{}, bad); err == nil {
+		t.Fatal("expected error for corrupt series")
+	}
+}
+
+func TestSeriesAddPointPanicsOnCorrupt(t *testing.T) {
+	s := &Series{Name: "x", X: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AddPoint(2, 2)
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	w.n--
+	if w.n < 0 {
+		return 0, errFail
+	}
+	return len(p), nil
+}
+
+var errFail = &failErr{}
+
+type failErr struct{}
+
+func (*failErr) Error() string { return "injected write failure" }
+
+func TestWriteCSVPropagatesWriterErrors(t *testing.T) {
+	l := &Log{}
+	l.Record(Event{Step: 1})
+	// Fail on the header.
+	if err := l.WriteCSV(&failWriter{n: 0}); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	// Fail on the first row.
+	if err := l.WriteCSV(&failWriter{n: 1}); err == nil {
+		t.Fatal("row write error swallowed")
+	}
+}
+
+func TestWriteSeriesCSVPropagatesWriterErrors(t *testing.T) {
+	s := &Series{Name: "a", X: []float64{1}, Y: []float64{2}}
+	if err := WriteSeriesCSV(&failWriter{n: 0}, s); err == nil {
+		t.Fatal("header write error swallowed")
+	}
+	if err := WriteSeriesCSV(&failWriter{n: 1}, s); err == nil {
+		t.Fatal("row write error swallowed")
+	}
+}

@@ -1,0 +1,103 @@
+package zombie
+
+import (
+	"zombie/internal/corpus"
+	"zombie/internal/featurepipe"
+	"zombie/internal/learner"
+)
+
+// Synthetic corpus generators. These reproduce the statistical structure
+// of the paper's evaluation datasets (Wikipedia crawl, Million Song
+// Dataset, labeled images); see DESIGN.md §3 for the substitution
+// rationale. All are deterministic in the supplied RNG.
+type (
+	// WikiConfig parameterizes the wiki-like extraction corpus.
+	WikiConfig = corpus.WikiConfig
+	// SongConfig parameterizes the MSD-like song corpus.
+	SongConfig = corpus.SongConfig
+	// ImageConfig parameterizes the rare-class image corpus.
+	ImageConfig = corpus.ImageConfig
+)
+
+// OpenDiskStore opens a JSONL corpus lazily from disk (for corpora larger
+// than RAM); see corpus.DiskStore.
+var OpenDiskStore = corpus.OpenDiskStore
+
+// Generator entry points and their default configurations.
+var (
+	DefaultWikiConfig  = corpus.DefaultWikiConfig
+	DefaultSongConfig  = corpus.DefaultSongConfig
+	DefaultImageConfig = corpus.DefaultImageConfig
+	GenerateWiki       = corpus.GenerateWiki
+	GenerateSongs      = corpus.GenerateSongs
+	GenerateImages     = corpus.GenerateImages
+)
+
+// Canonical feature-code versions for the three evaluation tasks, plus
+// the FuncCore embedding for user-written feature functions.
+type (
+	// FuncCore carries the name/dim/classes identity of a FeatureFunc;
+	// embed it in custom feature code.
+	FuncCore = featurepipe.FuncCore
+	// WikiFeature, SongFeature and ImageFeature are the built-in
+	// feature-code families.
+	WikiFeature  = featurepipe.WikiFeature
+	SongFeature  = featurepipe.SongFeature
+	ImageFeature = featurepipe.ImageFeature
+	// FaultyFeature wraps feature code with deterministic fault
+	// injection, for testing pipelines against buggy code.
+	FaultyFeature = featurepipe.FaultyFeature
+)
+
+// Feature-code constructors and the canonical engineering session.
+var (
+	NewWikiFeature      = featurepipe.NewWikiFeature
+	NewSongFeature      = featurepipe.NewSongFeature
+	NewImageFeature     = featurepipe.NewImageFeature
+	StandardWikiSession = featurepipe.StandardWikiSession
+)
+
+// Learners. All implement Model (incremental PartialFit); classifiers
+// additionally implement PredictClass, regressors Predict.
+type (
+	// LRSchedule selects the SGD learning-rate schedule.
+	LRSchedule = learner.LRSchedule
+	// Holdout evaluates models against a fixed labeled set.
+	Holdout = learner.Holdout
+)
+
+// Learning-rate schedules.
+const (
+	ConstantLR   = learner.ConstantLR
+	InvScalingLR = learner.InvScalingLR
+)
+
+// Learner constructors.
+var (
+	// NewLogisticSGD returns a binary logistic classifier (SGD + L2).
+	NewLogisticSGD = learner.NewLogisticSGD
+	// NewSoftmaxSGD returns a multiclass maximum-entropy classifier.
+	NewSoftmaxSGD = learner.NewSoftmaxSGD
+	// NewPerceptron returns a multiclass perceptron.
+	NewPerceptron = learner.NewPerceptron
+	// NewPassiveAggressive returns a binary PA-I classifier.
+	NewPassiveAggressive = learner.NewPassiveAggressive
+	// NewMultinomialNB returns a multinomial naive Bayes classifier.
+	NewMultinomialNB = learner.NewMultinomialNB
+	// NewGaussianNB returns a Gaussian naive Bayes classifier.
+	NewGaussianNB = learner.NewGaussianNB
+	// NewKNN returns a k-nearest-neighbors model.
+	NewKNN = learner.NewKNN
+	// NewDecisionTree returns a CART-style classification tree.
+	NewDecisionTree = learner.NewDecisionTree
+	// NewLinearRegSGD returns an SGD linear regressor.
+	NewLinearRegSGD = learner.NewLinearRegSGD
+	// NewRidgeClosed returns a closed-form ridge regressor.
+	NewRidgeClosed = learner.NewRidgeClosed
+	// NewHoldout builds a holdout evaluator over labeled examples.
+	NewHoldout = learner.NewHoldout
+	// KFold cross-validates a model family over labeled examples.
+	KFold = learner.KFold
+	// NewCompositeFeature concatenates feature functions into one.
+	NewCompositeFeature = featurepipe.NewCompositeFeature
+)
