@@ -1,0 +1,29 @@
+# Development workflow for the zombie repo. `make ci` is the full gate the
+# first goroutines in internal/server made meaningful: the race detector
+# runs over every package.
+
+GO ?= go
+
+.PHONY: all build test race vet fmt-check ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+ci: fmt-check vet build race

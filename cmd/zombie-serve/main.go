@@ -1,0 +1,112 @@
+// Command zombie-serve runs the Zombie engine as a long-lived HTTP
+// service: engineers register JSONL corpora, submit feature-evaluation
+// runs, stream live learning curves over SSE, and cancel runs that are
+// clearly not converging — the inner loop as a service rather than a
+// one-shot CLI.
+//
+// Usage:
+//
+//	zombie-serve -addr :8080 -workers 4
+//	zombie-serve -corpus wiki=wiki.jsonl -corpus imgs=images.jsonl
+//	zombie-serve -corpus big=crawl.jsonl -stream   # corpora larger than RAM
+//
+// Then:
+//
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/runs -d '{"corpus":"wiki","task":"wiki"}'
+//	curl -N 'localhost:8080/runs/r1/curve?follow=1'
+//	curl -s -X DELETE localhost:8080/runs/r1
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: the listener stops, queued
+// and running runs drain (up to -drain), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"zombie/internal/server"
+)
+
+// corpusFlags collects repeated -corpus name=path pairs.
+type corpusFlags []string
+
+func (c *corpusFlags) String() string { return strings.Join(*c, ",") }
+
+func (c *corpusFlags) Set(v string) error {
+	*c = append(*c, v)
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "zombie-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 2, "run worker-pool size")
+	queueCap := flag.Int("queue", 64, "max queued runs before submissions get 503")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight runs")
+	stream := flag.Bool("stream", false, "open preregistered corpora as streamed DiskStores")
+	var corpora corpusFlags
+	flag.Var(&corpora, "corpus", "preregister a corpus as name=path (repeatable)")
+	flag.Parse()
+
+	srv := server.New(server.Config{Workers: *workers, QueueCap: *queueCap})
+	for _, spec := range corpora {
+		name, path, ok := strings.Cut(spec, "=")
+		if !ok {
+			return fmt.Errorf("-corpus wants name=path, got %q", spec)
+		}
+		info, err := srv.Registry().Add(name, path, *stream)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("registered corpus %q: %d inputs from %s (stream=%t)\n",
+			info.Name, info.Inputs, info.Path, info.Stream)
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("zombie-serve listening on %s (%d workers)\n", *addr, *workers)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Println("shutting down: draining in-flight runs...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Stop the listener first so no new work arrives, then drain runs.
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Println("drain budget exceeded; in-flight runs were cancelled")
+	}
+	return nil
+}

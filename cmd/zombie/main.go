@@ -24,8 +24,8 @@ import (
 	"zombie/internal/corpus"
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
-	"zombie/internal/learner"
 	"zombie/internal/rng"
+	"zombie/internal/workload"
 )
 
 func main() {
@@ -71,7 +71,7 @@ func run() error {
 		}
 		store = corpus.NewMemStore(inputs)
 	}
-	task, grouper, err := buildTask(*taskName, store, *version, rng.New(*seed).Split("task"))
+	task, grouper, err := workload.Build(*taskName, store, *version, rng.New(*seed).Split("task"))
 	if err != nil {
 		return err
 	}
@@ -186,55 +186,4 @@ func runSession(eng *core.Engine, task *featurepipe.Task, groups *index.Groups) 
 		scan.TotalTime().Round(time.Second), zom.TotalTime().Round(time.Second),
 		float64(scan.TotalTime())/float64(zom.TotalTime()))
 	return nil
-}
-
-// buildTask assembles the named task over the store, mirroring the
-// experiment workloads' learner and cost choices.
-func buildTask(name string, store corpus.Store, version int, r *rng.RNG) (*featurepipe.Task, index.Grouper, error) {
-	switch name {
-	case "wiki":
-		if version == 0 {
-			version = 4
-		}
-		feature := featurepipe.NewWikiFeature(version)
-		task, err := featurepipe.NewTask("wiki", store, feature,
-			func(f featurepipe.FeatureFunc) learner.Model { return learner.NewMultinomialNB(f.Dim(), 2, 1) },
-			learner.MetricF1, 1,
-			featurepipe.CostModel{PerInput: 150 * time.Millisecond},
-			featurepipe.TaskOptions{}, r)
-		grouper := &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25}}
-		return task, grouper, err
-	case "songs":
-		gen := corpus.DefaultSongConfig()
-		if version == 0 {
-			version = 1
-		}
-		feature := featurepipe.NewSongFeature(version, gen)
-		task, err := featurepipe.NewTask("songs", store, feature,
-			func(f featurepipe.FeatureFunc) learner.Model { return learner.NewGaussianNB(f.Dim(), gen.Genres, 1e-3) },
-			learner.MetricMacroF1, 0,
-			featurepipe.CostModel{PerInput: 30 * time.Millisecond},
-			featurepipe.TaskOptions{}, r)
-		numeric := index.NewNumeric(gen.Dim)
-		numeric.FitStandardize(store)
-		grouper := &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}}
-		return task, grouper, err
-	case "image":
-		gen := corpus.DefaultImageConfig()
-		if version == 0 {
-			version = 1
-		}
-		feature := featurepipe.NewImageFeature(version, gen)
-		task, err := featurepipe.NewTask("image", store, feature,
-			func(f featurepipe.FeatureFunc) learner.Model { return learner.NewGaussianNB(f.Dim(), 2, 1e-3) },
-			learner.MetricF1, 1,
-			featurepipe.CostModel{PerInput: 400 * time.Millisecond},
-			featurepipe.TaskOptions{}, r)
-		numeric := index.NewNumeric(gen.Dim)
-		numeric.FitStandardize(store)
-		grouper := &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}}
-		return task, grouper, err
-	default:
-		return nil, nil, fmt.Errorf("unknown task %q (want wiki, songs, or image)", name)
-	}
 }

@@ -131,6 +131,12 @@ type Config struct {
 	Seed int64
 	// TraceEvents records a step-level trace into the result.
 	TraceEvents bool
+	// Progress, when non-nil, is invoked synchronously from the run
+	// goroutine each time a learning-curve point is appended (including
+	// the step-0 floor and the final point). Long-lived consumers — the
+	// serving layer bridges this to SSE — must not block: the loop stalls
+	// for as long as the callback runs.
+	Progress func(CurvePoint)
 }
 
 func (c Config) withDefaults() Config {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -16,18 +17,30 @@ import (
 // Run executes the Zombie inner loop over the task's input pool, selecting
 // inputs through the index groups with the configured bandit policy.
 func (e *Engine) Run(task *featurepipe.Task, groups *index.Groups) (*RunResult, error) {
+	return e.RunContext(context.Background(), task, groups)
+}
+
+// RunContext is Run with cancellation: the loop checks ctx once per step
+// and, when cancelled, returns the partial result accumulated so far with
+// Stop = StopCancelled rather than an error.
+func (e *Engine) RunContext(ctx context.Context, task *featurepipe.Task, groups *index.Groups) (*RunResult, error) {
 	r := rng.New(e.cfg.Seed).Split("run:" + task.Name + ":" + task.Feature.Name())
 	src, err := newBanditSource(groups, task.PoolSet(), e.cfg.Policy, e.cfg.PolicyStats, r.Split("policy"))
 	if err != nil {
 		return nil, err
 	}
-	return e.loop(task, src, r)
+	return e.loop(ctx, task, src, r)
 }
 
 // RunScan executes the same loop over a fixed input order: the sequential
 // baseline (shuffle=false) or the paper's random-sampling baseline
 // (shuffle=true).
 func (e *Engine) RunScan(task *featurepipe.Task, shuffle bool) (*RunResult, error) {
+	return e.RunScanContext(context.Background(), task, shuffle)
+}
+
+// RunScanContext is RunScan with cancellation (see RunContext).
+func (e *Engine) RunScanContext(ctx context.Context, task *featurepipe.Task, shuffle bool) (*RunResult, error) {
 	r := rng.New(e.cfg.Seed).Split("scan:" + task.Name + ":" + task.Feature.Name())
 	var src inputSource
 	if shuffle {
@@ -35,13 +48,18 @@ func (e *Engine) RunScan(task *featurepipe.Task, shuffle bool) (*RunResult, erro
 	} else {
 		src = newSequentialScan(task.PoolIdx)
 	}
-	return e.loop(task, src, r)
+	return e.loop(ctx, task, src, r)
 }
 
 // RunOracle executes the loop over the ground-truth-best order: all
 // useful inputs first. No realizable selector can beat it; experiments use
 // it as the skyline.
 func (e *Engine) RunOracle(task *featurepipe.Task) (*RunResult, error) {
+	return e.RunOracleContext(context.Background(), task)
+}
+
+// RunOracleContext is RunOracle with cancellation (see RunContext).
+func (e *Engine) RunOracleContext(ctx context.Context, task *featurepipe.Task) (*RunResult, error) {
 	r := rng.New(e.cfg.Seed).Split("oracle:" + task.Name + ":" + task.Feature.Name())
 	var useful, rest []int
 	for _, idx := range task.PoolIdx {
@@ -52,7 +70,7 @@ func (e *Engine) RunOracle(task *featurepipe.Task) (*RunResult, error) {
 		}
 	}
 	src := newOracleScan(useful, rest, r.Split("order"))
-	return e.loop(task, src, r)
+	return e.loop(ctx, task, src, r)
 }
 
 // oracleUseful mirrors the task feature functions' usefulness definitions
@@ -65,7 +83,10 @@ func oracleUseful(in *corpus.Input, f featurepipe.FeatureFunc) bool {
 }
 
 // loop is the shared inner loop: one iteration per processed input.
-func (e *Engine) loop(task *featurepipe.Task, src inputSource, r *rng.RNG) (*RunResult, error) {
+// Cancellation is checked once per step; a cancelled loop returns the
+// partial result accumulated so far (never an error), skipping the final
+// re-evaluation so cancellation latency is one step, not one holdout pass.
+func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSource, r *rng.RNG) (*RunResult, error) {
 	wallStart := time.Now()
 	holdout, err := task.BuildHoldout()
 	if err != nil {
@@ -109,13 +130,24 @@ func (e *Engine) loop(task *featurepipe.Task, src inputSource, r *rng.RNG) (*Run
 		events = &trace.Log{}
 	}
 
+	record := func(p CurvePoint) {
+		res.Curve = append(res.Curve, p)
+		if e.cfg.Progress != nil {
+			e.cfg.Progress(p)
+		}
+	}
+
 	var simTime time.Duration
-	res.Curve = append(res.Curve, CurvePoint{Inputs: 0, Quality: evaluate(), SimTime: 0})
+	record(CurvePoint{Inputs: 0, Quality: evaluate(), SimTime: 0})
 
 	stop := StopExhausted
 	steps := 0
 loop:
 	for {
+		if ctx.Err() != nil {
+			stop = StopCancelled
+			break
+		}
 		if e.cfg.MaxInputs > 0 && steps >= e.cfg.MaxInputs {
 			stop = StopBudget
 			break
@@ -158,7 +190,7 @@ loop:
 
 		if steps%e.cfg.EvalEvery == 0 {
 			q := evaluate()
-			res.Curve = append(res.Curve, CurvePoint{Inputs: steps, Quality: q, SimTime: simTime})
+			record(CurvePoint{Inputs: steps, Quality: q, SimTime: simTime})
 			plateau := detector.Observe(q)
 			if e.cfg.EarlyStop.Enabled && plateau && steps >= e.cfg.EarlyStop.MinInputs {
 				stop = StopEarly
@@ -170,12 +202,14 @@ loop:
 	// Reuse the last in-loop evaluation when it already covers the final
 	// step: set-based evaluation shuffles, so re-evaluating the same point
 	// can return a slightly different number for order-sensitive learners.
+	// A cancelled run also reuses it — the caller asked the loop to stop,
+	// so it must not pay for one more holdout evaluation.
 	var final float64
-	if n := len(res.Curve); n > 0 && res.Curve[n-1].Inputs == steps {
+	if n := len(res.Curve); n > 0 && (res.Curve[n-1].Inputs == steps || stop == StopCancelled) {
 		final = res.Curve[n-1].Quality
 	} else {
 		final = evaluate()
-		res.Curve = append(res.Curve, CurvePoint{Inputs: steps, Quality: final, SimTime: simTime})
+		record(CurvePoint{Inputs: steps, Quality: final, SimTime: simTime})
 	}
 	res.InputsProcessed = steps
 	res.FinalQuality = final

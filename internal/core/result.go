@@ -18,6 +18,11 @@ const (
 	StopBudget
 	// StopEarly: the learning-curve plateau detector fired.
 	StopEarly
+	// StopCancelled: the run's context was cancelled mid-loop. The result
+	// is still valid — curve so far, correct InputsProcessed — because a
+	// cancelled run's partial learning curve is exactly what a service
+	// caller wants to show for an aborted iteration.
+	StopCancelled
 )
 
 // String returns the reason's label.
@@ -29,6 +34,8 @@ func (s StopReason) String() string {
 		return "budget"
 	case StopEarly:
 		return "early-stop"
+	case StopCancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(s))
 	}

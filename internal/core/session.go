@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,6 +57,14 @@ func (s *SessionResult) TotalInputs() int {
 // run is a full random scan with early stopping disabled (the status-quo
 // engineer who processes the corpus every iteration).
 func (e *Engine) RunSession(s *featurepipe.Session, base *featurepipe.Task, groups *index.Groups, useZombie bool) (*SessionResult, error) {
+	return e.RunSessionContext(context.Background(), s, base, groups, useZombie)
+}
+
+// RunSessionContext is RunSession with cancellation: a cancelled context
+// ends the session after the iteration that observed it, returning the
+// iterations completed so far (the last one carrying Stop = StopCancelled)
+// rather than an error.
+func (e *Engine) RunSessionContext(ctx context.Context, s *featurepipe.Session, base *featurepipe.Task, groups *index.Groups, useZombie bool) (*SessionResult, error) {
 	if s == nil || len(s.Versions) == 0 {
 		return nil, fmt.Errorf("core: RunSession requires a non-empty session")
 	}
@@ -88,9 +97,9 @@ func (e *Engine) RunSession(s *featurepipe.Session, base *featurepipe.Task, grou
 		var run *RunResult
 		var err error
 		if useZombie {
-			run, err = e.Run(task, groups)
+			run, err = e.RunContext(ctx, task, groups)
 		} else {
-			run, err = scanEngine.RunScan(task, true)
+			run, err = scanEngine.RunScanContext(ctx, task, true)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("core: session %s iteration %d (%s): %w", s.Name, i, version.Name(), err)
@@ -98,6 +107,9 @@ func (e *Engine) RunSession(s *featurepipe.Session, base *featurepipe.Task, grou
 		out.Iterations = append(out.Iterations, IterationResult{Version: version.Name(), Run: run})
 		out.ProcessingTime += run.SimTime
 		out.ThinkTime += thinkPer
+		if run.Stop == StopCancelled {
+			break
+		}
 	}
 	return out, nil
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync"
 )
 
 // DiskStore is a read-only Store over a JSONL corpus file that never
@@ -16,12 +17,16 @@ import (
 // abstract motivates. A one-slot cache makes the engine's common pattern
 // (Get followed by feature extraction of the same input) free.
 //
-// A DiskStore is not safe for concurrent use; the engine's inner loop is
-// single-threaded by design.
+// A DiskStore is safe for concurrent use: the serving layer runs multiple
+// engine loops over one shared streamed corpus, so Get serializes the read
+// and the one-slot cache behind a mutex. Each engine loop is still
+// single-threaded; the lock only arbitrates between loops.
 type DiskStore struct {
 	path    string
 	f       *os.File
 	offsets []int64 // line start offsets; len = #inputs + 1 (end sentinel)
+
+	mu      sync.Mutex // guards f reads and the one-slot cache below
 	lastIdx int
 	lastIn  *Input
 }
@@ -76,6 +81,8 @@ func (s *DiskStore) Get(i int) *Input {
 	if i < 0 || i >= s.Len() {
 		panic(fmt.Sprintf("corpus: DiskStore.Get(%d) out of range [0,%d)", i, s.Len()))
 	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	if i == s.lastIdx {
 		return s.lastIn
 	}
@@ -107,6 +114,8 @@ func (s *DiskStore) Path() string { return s.path }
 
 // Close releases the underlying file. The store is unusable afterwards.
 func (s *DiskStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	s.lastIdx, s.lastIn = -1, nil
 	return s.f.Close()
 }

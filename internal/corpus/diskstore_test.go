@@ -3,6 +3,7 @@ package corpus
 import (
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 
 	"zombie/internal/rng"
@@ -62,6 +63,45 @@ func TestDiskStoreRepeatedGetUsesCache(t *testing.T) {
 	c := ds.Get(4)
 	if c == a {
 		t.Fatal("different index returned cached record")
+	}
+}
+
+func TestDiskStoreParallelGet(t *testing.T) {
+	// The serving layer runs several engine loops over one shared streamed
+	// corpus; concurrent Gets must neither race (the -race build checks
+	// that) nor cross-corrupt reads through the one-slot cache.
+	path, ins := writeTestCorpus(t, 200, 705)
+	ds, err := OpenDiskStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	const readers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, readers)
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			order := rng.New(int64(g)).Perm(len(ins))
+			// Overlap index ranges across goroutines so cache slots collide.
+			for _, i := range append(order, order...) {
+				got := ds.Get(i)
+				want := ins[i]
+				if got.ID != want.ID || got.Text != want.Text || got.Truth != want.Truth {
+					select {
+					case errs <- got.ID + " != " + want.ID:
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	if msg, ok := <-errs; ok {
+		t.Fatalf("concurrent Get returned a corrupt record: %s", msg)
 	}
 }
 

@@ -1,0 +1,322 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zombie/internal/bandit"
+	"zombie/internal/core"
+	"zombie/internal/index"
+	"zombie/internal/rng"
+	"zombie/internal/workload"
+)
+
+// Submission overload/lifecycle errors, distinguished so the HTTP layer
+// can map them to 503 instead of 400.
+var (
+	ErrQueueFull    = errors.New("server: run queue full")
+	ErrShuttingDown = errors.New("server: shutting down, not accepting runs")
+)
+
+// Manager executes runs asynchronously on a bounded worker pool. Submit
+// validates and enqueues; Workers goroutines drain the queue; Cancel stops
+// a queued or running run; Shutdown drains in-flight work. Runs are kept
+// forever (the manager is the system of record for run history); a
+// production deployment would add retention, which is deliberately out of
+// scope here.
+type Manager struct {
+	registry *Registry
+	cache    *IndexCache
+	metrics  *Metrics
+
+	queue   chan *Run
+	wg      sync.WaitGroup
+	running atomic.Int64
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu     sync.Mutex
+	runs   map[string]*Run
+	order  []string // submission order, for List
+	nextID int
+	closed bool
+}
+
+// NewManager starts workers goroutines over a queue of queueCap pending
+// runs (both floored at 1) and returns the manager.
+func NewManager(registry *Registry, cache *IndexCache, metrics *Metrics, workers, queueCap int) *Manager {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		registry:   registry,
+		cache:      cache,
+		metrics:    metrics,
+		queue:      make(chan *Run, queueCap),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		runs:       map[string]*Run{},
+	}
+	for i := 0; i < workers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// normalize fills spec defaults in place.
+func (spec *RunSpec) normalize() {
+	if spec.Mode == "" {
+		spec.Mode = "zombie"
+	}
+	if spec.Policy == "" {
+		spec.Policy = "eps-greedy:0.1"
+	}
+	if spec.K == 0 {
+		spec.K = 32
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+}
+
+// engineConfig translates a normalized spec into a core.Config (without
+// the Progress hook, which is attached per run at execution time).
+func (spec RunSpec) engineConfig() core.Config {
+	cfg := core.Config{
+		Policy:    bandit.Spec(spec.Policy),
+		Seed:      spec.Seed,
+		MaxInputs: spec.MaxInputs,
+		EvalEvery: spec.EvalEvery,
+	}
+	if spec.EarlyStop {
+		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
+	}
+	cfg.TraceEvents = spec.Trace
+	return cfg
+}
+
+// Submit validates the spec, assigns an ID, and enqueues the run. It
+// returns an error for unknown corpora/tasks/modes, invalid engine
+// configuration, a full queue, or a shutting-down manager.
+func (m *Manager) Submit(spec RunSpec) (*Run, error) {
+	spec.normalize()
+	if _, err := m.registry.Get(spec.Corpus); err != nil {
+		return nil, err
+	}
+	validTask := false
+	for _, n := range workload.Names() {
+		if spec.Task == n {
+			validTask = true
+		}
+	}
+	if !validTask {
+		return nil, fmt.Errorf("server: unknown task %q (want one of %v)", spec.Task, workload.Names())
+	}
+	switch spec.Mode {
+	case "zombie", "scan-random", "scan-sequential", "oracle":
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q", spec.Mode)
+	}
+	if spec.K < 1 {
+		return nil, fmt.Errorf("server: k must be >= 1, got %d", spec.K)
+	}
+	// Validate the engine configuration (policy spec included) eagerly so
+	// submission errors surface as 400s, not failed runs.
+	if _, err := core.New(spec.engineConfig()); err != nil {
+		return nil, err
+	}
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, ErrShuttingDown
+	}
+	m.nextID++
+	run := newRun("r"+strconv.Itoa(m.nextID), spec, time.Now())
+	select {
+	case m.queue <- run:
+	default:
+		m.nextID-- // ID was never exposed
+		return nil, fmt.Errorf("%w (%d pending)", ErrQueueFull, cap(m.queue))
+	}
+	m.runs[run.ID] = run
+	m.order = append(m.order, run.ID)
+	if m.metrics != nil {
+		m.metrics.RunsStarted.Add(1)
+	}
+	return run, nil
+}
+
+// Get returns the run by ID.
+func (m *Manager) Get(id string) (*Run, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	r, ok := m.runs[id]
+	return r, ok
+}
+
+// List returns snapshots of all runs in submission order.
+func (m *Manager) List() []RunInfo {
+	m.mu.Lock()
+	ids := make([]string, len(m.order))
+	copy(ids, m.order)
+	runs := make([]*Run, 0, len(ids))
+	for _, id := range ids {
+		runs = append(runs, m.runs[id])
+	}
+	m.mu.Unlock()
+	out := make([]RunInfo, 0, len(runs))
+	for _, r := range runs {
+		out = append(out, r.Info())
+	}
+	return out
+}
+
+// Cancel requests cancellation of the run. The returned info reflects the
+// state after the request: cancelled for a queued run, still running for a
+// run that has yet to observe its context, terminal states unchanged.
+func (m *Manager) Cancel(id string) (RunInfo, error) {
+	run, ok := m.Get(id)
+	if !ok {
+		return RunInfo{}, fmt.Errorf("server: unknown run %q", id)
+	}
+	_, cancelledNow := run.requestCancel(time.Now())
+	if cancelledNow && m.metrics != nil {
+		m.metrics.RunsCancelled.Add(1)
+	}
+	return run.Info(), nil
+}
+
+// QueueDepth returns the number of queued-not-yet-started runs.
+func (m *Manager) QueueDepth() int { return len(m.queue) }
+
+// Running returns the number of runs currently executing.
+func (m *Manager) Running() int { return int(m.running.Load()) }
+
+// worker drains the queue until Shutdown closes it.
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for run := range m.queue {
+		m.execute(run)
+	}
+}
+
+// execute runs one queued run to a terminal state.
+func (m *Manager) execute(run *Run) {
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	defer cancel()
+	if !run.start(cancel, time.Now()) {
+		return // cancelled while queued
+	}
+	m.running.Add(1)
+	defer m.running.Add(-1)
+
+	res, err := m.runEngine(ctx, run)
+	switch {
+	case err != nil:
+		run.finish(StateFailed, nil, err.Error(), time.Now())
+		if m.metrics != nil {
+			m.metrics.RunsFailed.Add(1)
+		}
+	case res.Stop == core.StopCancelled:
+		run.finish(StateCancelled, res, "", time.Now())
+		if m.metrics != nil {
+			m.metrics.RunsCancelled.Add(1)
+			m.metrics.InputsProcessed.Add(int64(res.InputsProcessed))
+		}
+	default:
+		run.finish(StateDone, res, "", time.Now())
+		if m.metrics != nil {
+			m.metrics.RunsCompleted.Add(1)
+			m.metrics.InputsProcessed.Add(int64(res.InputsProcessed))
+		}
+	}
+}
+
+// runEngine assembles the task, resolves the index through the shared
+// cache, and executes the engine loop with the run's live-curve bridge.
+func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, error) {
+	spec := run.spec // immutable after Submit
+	store, err := m.registry.Get(spec.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	task, grouper, err := workload.Build(spec.Task, store, spec.FeatureVersion, rng.New(spec.Seed).Split("task"))
+	if err != nil {
+		return nil, err
+	}
+
+	cfg := spec.engineConfig()
+	cfg.Progress = run.appendPoint
+	eng, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	switch spec.Mode {
+	case "zombie":
+		key := IndexKey{Corpus: spec.Corpus, Strategy: grouper.Name(), K: spec.K, Seed: spec.Seed}
+		groups, err := m.cache.Get(ctx, key, func() (*index.Groups, error) {
+			return grouper.Group(store, spec.K, rng.New(spec.Seed).Split("index"))
+		})
+		if err != nil {
+			return nil, err
+		}
+		return eng.RunContext(ctx, task, groups)
+	case "scan-random":
+		return eng.RunScanContext(ctx, task, true)
+	case "scan-sequential":
+		return eng.RunScanContext(ctx, task, false)
+	case "oracle":
+		return eng.RunOracleContext(ctx, task)
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q", spec.Mode)
+	}
+}
+
+// Shutdown stops intake and drains: queued and running runs continue to
+// completion unless ctx expires first, at which point every in-flight run
+// is cancelled and Shutdown waits for the workers to observe it. Returns
+// ctx.Err() when the drain was cut short.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	if !m.closed {
+		m.closed = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		m.baseCancel() // cancel in-flight runs; loop notices within a step
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// stateCounts summarizes run states (for /healthz).
+func (m *Manager) stateCounts() map[string]int {
+	counts := map[string]int{}
+	for _, info := range m.List() {
+		counts[string(info.State)]++
+	}
+	return counts
+}

@@ -1,0 +1,37 @@
+package server
+
+import "sync/atomic"
+
+// Metrics is the server's counter set, exported at /metrics as a flat
+// expvar-style JSON object. Counters are atomics so the run workers and
+// HTTP handlers update them without shared locks; gauges (queue depth,
+// running count) are sampled from their owners at serve time.
+type Metrics struct {
+	// Run lifecycle counters.
+	RunsStarted   atomic.Int64
+	RunsCompleted atomic.Int64
+	RunsFailed    atomic.Int64
+	RunsCancelled atomic.Int64
+	// InputsProcessed sums RunResult.InputsProcessed over finished runs.
+	InputsProcessed atomic.Int64
+	// Index cache traffic: builds actually executed vs. requests served
+	// from (or coalesced onto) an existing entry.
+	IndexBuilds    atomic.Int64
+	IndexCacheHits atomic.Int64
+}
+
+// snapshot renders the counters plus caller-sampled gauges.
+func (m *Metrics) snapshot(queueDepth, running, corpora int) map[string]int64 {
+	return map[string]int64{
+		"runs_started":     m.RunsStarted.Load(),
+		"runs_completed":   m.RunsCompleted.Load(),
+		"runs_failed":      m.RunsFailed.Load(),
+		"runs_cancelled":   m.RunsCancelled.Load(),
+		"inputs_processed": m.InputsProcessed.Load(),
+		"index_builds":     m.IndexBuilds.Load(),
+		"index_cache_hits": m.IndexCacheHits.Load(),
+		"queue_depth":      int64(queueDepth),
+		"runs_running":     int64(running),
+		"corpora":          int64(corpora),
+	}
+}

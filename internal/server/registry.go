@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"zombie/internal/corpus"
+)
+
+// CorpusInfo is the externally visible description of a registered corpus.
+type CorpusInfo struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Stream bool   `json:"stream"`
+	Inputs int    `json:"inputs"`
+}
+
+type corpusEntry struct {
+	info  CorpusInfo
+	store corpus.Store
+}
+
+// Registry holds the server's named corpora. Registration opens the JSONL
+// file once — either fully into memory or as a streamed DiskStore — and
+// every run referencing the name shares that one store. DiskStore is safe
+// for concurrent use, and MemStore is read-only after construction, so no
+// per-run locking is needed here.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]*corpusEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: map[string]*corpusEntry{}} }
+
+// Add opens the JSONL corpus at path and registers it under name. With
+// stream=true the corpus is indexed but not loaded (DiskStore); otherwise
+// it is read fully into memory. Re-registering an existing name fails —
+// replacing a corpus under running runs would be a correctness landmine.
+func (r *Registry) Add(name, path string, stream bool) (CorpusInfo, error) {
+	if name == "" {
+		return CorpusInfo{}, fmt.Errorf("server: corpus name required")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; ok {
+		return CorpusInfo{}, fmt.Errorf("server: corpus %q already registered", name)
+	}
+	var store corpus.Store
+	if stream {
+		ds, err := corpus.OpenDiskStore(path)
+		if err != nil {
+			return CorpusInfo{}, err
+		}
+		store = ds
+	} else {
+		inputs, err := corpus.ReadJSONL(path)
+		if err != nil {
+			return CorpusInfo{}, err
+		}
+		store = corpus.NewMemStore(inputs)
+	}
+	e := &corpusEntry{
+		info:  CorpusInfo{Name: name, Path: path, Stream: stream, Inputs: store.Len()},
+		store: store,
+	}
+	r.m[name] = e
+	return e.info, nil
+}
+
+// Get returns the store registered under name.
+func (r *Registry) Get(name string) (corpus.Store, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("server: unknown corpus %q", name)
+	}
+	return e.store, nil
+}
+
+// Info returns the description of the named corpus.
+func (r *Registry) Info(name string) (CorpusInfo, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	if !ok {
+		return CorpusInfo{}, false
+	}
+	return e.info, true
+}
+
+// List returns all registered corpora sorted by name.
+func (r *Registry) List() []CorpusInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]CorpusInfo, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e.info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Len returns the number of registered corpora.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// Close closes every streamed corpus. The registry is unusable afterwards.
+func (r *Registry) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var first error
+	for _, e := range r.m {
+		if ds, ok := e.store.(*corpus.DiskStore); ok {
+			if err := ds.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+	}
+	r.m = map[string]*corpusEntry{}
+	return first
+}

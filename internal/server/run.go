@@ -1,0 +1,264 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"zombie/internal/core"
+)
+
+// RunState is a run's lifecycle position. Transitions are strictly
+// forward: queued → running → {done, failed, cancelled}, with the shortcut
+// queued → cancelled for runs cancelled before a worker picked them up.
+type RunState string
+
+const (
+	StateQueued    RunState = "queued"
+	StateRunning   RunState = "running"
+	StateDone      RunState = "done"
+	StateFailed    RunState = "failed"
+	StateCancelled RunState = "cancelled"
+)
+
+// terminal reports whether no further transition is possible.
+func (s RunState) terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// RunSpec is a run submission. JSON field names are the HTTP API.
+type RunSpec struct {
+	// Corpus names a registered corpus; Task picks the workload
+	// ("wiki", "songs", "image").
+	Corpus string `json:"corpus"`
+	Task   string `json:"task"`
+	// Mode is zombie (default), scan-random, scan-sequential, or oracle.
+	Mode string `json:"mode,omitempty"`
+	// Policy is the bandit policy spec (zombie mode; default
+	// "eps-greedy:0.1"). K is the number of index groups (default 32).
+	Policy string `json:"policy,omitempty"`
+	K      int    `json:"k,omitempty"`
+	// Seed defaults to 1; FeatureVersion 0 means the task default.
+	Seed           int64 `json:"seed,omitempty"`
+	FeatureVersion int   `json:"feature_version,omitempty"`
+	// Engine knobs, mirroring core.Config.
+	MaxInputs int  `json:"max_inputs,omitempty"`
+	EvalEvery int  `json:"eval_every,omitempty"`
+	EarlyStop bool `json:"early_stop,omitempty"`
+	// Trace records the step-level event log, served at
+	// GET /runs/{id}/events as CSV.
+	Trace bool `json:"trace,omitempty"`
+}
+
+// Run is one managed run: the spec, its lifecycle state, the live learning
+// curve, and the subscriber fan-out feeding SSE streams. All mutable
+// fields are guarded by mu; done is closed exactly once, on reaching a
+// terminal state.
+type Run struct {
+	ID string
+
+	mu       sync.Mutex
+	spec     RunSpec
+	state    RunState
+	created  time.Time
+	started  time.Time
+	finished time.Time
+	curve    []core.CurvePoint
+	subs     map[int]chan core.CurvePoint
+	nextSub  int
+	result   *core.RunResult
+	errMsg   string
+	cancel   context.CancelFunc
+
+	done chan struct{}
+}
+
+func newRun(id string, spec RunSpec, now time.Time) *Run {
+	return &Run{
+		ID:      id,
+		spec:    spec,
+		state:   StateQueued,
+		created: now,
+		subs:    map[int]chan core.CurvePoint{},
+		done:    make(chan struct{}),
+	}
+}
+
+// RunInfo is the externally visible run snapshot.
+type RunInfo struct {
+	ID       string   `json:"id"`
+	Spec     RunSpec  `json:"spec"`
+	State    RunState `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Created  string   `json:"created"`
+	Started  string   `json:"started,omitempty"`
+	Finished string   `json:"finished,omitempty"`
+	// CurvePoints is the number of curve samples so far; the curve itself
+	// is served by /runs/{id}/curve.
+	CurvePoints int `json:"curve_points"`
+	// Summary fields, present once the run is terminal with a result.
+	InputsProcessed int     `json:"inputs_processed,omitempty"`
+	FinalQuality    float64 `json:"final_quality,omitempty"`
+	Stop            string  `json:"stop,omitempty"`
+	Strategy        string  `json:"strategy,omitempty"`
+}
+
+// Info snapshots the run.
+func (r *Run) Info() RunInfo {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	info := RunInfo{
+		ID:          r.ID,
+		Spec:        r.spec,
+		State:       r.state,
+		Error:       r.errMsg,
+		Created:     r.created.UTC().Format(time.RFC3339Nano),
+		CurvePoints: len(r.curve),
+	}
+	if !r.started.IsZero() {
+		info.Started = r.started.UTC().Format(time.RFC3339Nano)
+	}
+	if !r.finished.IsZero() {
+		info.Finished = r.finished.UTC().Format(time.RFC3339Nano)
+	}
+	if r.result != nil {
+		info.InputsProcessed = r.result.InputsProcessed
+		info.FinalQuality = r.result.FinalQuality
+		info.Stop = r.result.Stop.String()
+		info.Strategy = r.result.Strategy
+	}
+	return info
+}
+
+// State returns the current lifecycle state.
+func (r *Run) State() RunState {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.state
+}
+
+// Curve returns a copy of the learning curve so far.
+func (r *Run) Curve() []core.CurvePoint {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]core.CurvePoint, len(r.curve))
+	copy(out, r.curve)
+	return out
+}
+
+// Result returns the engine result once terminal (nil before, and nil
+// forever for runs that failed or were cancelled while queued).
+func (r *Run) Result() *core.RunResult {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.result
+}
+
+// Done returns a channel closed when the run reaches a terminal state.
+func (r *Run) Done() <-chan struct{} { return r.done }
+
+// appendPoint records a live curve point and fans it out to subscribers.
+// Slow subscribers are skipped rather than blocking the engine loop: SSE
+// consumers that fall more than a channel buffer behind miss interior
+// points but always see the terminal state via Done.
+func (r *Run) appendPoint(p core.CurvePoint) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.curve = append(r.curve, p)
+	for _, ch := range r.subs {
+		select {
+		case ch <- p:
+		default:
+		}
+	}
+}
+
+// Subscribe returns the curve so far plus a channel of subsequent points.
+// The channel is closed when the run finishes; if the run is already
+// terminal the returned channel is nil. unsubscribe is safe to call twice.
+func (r *Run) Subscribe() (history []core.CurvePoint, ch <-chan core.CurvePoint, unsubscribe func()) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	history = make([]core.CurvePoint, len(r.curve))
+	copy(history, r.curve)
+	if r.state.terminal() {
+		return history, nil, func() {}
+	}
+	c := make(chan core.CurvePoint, 64)
+	id := r.nextSub
+	r.nextSub++
+	r.subs[id] = c
+	return history, c, func() {
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if _, ok := r.subs[id]; ok {
+			delete(r.subs, id)
+			close(c)
+		}
+	}
+}
+
+// start transitions queued → running, recording the cancel hook a later
+// DELETE will invoke. It reports false — and the worker must skip the run
+// — when the run was cancelled while still queued.
+func (r *Run) start(cancel context.CancelFunc, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state != StateQueued {
+		return false
+	}
+	r.state = StateRunning
+	r.started = now
+	r.cancel = cancel
+	return true
+}
+
+// requestCancel asks the run to stop and returns the state observed at
+// decision time. A queued run is finished as cancelled on the spot (no
+// worker will ever own it); a running run gets its context cancelled and
+// reaches StateCancelled when the engine loop notices; a terminal run is
+// untouched. cancelledNow reports whether this call itself finished the
+// run (the caller owns the metrics increment in that case).
+func (r *Run) requestCancel(now time.Time) (state RunState, cancelledNow bool) {
+	r.mu.Lock()
+	if r.state == StateQueued {
+		r.finishLocked(StateCancelled, nil, "", now)
+		r.mu.Unlock()
+		return StateCancelled, true
+	}
+	state = r.state
+	cancel := r.cancel
+	r.mu.Unlock()
+	if state == StateRunning && cancel != nil {
+		cancel()
+	}
+	return state, false
+}
+
+// finish moves the run to a terminal state, records the outcome, closes
+// every subscriber channel, and signals Done. It is a no-op if the run is
+// already terminal (a cancel racing a natural completion, for example).
+// It reports whether this call performed the transition.
+func (r *Run) finish(state RunState, res *core.RunResult, errMsg string, now time.Time) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.state.terminal() {
+		return false
+	}
+	r.finishLocked(state, res, errMsg, now)
+	return true
+}
+
+// finishLocked is finish with r.mu already held and the state known to be
+// non-terminal.
+func (r *Run) finishLocked(state RunState, res *core.RunResult, errMsg string, now time.Time) {
+	r.state = state
+	r.result = res
+	r.errMsg = errMsg
+	r.finished = now
+	for id, ch := range r.subs {
+		delete(r.subs, id)
+		close(ch)
+	}
+	close(r.done)
+}

@@ -1,0 +1,342 @@
+// Package server is zombie's concurrent HTTP service layer: a JSON-over-
+// HTTP API (stdlib net/http only) that manages corpora, index builds, and
+// engine runs as named resources. Runs execute asynchronously on a bounded
+// worker pool with per-run status, cancellation, and live learning-curve
+// streaming over Server-Sent Events; index builds are deduplicated through
+// a singleflight cache so concurrent runs over the same (corpus, strategy,
+// k, seed) share one build.
+//
+//	POST   /corpora              register a JSONL corpus {name, path, stream}
+//	GET    /corpora              list corpora
+//	GET    /corpora/{name}       one corpus
+//	POST   /runs                 submit a run (RunSpec) -> 202 + RunInfo
+//	GET    /runs                 list runs
+//	GET    /runs/{id}            run status
+//	DELETE /runs/{id}            cancel (queued or running)
+//	GET    /runs/{id}/curve      learning curve; ?follow=1 streams SSE
+//	GET    /runs/{id}/events     step-level trace as CSV (spec.trace runs)
+//	GET    /healthz              liveness + run-state counts
+//	GET    /metrics              expvar-style counter map
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"zombie/internal/core"
+)
+
+// Config sizes the server.
+type Config struct {
+	// Workers is the run worker-pool size (default 2).
+	Workers int
+	// QueueCap bounds queued-not-yet-running runs (default 64); a full
+	// queue rejects submissions with 503.
+	QueueCap int
+}
+
+// Server wires the registry, index cache, run manager and metrics behind
+// one http.Handler.
+type Server struct {
+	registry *Registry
+	cache    *IndexCache
+	manager  *Manager
+	metrics  *Metrics
+	mux      *http.ServeMux
+	start    time.Time
+}
+
+// New assembles a server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers < 1 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 64
+	}
+	metrics := &Metrics{}
+	registry := NewRegistry()
+	cache := NewIndexCache(metrics)
+	s := &Server{
+		registry: registry,
+		cache:    cache,
+		manager:  NewManager(registry, cache, metrics, cfg.Workers, cfg.QueueCap),
+		metrics:  metrics,
+		mux:      http.NewServeMux(),
+		start:    time.Now(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /corpora", s.handleCorpusAdd)
+	s.mux.HandleFunc("GET /corpora", s.handleCorpusList)
+	s.mux.HandleFunc("GET /corpora/{name}", s.handleCorpusGet)
+	s.mux.HandleFunc("POST /runs", s.handleRunSubmit)
+	s.mux.HandleFunc("GET /runs", s.handleRunList)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRunGet)
+	s.mux.HandleFunc("DELETE /runs/{id}", s.handleRunCancel)
+	s.mux.HandleFunc("GET /runs/{id}/curve", s.handleRunCurve)
+	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
+	return s
+}
+
+// Handler returns the routed handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Registry exposes the corpus registry so embedders (cmd/zombie-serve)
+// can preregister corpora from flags.
+func (s *Server) Registry() *Registry { return s.registry }
+
+// Manager exposes the run manager (tests and embedders).
+func (s *Server) Manager() *Manager { return s.manager }
+
+// Shutdown drains the run manager (see Manager.Shutdown), then closes any
+// streamed corpora. The HTTP listener should already be stopped.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.manager.Shutdown(ctx)
+	if cerr := s.registry.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// --- JSON plumbing ---
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, "bad request body: %v", err)
+		return false
+	}
+	return true
+}
+
+// --- health + metrics ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": int64(time.Since(s.start).Seconds()),
+		"runs":           s.manager.stateCounts(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK,
+		s.metrics.snapshot(s.manager.QueueDepth(), s.manager.Running(), s.registry.Len()))
+}
+
+// --- corpora ---
+
+type corpusAddRequest struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Stream bool   `json:"stream,omitempty"`
+}
+
+func (s *Server) handleCorpusAdd(w http.ResponseWriter, r *http.Request) {
+	var req corpusAddRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	info, err := s.registry.Add(req.Name, req.Path, req.Stream)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleCorpusList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.registry.List())
+}
+
+func (s *Server) handleCorpusGet(w http.ResponseWriter, r *http.Request) {
+	info, ok := s.registry.Info(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown corpus %q", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// --- runs ---
+
+func (s *Server) handleRunSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	run, err := s.manager.Submit(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/runs/"+run.ID)
+	writeJSON(w, http.StatusAccepted, run.Info())
+}
+
+func (s *Server) handleRunList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.manager.List())
+}
+
+func (s *Server) getRun(w http.ResponseWriter, r *http.Request) (*Run, bool) {
+	run, ok := s.manager.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown run %q", r.PathValue("id"))
+	}
+	return run, ok
+}
+
+func (s *Server) handleRunGet(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.getRun(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, run.Info())
+}
+
+func (s *Server) handleRunCancel(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.getRun(w, r)
+	if !ok {
+		return
+	}
+	info, err := s.manager.Cancel(run.ID)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// curvePointJSON is the wire form of one learning-curve sample.
+type curvePointJSON struct {
+	Inputs     int     `json:"inputs"`
+	Quality    float64 `json:"quality"`
+	SimSeconds float64 `json:"sim_seconds"`
+}
+
+func toCurveJSON(p core.CurvePoint) curvePointJSON {
+	return curvePointJSON{Inputs: p.Inputs, Quality: p.Quality, SimSeconds: p.SimTime.Seconds()}
+}
+
+func (s *Server) handleRunCurve(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.getRun(w, r)
+	if !ok {
+		return
+	}
+	if follow, _ := strconv.ParseBool(r.URL.Query().Get("follow")); follow {
+		s.streamCurve(w, r, run)
+		return
+	}
+	points := run.Curve()
+	out := make([]curvePointJSON, len(points))
+	for i, p := range points {
+		out[i] = toCurveJSON(p)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id":    run.ID,
+		"state": run.State(),
+		"curve": out,
+	})
+}
+
+// streamCurve serves the run's learning curve as Server-Sent Events: one
+// "point" event per curve sample (history first, then live), then a single
+// "status" event carrying the terminal RunInfo, then EOF. A client that
+// connects after completion gets the full history and the status event
+// immediately.
+func (s *Server) streamCurve(w http.ResponseWriter, r *http.Request, run *Run) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "response writer cannot stream")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	history, live, unsubscribe := run.Subscribe()
+	defer unsubscribe()
+
+	send := func(event string, v any) bool {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+
+	for _, p := range history {
+		if !send("point", toCurveJSON(p)) {
+			return
+		}
+	}
+	if live != nil {
+	follow:
+		for {
+			// The run's finish closes live after any buffered points, and a
+			// closed buffered channel drains before reporting !open, so no
+			// separate Done case is needed.
+			select {
+			case p, open := <-live:
+				if !open {
+					break follow
+				}
+				if !send("point", toCurveJSON(p)) {
+					return
+				}
+			case <-r.Context().Done():
+				return
+			}
+		}
+	}
+	send("status", run.Info())
+}
+
+func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.getRun(w, r)
+	if !ok {
+		return
+	}
+	res := run.Result()
+	if res == nil {
+		writeError(w, http.StatusConflict, "run %s has no result yet (state %s)", run.ID, run.State())
+		return
+	}
+	if res.Events == nil {
+		writeError(w, http.StatusNotFound, "run %s was not traced (submit with \"trace\": true)", run.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "text/csv")
+	res.Events.WriteCSV(w) //nolint:errcheck // client gone; nothing to do
+}

@@ -7,6 +7,7 @@ package trace
 import (
 	"fmt"
 	"io"
+	"strings"
 	"time"
 )
 
@@ -60,13 +61,20 @@ func (l *Log) WriteCSV(w io.Writer) error {
 		return nil
 	}
 	for _, e := range l.Events {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%t,%t,%q,%.3f\n",
-			e.Step, e.InputIdx, e.Arm, e.Reward, e.Produced, e.Useful, e.Err,
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%t,%t,%s,%.3f\n",
+			e.Step, e.InputIdx, e.Arm, e.Reward, e.Produced, e.Useful, csvQuote(e.Err),
 			float64(e.SimTime)/float64(time.Millisecond)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// csvQuote renders s as an always-quoted RFC 4180 field: inner quotes are
+// doubled, not backslash-escaped (feature-code panic messages routinely
+// contain quotes and commas, and %q would emit CSV no parser accepts).
+func csvQuote(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
 }
 
 // Series is a named (x, y) sequence — one line of a figure.

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"encoding/csv"
 	"strings"
 	"testing"
 	"time"
@@ -46,6 +47,53 @@ func TestLogRecordAndCSV(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "20.000") {
 		t.Fatalf("sim time wrong: %s", lines[1])
+	}
+}
+
+func TestWriteCSVParsesBack(t *testing.T) {
+	// The Err column carries arbitrary feature-code panic text; commas,
+	// quotes and newlines in it must survive a real CSV parser round-trip.
+	l := &Log{}
+	l.Record(Event{Step: 1, InputIdx: 9, Arm: 2, Reward: 1, Produced: true, SimTime: time.Second})
+	l.Record(Event{Step: 2, Err: `panic: bad "input", see log`})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want header + 2", len(rows))
+	}
+	header := strings.Join(rows[0], ",")
+	if header != "step,input,arm,reward,produced,useful,err,sim_ms" {
+		t.Fatalf("header = %q", header)
+	}
+	if rows[1][0] != "1" || rows[1][1] != "9" || rows[1][2] != "2" || rows[1][7] != "1000.000" {
+		t.Fatalf("row 1 = %v", rows[1])
+	}
+	if rows[2][6] != `panic: bad "input", see log` {
+		t.Fatalf("err column mangled: %q", rows[2][6])
+	}
+}
+
+func TestWriteCSVNilLogHeaderOnly(t *testing.T) {
+	// A nil log is a valid "nothing was traced" value end to end: WriteCSV
+	// must emit exactly the header so downstream tooling sees an empty,
+	// well-formed table.
+	var l *Log
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || len(rows[0]) != 8 {
+		t.Fatalf("nil log CSV = %v, want a single 8-column header", rows)
 	}
 }
 

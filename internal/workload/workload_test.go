@@ -1,0 +1,64 @@
+package workload
+
+import (
+	"testing"
+
+	"zombie/internal/corpus"
+	"zombie/internal/rng"
+)
+
+func TestBuildKnownTasks(t *testing.T) {
+	// Each canonical workload builds against its matching corpus and the
+	// split is deterministic in the RNG — the property the service layer
+	// relies on for reproducible runs.
+	stores := map[string]corpus.Store{}
+	wiki := corpus.DefaultWikiConfig()
+	wiki.N = 120
+	ins, err := corpus.GenerateWiki(wiki, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["wiki"] = corpus.NewMemStore(ins)
+	songs := corpus.DefaultSongConfig()
+	songs.N = 120
+	ins, err = corpus.GenerateSongs(songs, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["songs"] = corpus.NewMemStore(ins)
+	images := corpus.DefaultImageConfig()
+	images.N = 120
+	ins, err = corpus.GenerateImages(images, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores["image"] = corpus.NewMemStore(ins)
+
+	for _, name := range Names() {
+		task, grouper, err := Build(name, stores[name], 0, rng.New(7))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if task.Name != name || grouper == nil {
+			t.Fatalf("%s: task %q, grouper %v", name, task.Name, grouper)
+		}
+		if len(task.PoolIdx) == 0 || len(task.HoldoutIdx) == 0 {
+			t.Fatalf("%s: empty split", name)
+		}
+		again, _, err := Build(name, stores[name], 0, rng.New(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range task.PoolIdx {
+			if task.PoolIdx[i] != again.PoolIdx[i] {
+				t.Fatalf("%s: split not deterministic at %d", name, i)
+			}
+		}
+	}
+}
+
+func TestBuildUnknownTask(t *testing.T) {
+	if _, _, err := Build("nope", corpus.NewMemStore(nil), 0, rng.New(1)); err == nil {
+		t.Fatal("unknown task must fail")
+	}
+}
