@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check ci
+.PHONY: all build test race vet fmt-check bench-smoke ci
 
 all: build
 
@@ -26,4 +26,9 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-ci: fmt-check vet build race
+# bench-smoke runs every benchmark exactly once — not for timing, but to
+# catch benchmarks that rot (compile errors, panics, fixture drift).
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
+
+ci: fmt-check vet build race bench-smoke

@@ -4,28 +4,42 @@
 // Usage:
 //
 //	zombie-bench [-exp T2] [-scale 1.0] [-seed 20160516]
-//	zombie-bench -exp all -scale 0.25
+//	zombie-bench -exp all -scale 0.25 -parallel 8
+//	zombie-bench -emit-bench BENCH_results.json -parallel 0
+//	zombie-bench -cpuprofile cpu.pprof -exp T2
 //	zombie-bench -list
 //
 // Scale 1.0 builds the full 20k-input corpora per task; smaller scales are
 // proportionally faster and preserve the result shapes down to ~0.1.
 // Output goes to stdout in the table/series formats recorded in
-// EXPERIMENTS.md.
+// EXPERIMENTS.md. -parallel runs independent experiment work concurrently;
+// the output is byte-identical to -parallel 1 for everything that does not
+// print measured wall-clock values (see DESIGN.md §8). -emit-bench
+// additionally times every experiment and writes a JSON regression report
+// with per-experiment wall seconds and, when -parallel > 1, the
+// speedup-vs-sequential baseline.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"zombie/internal/experiments"
+	"zombie/internal/parallel"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1-T4, F1-F7, or 'all')")
+	exp := flag.String("exp", "all", "experiment id (T1-T4, F1-F8, or 'all')")
 	scale := flag.Float64("scale", 1.0, "corpus scale multiplier (1.0 = 20k inputs per task)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
+	par := flag.Int("parallel", 1, "concurrent runs per experiment (0 = GOMAXPROCS; output is byte-identical for any value)")
+	emitBench := flag.String("emit-bench", "", "write a JSON timing report (per-experiment wall seconds, speedup vs sequential) to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	flag.Parse()
 
@@ -36,15 +50,65 @@ func main() {
 		return
 	}
 
-	cfg := experiments.Config{Scale: *scale, Seed: *seed}
-	var err error
-	if strings.EqualFold(*exp, "all") {
-		err = experiments.RunAll(cfg, os.Stdout)
-	} else {
-		err = experiments.Run(strings.ToUpper(*exp), cfg, os.Stdout)
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
 	}
+
+	cfg := experiments.Config{Scale: *scale, Seed: *seed, Parallel: parallel.Workers(*par)}
+	if err := run(cfg, *exp, *emitBench); err != nil {
+		fatal(err)
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC() // settle allocations so the heap profile reflects live data
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// run dispatches the requested experiments, optionally through the timing
+// harness when emitBench names a report path.
+func run(cfg experiments.Config, exp, emitBench string) error {
+	var ids []string // empty = all, in registry order
+	if !strings.EqualFold(exp, "all") {
+		ids = []string{strings.ToUpper(exp)}
+	}
+	if emitBench == "" {
+		if len(ids) == 0 {
+			return experiments.RunAll(cfg, os.Stdout)
+		}
+		return experiments.Run(ids[0], cfg, os.Stdout)
+	}
+	report, err := experiments.RunBench(cfg, ids, os.Stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "zombie-bench:", err)
-		os.Exit(1)
+		return err
 	}
+	f, err := os.Create(emitBench)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "zombie-bench:", err)
+	os.Exit(1)
 }

@@ -97,7 +97,10 @@ type Config struct {
 	// Reward selects the reward function.
 	Reward RewardKind
 	// RewardSubsample is the holdout subsample size used by the
-	// quality-delta reward (default 50). Ignored for RewardUsefulness.
+	// quality-delta reward (default 50; values <= 0 also fall back to the
+	// default, and a subsample at least as large as the holdout reuses the
+	// full holdout). The floor exists because an empty reward holdout
+	// would silently zero every quality-delta reward.
 	RewardSubsample int
 	// RewardScale multiplies the quality delta before clamping to [0,1]
 	// (default 20).
@@ -116,8 +119,28 @@ type Config struct {
 	EvalIncremental bool
 	// EvalEpochs is how many shuffled passes set-based evaluation trains
 	// for (default 1). SGD learners stabilize with 2-3 epochs over small
-	// collected sets; count-based learners are unaffected.
+	// collected sets; count-based learners are unaffected. Values > 1
+	// imply EvalFromScratch: multi-epoch training cannot be amortized.
 	EvalEpochs int
+	// EvalFromScratch forces the pre-amortization behavior of set-based
+	// evaluation: retrain a fresh model over every collected example at
+	// each evaluation point — O(n²) total work per run. By default the
+	// engine amortizes evaluation for learners marked
+	// learner.OrderInsensitive (the naive Bayes families): a persistent
+	// evaluation model replays only the examples collected since the
+	// previous evaluation (each delta shuffled deterministically), which
+	// is O(n) total and identical in example-set semantics. Order-
+	// sensitive learners (SGD, KNN, trees) always retrain from scratch
+	// regardless of this flag, so set it only to compare NB curves against
+	// the pre-amortization baseline.
+	EvalFromScratch bool
+	// EvalWorkers bounds the goroutines used per holdout evaluation
+	// (default 1 = sequential). Quality scores are deterministic for any
+	// worker count — see learner.(*Holdout).QualityParallel — so this is
+	// purely a latency knob for large holdouts. Leave it at 1 when many
+	// runs already execute concurrently (the experiment harness's
+	// -parallel saturates cores at the run level).
+	EvalWorkers int
 	// EarlyStop configures plateau detection.
 	EarlyStop EarlyStopConfig
 	// MaxInputs caps processed inputs; 0 means run to exhaustion (or
@@ -154,6 +177,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.EvalEpochs <= 0 {
 		c.EvalEpochs = 1
+	}
+	if c.EvalWorkers <= 0 {
+		c.EvalWorkers = 1
 	}
 	c.EarlyStop = c.EarlyStop.withDefaults()
 	return c

@@ -102,23 +102,48 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 	model := task.NewModel(task.Feature)
 	detector := stats.NewPlateauDetector(e.cfg.EarlyStop.Window, e.cfg.EarlyStop.SlopeThreshold, e.cfg.EarlyStop.Patience)
 
-	// Set-based evaluation (the default) retrains a fresh model on the
-	// examples collected so far, shuffled deterministically, so the
-	// learning curve measures the example set rather than the stream
-	// order the bandit imposed.
-	var collected []learner.Example
+	// Set-based evaluation (the default) measures the quality of the
+	// example set collected so far, independent of the stream order the
+	// bandit imposed. The amortized scheme keeps one persistent evaluation
+	// model (the "snapshot") and, at each evaluation point, replays only
+	// the examples collected since the previous evaluation in a
+	// deterministically shuffled order — O(n) total training work per run
+	// instead of the O(n²) of retraining from scratch every time. The two
+	// schemes train on identical example sets, so they are equivalent for
+	// learners whose fit is order-insensitive (the naive Bayes families the
+	// workloads use, marked by learner.OrderInsensitive); order-sensitive
+	// learners (SGD, KNN, trees) automatically keep the from-scratch full
+	// reshuffle, as do EvalFromScratch and EvalEpochs > 1 (multi-epoch
+	// training cannot be amortized).
+	_, orderInsensitive := model.(learner.OrderInsensitive)
+	fromScratch := e.cfg.EvalFromScratch || e.cfg.EvalEpochs > 1 || !orderInsensitive
+	var collected []learner.Example // every example, for from-scratch retrains
+	var pending []learner.Example   // examples not yet replayed into evalModel
+	var evalModel learner.Model
 	evalRNG := r.Split("eval")
 	evaluate := func() float64 {
 		if e.cfg.EvalIncremental {
-			return holdout.Quality(model)
+			return e.quality(holdout, model)
 		}
-		m := task.NewModel(task.Feature)
-		for epoch := 0; epoch < e.cfg.EvalEpochs; epoch++ {
-			for _, i := range evalRNG.Perm(len(collected)) {
-				m.PartialFit(collected[i])
+		if fromScratch {
+			m := task.NewModel(task.Feature)
+			for epoch := 0; epoch < e.cfg.EvalEpochs; epoch++ {
+				for _, i := range evalRNG.Perm(len(collected)) {
+					m.PartialFit(collected[i])
+				}
 			}
+			return e.quality(holdout, m)
 		}
-		return holdout.Quality(m)
+		if evalModel == nil {
+			evalModel = task.NewModel(task.Feature)
+		}
+		if len(pending) > 0 {
+			for _, i := range evalRNG.Perm(len(pending)) {
+				evalModel.PartialFit(pending[i])
+			}
+			pending = pending[:0]
+		}
+		return e.quality(holdout, evalModel)
 	}
 
 	res := &RunResult{
@@ -178,7 +203,11 @@ loop:
 			}
 			reward = e.rewardFor(extRes, model, rewardHold)
 			if !e.cfg.EvalIncremental {
-				collected = append(collected, extRes.Example)
+				if fromScratch {
+					collected = append(collected, extRes.Example)
+				} else {
+					pending = append(pending, extRes.Example)
+				}
 			}
 		}
 		src.feedback(arm, reward)
@@ -200,10 +229,12 @@ loop:
 	}
 
 	// Reuse the last in-loop evaluation when it already covers the final
-	// step: set-based evaluation shuffles, so re-evaluating the same point
-	// can return a slightly different number for order-sensitive learners.
-	// A cancelled run also reuses it — the caller asked the loop to stop,
-	// so it must not pay for one more holdout evaluation.
+	// step: from-scratch evaluation reshuffles, so re-evaluating the same
+	// point can return a slightly different number for order-sensitive
+	// learners (amortized evaluation is stable on re-evaluation, but the
+	// reuse still skips a full holdout pass). A cancelled run also reuses
+	// it — the caller asked the loop to stop, so it must not pay for one
+	// more holdout evaluation.
 	var final float64
 	if n := len(res.Curve); n > 0 && (res.Curve[n-1].Inputs == steps || stop == StopCancelled) {
 		final = res.Curve[n-1].Quality
@@ -219,6 +250,16 @@ loop:
 	res.Arms = src.arms()
 	res.Events = events
 	return res, nil
+}
+
+// quality scores a model against a holdout, fanning the prediction pass
+// out over EvalWorkers goroutines when configured. Scores are
+// deterministic for any worker count.
+func (e *Engine) quality(h *learner.Holdout, m learner.Model) float64 {
+	if e.cfg.EvalWorkers > 1 {
+		return h.QualityParallel(m, e.cfg.EvalWorkers)
+	}
+	return h.Quality(m)
 }
 
 // rewardFor computes the configured reward for a produced example. For
@@ -276,9 +317,12 @@ func safeExtract(f featurepipe.FeatureFunc, in *corpus.Input) (res featurepipe.R
 
 // subsampleHoldout returns a holdout over up to n examples sampled without
 // replacement from h, preserving metric configuration. With n >= len it
-// reuses the full example set.
+// reuses the full example set, and so does n <= 0: an empty subsample
+// would silently zero every quality-delta reward, turning the bandit into
+// a uniform sampler with no visible error (Config.RewardSubsample
+// documents the floor).
 func subsampleHoldout(h *learner.Holdout, n int, r *rng.RNG) *learner.Holdout {
-	if n >= len(h.Examples) {
+	if n <= 0 || n >= len(h.Examples) {
 		return h
 	}
 	picks := r.SampleWithoutReplacement(len(h.Examples), n)

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"testing"
+
+	"zombie/internal/corpus"
+	"zombie/internal/featurepipe"
+	"zombie/internal/index"
+	"zombie/internal/learner"
+	"zombie/internal/rng"
+)
+
+// nbWikiTask builds a wiki task backed by MultinomialNB — an
+// order-insensitive learner, so the engine's amortized set-based
+// evaluation applies.
+func nbWikiTask(t *testing.T, n int, seed int64) (*featurepipe.Task, *index.Groups) {
+	t.Helper()
+	cfg := corpus.DefaultWikiConfig()
+	cfg.N = n
+	ins, err := corpus.GenerateWiki(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := corpus.NewMemStore(ins)
+	f := featurepipe.NewWikiFeature(3)
+	task, err := featurepipe.NewTask("wiki-nb", store, f,
+		func(ff featurepipe.FeatureFunc) learner.Model {
+			return learner.NewMultinomialNB(ff.Dim(), 2, 1)
+		},
+		learner.MetricF1, 1, featurepipe.CostModel{}, featurepipe.TaskOptions{}, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	grouper := &index.KMeansGrouper{
+		Vectorizer: index.NewHashedText(128),
+		Config:     index.KMeansConfig{MaxIter: 10},
+	}
+	groups, err := grouper.Group(store, 12, rng.New(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, groups
+}
+
+// TestAmortizedEvalReproducible: the amortized evaluation path must keep
+// the engine's replay guarantee — identical config and seed, identical
+// curve.
+func TestAmortizedEvalReproducible(t *testing.T) {
+	task, groups := nbWikiTask(t, 1200, 500)
+	e := mustEngine(t, Config{Seed: 5, MaxInputs: 400})
+	a, err := e.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("curve point %d differs: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+// TestAmortizedEvalMatchesFromScratch: for an order-insensitive learner
+// the amortized scheme trains the evaluation model on exactly the example
+// set the from-scratch retrain uses, so curves agree up to floating-point
+// accumulation order.
+func TestAmortizedEvalMatchesFromScratch(t *testing.T) {
+	task, groups := nbWikiTask(t, 1200, 501)
+	amortized := mustEngine(t, Config{Seed: 9, MaxInputs: 400})
+	scratch := mustEngine(t, Config{Seed: 9, MaxInputs: 400, EvalFromScratch: true})
+	a, err := amortized.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := scratch.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Curve) != len(s.Curve) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(a.Curve), len(s.Curve))
+	}
+	for i := range a.Curve {
+		if diff := a.Curve[i].Quality - s.Curve[i].Quality; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("curve point %d: amortized %v vs from-scratch %v",
+				i, a.Curve[i].Quality, s.Curve[i].Quality)
+		}
+	}
+}
+
+// TestOrderSensitiveLearnerKeepsFromScratch: an SGD-backed task must
+// produce the same curve whether or not EvalFromScratch is set, because
+// the engine refuses to amortize order-sensitive learners.
+func TestOrderSensitiveLearnerKeepsFromScratch(t *testing.T) {
+	task, groups := wikiTask(t, 1000, 502)
+	def := mustEngine(t, Config{Seed: 3, MaxInputs: 300})
+	forced := mustEngine(t, Config{Seed: 3, MaxInputs: 300, EvalFromScratch: true})
+	a, err := def.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := forced.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("curve point %d differs: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+// TestEvalWorkersDeterministic: EvalWorkers is a latency knob only — any
+// worker count yields the identical curve.
+func TestEvalWorkersDeterministic(t *testing.T) {
+	task, groups := nbWikiTask(t, 1200, 503)
+	seq := mustEngine(t, Config{Seed: 7, MaxInputs: 300})
+	par := mustEngine(t, Config{Seed: 7, MaxInputs: 300, EvalWorkers: 8})
+	a, err := seq.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Curve) != len(b.Curve) {
+		t.Fatalf("curve lengths differ: %d vs %d", len(a.Curve), len(b.Curve))
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			t.Fatalf("curve point %d differs: %+v vs %+v", i, a.Curve[i], b.Curve[i])
+		}
+	}
+}
+
+// TestSubsampleHoldoutGuards: n <= 0 and n >= len both reuse the full
+// holdout instead of producing an empty (reward-zeroing) subsample.
+func TestSubsampleHoldoutGuards(t *testing.T) {
+	examples := make([]learner.Example, 20)
+	for i := range examples {
+		examples[i] = learner.Example{
+			Features: learner.DenseVec([]float64{float64(i)}),
+			Class:    i % 2,
+		}
+	}
+	h := learner.NewHoldout(examples, learner.MetricF1, 1)
+	for _, n := range []int{0, -5, 20, 100} {
+		if got := subsampleHoldout(h, n, rng.New(1)); got != h {
+			t.Fatalf("n=%d: expected full holdout reuse, got %d examples", n, len(got.Examples))
+		}
+	}
+	sub := subsampleHoldout(h, 5, rng.New(1))
+	if sub == h || len(sub.Examples) != 5 {
+		t.Fatalf("n=5: expected fresh 5-example subsample, got %d (reused=%v)",
+			len(sub.Examples), sub == h)
+	}
+	if sub.Metric != h.Metric || sub.Positive != h.Positive {
+		t.Fatal("subsample must preserve metric configuration")
+	}
+}

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+)
+
+// BenchEntry records one experiment's timing inside a benchmark run.
+type BenchEntry struct {
+	ID          string  `json:"id"`
+	Title       string  `json:"title"`
+	WallSeconds float64 `json:"wall_seconds"`
+	OutputBytes int     `json:"output_bytes"`
+	// SequentialWallSeconds and Speedup are filled when the bench also ran
+	// the sequential baseline (Parallel > 1): Speedup is sequential wall
+	// over parallel wall.
+	SequentialWallSeconds float64 `json:"sequential_wall_seconds,omitempty"`
+	Speedup               float64 `json:"speedup,omitempty"`
+	// ByteIdentical reports whether the parallel output matched the
+	// sequential baseline byte for byte; nil when no baseline ran.
+	ByteIdentical *bool `json:"byte_identical,omitempty"`
+}
+
+// BenchReport is the machine-readable result of a zombie-bench timing run
+// — the regression artifact CI diffs between commits.
+type BenchReport struct {
+	Scale        float64      `json:"scale"`
+	Seed         int64        `json:"seed"`
+	Parallel     int          `json:"parallel"`
+	GOMAXPROCS   int          `json:"gomaxprocs"`
+	Experiments  []BenchEntry `json:"experiments"`
+	TotalSeconds float64      `json:"total_seconds"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RunBench executes the given experiments (all when ids is empty), timing
+// each one, writing their normal output to w, and returning the timing
+// report. With cfg.Parallel > 1 each experiment additionally re-runs at
+// Parallel = 1 to measure speedup-vs-sequential and to check the
+// determinism contract: the report records whether the two outputs matched
+// byte for byte. Experiments that print measured wall-clock values (T3 and
+// T4 include index build times) legitimately differ between any two runs,
+// so a false there is expected; the strict assertions live in the test
+// suite, which compares the wall-clock-free experiments (T2, F1).
+func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
+	cfg = cfg.withDefaults()
+	if len(ids) == 0 {
+		ids = IDs()
+	}
+	report := &BenchReport{
+		Scale:      cfg.Scale,
+		Seed:       cfg.Seed,
+		Parallel:   cfg.Parallel,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	total := time.Now()
+	for _, id := range ids {
+		if Title(id) == "" {
+			return nil, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+		}
+		var out bytes.Buffer
+		start := time.Now()
+		if err := Run(id, cfg, &out); err != nil {
+			return nil, fmt.Errorf("experiments: bench %s: %w", id, err)
+		}
+		entry := BenchEntry{
+			ID:          id,
+			Title:       Title(id),
+			WallSeconds: time.Since(start).Seconds(),
+			OutputBytes: out.Len(),
+		}
+		if cfg.Parallel > 1 {
+			seqCfg := cfg
+			seqCfg.Parallel = 1
+			var seqOut bytes.Buffer
+			seqStart := time.Now()
+			if err := Run(id, seqCfg, &seqOut); err != nil {
+				return nil, fmt.Errorf("experiments: bench %s (sequential baseline): %w", id, err)
+			}
+			entry.SequentialWallSeconds = time.Since(seqStart).Seconds()
+			if entry.WallSeconds > 0 {
+				entry.Speedup = entry.SequentialWallSeconds / entry.WallSeconds
+			}
+			identical := bytes.Equal(out.Bytes(), seqOut.Bytes())
+			entry.ByteIdentical = &identical
+		}
+		report.Experiments = append(report.Experiments, entry)
+		if _, err := w.Write(out.Bytes()); err != nil {
+			return nil, err
+		}
+	}
+	report.TotalSeconds = time.Since(total).Seconds()
+	return report, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunBenchSequential: a Parallel=1 bench times each experiment and
+// omits the baseline fields.
+func TestRunBenchSequential(t *testing.T) {
+	var out bytes.Buffer
+	report, err := RunBench(tiny, []string{"T1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Experiments) != 1 {
+		t.Fatalf("entries = %d", len(report.Experiments))
+	}
+	e := report.Experiments[0]
+	if e.ID != "T1" || e.WallSeconds <= 0 || e.OutputBytes != out.Len() {
+		t.Fatalf("entry malformed: %+v (output %d bytes)", e, out.Len())
+	}
+	if e.ByteIdentical != nil || e.SequentialWallSeconds != 0 {
+		t.Fatalf("sequential bench must not carry baseline fields: %+v", e)
+	}
+	if !strings.Contains(out.String(), "=== T1") {
+		t.Fatal("experiment output missing from writer")
+	}
+}
+
+// TestRunBenchParallelBaseline: with Parallel > 1 the bench re-runs the
+// sequential baseline and checks byte identity (T2 has no wall-clock
+// columns, so it must match).
+func TestRunBenchParallelBaseline(t *testing.T) {
+	cfg := tiny
+	cfg.Parallel = 4
+	var out bytes.Buffer
+	report, err := RunBench(cfg, []string{"T2"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := report.Experiments[0]
+	if e.SequentialWallSeconds <= 0 || e.Speedup <= 0 {
+		t.Fatalf("baseline fields missing: %+v", e)
+	}
+	if e.ByteIdentical == nil || !*e.ByteIdentical {
+		t.Fatalf("T2 must be byte-identical across worker counts: %+v", e)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var round BenchReport
+	if err := json.Unmarshal(buf.Bytes(), &round); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if round.Parallel != 4 || len(round.Experiments) != 1 {
+		t.Fatalf("round-trip mismatch: %+v", round)
+	}
+}
+
+// TestRunBenchUnknownID rejects ids the registry does not know.
+func TestRunBenchUnknownID(t *testing.T) {
+	if _, err := RunBench(tiny, []string{"T9"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"zombie/internal/bandit"
 	"zombie/internal/core"
 	"zombie/internal/index"
+	"zombie/internal/parallel"
 )
 
 // comparison is the time-to-quality contest between the random-scan
@@ -108,21 +109,21 @@ func compareToTarget(w *Workload, groups *index.Groups, policy bandit.Spec, targ
 	return c, nil
 }
 
-// compareMedian repeats compareToTarget over `trials` seeds and returns
-// the trial with the median input-speedup. Time-to-quality crossings are
-// noisy near flat curve regions; the median trial is what the tables
-// report.
-func compareMedian(w *Workload, groups *index.Groups, policy bandit.Spec, targetFrac float64, seed int64, trials int, mutate func(*core.Config)) (*comparison, error) {
+// compareMedian repeats compareToTarget over `trials` seeds — concurrently
+// up to workers — and returns the trial with the median input-speedup.
+// Time-to-quality crossings are noisy near flat curve regions; the median
+// trial is what the tables report. Each trial's seed is a function of its
+// index and the runs sort by speedup after all complete, so the median is
+// identical for any worker count.
+func compareMedian(w *Workload, groups *index.Groups, policy bandit.Spec, targetFrac float64, seed int64, trials, workers int, mutate func(*core.Config)) (*comparison, error) {
 	if trials < 1 {
 		trials = 1
 	}
-	runs := make([]*comparison, 0, trials)
-	for i := 0; i < trials; i++ {
-		c, err := compareToTarget(w, groups, policy, targetFrac, seed+int64(1000*i), mutate)
-		if err != nil {
-			return nil, err
-		}
-		runs = append(runs, c)
+	runs, err := parallel.MapErr(workers, trials, func(i int) (*comparison, error) {
+		return compareToTarget(w, groups, policy, targetFrac, seed+int64(1000*i), mutate)
+	})
+	if err != nil {
+		return nil, err
 	}
 	sort.Slice(runs, func(a, b int) bool { return runs[a].SpeedupInputs() < runs[b].SpeedupInputs() })
 	return runs[len(runs)/2], nil

@@ -114,7 +114,7 @@ func TestCompareMedianOrdering(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, 102, 3, nil)
+	c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, 102, 3, 1, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -140,7 +140,7 @@ func TestBuildNamedGroupsAll(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, strat := range []string{"default", "kmeans-text", "kmeans-tfidf", "attribute:category", "hash", "random", "oracle"} {
-		g, err := buildNamedGroups(wl, strat, 6, 7)
+		g, err := buildNamedGroups(wl, strat, 6, 7, 1)
 		if err != nil {
 			t.Fatalf("%s: %v", strat, err)
 		}
@@ -148,18 +148,18 @@ func TestBuildNamedGroupsAll(t *testing.T) {
 			t.Fatalf("%s: %v", strat, err)
 		}
 	}
-	if _, err := buildNamedGroups(wl, "bogus", 6, 7); err == nil {
+	if _, err := buildNamedGroups(wl, "bogus", 6, 7, 1); err == nil {
 		t.Fatal("unknown strategy should fail")
 	}
 	// kmeans-numeric over a text corpus fails.
-	if _, err := buildNamedGroups(wl, "kmeans-numeric", 6, 7); err == nil {
+	if _, err := buildNamedGroups(wl, "kmeans-numeric", 6, 7, 1); err == nil {
 		t.Fatal("kmeans-numeric over text should fail")
 	}
 	img, err := ImageWorkload(tiny)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := buildNamedGroups(img, "kmeans-numeric", 6, 7); err != nil {
+	if _, err := buildNamedGroups(img, "kmeans-numeric", 6, 7, 1); err != nil {
 		t.Fatalf("kmeans-numeric over images: %v", err)
 	}
 }
@@ -350,5 +350,26 @@ func TestUsefulFractionBands(t *testing.T) {
 			t.Fatalf("%s: useful fraction %v outside [%v, %v]", wl.Task.Name, got, tc.lo, tc.hi)
 		}
 		_ = corpus.ComputeStats(wl.Store)
+	}
+}
+
+// TestParallelOutputByteIdentical is the harness's determinism contract:
+// cfg.Parallel is a wall-clock knob only, so T2 (tables) and F1 (series)
+// must render byte-for-byte identically however many workers run.
+func TestParallelOutputByteIdentical(t *testing.T) {
+	for _, id := range []string{"T2", "F1"} {
+		var seq, par bytes.Buffer
+		if err := Run(id, tiny, &seq); err != nil {
+			t.Fatalf("%s sequential: %v", id, err)
+		}
+		cfg := tiny
+		cfg.Parallel = 8
+		if err := Run(id, cfg, &par); err != nil {
+			t.Fatalf("%s parallel: %v", id, err)
+		}
+		if seq.String() != par.String() {
+			t.Fatalf("%s differs between -parallel 1 and -parallel 8:\n--- sequential ---\n%s\n--- parallel ---\n%s",
+				id, seq.String(), par.String())
+		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 
 	"zombie/internal/bandit"
 	"zombie/internal/core"
+	"zombie/internal/parallel"
 	"zombie/internal/trace"
 )
 
@@ -22,23 +23,31 @@ func F1LearningCurves(cfg Config, w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "=== F1: Learning curves (quality vs inputs processed) ==="); err != nil {
 		return err
 	}
-	for _, wl := range workloads {
+	strategies := []string{"zombie", "scan-random", "scan-sequential", "oracle"}
+	// Every (workload, strategy) run is independent; fan them all out and
+	// emit the series in the original nested order.
+	perWorkload, err := parallel.MapErr(cfg.Parallel, len(workloads), func(i int) ([]*trace.Series, error) {
+		wl := workloads[i]
 		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		var series []*trace.Series
-		for _, strategy := range []string{"zombie", "scan-random", "scan-sequential", "oracle"} {
-			res, err := runStrategy(wl, groups, strategy, "eps-greedy:0.1", cfg.Seed+2, nil)
+		return parallel.MapErr(cfg.Parallel, len(strategies), func(j int) (*trace.Series, error) {
+			res, err := runStrategy(wl, groups, strategies[j], "eps-greedy:0.1", cfg.Seed+2, nil)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			s := &trace.Series{Name: wl.Task.Name + "/" + strategy}
+			s := &trace.Series{Name: wl.Task.Name + "/" + strategies[j]}
 			for _, p := range downsampleCurve(res.Curve, 40) {
 				s.AddPoint(float64(p.Inputs), p.Quality)
 			}
-			series = append(series, s)
-		}
+			return s, nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for _, series := range perWorkload {
 		if err := trace.WriteSeriesCSV(w, series...); err != nil {
 			return err
 		}
@@ -74,23 +83,32 @@ func F2GroupCount(cfg Config, w io.Writer) error {
 		Title:  "Speedup vs number of index groups (wiki task)",
 		Header: []string{"k", "zombie-inputs", "scan-inputs", "speedup", "useful-rate"},
 	}
+	var ks []int
 	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		if k > len(wl.Task.PoolIdx) {
-			continue
+		if k <= len(wl.Task.PoolIdx) {
+			ks = append(ks, k)
 		}
+	}
+	rows, err := parallel.MapErr(cfg.Parallel, len(ks), func(i int) ([]string, error) {
+		k := ks[i]
 		groups, err := wl.Groups(k, cfg.Seed+int64(k))
 		if err != nil {
-			return err
+			return nil, err
 		}
-		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, nil)
+		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, cfg.Parallel, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !c.ScanReached || !c.ZombieReached {
-			table.AddRow(d(k), "n/a", "n/a", "n/a", f(c.Zombie.UsefulRate()))
-			continue
+			return []string{d(k), "n/a", "n/a", "n/a", f(c.Zombie.UsefulRate())}, nil
 		}
-		table.AddRow(d(k), d(c.ZombieInputs), d(c.ScanInputs), spd(c.SpeedupInputs()), f(c.Zombie.UsefulRate()))
+		return []string{d(k), d(c.ZombieInputs), d(c.ScanInputs), spd(c.SpeedupInputs()), f(c.Zombie.UsefulRate())}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		"median of 3 trials per k",
@@ -115,19 +133,21 @@ func F3Policies(cfg Config, w io.Writer) error {
 		Title:  "Bandit policy comparison (image task)",
 		Header: []string{"policy", "inputs-to-target", "speedup-vs-scan", "useful-rate", "final-q"},
 	}
-	// One shared scan reference.
+	// One shared scan reference; every policy row depends on it, so it
+	// must complete before the fan-out.
 	ref, err := compareToTarget(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, nil)
 	if err != nil {
 		return err
 	}
-	for _, spec := range []bandit.Spec{
+	specs := []bandit.Spec{
 		"greedy", "eps-greedy:0.05", "eps-greedy:0.1", "eps-greedy:0.2",
 		"eps-decay:0.5:0.01", "ucb1:1", "thompson", "softmax:0.1",
 		"exp3:0.1", "round-robin", "random",
-	} {
-		res, err := runStrategy(wl, groups, "zombie", spec, cfg.Seed+2, nil)
+	}
+	rows, err := parallel.MapErr(cfg.Parallel, len(specs), func(i int) ([]string, error) {
+		res, err := runStrategy(wl, groups, "zombie", specs[i], cfg.Seed+2, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inputs, _, reached := res.InputsToQuality(ref.Target)
 		speedup := "n/a"
@@ -136,7 +156,13 @@ func F3Policies(cfg Config, w io.Writer) error {
 			speedup = spd(float64(ref.ScanInputs) / float64(inputs))
 			inputsCell = d(inputs)
 		}
-		table.AddRow(string(spec), inputsCell, speedup, f(res.UsefulRate()), f(res.FinalQuality))
+		return []string{string(specs[i]), inputsCell, speedup, f(res.UsefulRate()), f(res.FinalQuality)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.AddRow("scan-random (baseline)", d(ref.ScanInputs), "1.00x", f(ref.Scan.UsefulRate()), f(ref.Scan.FinalQuality))
 	table.Notes = append(table.Notes,
@@ -157,23 +183,25 @@ func F4Rewards(cfg Config, w io.Writer) error {
 		Title:  "Reward-function ablation",
 		Header: []string{"task", "reward", "inputs-to-target", "speedup-vs-scan", "useful-rate"},
 	}
-	for _, wl := range workloads {
+	rewards := []core.RewardKind{core.RewardUsefulness, core.RewardQualityDelta, core.RewardHybrid}
+	perWorkload, err := parallel.MapErr(cfg.Parallel, len(workloads), func(i int) ([][]string, error) {
+		wl := workloads[i]
 		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		ref, err := compareToTarget(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		for _, reward := range []core.RewardKind{core.RewardUsefulness, core.RewardQualityDelta, core.RewardHybrid} {
-			reward := reward
+		return parallel.MapErr(cfg.Parallel, len(rewards), func(j int) ([]string, error) {
+			reward := rewards[j]
 			res, err := runStrategy(wl, groups, "zombie", "eps-greedy:0.1", cfg.Seed+2, func(c *core.Config) {
 				c.Reward = reward
 				c.RewardSubsample = 40
 			})
 			if err != nil {
-				return err
+				return nil, err
 			}
 			inputs, _, reached := res.InputsToQuality(ref.Target)
 			cell, speed := "n/a", "n/a"
@@ -181,7 +209,15 @@ func F4Rewards(cfg Config, w io.Writer) error {
 				cell = d(inputs)
 				speed = spd(float64(ref.ScanInputs) / float64(inputs))
 			}
-			table.AddRow(wl.Task.Name, reward.String(), cell, speed, f(res.UsefulRate()))
+			return []string{wl.Task.Name, reward.String(), cell, speed, f(res.UsefulRate())}, nil
+		})
+	})
+	if err != nil {
+		return err
+	}
+	for _, rows := range perWorkload {
+		for _, row := range rows {
+			table.AddRow(row...)
 		}
 	}
 	table.Notes = append(table.Notes,
@@ -211,8 +247,9 @@ func F5EarlyStop(cfg Config, w io.Writer) error {
 		Header: []string{"slope-threshold", "inputs", "saved%", "quality", "quality-loss", "stop"},
 	}
 	table.AddRow("disabled", d(full.InputsProcessed), "0.0%", f(full.FinalQuality), "0.000", full.Stop.String())
-	for _, th := range []float64{0.0005, 0.001, 0.002, 0.004, 0.008} {
-		th := th
+	thresholds := []float64{0.0005, 0.001, 0.002, 0.004, 0.008}
+	rows, err := parallel.MapErr(cfg.Parallel, len(thresholds), func(i int) ([]string, error) {
+		th := thresholds[i]
 		res, err := runStrategy(wl, groups, "zombie", "eps-greedy:0.1", cfg.Seed+2, func(c *core.Config) {
 			c.EarlyStop = core.EarlyStopConfig{
 				Enabled:        true,
@@ -223,17 +260,23 @@ func F5EarlyStop(cfg Config, w io.Writer) error {
 			}
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		saved := 100 * (1 - float64(res.InputsProcessed)/float64(full.InputsProcessed))
-		table.AddRow(
+		return []string{
 			fmt.Sprintf("%.4f", th),
 			d(res.InputsProcessed),
 			fmt.Sprintf("%.1f%%", saved),
 			f(res.FinalQuality),
-			f(full.FinalQuality-res.FinalQuality),
+			f(full.FinalQuality - res.FinalQuality),
 			res.Stop.String(),
-		)
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		"expected shape: mild thresholds save most of the corpus at <1-2% quality loss")
@@ -258,31 +301,40 @@ func F6Indexing(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ref, err := compareMedian(wl, groupsDefault, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, nil)
+	ref, err := compareMedian(wl, groupsDefault, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, cfg.Parallel, nil)
 	if err != nil {
 		return err
 	}
-	for _, strat := range []string{"kmeans-text", "kmeans-tfidf", "lsh-text", "attribute:category", "hash", "random", "oracle"} {
-		groups, err := buildNamedGroups(wl, strat, wl.DefaultK, cfg.Seed+1)
+	strats := []string{"kmeans-text", "kmeans-tfidf", "lsh-text", "attribute:category", "hash", "random", "oracle"}
+	rows, err := parallel.MapErr(cfg.Parallel, len(strats), func(i int) ([]string, error) {
+		strat := strats[i]
+		groups, err := buildNamedGroups(wl, strat, wl.DefaultK, cfg.Seed+1, cfg.Parallel)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Median of 3 trials per strategy: time-to-quality crossings are
-		// noisy near flat curve regions.
-		var inputsTrials []int
-		var rate float64
-		for trial := 0; trial < 3; trial++ {
-			res, err := runStrategy(wl, groups, "zombie", "eps-greedy:0.1", cfg.Seed+2+int64(1000*trial), nil)
+		// noisy near flat curve regions. The last trial's useful-rate is
+		// reported, matching the sequential loop.
+		type trial struct {
+			inputs int
+			rate   float64
+		}
+		trials, err := parallel.MapErr(cfg.Parallel, 3, func(t int) (trial, error) {
+			res, err := runStrategy(wl, groups, "zombie", "eps-greedy:0.1", cfg.Seed+2+int64(1000*t), nil)
 			if err != nil {
-				return err
+				return trial{}, err
 			}
 			inputs, _, reached := res.InputsToQuality(ref.Target)
 			if !reached {
 				inputs = res.InputsProcessed // cap at the full pool
 			}
-			inputsTrials = append(inputsTrials, inputs)
-			rate = res.UsefulRate()
+			return trial{inputs: inputs, rate: res.UsefulRate()}, nil
+		})
+		if err != nil {
+			return nil, err
 		}
+		inputsTrials := []int{trials[0].inputs, trials[1].inputs, trials[2].inputs}
+		rate := trials[2].rate
 		sort.Ints(inputsTrials)
 		inputs := inputsTrials[1]
 		cell, speed := "n/a", "n/a"
@@ -290,7 +342,13 @@ func F6Indexing(cfg Config, w io.Writer) error {
 			cell = d(inputs)
 			speed = spd(float64(ref.ScanInputs) / float64(inputs))
 		}
-		table.AddRow(strat, cell, speed, f(rate))
+		return []string{strat, cell, speed, f(rate)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.AddRow("scan-random (baseline)", d(ref.ScanInputs), "1.00x", f(ref.Scan.UsefulRate()))
 	table.Notes = append(table.Notes,
@@ -338,13 +396,13 @@ func F7Nonstationary(cfg Config, w io.Writer) error {
 		{"sw-ucb-200", "sw-ucb:200:1", bandit.StatsConfig{}},
 		{"d-ucb-0.99", "d-ucb:0.99:1", bandit.StatsConfig{}},
 	}
-	for _, v := range variants {
-		v := v
+	rows, err := parallel.MapErr(cfg.Parallel, len(variants), func(i int) ([]string, error) {
+		v := variants[i]
 		res, err := runStrategy(wl, groups, "zombie", v.policy, cfg.Seed+2, func(c *core.Config) {
 			c.PolicyStats = v.cfg
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		inputs, _, reached := res.InputsToQuality(ref.Target)
 		cell, speed := "n/a", "n/a"
@@ -352,7 +410,13 @@ func F7Nonstationary(cfg Config, w io.Writer) error {
 			cell = d(inputs)
 			speed = spd(float64(ref.ScanInputs) / float64(inputs))
 		}
-		table.AddRow(v.name, cell, speed, f(res.UsefulRate()), f(res.FinalQuality))
+		return []string{v.name, cell, speed, f(res.UsefulRate()), f(res.FinalQuality)}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		"groups deplete as the run progresses, so an arm's payoff is nonstationary by construction")

@@ -1,28 +1,32 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"sort"
 
 	"zombie/internal/index"
+	"zombie/internal/parallel"
 	"zombie/internal/rng"
 )
 
 // buildNamedGroups builds groups for a workload with a named strategy;
 // used by the indexing ablation. "default" uses the workload's grouper.
-func buildNamedGroups(wl *Workload, strategy string, k int, seed int64) (*index.Groups, error) {
+// workers bounds the goroutines the k-means and tf-idf builds may use;
+// the built groups are identical for any count.
+func buildNamedGroups(wl *Workload, strategy string, k int, seed int64, workers int) (*index.Groups, error) {
 	r := rng.New(seed)
 	switch strategy {
 	case "default":
 		return wl.Groups(k, seed)
 	case "kmeans-text":
-		g := &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25}}
+		g := &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25, Workers: workers}}
 		return g.Group(wl.Store, k, r)
 	case "kmeans-tfidf":
 		tfidf := index.NewTFIDF(256)
-		tfidf.Fit(wl.Store)
-		g := &index.KMeansGrouper{Vectorizer: tfidf, Config: index.KMeansConfig{MaxIter: 25}}
+		tfidf.FitParallel(wl.Store, workers)
+		g := &index.KMeansGrouper{Vectorizer: tfidf, Config: index.KMeansConfig{MaxIter: 25, Workers: workers}}
 		return g.Group(wl.Store, k, r)
 	case "lsh-text":
 		g := &index.LSHGrouper{Vectorizer: index.NewHashedText(256)}
@@ -40,7 +44,7 @@ func buildNamedGroups(wl *Workload, strategy string, k int, seed int64) (*index.
 		}
 		v := index.NewNumeric(dim)
 		v.FitStandardize(wl.Store)
-		g := &index.KMeansGrouper{Vectorizer: v, Config: index.KMeansConfig{MaxIter: 25}}
+		g := &index.KMeansGrouper{Vectorizer: v, Config: index.KMeansConfig{MaxIter: 25, Workers: workers}}
 		return g.Group(wl.Store, k, r)
 	case "hash":
 		return index.HashGrouper{}.Group(wl.Store, k, r)
@@ -100,11 +104,29 @@ func Run(id string, cfg Config, w io.Writer) error {
 	return entry.Run(cfg, w)
 }
 
-// RunAll executes every experiment in order.
+// RunAll executes every experiment. With cfg.Parallel > 1 the experiments
+// compute concurrently, each into a private buffer; buffers flush to w in
+// ID order after all complete, so the combined output is byte-identical to
+// the sequential run. On error the experiments that finished cleanly are
+// still flushed (in order, up to the first failure) before the error
+// returns — matching what a sequential run would have written.
 func RunAll(cfg Config, w io.Writer) error {
-	for _, id := range IDs() {
-		if err := Run(id, cfg, w); err != nil {
-			return fmt.Errorf("experiments: %s: %w", id, err)
+	cfg = cfg.withDefaults()
+	ids := IDs()
+	type outcome struct {
+		buf bytes.Buffer
+		err error
+	}
+	outs := make([]outcome, len(ids))
+	parallel.ForEach(cfg.Parallel, len(ids), func(i int) {
+		outs[i].err = Run(ids[i], cfg, &outs[i].buf)
+	})
+	for i, id := range ids {
+		if outs[i].err != nil {
+			return fmt.Errorf("experiments: %s: %w", id, outs[i].err)
+		}
+		if _, err := w.Write(outs[i].buf.Bytes()); err != nil {
+			return err
 		}
 	}
 	return nil

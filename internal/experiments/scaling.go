@@ -3,6 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+
+	"zombie/internal/parallel"
 )
 
 // F8Scaling is an extension experiment beyond the paper's figures: Zombie's
@@ -18,32 +20,38 @@ func F8Scaling(cfg Config, w io.Writer) error {
 		Title:  "Speedup vs corpus size (image task; extension)",
 		Header: []string{"corpus-n", "target-q", "scan-inputs", "zombie-inputs", "speedup"},
 	}
-	for _, frac := range []float64{0.125, 0.25, 0.5, 1.0} {
+	fracs := []float64{0.125, 0.25, 0.5, 1.0}
+	rows, err := parallel.MapErr(cfg.Parallel, len(fracs), func(i int) ([]string, error) {
 		sub := cfg
-		sub.Scale = cfg.Scale * frac
+		sub.Scale = cfg.Scale * fracs[i]
 		wl, err := ImageWorkload(sub)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, nil)
+		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, cfg.Parallel, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !c.ScanReached || !c.ZombieReached {
-			table.AddRow(d(wl.Store.Len()), f(c.Target), "n/a", "n/a", "n/a")
-			continue
+			return []string{d(wl.Store.Len()), f(c.Target), "n/a", "n/a", "n/a"}, nil
 		}
-		table.AddRow(
+		return []string{
 			d(wl.Store.Len()),
 			f(c.Target),
 			d(c.ScanInputs),
 			d(c.ZombieInputs),
 			spd(c.SpeedupInputs()),
-		)
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		fmt.Sprintf("fractions of the configured scale (%.2f); corpus floor is 400 inputs", cfg.Scale),

@@ -8,6 +8,7 @@ import (
 	"zombie/internal/core"
 	"zombie/internal/corpus"
 	"zombie/internal/featurepipe"
+	"zombie/internal/parallel"
 )
 
 // T1DatasetStats reproduces the dataset-statistics table: corpus sizes,
@@ -23,12 +24,13 @@ func T1DatasetStats(cfg Config, w io.Writer) error {
 		Title:  "Dataset statistics",
 		Header: []string{"task", "inputs", "pool", "holdout", "useful%", "mean-bytes", "k", "min-group", "max-group"},
 	}
-	for _, wl := range workloads {
+	rows, err := parallel.MapErr(cfg.Parallel, len(workloads), func(i int) ([]string, error) {
+		wl := workloads[i]
 		st := corpus.ComputeStats(wl.Store)
 		useful := usefulFraction(wl)
 		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		sizes := groups.Sizes()
 		min, max := sizes[0], sizes[0]
@@ -40,7 +42,7 @@ func T1DatasetStats(cfg Config, w io.Writer) error {
 				max = s
 			}
 		}
-		table.AddRow(
+		return []string{
 			wl.Task.Name,
 			d(st.Inputs),
 			d(len(wl.Task.PoolIdx)),
@@ -50,7 +52,13 @@ func T1DatasetStats(cfg Config, w io.Writer) error {
 			d(wl.DefaultK),
 			d(min),
 			d(max),
-		)
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		"useful% is the ground-truth rate of inputs the task's reward marks useful",
@@ -93,20 +101,20 @@ func T2Headline(cfg Config, w io.Writer) error {
 		Header: []string{"task", "target-q", "scan-inputs", "zombie-inputs", "speedup",
 			"scan-time", "zombie-time", "time-speedup"},
 	}
-	for _, wl := range workloads {
+	rows, err := parallel.MapErr(cfg.Parallel, len(workloads), func(i int) ([]string, error) {
+		wl := workloads[i]
 		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, nil)
+		c, err := compareMedian(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, 3, cfg.Parallel, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !c.ScanReached || !c.ZombieReached {
-			table.AddRow(wl.Task.Name, f(c.Target), "n/a", "n/a", "n/a", "n/a", "n/a", "n/a")
-			continue
+			return []string{wl.Task.Name, f(c.Target), "n/a", "n/a", "n/a", "n/a", "n/a", "n/a"}, nil
 		}
-		table.AddRow(
+		return []string{
 			wl.Task.Name,
 			f(c.Target),
 			d(c.ScanInputs),
@@ -115,7 +123,13 @@ func T2Headline(cfg Config, w io.Writer) error {
 			c.ScanSim.Round(time.Second).String(),
 			c.ZombieSim.Round(time.Second).String(),
 			spd(c.SpeedupSim()),
-		)
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		"policy eps-greedy(0.1), per-task default reward, k=32 k-means groups, median of 3 trials",
@@ -150,14 +164,18 @@ func T3Session(cfg Config, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	zombie, err := eng.RunSession(session, wl.Task, groups, true)
+	// The two sessions are independent (the engine is immutable and each
+	// run derives its own RNG substreams), so they can race.
+	sessions, err := parallel.MapErr(cfg.Parallel, 2, func(i int) (*core.SessionResult, error) {
+		if i == 0 {
+			return eng.RunSession(session, wl.Task, groups, true)
+		}
+		return eng.RunSession(session, wl.Task, nil, false)
+	})
 	if err != nil {
 		return err
 	}
-	scan, err := eng.RunSession(session, wl.Task, nil, false)
-	if err != nil {
-		return err
-	}
+	zombie, scan := sessions[0], sessions[1]
 	table := &Table{
 		ID:     "T3",
 		Title:  "End-to-end engineering session (8 feature versions, wiki task)",
@@ -203,10 +221,11 @@ func T4IndexCost(cfg Config, w io.Writer) error {
 		Header: []string{"task", "index-wall", "index-sim", "per-run-savings",
 			"break-even-runs"},
 	}
-	for _, wl := range workloads {
+	rows, err := parallel.MapErr(cfg.Parallel, len(workloads), func(i int) ([]string, error) {
+		wl := workloads[i]
 		groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Simulated index cost: one cheap pass over the corpus at 2% of
 		// the task's per-input feature cost (index features avoid the
@@ -214,12 +233,11 @@ func T4IndexCost(cfg Config, w io.Writer) error {
 		simIndex := time.Duration(float64(wl.Task.Cost.PerInput) * 0.02 * float64(wl.Store.Len()))
 		c, err := compareToTarget(wl, groups, "eps-greedy:0.1", wl.QualityTarget, cfg.Seed+2, nil)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if !c.ScanReached || !c.ZombieReached {
-			table.AddRow(wl.Task.Name, groups.BuildTime.Round(time.Millisecond).String(),
-				simIndex.Round(time.Second).String(), "n/a", "n/a")
-			continue
+			return []string{wl.Task.Name, groups.BuildTime.Round(time.Millisecond).String(),
+				simIndex.Round(time.Second).String(), "n/a", "n/a"}, nil
 		}
 		savings := c.ScanSim - c.ZombieSim
 		breakEven := "immediate"
@@ -230,13 +248,19 @@ func T4IndexCost(cfg Config, w io.Writer) error {
 		} else {
 			breakEven = "1"
 		}
-		table.AddRow(
+		return []string{
 			wl.Task.Name,
 			groups.BuildTime.Round(time.Millisecond).String(),
 			simIndex.Round(time.Second).String(),
 			savings.Round(time.Second).String(),
 			breakEven,
-		)
+		}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.Notes = append(table.Notes,
 		"index-wall is measured wall-clock for k-means over the corpus",

@@ -10,6 +10,7 @@ import (
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/learner"
+	"zombie/internal/parallel"
 	"zombie/internal/rng"
 )
 
@@ -18,6 +19,12 @@ import (
 type Config struct {
 	Scale float64
 	Seed  int64
+	// Parallel bounds the concurrent runs (and index-build workers) each
+	// experiment may use; <= 0 and 1 both run sequentially. Every run
+	// derives its randomness from explicit seeds and results merge in
+	// submission order, so the emitted tables and series are byte-identical
+	// for any value — the knob only changes wall-clock time.
+	Parallel int
 }
 
 func (c Config) withDefaults() Config {
@@ -26,6 +33,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 20160516 // the paper's publication date
+	}
+	if c.Parallel <= 0 {
+		c.Parallel = 1
 	}
 	return c
 }
@@ -105,7 +115,7 @@ func WikiWorkload(cfg Config) (*Workload, error) {
 		Task:          task,
 		Store:         store,
 		DefaultK:      32,
-		Grouper:       &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25}},
+		Grouper:       &index.KMeansGrouper{Vectorizer: index.NewHashedText(256), Config: index.KMeansConfig{MaxIter: 25, Workers: cfg.Parallel}},
 		QualityTarget: 0.95,
 	}, nil
 }
@@ -147,7 +157,7 @@ func SongWorkload(cfg Config) (*Workload, error) {
 		Task:          task,
 		Store:         store,
 		DefaultK:      32,
-		Grouper:       &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}},
+		Grouper:       &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25, Workers: cfg.Parallel}},
 		QualityTarget: 0.95,
 		Reward:        core.RewardUsefulness,
 		Policy:        "eps-decay:0.9:0.002",
@@ -187,24 +197,29 @@ func ImageWorkload(cfg Config) (*Workload, error) {
 		Task:          task,
 		Store:         store,
 		DefaultK:      32,
-		Grouper:       &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25}},
+		Grouper:       &index.KMeansGrouper{Vectorizer: numeric, Config: index.KMeansConfig{MaxIter: 25, Workers: cfg.Parallel}},
 		QualityTarget: 0.95,
 	}, nil
 }
 
-// AllWorkloads builds the three evaluation tasks.
+// AllWorkloads builds the three evaluation tasks, concurrently when
+// cfg.Parallel allows. Each builder seeds its own RNG substreams, so the
+// workloads are identical however they are scheduled.
 func AllWorkloads(cfg Config) ([]*Workload, error) {
-	wiki, err := WikiWorkload(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: wiki workload: %w", err)
+	cfg = cfg.withDefaults()
+	builders := []struct {
+		name  string
+		build func(Config) (*Workload, error)
+	}{
+		{"wiki", WikiWorkload},
+		{"song", SongWorkload},
+		{"image", ImageWorkload},
 	}
-	songs, err := SongWorkload(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: song workload: %w", err)
-	}
-	image, err := ImageWorkload(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: image workload: %w", err)
-	}
-	return []*Workload{wiki, songs, image}, nil
+	return parallel.MapErr(cfg.Parallel, len(builders), func(i int) (*Workload, error) {
+		wl, err := builders[i].build(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s workload: %w", builders[i].name, err)
+		}
+		return wl, nil
+	})
 }

@@ -1,0 +1,39 @@
+package index
+
+import (
+	"testing"
+
+	"zombie/internal/parallel"
+	"zombie/internal/rng"
+)
+
+// benchPoints generates n points in dim dimensions scattered around k
+// centers — the shape of the hashed-text vectors the workloads index
+// (HashedText(64) with k = 32 groups at full scale).
+func benchPoints(n, dim, k int) [][]float64 {
+	r := rng.New(1234)
+	points := make([][]float64, n)
+	for i := range points {
+		c := i % k
+		p := make([]float64, dim)
+		for d := range p {
+			p[d] = r.NormFloat64() + float64((c+d)%k)
+		}
+		points[i] = p
+	}
+	return points
+}
+
+func benchKMeans(b *testing.B, workers int) {
+	points := benchPoints(4000, 64, 32)
+	cfg := KMeansConfig{K: 32, MaxIter: 10, Workers: workers}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := KMeans(points, cfg, rng.New(42)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkKMeans(b *testing.B)         { benchKMeans(b, 1) }
+func BenchmarkKMeansParallel(b *testing.B) { benchKMeans(b, parallel.Workers(0)) }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"zombie/internal/corpus"
+	"zombie/internal/parallel"
 	"zombie/internal/rng"
 )
 
@@ -113,10 +114,13 @@ func (g *KMeansGrouper) Group(store corpus.Store, k int, r *rng.RNG) (*Groups, e
 		return nil, fmt.Errorf("index: k must be > 0, got %d", k)
 	}
 	start := time.Now()
+	// Vectorization is a pure per-input computation; fan it out with the
+	// same worker bound the clustering uses (every built-in Vectorizer is
+	// read-only once fitted).
 	points := make([][]float64, store.Len())
-	for i := range points {
+	parallel.ForEach(g.Config.Workers, store.Len(), func(i int) {
 		points[i] = g.Vectorizer.Vectorize(store.Get(i))
-	}
+	})
 	cfg := g.Config
 	cfg.K = k
 	res, err := KMeans(points, cfg, r)

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"zombie/internal/linalg"
+	"zombie/internal/parallel"
 	"zombie/internal/rng"
 )
 
@@ -24,6 +25,14 @@ type KMeansConfig struct {
 	MiniBatch int
 	// MiniBatchIters is the number of mini-batch steps (default 100·K).
 	MiniBatchIters int
+	// Workers bounds the goroutines used for the assignment passes (the
+	// O(n·K·dim) hot path) and the k-means++ distance updates; <= 1 runs
+	// sequentially. Results are bit-identical for any worker count:
+	// assignments are pure per-point computations and inertia partials
+	// accumulate over fixed-size chunks merged in chunk order (see
+	// internal/parallel). Mini-batch updates always run sequentially —
+	// they consume a single RNG stream.
+	Workers int
 }
 
 func (c KMeansConfig) normalize(n int) (KMeansConfig, error) {
@@ -74,7 +83,7 @@ func KMeans(points [][]float64, cfg KMeansConfig, r *rng.RNG) (*KMeansResult, er
 			return nil, fmt.Errorf("index: KMeans point %d has dim %d, want %d", i, len(p), dim)
 		}
 	}
-	centroids := kmeansPlusPlus(points, cfg.K, r)
+	centroids := kmeansPlusPlus(points, cfg.K, cfg.Workers, r)
 	res := &KMeansResult{Centroids: centroids, Assign: make([]int, len(points))}
 	if cfg.MiniBatch > 0 {
 		miniBatch(points, res, cfg, r)
@@ -82,45 +91,61 @@ func KMeans(points [][]float64, cfg KMeansConfig, r *rng.RNG) (*KMeansResult, er
 		lloyd(points, res, cfg, r)
 	}
 	// Final assignment + inertia (mini-batch needs it; Lloyd refreshes it).
-	res.Inertia = assignAll(points, res.Centroids, res.Assign)
+	res.Inertia = assignAll(points, res.Centroids, res.Assign, cfg.Workers)
 	return res, nil
 }
 
-// kmeansPlusPlus seeds centroids with D² weighting.
-func kmeansPlusPlus(points [][]float64, k int, r *rng.RNG) [][]float64 {
+// kmeansPlusPlus seeds centroids with D² weighting. The distance-update
+// sweeps fan out over workers goroutines; each point's d2 slot is written
+// independently, so the seeding is identical for any worker count (the
+// weighted draws consume r sequentially either way).
+func kmeansPlusPlus(points [][]float64, k, workers int, r *rng.RNG) [][]float64 {
 	centroids := make([][]float64, 0, k)
 	first := points[r.Intn(len(points))]
 	centroids = append(centroids, linalg.Clone(first))
 	d2 := make([]float64, len(points))
-	for i, p := range points {
-		d2[i] = linalg.SqDist(p, centroids[0])
-	}
+	parallel.ForEach(workers, len(points), func(i int) {
+		d2[i] = linalg.SqDist(points[i], centroids[0])
+	})
 	for len(centroids) < k {
 		idx := r.WeightedChoice(d2)
 		centroids = append(centroids, linalg.Clone(points[idx]))
 		last := centroids[len(centroids)-1]
-		for i, p := range points {
-			if d := linalg.SqDist(p, last); d < d2[i] {
+		parallel.ForEach(workers, len(points), func(i int) {
+			if d := linalg.SqDist(points[i], last); d < d2[i] {
 				d2[i] = d
 			}
-		}
+		})
 	}
 	return centroids
 }
 
+// assignChunkSize fixes the reduction granularity of the assignment pass.
+// Inertia partials always accumulate per chunk and merge in chunk order —
+// in the sequential path too — so the reported inertia is bit-identical
+// for any worker count.
+const assignChunkSize = 512
+
 // assignAll assigns every point to its nearest centroid and returns the
-// inertia.
-func assignAll(points [][]float64, centroids [][]float64, assign []int) float64 {
-	inertia := 0.0
-	for i, p := range points {
-		best, bestD := 0, math.Inf(1)
-		for c, cent := range centroids {
-			if d := linalg.SqDist(p, cent); d < bestD {
-				best, bestD = c, d
+// inertia, fanning the pass out over up to workers goroutines.
+func assignAll(points [][]float64, centroids [][]float64, assign []int, workers int) float64 {
+	partials := parallel.MapChunks(workers, len(points), assignChunkSize, func(lo, hi int) float64 {
+		inertia := 0.0
+		for i := lo; i < hi; i++ {
+			best, bestD := 0, math.Inf(1)
+			for c, cent := range centroids {
+				if d := linalg.SqDist(points[i], cent); d < bestD {
+					best, bestD = c, d
+				}
 			}
+			assign[i] = best
+			inertia += bestD
 		}
-		assign[i] = best
-		inertia += bestD
+		return inertia
+	})
+	inertia := 0.0
+	for _, p := range partials {
+		inertia += p
 	}
 	return inertia
 }
@@ -129,7 +154,7 @@ func lloyd(points [][]float64, res *KMeansResult, cfg KMeansConfig, r *rng.RNG) 
 	prev := math.Inf(1)
 	counts := make([]int, cfg.K)
 	for iter := 0; iter < cfg.MaxIter; iter++ {
-		inertia := assignAll(points, res.Centroids, res.Assign)
+		inertia := assignAll(points, res.Centroids, res.Assign, cfg.Workers)
 		res.Iters = iter + 1
 		// Recompute centroids.
 		for c := range res.Centroids {

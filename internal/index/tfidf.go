@@ -5,6 +5,7 @@ import (
 
 	"zombie/internal/corpus"
 	"zombie/internal/linalg"
+	"zombie/internal/parallel"
 )
 
 // TFIDF is a hashed tf-idf vectorizer: tokens hash into dim buckets, and
@@ -31,25 +32,54 @@ func NewTFIDF(dim int) *TFIDF {
 // Fit computes smoothed inverse document frequencies over the store:
 // idf(b) = ln((1+N)/(1+df(b))) + 1. Non-text inputs are skipped.
 func (v *TFIDF) Fit(store corpus.Store) {
+	v.FitParallel(store, 1)
+}
+
+// fitChunkSize fixes the granularity of parallel document-frequency
+// accumulation. Chunk boundaries depend only on the store size, and the
+// per-chunk counts are integers, so the merged frequencies — and the
+// fitted idf weights — are bit-identical for any worker count.
+const fitChunkSize = 256
+
+// dfPartial is one chunk's document-frequency contribution.
+type dfPartial struct {
+	df   []int
+	docs int
+}
+
+// FitParallel is Fit with the document pass fanned out over up to workers
+// goroutines; Fit delegates here with workers = 1. The store must be safe
+// for concurrent Get when workers > 1 (corpus.MemStore is read-only).
+func (v *TFIDF) FitParallel(store corpus.Store, workers int) {
+	partials := parallel.MapChunks(workers, store.Len(), fitChunkSize, func(lo, hi int) dfPartial {
+		p := dfPartial{df: make([]int, v.dim)}
+		seen := make([]bool, v.dim)
+		for i := lo; i < hi; i++ {
+			in := store.Get(i)
+			if in.Kind != corpus.TextKind {
+				continue
+			}
+			p.docs++
+			for b := range seen {
+				seen[b] = false
+			}
+			for _, tok := range Tokenize(in.Text) {
+				seen[HashToken(tok, v.dim)] = true
+			}
+			for b, s := range seen {
+				if s {
+					p.df[b]++
+				}
+			}
+		}
+		return p
+	})
 	df := make([]int, v.dim)
 	docs := 0
-	seen := make([]bool, v.dim)
-	for i := 0; i < store.Len(); i++ {
-		in := store.Get(i)
-		if in.Kind != corpus.TextKind {
-			continue
-		}
-		docs++
-		for b := range seen {
-			seen[b] = false
-		}
-		for _, tok := range Tokenize(in.Text) {
-			seen[HashToken(tok, v.dim)] = true
-		}
-		for b, s := range seen {
-			if s {
-				df[b]++
-			}
+	for _, p := range partials {
+		docs += p.docs
+		for b, n := range p.df {
+			df[b] += n
 		}
 	}
 	v.docs = docs

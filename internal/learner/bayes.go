@@ -100,6 +100,14 @@ func (m *MultinomialNB) NumClasses() int { return len(m.featCount) }
 // Seen implements Model.
 func (m *MultinomialNB) Seen() int { return m.seen }
 
+// ConcurrentPredictable implements ConcurrentPredictor: prediction only
+// reads the fitted counts.
+func (m *MultinomialNB) ConcurrentPredictable() {}
+
+// OrderInsensitiveFit implements OrderInsensitive: the fitted counts are
+// sums over the example set, independent of arrival order.
+func (m *MultinomialNB) OrderInsensitiveFit() {}
+
 // Reset implements Model.
 func (m *MultinomialNB) Reset() {
 	for c := range m.featCount {
@@ -203,6 +211,15 @@ func (m *GaussianNB) NumClasses() int { return len(m.mean) }
 
 // Seen implements Model.
 func (m *GaussianNB) Seen() int { return m.seen }
+
+// ConcurrentPredictable implements ConcurrentPredictor: prediction only
+// reads the fitted moments.
+func (m *GaussianNB) ConcurrentPredictable() {}
+
+// OrderInsensitiveFit implements OrderInsensitive: the fitted moments are
+// set statistics, independent of arrival order up to floating-point
+// accumulation.
+func (m *GaussianNB) OrderInsensitiveFit() {}
 
 // Reset implements Model.
 func (m *GaussianNB) Reset() {

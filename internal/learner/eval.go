@@ -86,32 +86,54 @@ func (h *Holdout) Quality(m Model) float64 {
 		return 0
 	}
 	if h.Metric.IsClassification() {
-		c, ok := m.(Classifier)
-		if !ok {
-			panic(fmt.Sprintf("learner: metric %v needs a Classifier, got %T", h.Metric, m))
-		}
+		c := h.classifier(m)
 		cm := NewConfusionMatrix(c.NumClasses())
 		for _, ex := range h.Examples {
 			cm.Observe(ex.Class, c.PredictClass(ex.Features))
 		}
-		switch h.Metric {
-		case MetricAccuracy:
-			return cm.Accuracy()
-		case MetricF1:
-			_, _, f1 := cm.PrecisionRecallF1(h.Positive)
-			return f1
-		default:
-			return cm.MacroF1()
-		}
+		return h.scoreClassification(cm)
 	}
-	r, ok := m.(Regressor)
-	if !ok {
-		panic(fmt.Sprintf("learner: metric %v needs a Regressor, got %T", h.Metric, m))
-	}
+	r := h.regressor(m)
 	var rm RegressionMetrics
 	for _, ex := range h.Examples {
 		rm.Observe(ex.Target, r.Predict(ex.Features))
 	}
+	return h.scoreRegression(&rm)
+}
+
+// classifier asserts the model matches the classification metric.
+func (h *Holdout) classifier(m Model) Classifier {
+	c, ok := m.(Classifier)
+	if !ok {
+		panic(fmt.Sprintf("learner: metric %v needs a Classifier, got %T", h.Metric, m))
+	}
+	return c
+}
+
+// regressor asserts the model matches the regression metric.
+func (h *Holdout) regressor(m Model) Regressor {
+	r, ok := m.(Regressor)
+	if !ok {
+		panic(fmt.Sprintf("learner: metric %v needs a Regressor, got %T", h.Metric, m))
+	}
+	return r
+}
+
+// scoreClassification extracts the configured metric from a filled matrix.
+func (h *Holdout) scoreClassification(cm *ConfusionMatrix) float64 {
+	switch h.Metric {
+	case MetricAccuracy:
+		return cm.Accuracy()
+	case MetricF1:
+		_, _, f1 := cm.PrecisionRecallF1(h.Positive)
+		return f1
+	default:
+		return cm.MacroF1()
+	}
+}
+
+// scoreRegression extracts the configured metric from accumulated errors.
+func (h *Holdout) scoreRegression(rm *RegressionMetrics) float64 {
 	if h.Metric == MetricR2 {
 		return rm.R2()
 	}

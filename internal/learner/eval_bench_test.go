@@ -1,0 +1,28 @@
+package learner
+
+import (
+	"testing"
+
+	"zombie/internal/parallel"
+)
+
+// The holdout size mirrors the full-scale engine configuration: a ~2k
+// example holdout scored on every evaluation step, which makes Quality the
+// engine's hottest read path.
+
+func BenchmarkHoldoutQuality(b *testing.B) {
+	h, m := evalFixture(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Quality(m)
+	}
+}
+
+func BenchmarkHoldoutQualityParallel(b *testing.B) {
+	h, m := evalFixture(b, 2000)
+	workers := parallel.Workers(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.QualityParallel(m, workers)
+	}
+}

@@ -1,0 +1,113 @@
+package learner
+
+import (
+	"sync"
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+// evalFixture builds a trained GaussianNB and a holdout of n examples.
+func evalFixture(t testing.TB, n int) (*Holdout, Model) {
+	t.Helper()
+	r := rng.New(7)
+	dim := 16
+	examples := make([]Example, n)
+	for i := range examples {
+		class := i % 2
+		vec := make([]float64, dim)
+		for d := range vec {
+			vec[d] = r.NormFloat64() + float64(class)*1.5
+		}
+		examples[i] = Example{Features: DenseVec(vec), Class: class}
+	}
+	m := NewGaussianNB(dim, 2, 1e-3)
+	for _, ex := range examples[:n/2] {
+		m.PartialFit(ex)
+	}
+	return NewHoldout(examples, MetricF1, 1), m
+}
+
+// TestQualityParallelMatchesSequential asserts bit-identical classification
+// scores for every worker count — the engine's determinism depends on it.
+func TestQualityParallelMatchesSequential(t *testing.T) {
+	h, m := evalFixture(t, 2000)
+	want := h.Quality(m)
+	for _, workers := range []int{1, 2, 3, 8, 32} {
+		if got := h.QualityParallel(m, workers); got != want {
+			t.Fatalf("workers=%d: %v != sequential %v", workers, got, want)
+		}
+	}
+}
+
+// TestQualityParallelRegressionDeterministic asserts regression scores are
+// identical across worker counts (chunk-order merge), and close to the
+// sequential accumulation.
+func TestQualityParallelRegressionDeterministic(t *testing.T) {
+	r := rng.New(11)
+	dim := 8
+	n := 3000
+	examples := make([]Example, n)
+	for i := range examples {
+		vec := make([]float64, dim)
+		sum := 0.0
+		for d := range vec {
+			vec[d] = r.NormFloat64()
+			sum += vec[d]
+		}
+		examples[i] = Example{Features: DenseVec(vec), Target: sum + 0.1*r.NormFloat64()}
+	}
+	m := NewLinearRegSGD(dim, 0.05, 0, InvScalingLR)
+	for _, ex := range examples[:n/2] {
+		m.PartialFit(ex)
+	}
+	h := NewHoldout(examples, MetricNegRMSE, 0)
+	base := h.QualityParallel(m, 2)
+	for _, workers := range []int{3, 8, 17} {
+		if got := h.QualityParallel(m, workers); got != base {
+			t.Fatalf("workers=%d: %v != workers=2 %v", workers, got, base)
+		}
+	}
+	seq := h.Quality(m)
+	if diff := base - seq; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("parallel %v too far from sequential %v", base, seq)
+	}
+}
+
+// TestQualityParallelFallsBackForUnsafeModels: a model without the
+// ConcurrentPredictor marker (Perceptron reuses a scratch score buffer)
+// must still evaluate correctly — via the sequential path.
+func TestQualityParallelFallsBackForUnsafeModels(t *testing.T) {
+	h, _ := evalFixture(t, 1000)
+	p := NewPerceptron(16, 2)
+	for _, ex := range h.Examples[:200] {
+		p.PartialFit(ex)
+	}
+	if got, want := h.QualityParallel(p, 8), h.Quality(p); got != want {
+		t.Fatalf("fallback mismatch: %v != %v", got, want)
+	}
+}
+
+// TestQualityParallelConcurrentCallers exercises simultaneous parallel
+// evaluations of one shared model; `make race` runs this under the race
+// detector, which is the real assertion.
+func TestQualityParallelConcurrentCallers(t *testing.T) {
+	h, m := evalFixture(t, 4000)
+	want := h.Quality(m)
+	var wg sync.WaitGroup
+	errs := make(chan float64, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs <- h.QualityParallel(m, 4)
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for got := range errs {
+		if got != want {
+			t.Fatalf("concurrent caller got %v, want %v", got, want)
+		}
+	}
+}

@@ -129,6 +129,10 @@ func (m *KNN) NumClasses() int { return m.numClasses }
 // Seen implements Model.
 func (m *KNN) Seen() int { return m.seen }
 
+// ConcurrentPredictable implements ConcurrentPredictor: prediction scans
+// the stored examples without mutating them.
+func (m *KNN) ConcurrentPredictable() {}
+
 // Reset implements Model.
 func (m *KNN) Reset() {
 	m.examples = m.examples[:0]

@@ -102,6 +102,10 @@ func (m *LogisticSGD) NumClasses() int { return 2 }
 // Seen implements Model.
 func (m *LogisticSGD) Seen() int { return m.seen }
 
+// ConcurrentPredictable implements ConcurrentPredictor: prediction only
+// reads the weights.
+func (m *LogisticSGD) ConcurrentPredictable() {}
+
 // Reset implements Model.
 func (m *LogisticSGD) Reset() {
 	linalg.Zero(m.w)
@@ -324,6 +328,10 @@ func (m *PassiveAggressive) NumClasses() int { return 2 }
 // Seen implements Model.
 func (m *PassiveAggressive) Seen() int { return m.seen }
 
+// ConcurrentPredictable implements ConcurrentPredictor: prediction only
+// reads the weights.
+func (m *PassiveAggressive) ConcurrentPredictable() {}
+
 // Reset implements Model.
 func (m *PassiveAggressive) Reset() {
 	linalg.Zero(m.w)
@@ -369,6 +377,10 @@ func (m *LinearRegSGD) Predict(v FeatureVector) float64 {
 
 // Seen implements Model.
 func (m *LinearRegSGD) Seen() int { return m.seen }
+
+// ConcurrentPredictable implements ConcurrentPredictor: prediction only
+// reads the weights.
+func (m *LinearRegSGD) ConcurrentPredictable() {}
 
 // Reset implements Model.
 func (m *LinearRegSGD) Reset() {

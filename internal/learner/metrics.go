@@ -33,6 +33,20 @@ func (m *ConfusionMatrix) Observe(trueClass, predClass int) {
 	m.Cells[trueClass][predClass]++
 }
 
+// Merge folds other's counts into m. Counts are integers, so a merged
+// matrix is identical to one accumulated sequentially in any order. It
+// panics on a size mismatch.
+func (m *ConfusionMatrix) Merge(other *ConfusionMatrix) {
+	if len(m.Cells) != len(other.Cells) {
+		panic(fmt.Sprintf("learner: ConfusionMatrix.Merge size mismatch: %d vs %d", len(m.Cells), len(other.Cells)))
+	}
+	for i := range m.Cells {
+		for j := range m.Cells[i] {
+			m.Cells[i][j] += other.Cells[i][j]
+		}
+	}
+}
+
 // Total returns the number of observations.
 func (m *ConfusionMatrix) Total() int64 {
 	var t int64
@@ -114,6 +128,27 @@ func (m *RegressionMetrics) Observe(target, pred float64) {
 	delta := target - m.meanY
 	m.meanY += delta / float64(m.n)
 	m.m2Y += delta * (target - m.meanY)
+}
+
+// Merge folds other into m using the pairwise (Chan et al.) update for the
+// target variance. Merging chunk partials in a fixed order is
+// deterministic, but the floating-point sums may differ from a single
+// sequential accumulation in the last bits.
+func (m *RegressionMetrics) Merge(other *RegressionMetrics) {
+	if other.n == 0 {
+		return
+	}
+	if m.n == 0 {
+		*m = *other
+		return
+	}
+	n1, n2 := float64(m.n), float64(other.n)
+	delta := other.meanY - m.meanY
+	m.m2Y += other.m2Y + delta*delta*n1*n2/(n1+n2)
+	m.meanY += delta * n2 / (n1 + n2)
+	m.sumErr2 += other.sumErr2
+	m.sumAbsErr += other.sumAbsErr
+	m.n += other.n
 }
 
 // N returns the number of observations.

@@ -210,3 +210,28 @@ type Regressor interface {
 	// Predict returns the predicted target for v.
 	Predict(v FeatureVector) float64
 }
+
+// ConcurrentPredictor marks models whose prediction methods (PredictClass,
+// Predict, Proba) are read-only and therefore safe to call from many
+// goroutines at once while training is paused. Models that reuse scratch
+// buffers across calls (Perceptron, AveragedPerceptron, SoftmaxSGD) or
+// refit lazily at prediction time (DecisionTree, RidgeClosed) must not
+// implement it; Holdout.QualityParallel falls back to the sequential path
+// for them.
+type ConcurrentPredictor interface {
+	// ConcurrentPredictable is a marker with no behavior.
+	ConcurrentPredictable()
+}
+
+// OrderInsensitive marks models whose fitted state after PartialFit over a
+// set of examples does not depend on the order the examples arrived in
+// (beyond floating-point accumulation order). Count- and moment-based
+// learners (the naive Bayes families) qualify; SGD-style learners, KNN
+// (FIFO eviction, insertion-order tie-breaks), and trees do not. The
+// engine's amortized set-based evaluation relies on this property and
+// falls back to from-scratch retraining for models that do not implement
+// it.
+type OrderInsensitive interface {
+	// OrderInsensitiveFit is a marker with no behavior.
+	OrderInsensitiveFit()
+}

@@ -1,0 +1,76 @@
+package parallel
+
+import "sync"
+
+// Pool is a fixed-size worker pool over a bounded task queue. Unlike the
+// fork-join helpers in this package, a Pool is long-lived: workers start at
+// construction and drain the queue until Close. The serving layer runs its
+// asynchronous experiment runs on one; anything needing
+// submit-now-execute-later semantics with backpressure can share it.
+type Pool struct {
+	tasks chan func()
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewPool starts workers goroutines over a queue holding up to queueCap
+// pending tasks (both floored at 1).
+func NewPool(workers, queueCap int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p := &Pool{tasks: make(chan func(), queueCap)}
+	for i := 0; i < workers; i++ {
+		p.wg.Add(1)
+		go func() {
+			defer p.wg.Done()
+			for fn := range p.tasks {
+				fn()
+			}
+		}()
+	}
+	return p
+}
+
+// TrySubmit enqueues fn without blocking. It reports false when the queue
+// is full or the pool is closed; the caller decides how to surface
+// backpressure (the server maps it to HTTP 503).
+func (p *Pool) TrySubmit(fn func()) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	select {
+	case p.tasks <- fn:
+		return true
+	default:
+		return false
+	}
+}
+
+// QueueDepth returns the number of tasks waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.tasks) }
+
+// Cap returns the queue capacity.
+func (p *Pool) Cap() int { return cap(p.tasks) }
+
+// Close stops intake. Queued tasks still run; Wait blocks until the
+// workers drain them. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.closed {
+		p.closed = true
+		close(p.tasks)
+	}
+}
+
+// Wait blocks until every worker has exited. Callers must Close first or
+// Wait blocks forever.
+func (p *Pool) Wait() { p.wg.Wait() }

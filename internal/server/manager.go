@@ -12,6 +12,7 @@ import (
 	"zombie/internal/bandit"
 	"zombie/internal/core"
 	"zombie/internal/index"
+	"zombie/internal/parallel"
 	"zombie/internal/rng"
 	"zombie/internal/workload"
 )
@@ -23,19 +24,19 @@ var (
 	ErrShuttingDown = errors.New("server: shutting down, not accepting runs")
 )
 
-// Manager executes runs asynchronously on a bounded worker pool. Submit
-// validates and enqueues; Workers goroutines drain the queue; Cancel stops
-// a queued or running run; Shutdown drains in-flight work. Runs are kept
-// forever (the manager is the system of record for run history); a
-// production deployment would add retention, which is deliberately out of
-// scope here.
+// Manager executes runs asynchronously on a parallel.Pool — the same
+// bounded worker pool the experiment harness uses for fork-join work.
+// Submit validates and enqueues; the pool's workers drain the queue;
+// Cancel stops a queued or running run; Shutdown drains in-flight work.
+// Runs are kept forever (the manager is the system of record for run
+// history); a production deployment would add retention, which is
+// deliberately out of scope here.
 type Manager struct {
 	registry *Registry
 	cache    *IndexCache
 	metrics  *Metrics
 
-	queue   chan *Run
-	wg      sync.WaitGroup
+	pool    *parallel.Pool
 	running atomic.Int64
 
 	baseCtx    context.Context
@@ -48,30 +49,19 @@ type Manager struct {
 	closed bool
 }
 
-// NewManager starts workers goroutines over a queue of queueCap pending
-// runs (both floored at 1) and returns the manager.
+// NewManager starts a pool of workers goroutines over a queue of queueCap
+// pending runs (both floored at 1) and returns the manager.
 func NewManager(registry *Registry, cache *IndexCache, metrics *Metrics, workers, queueCap int) *Manager {
-	if workers < 1 {
-		workers = 1
-	}
-	if queueCap < 1 {
-		queueCap = 1
-	}
 	ctx, cancel := context.WithCancel(context.Background())
-	m := &Manager{
+	return &Manager{
 		registry:   registry,
 		cache:      cache,
 		metrics:    metrics,
-		queue:      make(chan *Run, queueCap),
+		pool:       parallel.NewPool(workers, queueCap),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		runs:       map[string]*Run{},
 	}
-	for i := 0; i < workers; i++ {
-		m.wg.Add(1)
-		go m.worker()
-	}
-	return m
 }
 
 // normalize fills spec defaults in place.
@@ -144,11 +134,9 @@ func (m *Manager) Submit(spec RunSpec) (*Run, error) {
 	}
 	m.nextID++
 	run := newRun("r"+strconv.Itoa(m.nextID), spec, time.Now())
-	select {
-	case m.queue <- run:
-	default:
+	if !m.pool.TrySubmit(func() { m.execute(run) }) {
 		m.nextID-- // ID was never exposed
-		return nil, fmt.Errorf("%w (%d pending)", ErrQueueFull, cap(m.queue))
+		return nil, fmt.Errorf("%w (%d pending)", ErrQueueFull, m.pool.Cap())
 	}
 	m.runs[run.ID] = run
 	m.order = append(m.order, run.ID)
@@ -199,44 +187,41 @@ func (m *Manager) Cancel(id string) (RunInfo, error) {
 }
 
 // QueueDepth returns the number of queued-not-yet-started runs.
-func (m *Manager) QueueDepth() int { return len(m.queue) }
+func (m *Manager) QueueDepth() int { return m.pool.QueueDepth() }
 
 // Running returns the number of runs currently executing.
 func (m *Manager) Running() int { return int(m.running.Load()) }
-
-// worker drains the queue until Shutdown closes it.
-func (m *Manager) worker() {
-	defer m.wg.Done()
-	for run := range m.queue {
-		m.execute(run)
-	}
-}
 
 // execute runs one queued run to a terminal state.
 func (m *Manager) execute(run *Run) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	defer cancel()
-	if !run.start(cancel, time.Now()) {
+	started := time.Now()
+	if !run.start(cancel, started) {
 		return // cancelled while queued
 	}
 	m.running.Add(1)
 	defer m.running.Add(-1)
 
 	res, err := m.runEngine(ctx, run)
+	finished := time.Now()
+	if m.metrics != nil {
+		m.metrics.RunWallMillis.Add(finished.Sub(started).Milliseconds())
+	}
 	switch {
 	case err != nil:
-		run.finish(StateFailed, nil, err.Error(), time.Now())
+		run.finish(StateFailed, nil, err.Error(), finished)
 		if m.metrics != nil {
 			m.metrics.RunsFailed.Add(1)
 		}
 	case res.Stop == core.StopCancelled:
-		run.finish(StateCancelled, res, "", time.Now())
+		run.finish(StateCancelled, res, "", finished)
 		if m.metrics != nil {
 			m.metrics.RunsCancelled.Add(1)
 			m.metrics.InputsProcessed.Add(int64(res.InputsProcessed))
 		}
 	default:
-		run.finish(StateDone, res, "", time.Now())
+		run.finish(StateDone, res, "", finished)
 		if m.metrics != nil {
 			m.metrics.RunsCompleted.Add(1)
 			m.metrics.InputsProcessed.Add(int64(res.InputsProcessed))
@@ -293,13 +278,13 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	if !m.closed {
 		m.closed = true
-		close(m.queue)
+		m.pool.Close()
 	}
 	m.mu.Unlock()
 
 	drained := make(chan struct{})
 	go func() {
-		m.wg.Wait()
+		m.pool.Wait()
 		close(drained)
 	}()
 	select {

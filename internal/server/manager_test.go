@@ -232,3 +232,29 @@ func TestShutdownDeadlineCancelsInFlight(t *testing.T) {
 		t.Fatalf("in-flight run state after forced shutdown = %s", st)
 	}
 }
+
+func TestRunWallTimeMetrics(t *testing.T) {
+	m, metrics := newTestManager(t, "imgs", 600, 1, 4)
+	run, err := m.Submit(RunSpec{Corpus: "imgs", Task: "image", MaxInputs: 100, EvalEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-run.Done()
+	info := run.Info()
+	if info.State != StateDone {
+		t.Fatalf("state = %s (%s)", info.State, info.Error)
+	}
+	if info.WallMillis <= 0 {
+		t.Fatalf("wall_ms = %d, want > 0 for a per-step-eval run", info.WallMillis)
+	}
+	if got := metrics.RunWallMillis.Load(); got != info.WallMillis {
+		t.Fatalf("cumulative run wall ms = %d, want %d (the only run's wall time)", got, info.WallMillis)
+	}
+	snap := metrics.snapshot(m.QueueDepth(), m.Running(), 1)
+	if snap["run_wall_ms"] != info.WallMillis {
+		t.Fatalf("snapshot run_wall_ms = %d, want %d", snap["run_wall_ms"], info.WallMillis)
+	}
+	if want := info.WallMillis / 1000; snap["run_seconds"] != want {
+		t.Fatalf("snapshot run_seconds = %d, want %d", snap["run_seconds"], want)
+	}
+}

@@ -14,6 +14,10 @@ type Metrics struct {
 	RunsCancelled atomic.Int64
 	// InputsProcessed sums RunResult.InputsProcessed over finished runs.
 	InputsProcessed atomic.Int64
+	// RunWallMillis sums wall-clock run time (start to terminal state) over
+	// finished runs, in milliseconds. Exposed as both run_wall_ms and the
+	// truncated run_seconds.
+	RunWallMillis atomic.Int64
 	// Index cache traffic: builds actually executed vs. requests served
 	// from (or coalesced onto) an existing entry.
 	IndexBuilds    atomic.Int64
@@ -28,6 +32,8 @@ func (m *Metrics) snapshot(queueDepth, running, corpora int) map[string]int64 {
 		"runs_failed":      m.RunsFailed.Load(),
 		"runs_cancelled":   m.RunsCancelled.Load(),
 		"inputs_processed": m.InputsProcessed.Load(),
+		"run_wall_ms":      m.RunWallMillis.Load(),
+		"run_seconds":      m.RunWallMillis.Load() / 1000,
 		"index_builds":     m.IndexBuilds.Load(),
 		"index_cache_hits": m.IndexCacheHits.Load(),
 		"queue_depth":      int64(queueDepth),

@@ -96,6 +96,9 @@ type RunInfo struct {
 	// CurvePoints is the number of curve samples so far; the curve itself
 	// is served by /runs/{id}/curve.
 	CurvePoints int `json:"curve_points"`
+	// WallMillis is the run's execution wall time in milliseconds, present
+	// once the run has both started and reached a terminal state.
+	WallMillis int64 `json:"wall_ms,omitempty"`
 	// Summary fields, present once the run is terminal with a result.
 	InputsProcessed int     `json:"inputs_processed,omitempty"`
 	FinalQuality    float64 `json:"final_quality,omitempty"`
@@ -120,6 +123,9 @@ func (r *Run) Info() RunInfo {
 	}
 	if !r.finished.IsZero() {
 		info.Finished = r.finished.UTC().Format(time.RFC3339Nano)
+		if !r.started.IsZero() {
+			info.WallMillis = r.finished.Sub(r.started).Milliseconds()
+		}
 	}
 	if r.result != nil {
 		info.InputsProcessed = r.result.InputsProcessed
