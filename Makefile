@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet fmt-check bench-smoke ci
+.PHONY: all build test race vet fmt-check bench-smoke cache-smoke ci
 
 all: build
 
@@ -31,4 +31,25 @@ fmt-check:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x ./...
 
-ci: fmt-check vet build race bench-smoke
+# cache-smoke proves the extraction cache's determinism contract end to
+# end: the same workload, cold then warm against one -cache-dir, must emit
+# byte-identical output (the cache: counter line aside) and the warm run
+# must actually serve hits.
+cache-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 800 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -mode scan-sequential -max 400 -cache-dir $$tmp/cache > $$tmp/cold.out && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -mode scan-sequential -max 400 -cache-dir $$tmp/cache > $$tmp/warm.out && \
+	grep -v '^cache:' $$tmp/cold.out > $$tmp/cold.cmp && \
+	grep -v '^cache:' $$tmp/warm.out > $$tmp/warm.cmp && \
+	if ! cmp -s $$tmp/cold.cmp $$tmp/warm.cmp; then \
+		echo "cache-smoke: cold and warm outputs differ"; \
+		diff $$tmp/cold.cmp $$tmp/warm.cmp; exit 1; \
+	fi && \
+	if ! grep -q '^cache: hits=[1-9]' $$tmp/warm.out; then \
+		echo "cache-smoke: warm run served no cache hits"; \
+		grep '^cache:' $$tmp/warm.out; exit 1; \
+	fi && \
+	echo "cache-smoke OK: $$(grep '^cache:' $$tmp/warm.out)"
+
+ci: fmt-check vet build race bench-smoke cache-smoke

@@ -17,7 +17,9 @@
 // print measured wall-clock values (see DESIGN.md §8). -emit-bench
 // additionally times every experiment and writes a JSON regression report
 // with per-experiment wall seconds and, when -parallel > 1, the
-// speedup-vs-sequential baseline.
+// speedup-vs-sequential baseline. Benches that include C1 also record a
+// cache_iteration block: the wall-clock speedup of replaying the composite
+// wiki session against a warm extraction cache versus the cold first pass.
 package main
 
 import (
@@ -33,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1-T4, F1-F8, or 'all')")
+	exp := flag.String("exp", "all", "experiment id (T1-T4, F1-F8, C1, or 'all')")
 	scale := flag.Float64("scale", 1.0, "corpus scale multiplier (1.0 = 20k inputs per task)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
 	par := flag.Int("parallel", 1, "concurrent runs per experiment (0 = GOMAXPROCS; output is byte-identical for any value)")

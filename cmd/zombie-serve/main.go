@@ -59,11 +59,21 @@ func run() error {
 	queueCap := flag.Int("queue", 64, "max queued runs before submissions get 503")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight runs")
 	stream := flag.Bool("stream", false, "open preregistered corpora as streamed DiskStores")
+	cacheDir := flag.String("cache-dir", "", "persist the extraction cache to this directory (survives restarts)")
+	cacheMemMB := flag.Int("cache-mem-mb", 64, "extraction cache in-memory budget in MiB")
 	var corpora corpusFlags
 	flag.Var(&corpora, "corpus", "preregister a corpus as name=path (repeatable)")
 	flag.Parse()
 
-	srv := server.New(server.Config{Workers: *workers, QueueCap: *queueCap})
+	srv, err := server.New(server.Config{
+		Workers:    *workers,
+		QueueCap:   *queueCap,
+		CacheDir:   *cacheDir,
+		CacheMemMB: *cacheMemMB,
+	})
+	if err != nil {
+		return err
+	}
 	for _, spec := range corpora {
 		name, path, ok := strings.Cut(spec, "=")
 		if !ok {

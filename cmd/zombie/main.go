@@ -11,6 +11,7 @@
 //	zombie -corpus wiki.jsonl -task wiki -save-index groups.gob
 //	zombie -corpus wiki.jsonl -task wiki -session            # full 8-version session
 //	zombie -corpus big.jsonl -task wiki -stream              # corpus larger than RAM
+//	zombie -corpus wiki.jsonl -task wiki -cache-dir .zcache  # warm runs skip extraction
 package main
 
 import (
@@ -22,6 +23,7 @@ import (
 	"zombie/internal/bandit"
 	"zombie/internal/core"
 	"zombie/internal/corpus"
+	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/rng"
@@ -51,6 +53,8 @@ func run() error {
 	indexPath := flag.String("index", "", "load a saved index instead of building one")
 	saveIndex := flag.String("save-index", "", "save the built index to this path")
 	curveEvery := flag.Int("curve-every", 0, "print every Nth curve point (0 = last 10)")
+	cacheDir := flag.String("cache-dir", "", "persist the extraction cache in this directory (a second run over the same corpus serves extractions from disk)")
+	cacheMemMB := flag.Int("cache-mem-mb", 0, "in-memory extraction-cache budget in MiB (0 = caching off unless -cache-dir is set, then 64)")
 	flag.Parse()
 
 	if *corpusPath == "" {
@@ -107,13 +111,30 @@ func run() error {
 	if *earlyStop {
 		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
 	}
+	var fcache *featcache.Cache
+	if *cacheDir != "" || *cacheMemMB > 0 {
+		memMB := *cacheMemMB
+		if memMB <= 0 {
+			memMB = 64
+		}
+		fcache, err = featcache.Open(featcache.Config{MaxBytes: int64(memMB) << 20, Dir: *cacheDir}, featurepipe.ResultCodec{})
+		if err != nil {
+			return err
+		}
+		defer fcache.Close()
+		cfg.Cache = fcache
+	}
 	eng, err := core.New(cfg)
 	if err != nil {
 		return err
 	}
 
 	if *sessionMode {
-		return runSession(eng, task, groups)
+		if err := runSession(eng, task, groups); err != nil {
+			return err
+		}
+		printCacheStats(fcache)
+		return nil
 	}
 
 	var res *core.RunResult
@@ -156,7 +177,20 @@ func run() error {
 			fmt.Printf("%d,%d,%.4f\n", a.Arm, a.Pulls, a.Mean)
 		}
 	}
+	printCacheStats(fcache)
 	return nil
+}
+
+// printCacheStats reports the extraction-cache traffic on its own
+// "cache:"-prefixed line, kept out of the curve/arm CSV so scripts
+// comparing run output across cache states can filter it out.
+func printCacheStats(c *featcache.Cache) {
+	if c == nil {
+		return
+	}
+	st := c.Stats()
+	fmt.Printf("cache: hits=%d misses=%d disk_hits=%d entries=%d bytes=%d evictions=%d\n",
+		st.Hits, st.Misses, st.DiskHits, st.Entries, st.Bytes, st.Evictions)
 }
 
 // runSession replays the standard wiki engineering session under both the

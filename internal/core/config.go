@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"zombie/internal/bandit"
+	"zombie/internal/featcache"
 )
 
 // RewardKind selects how the engine converts a step's outcome into a
@@ -152,6 +153,16 @@ type Config struct {
 	MaxSimTime time.Duration
 	// Seed drives every random choice the engine makes.
 	Seed int64
+	// Cache, when non-nil, memoizes feature extraction through the
+	// content-addressed extraction cache: every Extract during the run
+	// (holdout builds included) is served from the cache when the
+	// (feature-fingerprint, input) pair was computed before — by this run,
+	// a concurrent run, or a previous process when the cache is
+	// disk-backed. Extraction is deterministic and side-effect free by the
+	// FeatureFunc contract and the simulated cost clock is charged either
+	// way, so results are byte-identical with the cache on, off, cold or
+	// warm; only WallTime and the RunResult cache counters change.
+	Cache *featcache.Cache
 	// TraceEvents records a step-level trace into the result.
 	TraceEvents bool
 	// Progress, when non-nil, is invoked synchronously from the run

@@ -88,6 +88,16 @@ func oracleUseful(in *corpus.Input, f featurepipe.FeatureFunc) bool {
 // re-evaluation so cancellation latency is one step, not one holdout pass.
 func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSource, r *rng.RNG) (*RunResult, error) {
 	wallStart := time.Now()
+	// Thread the extraction cache under everything the loop runs — holdout
+	// build, reward path and the stream itself. The wrap happens here, after
+	// the callers derived their RNG substreams and the oracle inspected the
+	// concrete feature type, and it preserves Name/Dim/fingerprints, so a
+	// cached run is byte-identical to an uncached one.
+	var cacheCtrs *featurepipe.CacheCounters
+	if e.cfg.Cache != nil {
+		cacheCtrs = &featurepipe.CacheCounters{}
+		task = task.WithFeature(featurepipe.Cached(task.Feature, e.cfg.Cache, cacheCtrs))
+	}
 	holdout, err := task.BuildHoldout()
 	if err != nil {
 		return nil, err
@@ -249,6 +259,10 @@ loop:
 	res.Stop = stop
 	res.Arms = src.arms()
 	res.Events = events
+	if cacheCtrs != nil {
+		res.CacheHits = cacheCtrs.Hits.Load()
+		res.CacheMisses = cacheCtrs.Misses.Load()
+	}
 	return res, nil
 }
 
@@ -309,7 +323,7 @@ func safeExtract(f featurepipe.FeatureFunc, in *corpus.Input) (res featurepipe.R
 	defer func() {
 		if p := recover(); p != nil {
 			res = featurepipe.Result{}
-			err = fmt.Errorf("core: feature code panicked on %s: %v", in.ID, p)
+			err = fmt.Errorf("core: feature %s panicked on input %s: %v", f.Name(), in.ID, p)
 		}
 	}()
 	return f.Extract(in)

@@ -73,6 +73,12 @@ type RunResult struct {
 	WallTime time.Duration
 	// Stop records why the run ended.
 	Stop StopReason
+	// CacheHits / CacheMisses count this run's extraction-cache traffic
+	// (both zero when Config.Cache is nil). They are diagnostics, not part
+	// of the run's semantics, and are deliberately excluded from Summary so
+	// identical runs print identically whether the cache was cold or warm.
+	CacheHits   int64
+	CacheMisses int64
 	// Arms holds final per-group bandit statistics (nil for scans).
 	Arms []bandit.ArmSnapshot
 	// Events is the step trace when Config.TraceEvents was set.

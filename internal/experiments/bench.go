@@ -28,12 +28,15 @@ type BenchEntry struct {
 // BenchReport is the machine-readable result of a zombie-bench timing run
 // — the regression artifact CI diffs between commits.
 type BenchReport struct {
-	Scale        float64      `json:"scale"`
-	Seed         int64        `json:"seed"`
-	Parallel     int          `json:"parallel"`
-	GOMAXPROCS   int          `json:"gomaxprocs"`
-	Experiments  []BenchEntry `json:"experiments"`
-	TotalSeconds float64      `json:"total_seconds"`
+	Scale       float64      `json:"scale"`
+	Seed        int64        `json:"seed"`
+	Parallel    int          `json:"parallel"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Experiments []BenchEntry `json:"experiments"`
+	// CacheIteration is the extraction-cache cold-vs-warm timing block,
+	// present when the bench included experiment C1.
+	CacheIteration *CacheBenchEntry `json:"cache_iteration,omitempty"`
+	TotalSeconds   float64          `json:"total_seconds"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -98,6 +101,17 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 		if _, err := w.Write(out.Bytes()); err != nil {
 			return nil, err
 		}
+	}
+	for _, id := range ids {
+		if id != "C1" {
+			continue
+		}
+		cacheEntry, err := CacheIterationBench(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: cache iteration bench: %w", err)
+		}
+		report.CacheIteration = cacheEntry
+		break
 	}
 	report.TotalSeconds = time.Since(total).Seconds()
 	return report, nil

@@ -61,6 +61,37 @@ func TestRunBenchParallelBaseline(t *testing.T) {
 	}
 }
 
+// TestRunBenchCacheIteration: benching C1 fills the cold-vs-warm cache
+// timing block, and the warm replay reproduces the cold pass.
+func TestRunBenchCacheIteration(t *testing.T) {
+	var out bytes.Buffer
+	report, err := RunBench(tiny, []string{"C1"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := report.CacheIteration
+	if ci == nil {
+		t.Fatal("cache_iteration block missing from C1 bench")
+	}
+	if ci.ColdWallSeconds <= 0 || ci.WarmWallSeconds <= 0 || ci.Speedup <= 0 {
+		t.Fatalf("cache timings malformed: %+v", ci)
+	}
+	if !ci.ByteIdentical {
+		t.Fatalf("warm replay diverged from cold pass: %+v", ci)
+	}
+	if ci.WarmHits == 0 || ci.WarmMisses != 0 {
+		t.Fatalf("warm traffic wrong: %+v", ci)
+	}
+	// Benching T1 alone leaves the block out.
+	report, err = RunBench(tiny, []string{"T1"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.CacheIteration != nil {
+		t.Fatal("cache_iteration present without C1")
+	}
+}
+
 // TestRunBenchUnknownID rejects ids the registry does not know.
 func TestRunBenchUnknownID(t *testing.T) {
 	if _, err := RunBench(tiny, []string{"T9"}, &bytes.Buffer{}); err == nil {

@@ -166,7 +166,7 @@ func TestBuildNamedGroupsAll(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	ids := IDs()
-	want := []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1", "T2", "T3", "T4"}
+	want := []string{"C1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1", "T2", "T3", "T4"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}
@@ -278,6 +278,26 @@ func TestT3SessionShapes(t *testing.T) {
 	for _, want := range []string{"wiki-v1", "wiki-v8", "session speedup", "scan session total"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("T3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestC1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("C1", tiny, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== C1", "cold", "warm", "cwiki-v1", "cwiki-v4",
+		"warm curves identical to cold: true"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("C1 output missing %q:\n%s", want, out)
+		}
+	}
+	// The warm pass replays a fully populated cache: zero misses.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "warm pass:") && !strings.Contains(line, "/ 0 misses") {
+			t.Fatalf("C1 warm pass should have zero misses: %q", line)
 		}
 	}
 }

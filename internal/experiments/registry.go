@@ -68,6 +68,7 @@ var registry = map[string]struct {
 	Title string
 	Run   Runner
 }{
+	"C1": {"Extraction-cache warm-iteration speedup", C1CacheWarm},
 	"T1": {"Dataset statistics", T1DatasetStats},
 	"T2": {"Headline speedup (time to 95% quality)", T2Headline},
 	"T3": {"End-to-end engineering session", T3Session},

@@ -1,0 +1,359 @@
+// Package featcache is a content-addressed cache for feature-extraction
+// results, keyed by (feature-version fingerprint, input ID). Feature code
+// is deterministic and side-effect free by contract (featurepipe.
+// FeatureFunc), so a cached result is indistinguishable from a fresh
+// extraction — the cache changes wall-clock time and nothing else. The
+// engineer's inner loop re-runs largely unchanged feature code over
+// largely the same inputs; memoizing extraction attacks the same
+// wall-clock the paper's input selection does, from the orthogonal
+// direction.
+//
+// The cache is two layers:
+//
+//   - a sharded in-memory LRU with per-key singleflight, so concurrent
+//     runs (the server's worker pool) never duplicate an extraction and
+//     never block behind one global lock, and
+//   - an optional disk-backed append-only segment store (see Segment),
+//     so cache contents survive process restarts across an engineering
+//     session's iterations.
+//
+// Values cross the disk boundary through a Codec supplied by the caller
+// (featurepipe.ResultCodec for extraction results); in memory the decoded
+// value is stored directly and shared by reference, so cached values must
+// be treated as immutable by every consumer.
+package featcache
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+)
+
+// Codec converts cached values to and from their durable byte form. Encode
+// is also used for in-memory byte accounting, so it must be cheap relative
+// to the computation being cached.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(b []byte) (any, error)
+}
+
+// Config sizes a Cache. The zero value is usable: memory-only, 64 MiB.
+type Config struct {
+	// MaxBytes is the in-memory budget across all shards (default 64 MiB).
+	// Eviction is LRU per shard once the shard's slice of the budget is
+	// exceeded.
+	MaxBytes int64
+	// Shards is the number of independent LRU shards (default 16; keys are
+	// spread by FNV-1a hash).
+	Shards int
+	// Dir, when non-empty, enables the disk segment store in that
+	// directory. Entries evicted from memory remain on disk and reload on
+	// the next request.
+	Dir string
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxBytes <= 0 {
+		c.MaxBytes = 64 << 20
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	return c
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	// Hits counts lookups served without running the compute function:
+	// in-memory hits, disk hits, and waits coalesced onto a concurrent
+	// compute. Misses counts computes actually executed.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// DiskHits is the subset of Hits served by decoding a disk record.
+	DiskHits int64 `json:"disk_hits"`
+	// Evictions counts entries dropped from memory by the LRU budget.
+	Evictions int64 `json:"evictions"`
+	// Entries/Bytes describe current in-memory residency.
+	Entries int64 `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	// DiskEntries/DiskBytes describe the segment store (0 when disabled).
+	DiskEntries int64 `json:"disk_entries"`
+	DiskBytes   int64 `json:"disk_bytes"`
+}
+
+// entry is one resident value. size includes key and accounting overhead.
+type entry struct {
+	key  string
+	val  any
+	size int64
+	// prev/next form the shard's intrusive LRU list.
+	prev, next *entry
+}
+
+// flight is one in-progress compute; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// shard is one LRU partition with its own lock and singleflight table.
+type shard struct {
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	table    map[string]*entry
+	inflight map[string]*flight
+	// head is most-recently used; tail is the eviction candidate.
+	head, tail *entry
+}
+
+// entryOverhead approximates per-entry bookkeeping bytes beyond the
+// encoded payload (map cell, list pointers, key header).
+const entryOverhead = 96
+
+// Cache is the two-layer extraction cache. It is safe for concurrent use.
+type Cache struct {
+	codec  Codec
+	shards []*shard
+	disk   *Segment
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	diskHits  atomic.Int64
+	evictions atomic.Int64
+}
+
+// Open builds a cache. With cfg.Dir set, the disk segment store is opened
+// (or created) there and survives Close/Open cycles; otherwise the cache
+// is memory-only.
+func Open(cfg Config, codec Codec) (*Cache, error) {
+	if codec == nil {
+		return nil, fmt.Errorf("featcache: codec required")
+	}
+	cfg = cfg.withDefaults()
+	c := &Cache{codec: codec, shards: make([]*shard, cfg.Shards)}
+	per := cfg.MaxBytes / int64(cfg.Shards)
+	if per < 1 {
+		per = 1
+	}
+	for i := range c.shards {
+		c.shards[i] = &shard{
+			maxBytes: per,
+			table:    map[string]*entry{},
+			inflight: map[string]*flight{},
+		}
+	}
+	if cfg.Dir != "" {
+		seg, err := OpenSegment(cfg.Dir)
+		if err != nil {
+			return nil, err
+		}
+		c.disk = seg
+	}
+	return c, nil
+}
+
+// Key builds the canonical cache key for a (feature fingerprint, input ID)
+// pair. The separator cannot occur in fingerprints (hex) and is vanishingly
+// unlikely in IDs.
+func Key(fingerprint, inputID string) string {
+	return fingerprint + "\x1f" + inputID
+}
+
+func (c *Cache) shardFor(key string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return c.shards[int(h.Sum32())%len(c.shards)]
+}
+
+// GetOrCompute returns the cached value for (fingerprint, inputID),
+// computing and caching it on a miss. hit reports whether the compute
+// function was avoided (memory hit, disk hit, or coalesced onto a
+// concurrent compute for the same key).
+//
+// Errors are never cached: every waiter of a failed compute observes its
+// error, and the next request retries. If compute panics, the panic
+// propagates to the computing caller (so the engine's panic isolation sees
+// the original value) while coalesced waiters receive an error.
+func (c *Cache) GetOrCompute(fingerprint, inputID string, compute func() (any, error)) (v any, hit bool, err error) {
+	key := Key(fingerprint, inputID)
+	sh := c.shardFor(key)
+
+	sh.mu.Lock()
+	if e, ok := sh.table[key]; ok {
+		sh.moveToFrontLocked(e)
+		sh.mu.Unlock()
+		c.hits.Add(1)
+		return e.val, true, nil
+	}
+	if fl, ok := sh.inflight[key]; ok {
+		sh.mu.Unlock()
+		<-fl.done
+		if fl.err != nil {
+			return nil, false, fl.err
+		}
+		c.hits.Add(1)
+		return fl.val, true, nil
+	}
+	fl := &flight{done: make(chan struct{})}
+	sh.inflight[key] = fl
+	sh.mu.Unlock()
+
+	finished := false
+	finish := func(val any, size int64, err error) {
+		finished = true
+		fl.val, fl.err = val, err
+		sh.mu.Lock()
+		delete(sh.inflight, key)
+		if err == nil {
+			c.insertLocked(sh, key, val, size)
+		}
+		sh.mu.Unlock()
+		close(fl.done)
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			if !finished {
+				finish(nil, 0, fmt.Errorf("featcache: compute for %s panicked: %v", key, p))
+			}
+			panic(p)
+		}
+	}()
+
+	if c.disk != nil {
+		if b, ok, derr := c.disk.Get(key); derr == nil && ok {
+			if dv, decErr := c.codec.Decode(b); decErr == nil {
+				c.diskHits.Add(1)
+				c.hits.Add(1)
+				finish(dv, int64(len(b)), nil)
+				return dv, true, nil
+			}
+			// An undecodable record (codec drift) falls through to a
+			// recompute, which re-persists nothing: Append skips keys the
+			// index already holds, so the stale record stays until an
+			// Invalidate. Acceptable: fingerprints change with codec-visible
+			// feature changes, making drift a development-only state.
+		}
+	}
+
+	val, err := compute()
+	if err != nil {
+		finish(nil, 0, err)
+		return nil, false, err
+	}
+	b, err := c.codec.Encode(val)
+	if err != nil {
+		finish(nil, 0, fmt.Errorf("featcache: encode %s: %w", key, err))
+		return nil, false, err
+	}
+	if c.disk != nil {
+		// Best effort: a full disk loses persistence, not correctness.
+		c.disk.Append(key, b) //nolint:errcheck
+	}
+	c.misses.Add(1)
+	finish(val, int64(len(b)), nil)
+	return val, false, nil
+}
+
+// insertLocked adds the value under sh.mu and evicts LRU entries beyond
+// the shard budget (never the entry just inserted).
+func (c *Cache) insertLocked(sh *shard, key string, val any, size int64) {
+	if _, ok := sh.table[key]; ok {
+		return // a racing fill already inserted it
+	}
+	e := &entry{key: key, val: val, size: size + int64(len(key)) + entryOverhead}
+	sh.table[key] = e
+	sh.pushFrontLocked(e)
+	sh.bytes += e.size
+	for sh.bytes > sh.maxBytes && sh.tail != nil && sh.tail != e {
+		victim := sh.tail
+		sh.removeLocked(victim)
+		delete(sh.table, victim.key)
+		sh.bytes -= victim.size
+		c.evictions.Add(1)
+	}
+}
+
+func (sh *shard) pushFrontLocked(e *entry) {
+	e.prev = nil
+	e.next = sh.head
+	if sh.head != nil {
+		sh.head.prev = e
+	}
+	sh.head = e
+	if sh.tail == nil {
+		sh.tail = e
+	}
+}
+
+func (sh *shard) removeLocked(e *entry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		sh.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		sh.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+func (sh *shard) moveToFrontLocked(e *entry) {
+	if sh.head == e {
+		return
+	}
+	sh.removeLocked(e)
+	sh.pushFrontLocked(e)
+}
+
+// Stats snapshots the counters. Entries/Bytes walk the shard headers (one
+// short lock each); disk numbers come from the segment index.
+func (c *Cache) Stats() Stats {
+	st := Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		DiskHits:  c.diskHits.Load(),
+		Evictions: c.evictions.Load(),
+	}
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		st.Entries += int64(len(sh.table))
+		st.Bytes += sh.bytes
+		sh.mu.Unlock()
+	}
+	if c.disk != nil {
+		st.DiskEntries = int64(c.disk.Len())
+		st.DiskBytes = c.disk.Bytes()
+	}
+	return st
+}
+
+// Invalidate drops every cached entry, memory and disk. In-flight
+// computes complete normally and re-enter the emptied cache. The counters
+// are not reset: they describe lifetime traffic.
+func (c *Cache) Invalidate() error {
+	for _, sh := range c.shards {
+		sh.mu.Lock()
+		sh.table = map[string]*entry{}
+		sh.head, sh.tail = nil, nil
+		sh.bytes = 0
+		sh.mu.Unlock()
+	}
+	if c.disk != nil {
+		return c.disk.Invalidate()
+	}
+	return nil
+}
+
+// Close flushes the disk index sidecar and releases the segment file.
+// The in-memory layer needs no teardown.
+func (c *Cache) Close() error {
+	if c.disk != nil {
+		return c.disk.Close()
+	}
+	return nil
+}

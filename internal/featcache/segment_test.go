@@ -1,0 +1,196 @@
+package featcache
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSegmentRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.Append(fmt.Sprintf("k%d", i), []byte(fmt.Sprintf("value-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 10 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	b, ok, err := s.Get("k3")
+	if err != nil || !ok || string(b) != "value-3" {
+		t.Fatalf("get: %q %v %v", b, ok, err)
+	}
+	if _, ok, _ := s.Get("missing"); ok {
+		t.Fatal("missing key reported present")
+	}
+	// Re-appending an existing key is a no-op (content-addressed values).
+	sizeBefore := s.Bytes()
+	if err := s.Append("k3", []byte("different")); err != nil {
+		t.Fatal(err)
+	}
+	if s.Bytes() != sizeBefore {
+		t.Fatal("duplicate append grew the store")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSegmentReopenFastPathAndScan(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenSegment(dir)
+	s.Append("alpha", []byte("1"))
+	s.Append("beta", []byte("22"))
+	s.Close() // writes the sidecar index
+
+	// Fast path: sidecar matches the data size.
+	s2, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b, ok, _ := s2.Get("beta"); !ok || string(b) != "22" {
+		t.Fatalf("fast-path reload: %q %v", b, ok)
+	}
+	s2.Append("gamma", []byte("333"))
+	// Abandon without Close: the sidecar is now stale, forcing a scan.
+	s3, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, want := range map[string]string{"alpha": "1", "beta": "22", "gamma": "333"} {
+		if b, ok, _ := s3.Get(k); !ok || string(b) != want {
+			t.Fatalf("scan reload %s: %q %v", k, b, ok)
+		}
+	}
+	s3.Close()
+}
+
+// TestSegmentTruncatesTornTail is the crash-tolerance contract: a segment
+// whose final record was half-written (process killed mid-append) must
+// reopen cleanly with every complete record intact and the torn bytes
+// truncated away.
+func TestSegmentTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenSegment(dir)
+	for i := 0; i < 5; i++ {
+		s.Append(fmt.Sprintf("key-%d", i), []byte(strings.Repeat("v", 100+i)))
+	}
+	s.Append("torn", []byte(strings.Repeat("T", 200)))
+	s.Close()
+	path := filepath.Join(dir, segmentFile)
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop into the middle of the last record's value, and remove the
+	// sidecar as a crash before Close would have left it stale anyway.
+	if err := os.Truncate(path, st.Size()-150); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, indexFile))
+
+	s2, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 5 {
+		t.Fatalf("recovered %d records, want the 5 complete ones", s2.Len())
+	}
+	for i := 0; i < 5; i++ {
+		k := fmt.Sprintf("key-%d", i)
+		b, ok, err := s2.Get(k)
+		if err != nil || !ok || len(b) != 100+i {
+			t.Fatalf("record %s: len=%d ok=%v err=%v", k, len(b), ok, err)
+		}
+	}
+	if _, ok, _ := s2.Get("torn"); ok {
+		t.Fatal("torn record must not survive recovery")
+	}
+	// The file itself was truncated back to the last good record, so a
+	// subsequent append lands on a clean tail and survives another reopen.
+	if err := s2.Append("after", []byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s3.Close()
+	if b, ok, _ := s3.Get("after"); !ok || string(b) != "recovered" {
+		t.Fatalf("post-recovery append lost: %q %v", b, ok)
+	}
+}
+
+// TestSegmentTruncatesGarbageTail covers the other crash shape: the tail
+// record is complete in length but its checksum does not match (torn
+// multi-block write).
+func TestSegmentTruncatesGarbageTail(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenSegment(dir)
+	s.Append("good", []byte("keep-me"))
+	s.Append("bad", []byte(strings.Repeat("B", 64)))
+	s.Close()
+	path := filepath.Join(dir, segmentFile)
+	// Flip a byte inside the last record's value.
+	b, _ := os.ReadFile(path)
+	b[len(b)-10] ^= 0xFF
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(dir, indexFile))
+
+	s2, err := OpenSegment(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Len() != 1 {
+		t.Fatalf("recovered %d records, want 1", s2.Len())
+	}
+	if v, ok, _ := s2.Get("good"); !ok || string(v) != "keep-me" {
+		t.Fatalf("good record lost: %q %v", v, ok)
+	}
+}
+
+func TestSegmentRejectsForeignFile(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, segmentFile), []byte("not a cache at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSegment(dir); err == nil {
+		t.Fatal("foreign file should be rejected, not truncated")
+	}
+}
+
+func TestSegmentInvalidate(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := OpenSegment(dir)
+	s.Append("a", []byte("1"))
+	if err := s.Invalidate(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 || s.Bytes() != 0 {
+		t.Fatal("invalidate left records")
+	}
+	if _, ok, _ := s.Get("a"); ok {
+		t.Fatal("invalidated key still readable")
+	}
+	s.Append("b", []byte("2"))
+	s.Close()
+	s2, _ := OpenSegment(dir)
+	defer s2.Close()
+	if _, ok, _ := s2.Get("a"); ok {
+		t.Fatal("invalidated key survived reopen")
+	}
+	if v, ok, _ := s2.Get("b"); !ok || string(v) != "2" {
+		t.Fatal("post-invalidate append lost")
+	}
+}

@@ -1,0 +1,97 @@
+package featurepipe
+
+import (
+	"sync/atomic"
+
+	"zombie/internal/corpus"
+	"zombie/internal/featcache"
+)
+
+// CacheCounters tallies extraction-cache traffic for one consumer (the
+// engine allocates one per run so RunResult can report per-run hit rates
+// against a cache shared by many runs). Counters are atomics because the
+// server executes runs concurrently against one shared cache.
+type CacheCounters struct {
+	Hits   atomic.Int64
+	Misses atomic.Int64
+}
+
+// Cached wraps feature code with the extraction cache: Extract serves
+// (fingerprint, input ID) pairs the cache has seen before without running
+// the inner code. Because FeatureFunc contracts Extract to be
+// deterministic and side-effect free, the wrapped function is
+// observationally identical to the inner one — results, errors, and
+// panics included — only faster on repeats. ctrs may be nil.
+//
+// A CompositeFeature is cached at the part level instead of as a whole:
+// each part is wrapped individually and the concatenation is recomputed
+// from the parts' (cached) vectors. This is where cross-version reuse
+// pays — an engineering session that edits one sub-feature reuses every
+// other part's cached vectors, mirroring how featurepipe.Session versions
+// v1→vN typically share most of their parts.
+//
+// Cached results are shared by reference across runs; consumers must
+// treat them as immutable (every learner does — features are read-only
+// after extraction).
+func Cached(f FeatureFunc, cache *featcache.Cache, ctrs *CacheCounters) FeatureFunc {
+	if cache == nil {
+		return f
+	}
+	if comp, ok := f.(*CompositeFeature); ok {
+		parts := make([]FeatureFunc, len(comp.parts))
+		for i, p := range comp.parts {
+			parts[i] = Cached(p, cache, ctrs)
+		}
+		return &CompositeFeature{FuncCore: comp.FuncCore, parts: parts}
+	}
+	if already, ok := f.(*cachedFunc); ok {
+		return &cachedFunc{inner: already.inner, fp: already.fp, cache: cache, ctrs: ctrs}
+	}
+	return &cachedFunc{inner: f, fp: FingerprintOf(f), cache: cache, ctrs: ctrs}
+}
+
+// cachedFunc memoizes one (non-composite) feature function.
+type cachedFunc struct {
+	inner FeatureFunc
+	fp    string
+	cache *featcache.Cache
+	ctrs  *CacheCounters
+}
+
+// Name implements FeatureFunc. The wrapper is transparent: traces, table
+// labels and RNG substream derivations must not change when caching is
+// switched on.
+func (c *cachedFunc) Name() string { return c.inner.Name() }
+
+// Dim implements FeatureFunc.
+func (c *cachedFunc) Dim() int { return c.inner.Dim() }
+
+// NumClasses implements FeatureFunc.
+func (c *cachedFunc) NumClasses() int { return c.inner.NumClasses() }
+
+// Fingerprint implements Fingerprinter, so re-wrapping is stable.
+func (c *cachedFunc) Fingerprint() string { return c.fp }
+
+// Extract implements FeatureFunc through the cache. Extraction errors are
+// returned verbatim and never cached (each request retries, exactly like
+// the uncached path); panics propagate to this caller.
+func (c *cachedFunc) Extract(in *corpus.Input) (Result, error) {
+	v, hit, err := c.cache.GetOrCompute(c.fp, in.ID, func() (any, error) {
+		res, err := c.inner.Extract(in)
+		if err != nil {
+			return nil, err
+		}
+		return res, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	if c.ctrs != nil {
+		if hit {
+			c.ctrs.Hits.Add(1)
+		} else {
+			c.ctrs.Misses.Add(1)
+		}
+	}
+	return v.(Result), nil
+}

@@ -1,0 +1,107 @@
+package featurepipe
+
+import (
+	"testing"
+
+	"zombie/internal/corpus"
+	"zombie/internal/rng"
+)
+
+func codecRoundTrip(t *testing.T, res Result) Result {
+	t.Helper()
+	b, err := ResultCodec{}.Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ResultCodec{}.Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v.(Result)
+}
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	// Sparse results (wiki) and dense results (songs) through real feature
+	// code, plus the not-produced case.
+	wiki := NewWikiFeature(5)
+	wcfg := corpus.DefaultWikiConfig()
+	wcfg.N = 120
+	wins, _ := corpus.GenerateWiki(wcfg, rng.New(200))
+	sparseSeen, skippedSeen := false, false
+	for _, in := range wins {
+		res, err := wiki.Extract(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := codecRoundTrip(t, res)
+		if !sameResult(res, got) {
+			t.Fatalf("wiki round trip drifted on %s", in.ID)
+		}
+		if res.Produced && res.Example.Features.IsSparse() {
+			if !got.Example.Features.IsSparse() {
+				t.Fatal("sparse vector decoded dense")
+			}
+			sparseSeen = true
+		}
+		skippedSeen = skippedSeen || !res.Produced
+	}
+	if !sparseSeen || !skippedSeen {
+		t.Fatalf("coverage: sparse=%v skipped=%v", sparseSeen, skippedSeen)
+	}
+
+	scfg := corpus.DefaultSongConfig()
+	scfg.N = 40
+	sins, _ := corpus.GenerateSongs(scfg, rng.New(201))
+	song := NewSongFeature(2, scfg)
+	for _, in := range sins {
+		res, err := song.Extract(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := codecRoundTrip(t, res)
+		if !sameResult(res, got) {
+			t.Fatal("song round trip drifted")
+		}
+		if got.Example.Features.IsSparse() {
+			t.Fatal("dense vector decoded sparse")
+		}
+		if got.Example.Target != in.Truth.Target {
+			t.Fatal("regression target lost")
+		}
+	}
+}
+
+func TestResultCodecRejectsCorruptRecords(t *testing.T) {
+	res, err := NewWikiFeature(2).Extract(markerInput("c"))
+	if err != nil || !res.Produced {
+		t.Fatal("fixture extraction failed")
+	}
+	good, err := ResultCodec{}.Encode(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := (ResultCodec{}).Decode(nil); err == nil {
+		t.Fatal("empty record accepted")
+	}
+	if _, err := (ResultCodec{}).Decode([]byte{99, 0}); err == nil {
+		t.Fatal("unknown version accepted")
+	}
+	if _, err := (ResultCodec{}).Decode(good[:len(good)-3]); err == nil {
+		t.Fatal("truncated body accepted")
+	}
+	if _, err := (ResultCodec{}).Decode(good[:5]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	// Zero out a sparse value: the strictly-nonzero invariant must reject
+	// it rather than hand linalg a malformed vector.
+	bad := append([]byte(nil), good...)
+	for i := len(bad) - 8; i < len(bad); i++ {
+		bad[i] = 0
+	}
+	if _, err := (ResultCodec{}).Decode(bad); err == nil {
+		t.Fatal("zero sparse value accepted")
+	}
+	if _, err := (ResultCodec{}).Encode("not a result"); err == nil {
+		t.Fatal("foreign type accepted")
+	}
+}

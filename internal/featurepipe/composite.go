@@ -50,8 +50,12 @@ func NewCompositeFeature(name string, parts ...FeatureFunc) (*CompositeFeature, 
 
 // Extract implements FeatureFunc.
 func (c *CompositeFeature) Extract(in *corpus.Input) (Result, error) {
+	// Parts emit non-zeros in increasing index order and their offset
+	// ranges are disjoint, so the concatenated coordinates arrive already
+	// sorted — the assembly is O(nnz) with no map or sort.
 	offset := 0
-	entries := map[int]float64{}
+	var idx []int
+	var val []float64
 	useful := false
 	var first *Result
 	for _, p := range c.parts {
@@ -62,18 +66,23 @@ func (c *CompositeFeature) Extract(in *corpus.Input) (Result, error) {
 		if !res.Produced {
 			return Result{}, nil
 		}
+		if got := res.Example.Features.Dim(); got != p.Dim() {
+			return Result{}, fmt.Errorf("featurepipe: composite %s: part %s produced dim %d, declared %d",
+				c.FuncName, p.Name(), got, p.Dim())
+		}
 		if first == nil {
 			r := res
 			first = &r
 		}
 		useful = useful || res.Useful
 		res.Example.Features.ForEachNonZero(func(i int, x float64) {
-			entries[offset+i] = x
+			idx = append(idx, offset+i)
+			val = append(val, x)
 		})
 		offset += p.Dim()
 	}
 	ex := learner.Example{
-		Features: learner.SparseVec(linalg.SparseFromMap(c.FuncDim, entries)),
+		Features: learner.SparseVec(linalg.SparseFromOrdered(c.FuncDim, idx, val)),
 		Class:    first.Example.Class,
 		Target:   first.Example.Target,
 	}

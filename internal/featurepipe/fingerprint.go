@@ -1,0 +1,93 @@
+package featurepipe
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strconv"
+)
+
+// Fingerprinter is implemented by feature functions that can describe
+// their extraction behavior as a stable content hash. Two feature values
+// share a fingerprint exactly when Extract is guaranteed to produce
+// identical results for every input — the property the extraction cache
+// keys on. The canonical feature types all implement it over their full
+// parameter set; see FingerprintOf for the fallback.
+type Fingerprinter interface {
+	Fingerprint() string
+}
+
+// FingerprintOf returns the cache fingerprint for any feature function.
+// Types implementing Fingerprinter get their content hash; everything
+// else falls back to (type, name, dim, classes), which is correct as long
+// as distinct feature-code versions carry distinct names — the convention
+// every canonical constructor follows ("wiki-v4", "song-v2", ...).
+func FingerprintOf(f FeatureFunc) string {
+	if fp, ok := f.(Fingerprinter); ok {
+		return fp.Fingerprint()
+	}
+	return fpHash("fallback", fmt.Sprintf("%T", f), f.Name(),
+		strconv.Itoa(f.Dim()), strconv.Itoa(f.NumClasses()))
+}
+
+// fpHash hashes the parts into a short hex fingerprint. FNV-1a is not
+// collision-proof in the cryptographic sense, but fingerprints are drawn
+// from a handful of feature versions per session, not an adversarial
+// space.
+func fpHash(parts ...string) string {
+	h := fnv.New64a()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return strconv.FormatUint(h.Sum64(), 16)
+}
+
+// Fingerprint implements Fingerprinter over every behavior-determining
+// field of the wiki feature code.
+func (f *WikiFeature) Fingerprint() string {
+	return fpHash("wiki", f.FuncName, strconv.Itoa(f.FuncDim), strconv.Itoa(f.Classes),
+		strconv.FormatFloat(f.MarkerBoost, 'g', -1, 64),
+		strconv.FormatBool(f.Bigrams), strconv.Itoa(f.NegSamplePct))
+}
+
+// Fingerprint implements Fingerprinter.
+func (f *SongFeature) Fingerprint() string {
+	return fpHash("song", f.FuncName, strconv.Itoa(f.FuncDim), strconv.Itoa(f.Classes),
+		strconv.FormatBool(f.Squares), strconv.Itoa(f.Genres), strconv.Itoa(f.baseDim))
+}
+
+// Fingerprint implements Fingerprinter.
+func (f *ImageFeature) Fingerprint() string {
+	return fpHash("image", f.FuncName, strconv.Itoa(f.FuncDim), strconv.Itoa(f.Classes),
+		strconv.FormatBool(f.Normalize), strconv.FormatBool(f.Squares), strconv.Itoa(f.baseDim))
+}
+
+// Fingerprint implements Fingerprinter: the composite's identity is the
+// ordered list of its parts' fingerprints, so editing one part changes
+// the composite's fingerprint (and that part's) while the other parts'
+// fingerprints — and their cached vectors — are untouched.
+func (c *CompositeFeature) Fingerprint() string {
+	parts := make([]string, 0, len(c.parts)+2)
+	parts = append(parts, "composite", strconv.Itoa(c.FuncDim))
+	for _, p := range c.parts {
+		parts = append(parts, FingerprintOf(p))
+	}
+	return fpHash(parts...)
+}
+
+// Fingerprint implements Fingerprinter: fault injection changes which
+// inputs succeed, so the wrapper's identity covers the fault parameters
+// and the exempt set on top of the inner code's fingerprint.
+func (f *FaultyFeature) Fingerprint() string {
+	exempt := make([]string, 0, len(f.Exempt))
+	for id, ok := range f.Exempt {
+		if ok {
+			exempt = append(exempt, id)
+		}
+	}
+	sort.Strings(exempt)
+	parts := append([]string{"faulty", FingerprintOf(f.Inner),
+		strconv.Itoa(f.ErrPct), strconv.Itoa(f.PanicPct)}, exempt...)
+	return fpHash(parts...)
+}

@@ -60,6 +60,28 @@ func NewSparse(dim int, idx []int, val []float64) *Sparse {
 	return s
 }
 
+// SparseFromOrdered wraps already-ordered coordinate slices as a Sparse
+// vector without copying or sorting. The caller promises strictly
+// increasing indices within [0, dim) and non-zero values — the invariant
+// NewSparse would otherwise establish in O(n log n). Violations panic, so
+// misuse is loud rather than silently breaking the arithmetic.
+func SparseFromOrdered(dim int, idx []int, val []float64) *Sparse {
+	if len(idx) != len(val) {
+		panic(fmt.Sprintf("linalg: SparseFromOrdered index/value length mismatch %d vs %d", len(idx), len(val)))
+	}
+	prev := -1
+	for k, i := range idx {
+		if i <= prev || i >= dim {
+			panic(fmt.Sprintf("linalg: SparseFromOrdered index %d at position %d breaks strictly-increasing [0,%d)", i, k, dim))
+		}
+		if val[k] == 0 {
+			panic(fmt.Sprintf("linalg: SparseFromOrdered zero value at position %d", k))
+		}
+		prev = i
+	}
+	return &Sparse{Idx: idx, Val: val, Dim: dim}
+}
+
 // SparseFromMap builds a Sparse vector from an index→value map.
 func SparseFromMap(dim int, m map[int]float64) *Sparse {
 	idx := make([]int, 0, len(m))

@@ -11,6 +11,7 @@ import (
 
 	"zombie/internal/bandit"
 	"zombie/internal/core"
+	"zombie/internal/featcache"
 	"zombie/internal/index"
 	"zombie/internal/parallel"
 	"zombie/internal/rng"
@@ -32,9 +33,10 @@ var (
 // history); a production deployment would add retention, which is
 // deliberately out of scope here.
 type Manager struct {
-	registry *Registry
-	cache    *IndexCache
-	metrics  *Metrics
+	registry  *Registry
+	cache     *IndexCache
+	featCache *featcache.Cache
+	metrics   *Metrics
 
 	pool    *parallel.Pool
 	running atomic.Int64
@@ -51,11 +53,12 @@ type Manager struct {
 
 // NewManager starts a pool of workers goroutines over a queue of queueCap
 // pending runs (both floored at 1) and returns the manager.
-func NewManager(registry *Registry, cache *IndexCache, metrics *Metrics, workers, queueCap int) *Manager {
+func NewManager(registry *Registry, cache *IndexCache, featCache *featcache.Cache, metrics *Metrics, workers, queueCap int) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
 		registry:   registry,
 		cache:      cache,
+		featCache:  featCache,
 		metrics:    metrics,
 		pool:       parallel.NewPool(workers, queueCap),
 		baseCtx:    ctx,
@@ -244,6 +247,10 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 
 	cfg := spec.engineConfig()
 	cfg.Progress = run.appendPoint
+	// Every run shares the server's extraction cache; results are
+	// byte-identical either way (see core.Config.Cache), so this is purely
+	// a wall-clock win across a session's repeated runs.
+	cfg.Cache = m.featCache
 	eng, err := core.New(cfg)
 	if err != nil {
 		return nil, err

@@ -8,6 +8,8 @@ import (
 	"time"
 
 	"zombie/internal/corpus"
+	"zombie/internal/featcache"
+	"zombie/internal/featurepipe"
 	"zombie/internal/rng"
 )
 
@@ -37,7 +39,11 @@ func newTestManager(t *testing.T, corpusName string, n int, workers, queueCap in
 	if _, err := registry.Add(corpusName, writeImageCorpus(t, n, 42), false); err != nil {
 		t.Fatal(err)
 	}
-	m := NewManager(registry, NewIndexCache(metrics), metrics, workers, queueCap)
+	featCache, err := featcache.Open(featcache.Config{}, featurepipe.ResultCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(registry, NewIndexCache(metrics), featCache, metrics, workers, queueCap)
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
@@ -250,7 +256,7 @@ func TestRunWallTimeMetrics(t *testing.T) {
 	if got := metrics.RunWallMillis.Load(); got != info.WallMillis {
 		t.Fatalf("cumulative run wall ms = %d, want %d (the only run's wall time)", got, info.WallMillis)
 	}
-	snap := metrics.snapshot(m.QueueDepth(), m.Running(), 1)
+	snap := metrics.snapshot(m.QueueDepth(), m.Running(), 1, m.featCache.Stats())
 	if snap["run_wall_ms"] != info.WallMillis {
 		t.Fatalf("snapshot run_wall_ms = %d, want %d", snap["run_wall_ms"], info.WallMillis)
 	}

@@ -1,6 +1,10 @@
 package server
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"zombie/internal/featcache"
+)
 
 // Metrics is the server's counter set, exported at /metrics as a flat
 // expvar-style JSON object. Counters are atomics so the run workers and
@@ -24,20 +28,29 @@ type Metrics struct {
 	IndexCacheHits atomic.Int64
 }
 
-// snapshot renders the counters plus caller-sampled gauges.
-func (m *Metrics) snapshot(queueDepth, running, corpora int) map[string]int64 {
+// snapshot renders the counters plus caller-sampled gauges, including the
+// extraction cache's own counter snapshot under feat_cache_* keys.
+func (m *Metrics) snapshot(queueDepth, running, corpora int, fc featcache.Stats) map[string]int64 {
 	return map[string]int64{
-		"runs_started":     m.RunsStarted.Load(),
-		"runs_completed":   m.RunsCompleted.Load(),
-		"runs_failed":      m.RunsFailed.Load(),
-		"runs_cancelled":   m.RunsCancelled.Load(),
-		"inputs_processed": m.InputsProcessed.Load(),
-		"run_wall_ms":      m.RunWallMillis.Load(),
-		"run_seconds":      m.RunWallMillis.Load() / 1000,
-		"index_builds":     m.IndexBuilds.Load(),
-		"index_cache_hits": m.IndexCacheHits.Load(),
-		"queue_depth":      int64(queueDepth),
-		"runs_running":     int64(running),
-		"corpora":          int64(corpora),
+		"feat_cache_hits":         fc.Hits,
+		"feat_cache_misses":       fc.Misses,
+		"feat_cache_disk_hits":    fc.DiskHits,
+		"feat_cache_evictions":    fc.Evictions,
+		"feat_cache_entries":      fc.Entries,
+		"feat_cache_bytes":        fc.Bytes,
+		"feat_cache_disk_entries": fc.DiskEntries,
+		"feat_cache_disk_bytes":   fc.DiskBytes,
+		"runs_started":            m.RunsStarted.Load(),
+		"runs_completed":          m.RunsCompleted.Load(),
+		"runs_failed":             m.RunsFailed.Load(),
+		"runs_cancelled":          m.RunsCancelled.Load(),
+		"inputs_processed":        m.InputsProcessed.Load(),
+		"run_wall_ms":             m.RunWallMillis.Load(),
+		"run_seconds":             m.RunWallMillis.Load() / 1000,
+		"index_builds":            m.IndexBuilds.Load(),
+		"index_cache_hits":        m.IndexCacheHits.Load(),
+		"queue_depth":             int64(queueDepth),
+		"runs_running":            int64(running),
+		"corpora":                 int64(corpora),
 	}
 }

@@ -104,6 +104,9 @@ type RunInfo struct {
 	FinalQuality    float64 `json:"final_quality,omitempty"`
 	Stop            string  `json:"stop,omitempty"`
 	Strategy        string  `json:"strategy,omitempty"`
+	// CacheHits / CacheMisses are the run's extraction-cache traffic.
+	CacheHits   int64 `json:"cache_hits,omitempty"`
+	CacheMisses int64 `json:"cache_misses,omitempty"`
 }
 
 // Info snapshots the run.
@@ -132,6 +135,8 @@ func (r *Run) Info() RunInfo {
 		info.FinalQuality = r.result.FinalQuality
 		info.Stop = r.result.Stop.String()
 		info.Strategy = r.result.Strategy
+		info.CacheHits = r.result.CacheHits
+		info.CacheMisses = r.result.CacheMisses
 	}
 	return info
 }

@@ -15,8 +15,10 @@
 //	DELETE /runs/{id}            cancel (queued or running)
 //	GET    /runs/{id}/curve      learning curve; ?follow=1 streams SSE
 //	GET    /runs/{id}/events     step-level trace as CSV (spec.trace runs)
+//	DELETE /cache                invalidate the shared extraction cache
 //	GET    /healthz              liveness + run-state counts
-//	GET    /metrics              expvar-style counter map
+//	GET    /metrics              expvar-style counter map (extraction-cache
+//	                             traffic included)
 package server
 
 import (
@@ -29,6 +31,8 @@ import (
 	"time"
 
 	"zombie/internal/core"
+	"zombie/internal/featcache"
+	"zombie/internal/featurepipe"
 )
 
 // Config sizes the server.
@@ -38,21 +42,30 @@ type Config struct {
 	// QueueCap bounds queued-not-yet-running runs (default 64); a full
 	// queue rejects submissions with 503.
 	QueueCap int
+	// CacheDir, when non-empty, backs the shared extraction cache with a
+	// disk segment store in that directory, so cached extractions survive
+	// server restarts. Empty keeps the cache memory-only.
+	CacheDir string
+	// CacheMemMB is the extraction cache's in-memory budget in MiB
+	// (default 64).
+	CacheMemMB int
 }
 
-// Server wires the registry, index cache, run manager and metrics behind
-// one http.Handler.
+// Server wires the registry, index cache, extraction cache, run manager
+// and metrics behind one http.Handler.
 type Server struct {
-	registry *Registry
-	cache    *IndexCache
-	manager  *Manager
-	metrics  *Metrics
-	mux      *http.ServeMux
-	start    time.Time
+	registry  *Registry
+	cache     *IndexCache
+	featCache *featcache.Cache
+	manager   *Manager
+	metrics   *Metrics
+	mux       *http.ServeMux
+	start     time.Time
 }
 
-// New assembles a server and starts its worker pool.
-func New(cfg Config) *Server {
+// New assembles a server and starts its worker pool. It fails only when
+// the extraction cache's disk store cannot be opened.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 1 {
 		cfg.Workers = 2
 	}
@@ -62,13 +75,24 @@ func New(cfg Config) *Server {
 	metrics := &Metrics{}
 	registry := NewRegistry()
 	cache := NewIndexCache(metrics)
+	// One extraction cache shared by every run the server executes — the
+	// server is the long-lived process an engineering session talks to, so
+	// cross-run reuse is the norm, not the exception.
+	featCache, err := featcache.Open(featcache.Config{
+		MaxBytes: int64(cfg.CacheMemMB) << 20,
+		Dir:      cfg.CacheDir,
+	}, featurepipe.ResultCodec{})
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
-		registry: registry,
-		cache:    cache,
-		manager:  NewManager(registry, cache, metrics, cfg.Workers, cfg.QueueCap),
-		metrics:  metrics,
-		mux:      http.NewServeMux(),
-		start:    time.Now(),
+		registry:  registry,
+		cache:     cache,
+		featCache: featCache,
+		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap),
+		metrics:   metrics,
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -81,7 +105,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleRunCancel)
 	s.mux.HandleFunc("GET /runs/{id}/curve", s.handleRunCurve)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
-	return s
+	s.mux.HandleFunc("DELETE /cache", s.handleCacheInvalidate)
+	return s, nil
 }
 
 // Handler returns the routed handler.
@@ -95,10 +120,14 @@ func (s *Server) Registry() *Registry { return s.registry }
 func (s *Server) Manager() *Manager { return s.manager }
 
 // Shutdown drains the run manager (see Manager.Shutdown), then closes any
-// streamed corpora. The HTTP listener should already be stopped.
+// streamed corpora and the extraction cache (flushing its disk index).
+// The HTTP listener should already be stopped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.manager.Shutdown(ctx)
 	if cerr := s.registry.Close(); err == nil {
+		err = cerr
+	}
+	if cerr := s.featCache.Close(); err == nil {
 		err = cerr
 	}
 	return err
@@ -144,7 +173,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.manager.QueueDepth(), s.manager.Running(), s.registry.Len()))
+		s.metrics.snapshot(s.manager.QueueDepth(), s.manager.Running(), s.registry.Len(),
+			s.featCache.Stats()))
+}
+
+// handleCacheInvalidate drops every cached extraction, memory and disk —
+// the escape hatch for the one situation the fingerprint cannot see:
+// feature code whose behavior changed without any parameter changing
+// (a code edit during development).
+func (s *Server) handleCacheInvalidate(w http.ResponseWriter, r *http.Request) {
+	if err := s.featCache.Invalidate(); err != nil {
+		writeError(w, http.StatusInternalServerError, "cache invalidation failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "invalidated",
+		"cache":  s.featCache.Stats(),
+	})
 }
 
 // --- corpora ---

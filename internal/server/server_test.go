@@ -16,7 +16,10 @@ import (
 
 func newTestServer(t *testing.T) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(Config{Workers: 2, QueueCap: 16})
+	s, err := New(Config{Workers: 2, QueueCap: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -349,5 +352,57 @@ func TestSSEAfterCompletion(t *testing.T) {
 	}
 	if !strings.Contains(last.data, fmt.Sprintf("%q", StateDone)) {
 		t.Fatalf("status data: %s", last.data)
+	}
+}
+
+// TestExtractionCacheSharedAcrossRuns: the second identical run is served
+// from the extraction cache populated by the first, the traffic shows up
+// in RunInfo and /metrics, results stay identical, and DELETE /cache
+// empties the cache.
+func TestExtractionCacheSharedAcrossRuns(t *testing.T) {
+	s, ts := newTestServer(t)
+	path := writeImageCorpus(t, 500, 13)
+	decodeBody[CorpusInfo](t, postJSON(t, ts.URL+"/corpora", corpusAddRequest{Name: "imgs", Path: path}), http.StatusCreated)
+
+	spec := RunSpec{Corpus: "imgs", Task: "image", Mode: "scan-sequential", MaxInputs: 80, EvalEvery: 40}
+	await := func(id string) RunInfo {
+		run, ok := s.Manager().Get(id)
+		if !ok {
+			t.Fatalf("run %s missing", id)
+		}
+		<-run.Done()
+		if st := run.State(); st != StateDone {
+			t.Fatalf("run %s state = %s (%s)", id, st, run.Info().Error)
+		}
+		return run.Info()
+	}
+	cold := await(decodeBody[RunInfo](t, postJSON(t, ts.URL+"/runs", spec), http.StatusAccepted).ID)
+	warm := await(decodeBody[RunInfo](t, postJSON(t, ts.URL+"/runs", spec), http.StatusAccepted).ID)
+
+	if cold.CacheHits != 0 || cold.CacheMisses == 0 {
+		t.Fatalf("cold run traffic: hits=%d misses=%d", cold.CacheHits, cold.CacheMisses)
+	}
+	if warm.CacheHits == 0 || warm.CacheMisses != 0 {
+		t.Fatalf("warm run traffic: hits=%d misses=%d", warm.CacheHits, warm.CacheMisses)
+	}
+	if cold.FinalQuality != warm.FinalQuality || cold.InputsProcessed != warm.InputsProcessed {
+		t.Fatalf("cached replay diverged: %+v vs %+v", cold, warm)
+	}
+
+	metrics := decodeBody[map[string]int64](t, mustGet(t, ts.URL+"/metrics"), http.StatusOK)
+	if metrics["feat_cache_hits"] == 0 || metrics["feat_cache_misses"] == 0 ||
+		metrics["feat_cache_entries"] == 0 || metrics["feat_cache_bytes"] == 0 {
+		t.Fatalf("metrics missing cache traffic: %v", metrics)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/cache", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody[map[string]any](t, resp, http.StatusOK)
+	metrics = decodeBody[map[string]int64](t, mustGet(t, ts.URL+"/metrics"), http.StatusOK)
+	if metrics["feat_cache_entries"] != 0 || metrics["feat_cache_bytes"] != 0 {
+		t.Fatalf("cache not emptied: %v", metrics)
 	}
 }
