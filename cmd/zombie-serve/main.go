@@ -33,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"zombie/internal/fault"
 	"zombie/internal/server"
 )
 
@@ -61,15 +62,26 @@ func run() error {
 	stream := flag.Bool("stream", false, "open preregistered corpora as streamed DiskStores")
 	cacheDir := flag.String("cache-dir", "", "persist the extraction cache to this directory (survives restarts)")
 	cacheMemMB := flag.Int("cache-mem-mb", 64, "extraction cache in-memory budget in MiB")
+	runTimeout := flag.Duration("run-timeout", 0, "default per-run wall-clock deadline, e.g. 10m (0 = none; a run's timeout_ms overrides)")
+	maxFailures := flag.Float64("max-failures", 0, "default failure budget: fraction of a run's inputs that may be quarantined before it degrades (0 = engine default 0.5)")
+	faultSpec := flag.String("faults", "", "inject deterministic faults into every run, e.g. extract:err=0.01 (chaos deployments)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
 	var corpora corpusFlags
 	flag.Var(&corpora, "corpus", "preregister a corpus as name=path (repeatable)")
 	flag.Parse()
 
+	injector, err := fault.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
 	srv, err := server.New(server.Config{
-		Workers:    *workers,
-		QueueCap:   *queueCap,
-		CacheDir:   *cacheDir,
-		CacheMemMB: *cacheMemMB,
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheDir:       *cacheDir,
+		CacheMemMB:     *cacheMemMB,
+		RunTimeout:     *runTimeout,
+		MaxFailureFrac: *maxFailures,
+		Faults:         injector,
 	})
 	if err != nil {
 		return err

@@ -23,6 +23,7 @@ import (
 	"zombie/internal/bandit"
 	"zombie/internal/core"
 	"zombie/internal/corpus"
+	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
@@ -55,6 +56,9 @@ func run() error {
 	curveEvery := flag.Int("curve-every", 0, "print every Nth curve point (0 = last 10)")
 	cacheDir := flag.String("cache-dir", "", "persist the extraction cache in this directory (a second run over the same corpus serves extractions from disk)")
 	cacheMemMB := flag.Int("cache-mem-mb", 0, "in-memory extraction-cache budget in MiB (0 = caching off unless -cache-dir is set, then 64)")
+	faultSpec := flag.String("faults", "", "inject deterministic faults, e.g. extract:err=0.04,panic=0.04;corpus.read:err=0.03 (chaos testing)")
+	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
+	maxFailures := flag.Float64("max-failures", 0, "failure budget: fraction of processed inputs that may be quarantined before the run degrades (0 = engine default 0.5, 1 = never degrade)")
 	flag.Parse()
 
 	if *corpusPath == "" {
@@ -69,9 +73,15 @@ func run() error {
 		defer ds.Close()
 		store = ds
 	} else {
-		inputs, err := corpus.ReadJSONL(*corpusPath)
+		// Tolerant load: the CLI's corpora come from the wild, so a corrupt
+		// line or torn tail is reported and skipped, not fatal. The notice
+		// goes to stderr to keep stdout's CSV diffable.
+		inputs, skips, err := corpus.ReadJSONLTolerant(*corpusPath)
 		if err != nil {
 			return err
+		}
+		for _, s := range skips {
+			fmt.Fprintf(os.Stderr, "zombie: corpus line %d skipped: %s\n", s.Line, s.Reason)
 		}
 		store = corpus.NewMemStore(inputs)
 	}
@@ -103,21 +113,27 @@ func run() error {
 	}
 
 	cfg := core.Config{
-		Policy:     bandit.Spec(*policy),
-		Seed:       *seed,
-		MaxInputs:  *maxInputs,
-		MaxSimTime: *maxTime,
+		Policy:         bandit.Spec(*policy),
+		Seed:           *seed,
+		MaxInputs:      *maxInputs,
+		MaxSimTime:     *maxTime,
+		MaxFailureFrac: *maxFailures,
 	}
 	if *earlyStop {
 		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
 	}
+	injector, err := fault.Parse(*faultSpec, *faultSeed)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = injector
 	var fcache *featcache.Cache
 	if *cacheDir != "" || *cacheMemMB > 0 {
 		memMB := *cacheMemMB
 		if memMB <= 0 {
 			memMB = 64
 		}
-		fcache, err = featcache.Open(featcache.Config{MaxBytes: int64(memMB) << 20, Dir: *cacheDir}, featurepipe.ResultCodec{})
+		fcache, err = featcache.Open(featcache.Config{MaxBytes: int64(memMB) << 20, Dir: *cacheDir, Faults: injector}, featurepipe.ResultCodec{})
 		if err != nil {
 			return err
 		}
@@ -155,6 +171,7 @@ func run() error {
 	}
 
 	fmt.Println(res.Summary())
+	printQuarantine(res)
 	fmt.Println("inputs,quality,sim_seconds")
 	points := res.Curve
 	if *curveEvery > 0 {
@@ -181,6 +198,17 @@ func run() error {
 	return nil
 }
 
+// printQuarantine lists the run's quarantined inputs, one per
+// "quarantine:"-prefixed line in the deterministic order they were hit —
+// same filterable-prefix convention as the cache: line, so chaos scripts
+// can both assert on and strip them.
+func printQuarantine(res *core.RunResult) {
+	for _, q := range res.Quarantined {
+		fmt.Printf("quarantine: input=%s site=%s step=%d reason=%q\n",
+			q.InputID, q.Site, q.Step, q.Reason)
+	}
+}
+
 // printCacheStats reports the extraction-cache traffic on its own
 // "cache:"-prefixed line, kept out of the curve/arm CSV so scripts
 // comparing run output across cache states can filter it out.
@@ -189,8 +217,9 @@ func printCacheStats(c *featcache.Cache) {
 		return
 	}
 	st := c.Stats()
-	fmt.Printf("cache: hits=%d misses=%d disk_hits=%d entries=%d bytes=%d evictions=%d\n",
-		st.Hits, st.Misses, st.DiskHits, st.Entries, st.Bytes, st.Evictions)
+	fmt.Printf("cache: hits=%d misses=%d disk_hits=%d entries=%d bytes=%d evictions=%d disk_errors=%d demoted=%t\n",
+		st.Hits, st.Misses, st.DiskHits, st.Entries, st.Bytes, st.Evictions,
+		st.DiskErrors, st.DiskDemoted)
 }
 
 // runSession replays the standard wiki engineering session under both the

@@ -116,8 +116,8 @@ func TestCacheSharedAcrossSessionVersions(t *testing.T) {
 func TestSafeExtractNamesFeatureAndInput(t *testing.T) {
 	f := &featurepipe.FaultyFeature{Inner: featurepipe.NewWikiFeature(2), PanicPct: 100}
 	in := &corpus.Input{Kind: corpus.TextKind, ID: "page-042", Text: "infobox born text"}
-	_, err := safeExtract(f, in)
-	if err == nil {
+	_, err, panicked := safeExtract(f, in)
+	if err == nil || !panicked {
 		t.Fatal("panic not converted to an error")
 	}
 	for _, want := range []string{"wiki-v2+faults", "page-042", "injected panic"} {

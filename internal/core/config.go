@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"zombie/internal/bandit"
+	"zombie/internal/fault"
 	"zombie/internal/featcache"
 )
 
@@ -163,6 +164,25 @@ type Config struct {
 	// way, so results are byte-identical with the cache on, off, cold or
 	// warm; only WallTime and the RunResult cache counters change.
 	Cache *featcache.Cache
+	// MaxFailureFrac is the run's failure budget: the fraction of
+	// processed inputs that may be quarantined (feature-code panics,
+	// corpus read errors) before the run stops accepting more damage and
+	// degrades to Stop = StopFailed with its partial results. Quarantined
+	// inputs below the budget cost one record each and the run continues —
+	// a messy corpus must not kill a run the serving layer promised to a
+	// client. Default 0.5; 1 disables the budget (quarantine everything,
+	// never degrade). The budget is only evaluated after a 20-step grace
+	// period so one early failure cannot trip a fraction computed over a
+	// handful of steps.
+	MaxFailureFrac float64
+	// Faults, when non-nil, injects seeded deterministic failures at the
+	// engine's fault sites (fault.SiteExtract keyed by input ID,
+	// fault.SiteCorpusRead keyed by store index). Production runs leave it
+	// nil; chaos tests and make chaos-smoke use it to prove the quarantine
+	// and budget machinery end to end. Because decisions are pure hashes
+	// of (seed, site, id), two runs with the same engine seed and fault
+	// seed are byte-identical, quarantine list included.
+	Faults *fault.Injector
 	// TraceEvents records a step-level trace into the result.
 	TraceEvents bool
 	// Progress, when non-nil, is invoked synchronously from the run
@@ -192,6 +212,9 @@ func (c Config) withDefaults() Config {
 	if c.EvalWorkers <= 0 {
 		c.EvalWorkers = 1
 	}
+	if c.MaxFailureFrac <= 0 {
+		c.MaxFailureFrac = 0.5
+	}
 	c.EarlyStop = c.EarlyStop.withDefaults()
 	return c
 }
@@ -211,6 +234,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.MaxSimTime < 0 {
 		return nil, fmt.Errorf("core: MaxSimTime must be >= 0, got %v", cfg.MaxSimTime)
+	}
+	if cfg.MaxFailureFrac > 1 {
+		return nil, fmt.Errorf("core: MaxFailureFrac must be in (0,1], got %v", cfg.MaxFailureFrac)
 	}
 	// Validate the policy spec eagerly with a throwaway build.
 	if _, err := cfg.Policy.Build(2, cfg.PolicyStats, dummyRNG()); err != nil {

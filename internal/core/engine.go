@@ -3,9 +3,11 @@ package core
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"time"
 
 	"zombie/internal/corpus"
+	"zombie/internal/fault"
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/learner"
@@ -98,7 +100,22 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 		cacheCtrs = &featurepipe.CacheCounters{}
 		task = task.WithFeature(featurepipe.Cached(task.Feature, e.cfg.Cache, cacheCtrs))
 	}
-	holdout, err := task.BuildHoldout()
+	// Fault injection wraps OUTSIDE the cache: the injection decision is a
+	// pure hash of (fault seed, input ID), taken before any cache lookup,
+	// so a faulted run stays byte-identical whether the cache is off, cold
+	// or warm — exactly the contract the unfaulted engine already keeps.
+	task = task.WithFeature(featurepipe.WithFaults(task.Feature, e.cfg.Faults))
+
+	res := &RunResult{
+		Task:     task.Name,
+		Strategy: src.name(),
+	}
+	holdout, skips, err := task.BuildHoldoutTolerant()
+	for _, s := range skips {
+		res.Quarantined = append(res.Quarantined, Quarantine{
+			InputID: s.InputID, Site: "holdout", Step: 0, Reason: s.Reason,
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -156,10 +173,6 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 		return e.quality(holdout, evalModel)
 	}
 
-	res := &RunResult{
-		Task:     task.Name,
-		Strategy: src.name(),
-	}
 	var events *trace.Log
 	if e.cfg.TraceEvents {
 		events = &trace.Log{}
@@ -174,6 +187,18 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 
 	var simTime time.Duration
 	record(CurvePoint{Inputs: 0, Quality: evaluate(), SimTime: 0})
+
+	// loopQuarantined counts inputs quarantined by the loop itself
+	// (holdout-phase quarantines predate the budget's denominator and are
+	// excluded). overBudget is checked after every quarantine, behind a
+	// grace period so a fraction computed over a handful of early steps
+	// cannot trip it.
+	const failureGraceSteps = 20
+	loopQuarantined := 0
+	overBudget := func(steps int) bool {
+		return steps >= failureGraceSteps &&
+			float64(loopQuarantined) > e.cfg.MaxFailureFrac*float64(steps)
+	}
 
 	stop := StopExhausted
 	steps := 0
@@ -196,16 +221,46 @@ loop:
 			break // pool exhausted
 		}
 		steps++
-		in := task.Store.Get(idx)
+		in, readErr := e.readInput(task.Store, idx)
+		if readErr != nil {
+			// The input could not even be loaded: no cost is charged (the
+			// payload never arrived), the arm learns nothing good came of
+			// the pull, and the input is quarantined by store index.
+			loopQuarantined++
+			res.Quarantined = append(res.Quarantined, Quarantine{
+				InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteCorpusRead),
+				Step: steps, Reason: readErr.Error(),
+			})
+			src.feedback(arm, 0)
+			events.Record(trace.Event{
+				Step: steps, InputIdx: idx, Arm: arm,
+				Err: readErr.Error(), SimTime: simTime,
+			})
+			if overBudget(steps) {
+				stop = StopFailed
+				break loop
+			}
+			continue
+		}
 		simTime += task.Cost.Cost(in)
 
-		extRes, extErr := safeExtract(task.Feature, in)
+		extRes, extErr, panicked := safeExtract(task.Feature, in)
 		reward := 0.0
 		errMsg := ""
 		switch {
 		case extErr != nil:
 			res.Errors++
 			errMsg = extErr.Error()
+			if panicked {
+				// A panic is categorically worse than a returned error:
+				// the feature code lost control on this input. Quarantine
+				// it so the run report names every input of this kind.
+				loopQuarantined++
+				res.Quarantined = append(res.Quarantined, Quarantine{
+					InputID: in.ID, Site: string(fault.SiteExtract),
+					Step: steps, Reason: errMsg,
+				})
+			}
 		case extRes.Produced:
 			res.Produced++
 			if extRes.Useful {
@@ -226,6 +281,10 @@ loop:
 			Produced: extRes.Produced, Useful: extRes.Useful, Err: errMsg,
 			SimTime: simTime,
 		})
+		if panicked && overBudget(steps) {
+			stop = StopFailed
+			break loop
+		}
 
 		if steps%e.cfg.EvalEvery == 0 {
 			q := evaluate()
@@ -318,15 +377,36 @@ func clamp01(x float64) float64 {
 
 // safeExtract runs feature code with panic isolation: the code under
 // evaluation is by definition unfinished, and a panic on one input must
-// cost one reward, not the run.
-func safeExtract(f featurepipe.FeatureFunc, in *corpus.Input) (res featurepipe.Result, err error) {
+// cost one reward, not the run. panicked distinguishes a recovered panic
+// from an ordinary extraction error — the loop quarantines the former.
+func safeExtract(f featurepipe.FeatureFunc, in *corpus.Input) (res featurepipe.Result, err error, panicked bool) {
 	defer func() {
 		if p := recover(); p != nil {
 			res = featurepipe.Result{}
 			err = fmt.Errorf("core: feature %s panicked on input %s: %v", f.Name(), in.ID, p)
+			panicked = true
 		}
 	}()
-	return f.Extract(in)
+	res, err = f.Extract(in)
+	return res, err, false
+}
+
+// readInput fetches one input from the store with panic isolation and
+// corpus-read fault injection. Store implementations panic on corrupt
+// records (DiskStore on a torn or garbage JSONL line); the engine
+// converts that into a quarantinable error so one bad record costs one
+// quarantine entry, not the run.
+func (e *Engine) readInput(store corpus.Store, idx int) (in *corpus.Input, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			in = nil
+			err = fmt.Errorf("core: corpus read of input %d failed: %v", idx, p)
+		}
+	}()
+	if ferr := e.cfg.Faults.Fire(fault.SiteCorpusRead, strconv.Itoa(idx)); ferr != nil {
+		return nil, ferr
+	}
+	return store.Get(idx), nil
 }
 
 // subsampleHoldout returns a holdout over up to n examples sampled without

@@ -23,6 +23,12 @@ const (
 	// cancelled run's partial learning curve is exactly what a service
 	// caller wants to show for an aborted iteration.
 	StopCancelled
+	// StopFailed: quarantined inputs exceeded the failure budget
+	// (Config.MaxFailureFrac) and the run degraded to its partial results.
+	// The result is still valid — curve so far, quarantine list complete —
+	// because "most of this corpus is broken" is itself the answer the
+	// engineer needs, and an abort would discard the evidence.
+	StopFailed
 )
 
 // String returns the reason's label.
@@ -36,9 +42,28 @@ func (s StopReason) String() string {
 		return "early-stop"
 	case StopCancelled:
 		return "cancelled"
+	case StopFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("StopReason(%d)", int(s))
 	}
+}
+
+// Quarantine records one input removed from a run after a failure the
+// engine absorbed: a feature-code panic, a corpus read error, or a
+// holdout input whose extraction failed. Quarantined inputs cost one
+// record, not the run.
+type Quarantine struct {
+	// InputID is the corpus input's ID, or "#<store index>" when the read
+	// itself failed before an ID was available.
+	InputID string `json:"input_id"`
+	// Site is the fault site ("extract", "corpus.read", "holdout").
+	Site string `json:"site"`
+	// Step is the 1-based loop step that hit the failure; 0 for inputs
+	// quarantined while building the holdout, before the loop started.
+	Step int `json:"step"`
+	// Reason is the failure message.
+	Reason string `json:"reason"`
 }
 
 // CurvePoint is one sample of the learning curve.
@@ -79,6 +104,12 @@ type RunResult struct {
 	// identical runs print identically whether the cache was cold or warm.
 	CacheHits   int64
 	CacheMisses int64
+	// Quarantined lists inputs the run removed after absorbed failures
+	// (panicking feature code, corpus read errors, failed holdout
+	// extractions), in the deterministic order they were hit. Empty for
+	// clean runs. When the quarantine fraction exceeds
+	// Config.MaxFailureFrac the run ends with Stop = StopFailed.
+	Quarantined []Quarantine
 	// Arms holds final per-group bandit statistics (nil for scans).
 	Arms []bandit.ArmSnapshot
 	// Events is the step trace when Config.TraceEvents was set.
@@ -122,9 +153,15 @@ func (r *RunResult) UsefulRate() float64 {
 	return float64(r.Useful) / float64(r.InputsProcessed)
 }
 
-// Summary renders a one-line human-readable digest.
+// Summary renders a one-line human-readable digest. Quarantine counts
+// appear only when non-zero, so clean runs print exactly as they always
+// have (scripts diff run output across configurations).
 func (r *RunResult) Summary() string {
-	return fmt.Sprintf("%s/%s: inputs=%d useful=%d (%.1f%%) errors=%d quality=%.4f sim=%s stop=%s",
+	s := fmt.Sprintf("%s/%s: inputs=%d useful=%d (%.1f%%) errors=%d quality=%.4f sim=%s stop=%s",
 		r.Task, r.Strategy, r.InputsProcessed, r.Useful, 100*r.UsefulRate(),
 		r.Errors, r.FinalQuality, r.SimTime.Round(time.Millisecond), r.Stop)
+	if len(r.Quarantined) > 0 {
+		s += fmt.Sprintf(" quarantined=%d", len(r.Quarantined))
+	}
+	return s
 }

@@ -150,8 +150,8 @@ func TestSafeExtractRecoversPanic(t *testing.T) {
 		PanicPct: 100,
 	}
 	in := &corpus.Input{ID: "x", Kind: corpus.TextKind, Text: "infobox born"}
-	res, err := safeExtract(f, in)
-	if err == nil {
+	res, err, panicked := safeExtract(f, in)
+	if err == nil || !panicked {
 		t.Fatal("panic should surface as error")
 	}
 	if res.Produced {

@@ -70,3 +70,60 @@ func DecodeJSONL(r io.Reader) ([]*Input, error) {
 	}
 	return out, nil
 }
+
+// Skipped records one corrupt JSONL line dropped by a tolerant decode.
+type Skipped struct {
+	// Line is the 1-based line number in the source.
+	Line int `json:"line"`
+	// Reason is the decode failure.
+	Reason string `json:"reason"`
+}
+
+// ReadJSONLTolerant is ReadJSONL for corpora collected in the wild: a
+// line that fails to decode is skipped and reported instead of aborting
+// the load. A torn final line — the signature of a crashed or concurrent
+// writer — is tolerated the same way. Strict loading (DecodeJSONL) stays
+// the default for generated corpora, where a corrupt line means a bug,
+// not weather.
+func ReadJSONLTolerant(path string) ([]*Input, []Skipped, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("corpus: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return DecodeJSONLTolerant(f)
+}
+
+// DecodeJSONLTolerant reads inputs from JSONL, skipping undecodable lines
+// and reporting each skip with its line number. It fails only on reader
+// errors (the data never arrived) or when no input survives (an
+// all-corrupt corpus is indistinguishable from pointing at the wrong
+// file, and deserves a loud failure rather than an empty store).
+func DecodeJSONLTolerant(r io.Reader) ([]*Input, []Skipped, error) {
+	var out []*Input
+	var skipped []Skipped
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		in := new(Input)
+		if err := json.Unmarshal(raw, in); err != nil {
+			skipped = append(skipped, Skipped{Line: line, Reason: err.Error()})
+			continue
+		}
+		out = append(out, in)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, skipped, fmt.Errorf("corpus: scan: %w", err)
+	}
+	if len(out) == 0 && line > 0 {
+		return nil, skipped, fmt.Errorf("corpus: no input survived tolerant decode (%d of %d lines corrupt)",
+			len(skipped), line)
+	}
+	return out, skipped, nil
+}

@@ -28,6 +28,8 @@ import (
 	"hash/fnv"
 	"sync"
 	"sync/atomic"
+
+	"zombie/internal/fault"
 )
 
 // Codec converts cached values to and from their durable byte form. Encode
@@ -51,6 +53,20 @@ type Config struct {
 	// directory. Entries evicted from memory remain on disk and reload on
 	// the next request.
 	Dir string
+	// DiskErrorLimit is how many cumulative disk IO errors (failed segment
+	// reads or appends) the cache tolerates before demoting itself to
+	// memory-only for the rest of the process. Default 3; negative keeps
+	// retrying the disk forever. Demotion is the graceful-degradation rung
+	// below "disk-backed": a sick volume costs persistence and cross-process
+	// reuse, never an extraction.
+	DiskErrorLimit int
+	// Faults, when non-nil, injects seeded deterministic IO failures at the
+	// disk boundary (fault.SiteCacheRead and fault.SiteCacheWrite, keyed by
+	// cache key). Because a failed read falls back to recomputing and a
+	// failed write only skips persistence, injected cache faults change
+	// cache counters and nothing else — chaos tests assert results stay
+	// byte-identical to a cache-off run.
+	Faults *fault.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -59,6 +75,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Shards <= 0 {
 		c.Shards = 16
+	}
+	if c.DiskErrorLimit == 0 {
+		c.DiskErrorLimit = 3
 	}
 	return c
 }
@@ -80,6 +99,11 @@ type Stats struct {
 	// DiskEntries/DiskBytes describe the segment store (0 when disabled).
 	DiskEntries int64 `json:"disk_entries"`
 	DiskBytes   int64 `json:"disk_bytes"`
+	// DiskErrors counts disk IO failures the cache absorbed; DiskDemoted
+	// reports whether they crossed Config.DiskErrorLimit and the cache fell
+	// back to memory-only.
+	DiskErrors  int64 `json:"disk_errors"`
+	DiskDemoted bool  `json:"disk_demoted"`
 }
 
 // entry is one resident value. size includes key and accounting overhead.
@@ -115,14 +139,18 @@ const entryOverhead = 96
 
 // Cache is the two-layer extraction cache. It is safe for concurrent use.
 type Cache struct {
-	codec  Codec
-	shards []*shard
-	disk   *Segment
+	codec        Codec
+	shards       []*shard
+	disk         *Segment
+	diskErrLimit int
+	faults       *fault.Injector
 
 	hits      atomic.Int64
 	misses    atomic.Int64
 	diskHits  atomic.Int64
 	evictions atomic.Int64
+	diskErrs  atomic.Int64
+	demoted   atomic.Bool
 }
 
 // Open builds a cache. With cfg.Dir set, the disk segment store is opened
@@ -133,7 +161,12 @@ func Open(cfg Config, codec Codec) (*Cache, error) {
 		return nil, fmt.Errorf("featcache: codec required")
 	}
 	cfg = cfg.withDefaults()
-	c := &Cache{codec: codec, shards: make([]*shard, cfg.Shards)}
+	c := &Cache{
+		codec:        codec,
+		shards:       make([]*shard, cfg.Shards),
+		diskErrLimit: cfg.DiskErrorLimit,
+		faults:       cfg.Faults,
+	}
 	per := cfg.MaxBytes / int64(cfg.Shards)
 	if per < 1 {
 		per = 1
@@ -222,20 +255,18 @@ func (c *Cache) GetOrCompute(fingerprint, inputID string, compute func() (any, e
 		}
 	}()
 
-	if c.disk != nil {
-		if b, ok, derr := c.disk.Get(key); derr == nil && ok {
-			if dv, decErr := c.codec.Decode(b); decErr == nil {
-				c.diskHits.Add(1)
-				c.hits.Add(1)
-				finish(dv, int64(len(b)), nil)
-				return dv, true, nil
-			}
-			// An undecodable record (codec drift) falls through to a
-			// recompute, which re-persists nothing: Append skips keys the
-			// index already holds, so the stale record stays until an
-			// Invalidate. Acceptable: fingerprints change with codec-visible
-			// feature changes, making drift a development-only state.
+	if b, ok := c.diskGet(key); ok {
+		if dv, decErr := c.codec.Decode(b); decErr == nil {
+			c.diskHits.Add(1)
+			c.hits.Add(1)
+			finish(dv, int64(len(b)), nil)
+			return dv, true, nil
 		}
+		// An undecodable record (codec drift) falls through to a
+		// recompute, which re-persists nothing: Append skips keys the
+		// index already holds, so the stale record stays until an
+		// Invalidate. Acceptable: fingerprints change with codec-visible
+		// feature changes, making drift a development-only state.
 	}
 
 	val, err := compute()
@@ -248,13 +279,74 @@ func (c *Cache) GetOrCompute(fingerprint, inputID string, compute func() (any, e
 		finish(nil, 0, fmt.Errorf("featcache: encode %s: %w", key, err))
 		return nil, false, err
 	}
-	if c.disk != nil {
-		// Best effort: a full disk loses persistence, not correctness.
-		c.disk.Append(key, b) //nolint:errcheck
-	}
+	c.diskPut(key, b)
 	c.misses.Add(1)
 	finish(val, int64(len(b)), nil)
 	return val, false, nil
+}
+
+// diskUsable reports whether the disk layer exists and has not been
+// demoted away.
+func (c *Cache) diskUsable() bool {
+	return c.disk != nil && !c.demoted.Load()
+}
+
+// noteDiskError counts one absorbed disk IO failure and demotes the cache
+// to memory-only once the configured limit is reached (a negative limit
+// never demotes). Demotion is one-way for the process lifetime: a volume
+// that produced DiskErrorLimit failures is assumed sick, and flip-flopping
+// between layers would make cache traffic timing-dependent.
+func (c *Cache) noteDiskError() {
+	n := c.diskErrs.Add(1)
+	if c.diskErrLimit > 0 && n >= int64(c.diskErrLimit) {
+		c.demoted.Store(true)
+	}
+}
+
+// fire triggers an injected fault at a cache site, flattening panics into
+// errors: no cache-layer failure mode — injected or real — may escape the
+// disk boundary and fail an extraction.
+func (c *Cache) fire(site fault.Site, key string) (err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("featcache: injected panic at %s: %v", site, p)
+		}
+	}()
+	return c.faults.Fire(site, key)
+}
+
+// diskGet reads key from the segment store, absorbing failures: an
+// injected fault or a real read error counts toward demotion and reports a
+// miss, so the caller recomputes instead of failing the extraction.
+func (c *Cache) diskGet(key string) ([]byte, bool) {
+	if !c.diskUsable() {
+		return nil, false
+	}
+	if err := c.fire(fault.SiteCacheRead, key); err != nil {
+		c.noteDiskError()
+		return nil, false
+	}
+	b, ok, err := c.disk.Get(key)
+	if err != nil {
+		c.noteDiskError()
+		return nil, false
+	}
+	return b, ok
+}
+
+// diskPut persists key=val best-effort: a full disk or an injected fault
+// loses persistence, not correctness, and counts toward demotion.
+func (c *Cache) diskPut(key string, val []byte) {
+	if !c.diskUsable() {
+		return
+	}
+	if err := c.fire(fault.SiteCacheWrite, key); err != nil {
+		c.noteDiskError()
+		return
+	}
+	if err := c.disk.Append(key, val); err != nil {
+		c.noteDiskError()
+	}
 }
 
 // insertLocked adds the value under sh.mu and evicts LRU entries beyond
@@ -314,10 +406,12 @@ func (sh *shard) moveToFrontLocked(e *entry) {
 // short lock each); disk numbers come from the segment index.
 func (c *Cache) Stats() Stats {
 	st := Stats{
-		Hits:      c.hits.Load(),
-		Misses:    c.misses.Load(),
-		DiskHits:  c.diskHits.Load(),
-		Evictions: c.evictions.Load(),
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		DiskHits:    c.diskHits.Load(),
+		Evictions:   c.evictions.Load(),
+		DiskErrors:  c.diskErrs.Load(),
+		DiskDemoted: c.demoted.Load(),
 	}
 	for _, sh := range c.shards {
 		sh.mu.Lock()

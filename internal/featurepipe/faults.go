@@ -4,8 +4,57 @@ import (
 	"fmt"
 
 	"zombie/internal/corpus"
+	"zombie/internal/fault"
 	"zombie/internal/index"
 )
+
+// WithFaults wraps feature code with seeded fault injection at
+// fault.SiteExtract, keyed by input ID. Unlike FaultyFeature (a test
+// double with its own hard-coded hash), the wrapper is transparent —
+// Name, Dim, NumClasses and fingerprints are the inner function's, so RNG
+// substreams, trace labels and cache keys are unchanged and a faulted run
+// differs from a clean one only where faults actually fire. Injection
+// happens before the inner Extract, so the decision is independent of
+// any caching layered underneath: the same (fault seed, input) faults
+// identically whether the extraction would have hit or missed.
+//
+// A nil injector, or one with no SiteExtract rule, returns f unchanged.
+func WithFaults(f FeatureFunc, inj *fault.Injector) FeatureFunc {
+	if !inj.Covers(fault.SiteExtract) {
+		return f
+	}
+	return &faultedFunc{inner: f, inj: inj}
+}
+
+// faultedFunc injects extract-site faults in front of one feature
+// function.
+type faultedFunc struct {
+	inner FeatureFunc
+	inj   *fault.Injector
+}
+
+// Name implements FeatureFunc (transparent — see WithFaults).
+func (f *faultedFunc) Name() string { return f.inner.Name() }
+
+// Dim implements FeatureFunc.
+func (f *faultedFunc) Dim() int { return f.inner.Dim() }
+
+// NumClasses implements FeatureFunc.
+func (f *faultedFunc) NumClasses() int { return f.inner.NumClasses() }
+
+// Fingerprint implements Fingerprinter: the wrapper does not change what
+// the feature computes on the inputs it lets through.
+func (f *faultedFunc) Fingerprint() string { return FingerprintOf(f.inner) }
+
+// Extract implements FeatureFunc, firing the injector first: latency
+// faults stall, error faults return the injected error, panic faults
+// panic into the engine's isolation.
+func (f *faultedFunc) Extract(in *corpus.Input) (Result, error) {
+	if err := f.inj.Fire(fault.SiteExtract, in.ID); err != nil {
+		return Result{}, err
+	}
+	return f.inner.Extract(in)
+}
 
 // FaultyFeature wraps a feature function and injects failures on a
 // deterministic subset of inputs, for failure-injection tests and for

@@ -142,6 +142,56 @@ func (t *Task) BuildHoldout() (*learner.Holdout, error) {
 	return learner.NewHoldout(examples, t.Metric, t.Positive), nil
 }
 
+// HoldoutSkip records one holdout input dropped by the tolerant build:
+// which input, and why its extraction failed.
+type HoldoutSkip struct {
+	InputID string
+	Reason  string
+}
+
+// BuildHoldoutTolerant is BuildHoldout for a messy world: an input whose
+// read or extraction fails (error or panic) is skipped and reported
+// instead of aborting the build, so a handful of corrupt records cannot
+// deny quality measurement for the whole run. The skips are returned —
+// never swallowed — because the caller (the engine) must surface them as
+// quarantined inputs. Building still fails when no example survives:
+// a holdout of zero examples measures nothing.
+func (t *Task) BuildHoldoutTolerant() (*learner.Holdout, []HoldoutSkip, error) {
+	examples := make([]learner.Example, 0, len(t.HoldoutIdx))
+	var skips []HoldoutSkip
+	for _, idx := range t.HoldoutIdx {
+		res, id, err := t.holdoutExtract(idx)
+		if err != nil {
+			skips = append(skips, HoldoutSkip{InputID: id, Reason: err.Error()})
+			continue
+		}
+		if res.Produced {
+			examples = append(examples, res.Example)
+		}
+	}
+	if len(examples) == 0 {
+		return nil, skips, fmt.Errorf("featurepipe: task %s: holdout produced no examples (%d of %d inputs skipped)",
+			t.Name, len(skips), len(t.HoldoutIdx))
+	}
+	return learner.NewHoldout(examples, t.Metric, t.Positive), skips, nil
+}
+
+// holdoutExtract reads and extracts one holdout input with panic
+// isolation around both the store read and the feature code. The input
+// ID is best-effort: "#<idx>" when the read itself failed.
+func (t *Task) holdoutExtract(idx int) (res Result, id string, err error) {
+	id = fmt.Sprintf("#%d", idx)
+	defer func() {
+		if p := recover(); p != nil {
+			res, err = Result{}, fmt.Errorf("panic: %v", p)
+		}
+	}()
+	in := t.Store.Get(idx)
+	id = in.ID
+	res, err = t.Feature.Extract(in)
+	return res, id, err
+}
+
 // PoolSet returns a membership mask over store indices: true for inputs a
 // run may process. The engine uses it to skip holdout inputs when walking
 // index groups (groups are built corpus-wide, once, and shared across

@@ -11,6 +11,7 @@ import (
 
 	"zombie/internal/bandit"
 	"zombie/internal/core"
+	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/index"
 	"zombie/internal/parallel"
@@ -37,6 +38,7 @@ type Manager struct {
 	cache     *IndexCache
 	featCache *featcache.Cache
 	metrics   *Metrics
+	defaults  RunDefaults
 
 	pool    *parallel.Pool
 	running atomic.Int64
@@ -51,15 +53,30 @@ type Manager struct {
 	closed bool
 }
 
+// RunDefaults are the server-wide robustness settings a RunSpec inherits
+// when it does not set its own. Zero values mean: no deadline, no fault
+// injection, the engine's default failure budget.
+type RunDefaults struct {
+	// Timeout is the per-run wall-clock deadline (0 = none). A run over it
+	// ends as cancelled-with-partials, marked timed_out.
+	Timeout time.Duration
+	// Faults injects deterministic failures into every run that does not
+	// carry its own spec (chaos deployments only; normally nil).
+	Faults *fault.Injector
+	// MaxFailureFrac is the default failure budget (0 = core's default).
+	MaxFailureFrac float64
+}
+
 // NewManager starts a pool of workers goroutines over a queue of queueCap
 // pending runs (both floored at 1) and returns the manager.
-func NewManager(registry *Registry, cache *IndexCache, featCache *featcache.Cache, metrics *Metrics, workers, queueCap int) *Manager {
+func NewManager(registry *Registry, cache *IndexCache, featCache *featcache.Cache, metrics *Metrics, workers, queueCap int, defaults RunDefaults) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
 		registry:   registry,
 		cache:      cache,
 		featCache:  featCache,
 		metrics:    metrics,
+		defaults:   defaults,
 		pool:       parallel.NewPool(workers, queueCap),
 		baseCtx:    ctx,
 		baseCancel: cancel,
@@ -84,19 +101,44 @@ func (spec *RunSpec) normalize() {
 }
 
 // engineConfig translates a normalized spec into a core.Config (without
-// the Progress hook, which is attached per run at execution time).
-func (spec RunSpec) engineConfig() core.Config {
+// the Progress hook, which is attached per run at execution time),
+// filling robustness settings the spec leaves unset from the manager's
+// defaults. The fault spec is parsed here, so Submit's eager validation
+// rejects a malformed one as a 400.
+func (m *Manager) engineConfig(spec RunSpec) (core.Config, error) {
 	cfg := core.Config{
-		Policy:    bandit.Spec(spec.Policy),
-		Seed:      spec.Seed,
-		MaxInputs: spec.MaxInputs,
-		EvalEvery: spec.EvalEvery,
+		Policy:         bandit.Spec(spec.Policy),
+		Seed:           spec.Seed,
+		MaxInputs:      spec.MaxInputs,
+		EvalEvery:      spec.EvalEvery,
+		MaxFailureFrac: spec.MaxFailures,
 	}
 	if spec.EarlyStop {
 		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
 	}
 	cfg.TraceEvents = spec.Trace
-	return cfg
+	if cfg.MaxFailureFrac == 0 {
+		cfg.MaxFailureFrac = m.defaults.MaxFailureFrac
+	}
+	if spec.Faults != "" {
+		inj, err := fault.Parse(spec.Faults, spec.FaultSeed)
+		if err != nil {
+			return core.Config{}, err
+		}
+		cfg.Faults = inj
+	} else {
+		cfg.Faults = m.defaults.Faults
+	}
+	return cfg, nil
+}
+
+// timeoutFor resolves a run's effective deadline: the spec's own, or the
+// server default.
+func (m *Manager) timeoutFor(spec RunSpec) time.Duration {
+	if spec.TimeoutMillis > 0 {
+		return time.Duration(spec.TimeoutMillis) * time.Millisecond
+	}
+	return m.defaults.Timeout
 }
 
 // Submit validates the spec, assigns an ID, and enqueues the run. It
@@ -124,9 +166,16 @@ func (m *Manager) Submit(spec RunSpec) (*Run, error) {
 	if spec.K < 1 {
 		return nil, fmt.Errorf("server: k must be >= 1, got %d", spec.K)
 	}
-	// Validate the engine configuration (policy spec included) eagerly so
-	// submission errors surface as 400s, not failed runs.
-	if _, err := core.New(spec.engineConfig()); err != nil {
+	if spec.TimeoutMillis < 0 {
+		return nil, fmt.Errorf("server: timeout_ms must be >= 0, got %d", spec.TimeoutMillis)
+	}
+	// Validate the engine configuration (policy and fault specs included)
+	// eagerly so submission errors surface as 400s, not failed runs.
+	cfg, err := m.engineConfig(spec)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := core.New(cfg); err != nil {
 		return nil, err
 	}
 
@@ -197,7 +246,13 @@ func (m *Manager) Running() int { return int(m.running.Load()) }
 
 // execute runs one queued run to a terminal state.
 func (m *Manager) execute(run *Run) {
-	ctx, cancel := context.WithCancel(m.baseCtx)
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if to := m.timeoutFor(run.spec); to > 0 {
+		ctx, cancel = context.WithTimeout(m.baseCtx, to)
+	} else {
+		ctx, cancel = context.WithCancel(m.baseCtx)
+	}
 	defer cancel()
 	started := time.Now()
 	if !run.start(cancel, started) {
@@ -210,6 +265,9 @@ func (m *Manager) execute(run *Run) {
 	finished := time.Now()
 	if m.metrics != nil {
 		m.metrics.RunWallMillis.Add(finished.Sub(started).Milliseconds())
+		if res != nil {
+			m.metrics.InputsQuarantined.Add(int64(len(res.Quarantined)))
+		}
 	}
 	switch {
 	case err != nil:
@@ -217,7 +275,33 @@ func (m *Manager) execute(run *Run) {
 		if m.metrics != nil {
 			m.metrics.RunsFailed.Add(1)
 		}
+	case res.Stop == core.StopFailed:
+		// The failure budget tripped: terminal failed, but with the partial
+		// result attached — the curve so far and the quarantine list are the
+		// evidence the client needs. The message counts loop quarantines
+		// only (Step >= 1): holdout-build entries are outside the budget.
+		loopQuarantined := 0
+		for _, q := range res.Quarantined {
+			if q.Step >= 1 {
+				loopQuarantined++
+			}
+		}
+		run.finish(StateFailed, res,
+			fmt.Sprintf("failure budget exceeded: %d of %d processed inputs quarantined",
+				loopQuarantined, res.InputsProcessed), finished)
+		if m.metrics != nil {
+			m.metrics.RunsFailed.Add(1)
+			m.metrics.InputsProcessed.Add(int64(res.InputsProcessed))
+		}
 	case res.Stop == core.StopCancelled:
+		// Distinguish a deadline expiry from a client cancel: both surface
+		// as a cancelled loop, but only the former carries DeadlineExceeded.
+		if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+			run.setTimedOut()
+			if m.metrics != nil {
+				m.metrics.RunsTimedOut.Add(1)
+			}
+		}
 		run.finish(StateCancelled, res, "", finished)
 		if m.metrics != nil {
 			m.metrics.RunsCancelled.Add(1)
@@ -245,7 +329,10 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 		return nil, err
 	}
 
-	cfg := spec.engineConfig()
+	cfg, err := m.engineConfig(spec)
+	if err != nil {
+		return nil, err
+	}
 	cfg.Progress = run.appendPoint
 	// Every run shares the server's extraction cache; results are
 	// byte-identical either way (see core.Config.Cache), so this is purely
@@ -260,7 +347,9 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 	case "zombie":
 		key := IndexKey{Corpus: spec.Corpus, Strategy: grouper.Name(), K: spec.K, Seed: spec.Seed}
 		groups, err := m.cache.Get(ctx, key, func() (*index.Groups, error) {
-			return grouper.Group(store, spec.K, rng.New(spec.Seed).Split("index"))
+			return m.buildIndexWithRetry(ctx, key, cfg.Faults, func() (*index.Groups, error) {
+				return grouper.Group(store, spec.K, rng.New(spec.Seed).Split("index"))
+			})
 		})
 		if err != nil {
 			return nil, err
@@ -275,6 +364,57 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 	default:
 		return nil, fmt.Errorf("server: unknown mode %q", spec.Mode)
 	}
+}
+
+// Index builds are retried because they are the one run phase with a
+// plausible transient failure mode in production (IO against a streamed
+// corpus); three attempts with doubling backoff rides out a blip without
+// meaningfully delaying the genuinely-broken case.
+const (
+	indexBuildAttempts = 3
+	indexBuildBackoff  = 50 * time.Millisecond
+)
+
+// buildIndexWithRetry runs build with panic isolation and up to
+// indexBuildAttempts attempts, backing off between them. An injector
+// covering fault.SiteIndexBuild fails attempts deterministically, keyed
+// "corpus/strategy#attempt", which is how chaos tests exercise this path.
+func (m *Manager) buildIndexWithRetry(ctx context.Context, key IndexKey, inj *fault.Injector, build func() (*index.Groups, error)) (*index.Groups, error) {
+	var lastErr error
+	for attempt := 0; attempt < indexBuildAttempts; attempt++ {
+		if attempt > 0 {
+			if m.metrics != nil {
+				m.metrics.IndexBuildRetries.Add(1)
+			}
+			select {
+			case <-time.After(indexBuildBackoff << (attempt - 1)):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		groups, err := buildIndexAttempt(key, attempt, inj, build)
+		if err == nil {
+			return groups, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("server: index build for %s/%s failed after %d attempts: %w",
+		key.Corpus, key.Strategy, indexBuildAttempts, lastErr)
+}
+
+// buildIndexAttempt is one build attempt with panics flattened to errors
+// so a grouper losing control on odd data is retryable like any failure.
+func buildIndexAttempt(key IndexKey, attempt int, inj *fault.Injector, build func() (*index.Groups, error)) (groups *index.Groups, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			groups, err = nil, fmt.Errorf("index build panicked: %v", p)
+		}
+	}()
+	id := fmt.Sprintf("%s/%s#%d", key.Corpus, key.Strategy, attempt)
+	if ferr := inj.Fire(fault.SiteIndexBuild, id); ferr != nil {
+		return nil, ferr
+	}
+	return build()
 }
 
 // Shutdown stops intake and drains: queued and running runs continue to

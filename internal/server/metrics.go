@@ -11,26 +11,36 @@ import (
 // HTTP handlers update them without shared locks; gauges (queue depth,
 // running count) are sampled from their owners at serve time.
 type Metrics struct {
-	// Run lifecycle counters.
+	// Run lifecycle counters. RunsTimedOut is the subset of RunsCancelled
+	// that hit their deadline rather than a client's DELETE.
 	RunsStarted   atomic.Int64
 	RunsCompleted atomic.Int64
 	RunsFailed    atomic.Int64
 	RunsCancelled atomic.Int64
-	// InputsProcessed sums RunResult.InputsProcessed over finished runs.
-	InputsProcessed atomic.Int64
+	RunsTimedOut  atomic.Int64
+	// InputsProcessed sums RunResult.InputsProcessed over finished runs;
+	// InputsQuarantined sums their quarantine-list lengths.
+	InputsProcessed   atomic.Int64
+	InputsQuarantined atomic.Int64
 	// RunWallMillis sums wall-clock run time (start to terminal state) over
 	// finished runs, in milliseconds. Exposed as both run_wall_ms and the
 	// truncated run_seconds.
 	RunWallMillis atomic.Int64
 	// Index cache traffic: builds actually executed vs. requests served
-	// from (or coalesced onto) an existing entry.
-	IndexBuilds    atomic.Int64
-	IndexCacheHits atomic.Int64
+	// from (or coalesced onto) an existing entry. IndexBuildRetries counts
+	// attempts after a failed first build.
+	IndexBuilds       atomic.Int64
+	IndexCacheHits    atomic.Int64
+	IndexBuildRetries atomic.Int64
 }
 
 // snapshot renders the counters plus caller-sampled gauges, including the
 // extraction cache's own counter snapshot under feat_cache_* keys.
 func (m *Metrics) snapshot(queueDepth, running, corpora int, fc featcache.Stats) map[string]int64 {
+	demoted := int64(0)
+	if fc.DiskDemoted {
+		demoted = 1
+	}
 	return map[string]int64{
 		"feat_cache_hits":         fc.Hits,
 		"feat_cache_misses":       fc.Misses,
@@ -40,15 +50,20 @@ func (m *Metrics) snapshot(queueDepth, running, corpora int, fc featcache.Stats)
 		"feat_cache_bytes":        fc.Bytes,
 		"feat_cache_disk_entries": fc.DiskEntries,
 		"feat_cache_disk_bytes":   fc.DiskBytes,
+		"feat_cache_disk_errors":  fc.DiskErrors,
+		"feat_cache_disk_demoted": demoted,
 		"runs_started":            m.RunsStarted.Load(),
 		"runs_completed":          m.RunsCompleted.Load(),
 		"runs_failed":             m.RunsFailed.Load(),
 		"runs_cancelled":          m.RunsCancelled.Load(),
+		"runs_timed_out":          m.RunsTimedOut.Load(),
 		"inputs_processed":        m.InputsProcessed.Load(),
+		"inputs_quarantined":      m.InputsQuarantined.Load(),
 		"run_wall_ms":             m.RunWallMillis.Load(),
 		"run_seconds":             m.RunWallMillis.Load() / 1000,
 		"index_builds":            m.IndexBuilds.Load(),
 		"index_cache_hits":        m.IndexCacheHits.Load(),
+		"index_build_retries":     m.IndexBuildRetries.Load(),
 		"queue_depth":             int64(queueDepth),
 		"runs_running":            int64(running),
 		"corpora":                 int64(corpora),

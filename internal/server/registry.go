@@ -14,6 +14,10 @@ type CorpusInfo struct {
 	Path   string `json:"path"`
 	Stream bool   `json:"stream"`
 	Inputs int    `json:"inputs"`
+	// SkippedLines counts corrupt JSONL lines dropped while loading the
+	// corpus into memory (always 0 for streamed corpora, which index lazily
+	// and surface corrupt records at read time as quarantined inputs).
+	SkippedLines int `json:"skipped_lines,omitempty"`
 }
 
 type corpusEntry struct {
@@ -48,6 +52,7 @@ func (r *Registry) Add(name, path string, stream bool) (CorpusInfo, error) {
 		return CorpusInfo{}, fmt.Errorf("server: corpus %q already registered", name)
 	}
 	var store corpus.Store
+	var skipped int
 	if stream {
 		ds, err := corpus.OpenDiskStore(path)
 		if err != nil {
@@ -55,14 +60,18 @@ func (r *Registry) Add(name, path string, stream bool) (CorpusInfo, error) {
 		}
 		store = ds
 	} else {
-		inputs, err := corpus.ReadJSONL(path)
+		// Tolerant load: a server registering client-supplied corpora must
+		// survive the odd corrupt line or torn tail; the skip count is
+		// reported in the corpus info so the damage is visible, not silent.
+		inputs, skips, err := corpus.ReadJSONLTolerant(path)
 		if err != nil {
 			return CorpusInfo{}, err
 		}
+		skipped = len(skips)
 		store = corpus.NewMemStore(inputs)
 	}
 	e := &corpusEntry{
-		info:  CorpusInfo{Name: name, Path: path, Stream: stream, Inputs: store.Len()},
+		info:  CorpusInfo{Name: name, Path: path, Stream: stream, Inputs: store.Len(), SkippedLines: skipped},
 		store: store,
 	}
 	r.m[name] = e

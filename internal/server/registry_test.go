@@ -1,0 +1,51 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestRegistryToleratesCorruptLines: a corpus with corrupt lines and a
+// torn tail registers successfully, drops the bad lines, and reports the
+// damage in the corpus info.
+func TestRegistryToleratesCorruptLines(t *testing.T) {
+	clean := writeImageCorpus(t, 50, 7)
+	b, err := os.ReadFile(clean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirty := filepath.Join(t.TempDir(), "dirty.jsonl")
+	body := append([]byte("{garbage\n"), b...)
+	body = append(body, []byte(`{"id":"torn","te`)...)
+	if err := os.WriteFile(dirty, body, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewRegistry()
+	info, err := r.Add("dirty", dirty, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Inputs != 50 {
+		t.Fatalf("inputs = %d, want 50", info.Inputs)
+	}
+	if info.SkippedLines != 2 {
+		t.Fatalf("skipped = %d, want 2 (leading garbage + torn tail)", info.SkippedLines)
+	}
+	if got, _ := r.Info("dirty"); got.SkippedLines != 2 {
+		t.Fatalf("Info lost the skip count: %+v", got)
+	}
+}
+
+// TestRegistryRejectsAllCorrupt: a file with zero decodable lines still
+// fails registration — tolerance is for damage, not for the wrong file.
+func TestRegistryRejectsAllCorrupt(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk.jsonl")
+	if err := os.WriteFile(path, []byte("junk\nmore\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRegistry().Add("junk", path, false); err == nil {
+		t.Fatal("all-corrupt corpus registered")
+	}
+}

@@ -48,6 +48,19 @@ type RunSpec struct {
 	// Trace records the step-level event log, served at
 	// GET /runs/{id}/events as CSV.
 	Trace bool `json:"trace,omitempty"`
+	// TimeoutMillis is this run's wall-clock deadline; 0 inherits the
+	// server's default (Config.RunTimeout). A run over its deadline ends as
+	// cancelled-with-partials, marked timed_out in its info.
+	TimeoutMillis int64 `json:"timeout_ms,omitempty"`
+	// MaxFailures overrides core.Config.MaxFailureFrac (0 inherits the
+	// server default): the fraction of processed inputs that may be
+	// quarantined before the run degrades to its partial results.
+	MaxFailures float64 `json:"max_failures,omitempty"`
+	// Faults is a fault-injection spec (fault.Parse syntax) evaluated with
+	// FaultSeed. Empty inherits the server's injector (normally none);
+	// chaos tests submit runs with their own spec.
+	Faults    string `json:"faults,omitempty"`
+	FaultSeed int64  `json:"fault_seed,omitempty"`
 }
 
 // Run is one managed run: the spec, its lifecycle state, the live learning
@@ -69,6 +82,7 @@ type Run struct {
 	result   *core.RunResult
 	errMsg   string
 	cancel   context.CancelFunc
+	timedOut bool
 
 	done chan struct{}
 }
@@ -107,6 +121,12 @@ type RunInfo struct {
 	// CacheHits / CacheMisses are the run's extraction-cache traffic.
 	CacheHits   int64 `json:"cache_hits,omitempty"`
 	CacheMisses int64 `json:"cache_misses,omitempty"`
+	// Quarantined counts inputs the run removed after absorbed failures;
+	// the full records are in the result's quarantine list.
+	Quarantined int `json:"quarantined,omitempty"`
+	// TimedOut marks a cancelled run that hit its deadline rather than a
+	// client's DELETE.
+	TimedOut bool `json:"timed_out,omitempty"`
 }
 
 // Info snapshots the run.
@@ -137,8 +157,18 @@ func (r *Run) Info() RunInfo {
 		info.Strategy = r.result.Strategy
 		info.CacheHits = r.result.CacheHits
 		info.CacheMisses = r.result.CacheMisses
+		info.Quarantined = len(r.result.Quarantined)
 	}
+	info.TimedOut = r.timedOut
 	return info
+}
+
+// setTimedOut marks the run as deadline-expired; called by the worker
+// before finishing a run whose context hit its timeout.
+func (r *Run) setTimedOut() {
+	r.mu.Lock()
+	r.timedOut = true
+	r.mu.Unlock()
 }
 
 // State returns the current lifecycle state.

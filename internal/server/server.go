@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"zombie/internal/core"
+	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
 )
@@ -49,6 +50,17 @@ type Config struct {
 	// CacheMemMB is the extraction cache's in-memory budget in MiB
 	// (default 64).
 	CacheMemMB int
+	// RunTimeout is the default per-run wall-clock deadline (0 = none); a
+	// run's own timeout_ms overrides it. Runs over the deadline end as
+	// cancelled-with-partials, marked timed_out.
+	RunTimeout time.Duration
+	// MaxFailureFrac is the default failure budget for runs that do not set
+	// max_failures (0 = the engine's default of 0.5).
+	MaxFailureFrac float64
+	// Faults injects deterministic failures into every run without its own
+	// faults spec — chaos deployments only; normally nil. It is also passed
+	// to the extraction cache, covering the cache.read/cache.write sites.
+	Faults *fault.Injector
 }
 
 // Server wires the registry, index cache, extraction cache, run manager
@@ -81,15 +93,21 @@ func New(cfg Config) (*Server, error) {
 	featCache, err := featcache.Open(featcache.Config{
 		MaxBytes: int64(cfg.CacheMemMB) << 20,
 		Dir:      cfg.CacheDir,
+		Faults:   cfg.Faults,
 	}, featurepipe.ResultCodec{})
 	if err != nil {
 		return nil, err
+	}
+	defaults := RunDefaults{
+		Timeout:        cfg.RunTimeout,
+		Faults:         cfg.Faults,
+		MaxFailureFrac: cfg.MaxFailureFrac,
 	}
 	s := &Server{
 		registry:  registry,
 		cache:     cache,
 		featCache: featCache,
-		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap),
+		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap, defaults),
 		metrics:   metrics,
 		mux:       http.NewServeMux(),
 		start:     time.Now(),

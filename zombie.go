@@ -60,6 +60,9 @@ var (
 	// ReadJSONL and WriteJSONL move corpora to and from disk.
 	ReadJSONL  = corpus.ReadJSONL
 	WriteJSONL = corpus.WriteJSONL
+	// ReadJSONLTolerant skips corrupt lines (reporting each) instead of
+	// aborting — the loader for corpora collected in the wild.
+	ReadJSONLTolerant = corpus.ReadJSONLTolerant
 )
 
 // Payload kinds.
