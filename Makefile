@@ -10,6 +10,13 @@ SHELL := /bin/bash
 
 GO ?= go
 
+# Build identity, injected into internal/buildinfo at link time so
+# -version and /healthz name the exact build. A plain `go build` still
+# works — buildinfo falls back to the toolchain's VCS stamp.
+VERSION ?= $(shell git describe --tags --always --dirty 2>/dev/null || echo dev)
+COMMIT  ?= $(shell git rev-parse --short=12 HEAD 2>/dev/null || echo unknown)
+LDFLAGS := -X zombie/internal/buildinfo.Version=$(VERSION) -X zombie/internal/buildinfo.Commit=$(COMMIT)
+
 # staticcheck runs through `go run` at a pinned version so neither CI nor
 # developer machines need a global install; 2025.1.1 is the release line
 # that understands this repo's go1.22 directive on current toolchains.
@@ -21,12 +28,16 @@ STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 COVER_PKGS := ./internal/core ./internal/featcache ./internal/fault
 COVER_FLOOR := 70
 
-.PHONY: all build test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke bench-gate ci
+.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke bench-gate ci
 
 all: build
 
 build:
-	$(GO) build ./...
+	$(GO) build -ldflags "$(LDFLAGS)" ./...
+
+# bin produces the stamped binaries under bin/.
+bin:
+	$(GO) build -ldflags "$(LDFLAGS)" -o bin/ ./cmd/...
 
 test:
 	$(GO) test ./...
@@ -143,6 +154,47 @@ chaos-smoke:
 	fi && \
 	echo "chaos-smoke OK: $$nq quarantined, same-seed identical, disk faults demoted cleanly"
 
+# obs-smoke proves the telemetry contract end to end against a live
+# zombie-serve: /healthz carries build identity, a traced run populates
+# both /metrics expositions (the stable flat-JSON keys and Prometheus
+# TYPE/bucket lines), and the terminal trace snapshot carries events and
+# a non-zero phase breakdown. Needs curl + jq (standard on CI images).
+obs-smoke:
+	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "obs-smoke: needs curl and jq"; exit 1; }; \
+	tmp=$$(mktemp -d); pid=; trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	base=http://127.0.0.1:18808; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:18808 -corpus wiki=$$tmp/wiki.jsonl -log-format json >$$tmp/serve.log 2>&1 & pid=$$!; }; \
+	up=0; for i in $$(seq 1 50); do curl -sf $$base/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
+	[ $$up = 1 ] || { echo "obs-smoke: server never came up"; cat $$tmp/serve.log; exit 1; }; \
+	commit=$$(curl -sf $$base/healthz | jq -r '.commit // empty'); \
+	[ -n "$$commit" ] && [ "$$commit" != unknown ] || { echo "obs-smoke: healthz build identity missing (commit=$$commit)"; exit 1; }; \
+	id=$$(curl -sf -X POST $$base/runs -d '{"corpus":"wiki","task":"wiki","max_inputs":150,"eval_every":25,"trace":true}' | jq -r '.id // empty'); \
+	[ -n "$$id" ] || { echo "obs-smoke: run submission failed"; cat $$tmp/serve.log; exit 1; }; \
+	state=; for i in $$(seq 1 200); do \
+		state=$$(curl -sf $$base/runs/$$id | jq -r .state); \
+		case $$state in done|failed|cancelled) break;; esac; sleep 0.1; \
+	done; \
+	[ "$$state" = done ] || { echo "obs-smoke: run ended in state $$state"; curl -s $$base/runs/$$id; exit 1; }; \
+	curl -sf $$base/metrics > $$tmp/flat.json && \
+	for key in runs_completed inputs_processed feat_cache_hits queue_depth \
+			zombie_run_seconds_count zombie_phase_seconds_extract_count zombie_http_request_seconds_count; do \
+		jq -e --arg k $$key 'has($$k)' $$tmp/flat.json >/dev/null || \
+			{ echo "obs-smoke: flat /metrics missing key $$key"; cat $$tmp/flat.json; exit 1; }; \
+	done && \
+	curl -sf "$$base/metrics?format=prom" > $$tmp/metrics.prom && \
+	grep -q '^# TYPE runs_completed counter' $$tmp/metrics.prom && \
+	grep -q 'zombie_phase_seconds_bucket{phase="extract",le="+Inf"}' $$tmp/metrics.prom || \
+		{ echo "obs-smoke: Prometheus exposition incomplete"; head -40 $$tmp/metrics.prom; exit 1; }; \
+	curl -sf $$base/runs/$$id/trace > $$tmp/trace.json && \
+	nev=$$(jq '.events | length' $$tmp/trace.json); \
+	extract_ms=$$(jq -r '.phase_ms.extract // 0' $$tmp/trace.json); \
+	[ "$$nev" -ge 1 ] || { echo "obs-smoke: trace snapshot has no events"; cat $$tmp/trace.json; exit 1; }; \
+	awk -v x="$$extract_ms" 'BEGIN{exit !(x > 0)}' || \
+		{ echo "obs-smoke: terminal trace phase_ms.extract not > 0 (got $$extract_ms)"; exit 1; }; \
+	echo "obs-smoke OK: $$nev trace events, extract $$extract_ms ms, both expositions served"
+
 # bench-gate re-proves the parallel-execution determinism contract through
 # the bench harness: the wall-clock-free experiments (T2, F1) must emit
 # byte-identical output at -parallel 2 vs the sequential baseline. CI runs
@@ -159,4 +211,4 @@ bench-gate:
 	done; \
 	echo "bench-gate OK: T2 and F1 byte-identical at parallel=2"
 
-ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke
+ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke

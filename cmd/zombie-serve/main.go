@@ -27,13 +27,16 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
 	"syscall"
 	"time"
 
+	"zombie/internal/buildinfo"
 	"zombie/internal/fault"
+	"zombie/internal/obs"
 	"zombie/internal/server"
 )
 
@@ -66,10 +69,21 @@ func run() error {
 	maxFailures := flag.Float64("max-failures", 0, "default failure budget: fraction of a run's inputs that may be quarantined before it degrades (0 = engine default 0.5)")
 	faultSpec := flag.String("faults", "", "inject deterministic faults into every run, e.g. extract:err=0.01 (chaos deployments)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr)")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address, e.g. localhost:6060 (empty = off)")
+	version := flag.Bool("version", false, "print version and exit")
 	var corpora corpusFlags
 	flag.Var(&corpora, "corpus", "preregister a corpus as name=path (repeatable)")
 	flag.Parse()
 
+	if *version {
+		fmt.Println(buildinfo.String("zombie-serve"))
+		return nil
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
+	}
 	injector, err := fault.Parse(*faultSpec, *faultSeed)
 	if err != nil {
 		return err
@@ -82,9 +96,27 @@ func run() error {
 		RunTimeout:     *runTimeout,
 		MaxFailureFrac: *maxFailures,
 		Faults:         injector,
+		Logger:         logger,
 	})
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// pprof gets its own mux on its own listener so profiling is never
+		// exposed on the service port.
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			psrv := &http.Server{Addr: *pprofAddr, Handler: pmux, ReadHeaderTimeout: 10 * time.Second}
+			if err := psrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("pprof listener failed", "addr", *pprofAddr, "error", err)
+			}
+		}()
+		logger.Info("pprof listening", "addr", *pprofAddr)
 	}
 	for _, spec := range corpora {
 		name, path, ok := strings.Cut(spec, "=")

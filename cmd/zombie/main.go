@@ -21,12 +21,14 @@ import (
 	"time"
 
 	"zombie/internal/bandit"
+	"zombie/internal/buildinfo"
 	"zombie/internal/core"
 	"zombie/internal/corpus"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
+	"zombie/internal/obs"
 	"zombie/internal/rng"
 	"zombie/internal/workload"
 )
@@ -59,8 +61,18 @@ func run() error {
 	faultSpec := flag.String("faults", "", "inject deterministic faults, e.g. extract:err=0.04,panic=0.04;corpus.read:err=0.03 (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
 	maxFailures := flag.Float64("max-failures", 0, "failure budget: fraction of processed inputs that may be quarantined before the run degrades (0 = engine default 0.5, 1 = never degrade)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr; stdout stays the diffable curve CSV)")
+	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *versionFlag {
+		fmt.Println(buildinfo.String("zombie"))
+		return nil
+	}
+	logger, err := obs.NewLogger(os.Stderr, *logFormat)
+	if err != nil {
+		return err
+	}
 	if *corpusPath == "" {
 		return fmt.Errorf("-corpus is required")
 	}
@@ -169,6 +181,19 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// The structured record goes to stderr: wall time and the per-phase
+	// breakdown that the diffable stdout CSV deliberately omits.
+	p := res.Phases
+	logger.Info("run finished",
+		"task", res.Task, "strategy", res.Strategy, "stop", res.Stop.String(),
+		"inputs", res.InputsProcessed, "quality", res.FinalQuality,
+		"wall_ms", res.WallTime.Milliseconds(),
+		"phase_coverage", fmt.Sprintf("%.2f", p.Coverage(res.WallTime)),
+		"holdout_ms", p.Holdout.Milliseconds(), "select_ms", p.Select.Milliseconds(),
+		"read_ms", p.Read.Milliseconds(), "extract_ms", p.Extract.Milliseconds(),
+		"train_ms", p.Train.Milliseconds(), "eval_ms", p.Eval.Milliseconds(),
+		"cache_lookup_ms", p.CacheLookup.Milliseconds())
 
 	fmt.Println(res.Summary())
 	printQuarantine(res)

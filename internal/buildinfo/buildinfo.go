@@ -1,0 +1,61 @@
+// Package buildinfo identifies the binary: a version and VCS commit,
+// settable at link time and recoverable from the Go build info when the
+// linker flags were not used (a plain `go build` of a git checkout still
+// stamps vcs.revision). Both CLIs print it under -version and the server
+// reports it in /healthz, so a scrape or a bug report always names the
+// exact build it came from.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Version and Commit are overridden at link time:
+//
+//	go build -ldflags "-X zombie/internal/buildinfo.Version=v1.2.3 \
+//	                   -X zombie/internal/buildinfo.Commit=abc1234"
+var (
+	Version = "dev"
+	Commit  = ""
+)
+
+// Resolve returns the effective version and commit: the linker-set
+// values, with the commit falling back to the module build info's
+// vcs.revision (truncated to 12 chars, "+dirty" when the tree was
+// modified) and finally "unknown".
+func Resolve() (version, commit string) {
+	version, commit = Version, Commit
+	if commit == "" {
+		if bi, ok := debug.ReadBuildInfo(); ok {
+			var rev string
+			var dirty bool
+			for _, s := range bi.Settings {
+				switch s.Key {
+				case "vcs.revision":
+					rev = s.Value
+				case "vcs.modified":
+					dirty = s.Value == "true"
+				}
+			}
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+			if rev != "" && dirty {
+				rev += "+dirty"
+			}
+			commit = rev
+		}
+	}
+	if commit == "" {
+		commit = "unknown"
+	}
+	return version, commit
+}
+
+// String renders the one-line -version output for the named command.
+func String(cmd string) string {
+	version, commit := Resolve()
+	return fmt.Sprintf("%s %s (commit %s, %s)", cmd, version, commit, runtime.Version())
+}

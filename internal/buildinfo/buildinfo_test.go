@@ -1,0 +1,26 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestResolveNeverEmpty(t *testing.T) {
+	version, commit := Resolve()
+	if version == "" || commit == "" {
+		t.Fatalf("Resolve() = %q, %q; want non-empty", version, commit)
+	}
+}
+
+func TestLinkerOverrideWins(t *testing.T) {
+	oldV, oldC := Version, Commit
+	defer func() { Version, Commit = oldV, oldC }()
+	Version, Commit = "v9.9.9", "deadbeef"
+	version, commit := Resolve()
+	if version != "v9.9.9" || commit != "deadbeef" {
+		t.Fatalf("Resolve() = %q, %q; want linker values", version, commit)
+	}
+	if s := String("zombie"); !strings.Contains(s, "zombie v9.9.9 (commit deadbeef") {
+		t.Fatalf("String() = %q", s)
+	}
+}

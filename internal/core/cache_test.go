@@ -37,6 +37,10 @@ func identicalRuns(t *testing.T, label string, a, b *RunResult) {
 	}
 	for i := range a.Events.Events {
 		ea, eb := a.Events.Events[i], b.Events.Events[i]
+		// CacheHit is a cache-traffic diagnostic, like the RunResult
+		// counters: it legitimately differs between cache-off, cold and
+		// warm runs and is excluded from the determinism contract.
+		ea.CacheHit, eb.CacheHit = false, false
 		if ea != eb {
 			t.Fatalf("%s: events diverged at step %d: %+v vs %+v", label, i, ea, eb)
 		}

@@ -21,6 +21,8 @@ import (
 	"zombie/internal/bandit"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
+	"zombie/internal/obs"
+	"zombie/internal/trace"
 )
 
 // RewardKind selects how the engine converts a step's outcome into a
@@ -191,6 +193,19 @@ type Config struct {
 	// serving layer bridges this to SSE — must not block: the loop stalls
 	// for as long as the callback runs.
 	Progress func(CurvePoint)
+	// Event, when non-nil, is invoked synchronously from the run goroutine
+	// for every step event, whether or not TraceEvents retains them in the
+	// result. The serving layer bridges this into each run's bounded trace
+	// ring and SSE trace frames. Like Progress, the callback must not
+	// block.
+	Event func(trace.Event)
+	// Obs, when non-nil, is the process-wide telemetry registry the run
+	// observes into: per-phase latency histograms (zombie_phase_seconds)
+	// and the whole-run histogram (zombie_run_seconds). Metric declaration
+	// is idempotent, so every run of a process shares the same series.
+	// Timing is observational only — RunResult.Phases is filled either way
+	// and curves are byte-identical with Obs set or nil.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {

@@ -90,6 +90,12 @@ func oracleUseful(in *corpus.Input, f featurepipe.FeatureFunc) bool {
 // re-evaluation so cancellation latency is one step, not one holdout pass.
 func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSource, r *rng.RNG) (*RunResult, error) {
 	wallStart := time.Now()
+	// Phase accounting is always on: the timers cost a few time.Now calls
+	// per step against feature-extraction work that dominates by orders of
+	// magnitude, and every run reporting where its time went is the whole
+	// point of the telemetry layer. The registry fan-out (po) is optional.
+	var phases PhaseBreakdown
+	po := newPhaseObs(e.cfg.Obs)
 	// Thread the extraction cache under everything the loop runs — holdout
 	// build, reward path and the stream itself. The wrap happens here, after
 	// the callers derived their RNG substreams and the oracle inspected the
@@ -110,7 +116,10 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 		Task:     task.Name,
 		Strategy: src.name(),
 	}
+	tHoldout := time.Now()
 	holdout, skips, err := task.BuildHoldoutTolerant()
+	phases.Holdout = time.Since(tHoldout)
+	po.observe(phHoldout, phases.Holdout)
 	for _, s := range skips {
 		res.Quarantined = append(res.Quarantined, Quarantine{
 			InputID: s.InputID, Site: "holdout", Step: 0, Reason: s.Reason,
@@ -149,6 +158,12 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 	var evalModel learner.Model
 	evalRNG := r.Split("eval")
 	evaluate := func() float64 {
+		tEval := time.Now()
+		defer func() {
+			d := time.Since(tEval)
+			phases.Eval += d
+			po.observe(phEval, d)
+		}()
 		if e.cfg.EvalIncremental {
 			return e.quality(holdout, model)
 		}
@@ -176,6 +191,15 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 	var events *trace.Log
 	if e.cfg.TraceEvents {
 		events = &trace.Log{}
+	}
+	// emit records a step event into the in-result log (nil-safe when
+	// tracing is off) and mirrors it to the Event hook — the serving
+	// layer's live trace ring.
+	emit := func(ev trace.Event) {
+		events.Record(ev)
+		if e.cfg.Event != nil {
+			e.cfg.Event(ev)
+		}
 	}
 
 	record := func(p CurvePoint) {
@@ -216,12 +240,20 @@ loop:
 			stop = StopBudget
 			break
 		}
+		tSelect := time.Now()
 		idx, arm, ok := src.next()
+		dSelect := time.Since(tSelect)
+		phases.Select += dSelect
+		po.observe(phSelect, dSelect)
 		if !ok {
 			break // pool exhausted
 		}
 		steps++
+		tRead := time.Now()
 		in, readErr := e.readInput(task.Store, idx)
+		dRead := time.Since(tRead)
+		phases.Read += dRead
+		po.observe(phRead, dRead)
 		if readErr != nil {
 			// The input could not even be loaded: no cost is charged (the
 			// payload never arrived), the arm learns nothing good came of
@@ -232,9 +264,9 @@ loop:
 				Step: steps, Reason: readErr.Error(),
 			})
 			src.feedback(arm, 0)
-			events.Record(trace.Event{
+			emit(trace.Event{
 				Step: steps, InputIdx: idx, Arm: arm,
-				Err: readErr.Error(), SimTime: simTime,
+				Err: readErr.Error(), SimTime: simTime, Quarantined: true,
 			})
 			if overBudget(steps) {
 				stop = StopFailed
@@ -244,7 +276,19 @@ loop:
 		}
 		simTime += task.Cost.Cost(in)
 
+		var hitsBefore int64
+		if cacheCtrs != nil {
+			hitsBefore = cacheCtrs.Hits.Load()
+		}
+		tExtract := time.Now()
 		extRes, extErr, panicked := safeExtract(task.Feature, in)
+		dExtract := time.Since(tExtract)
+		phases.Extract += dExtract
+		po.observe(phExtract, dExtract)
+		// The loop goroutine is the only one touching this run's counters,
+		// so a hit delta across the extract call attributes cleanly to this
+		// step (composite features may hit on several parts; any counts).
+		cacheHit := cacheCtrs != nil && cacheCtrs.Hits.Load() > hitsBefore
 		reward := 0.0
 		errMsg := ""
 		switch {
@@ -266,7 +310,11 @@ loop:
 			if extRes.Useful {
 				res.Useful++
 			}
+			tTrain := time.Now()
 			reward = e.rewardFor(extRes, model, rewardHold)
+			dTrain := time.Since(tTrain)
+			phases.Train += dTrain
+			po.observe(phTrain, dTrain)
 			if !e.cfg.EvalIncremental {
 				if fromScratch {
 					collected = append(collected, extRes.Example)
@@ -276,10 +324,10 @@ loop:
 			}
 		}
 		src.feedback(arm, reward)
-		events.Record(trace.Event{
+		emit(trace.Event{
 			Step: steps, InputIdx: idx, Arm: arm, Reward: reward,
 			Produced: extRes.Produced, Useful: extRes.Useful, Err: errMsg,
-			SimTime: simTime,
+			SimTime: simTime, CacheHit: cacheHit, Quarantined: panicked,
 		})
 		if panicked && overBudget(steps) {
 			stop = StopFailed
@@ -321,7 +369,10 @@ loop:
 	if cacheCtrs != nil {
 		res.CacheHits = cacheCtrs.Hits.Load()
 		res.CacheMisses = cacheCtrs.Misses.Load()
+		phases.CacheLookup = time.Duration(cacheCtrs.LookupNanos.Load())
 	}
+	res.Phases = phases
+	po.observeRun(res.WallTime)
 	return res, nil
 }
 

@@ -1,0 +1,175 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"zombie/internal/featcache"
+	"zombie/internal/obs"
+	"zombie/internal/trace"
+)
+
+// TestPhaseBreakdownCoversRun is the telemetry contract: on a real
+// workload the six disjoint phases must explain at least 90% of the
+// run's wall time, and never more than all of it.
+func TestPhaseBreakdownCoversRun(t *testing.T) {
+	task, groups := wikiTask(t, 1200, 501)
+	res, err := mustEngine(t, Config{Seed: 41, MaxInputs: 300}).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Phases
+	for name, d := range p.Durations() {
+		if d < 0 {
+			t.Fatalf("phase %s negative: %v", name, d)
+		}
+	}
+	if p.Holdout <= 0 || p.Extract <= 0 || p.Train <= 0 || p.Eval <= 0 {
+		t.Fatalf("expected holdout/extract/train/eval all > 0: %+v", p)
+	}
+	if p.Accounted() > res.WallTime {
+		t.Fatalf("accounted %v exceeds wall %v", p.Accounted(), res.WallTime)
+	}
+	if cov := p.Coverage(res.WallTime); cov < 0.9 {
+		t.Fatalf("phase coverage %.3f < 0.9 (accounted %v of wall %v; %+v)",
+			cov, p.Accounted(), res.WallTime, p)
+	}
+	if p.CacheLookup != 0 {
+		t.Fatalf("cacheless run reported cache-lookup time %v", p.CacheLookup)
+	}
+}
+
+// TestPhasesAreObservational: attaching a registry must not change the
+// run — curves, counters and events stay byte-identical — while the
+// registry fills the phase and run histograms.
+func TestPhasesAreObservational(t *testing.T) {
+	task, groups := wikiTask(t, 1000, 502)
+	cfg := Config{Seed: 43, MaxInputs: 250, TraceEvents: true}
+	plain, err := mustEngine(t, cfg).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	cfg.Obs = reg
+	observed, err := mustEngine(t, cfg).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	identicalRuns(t, "obs-off-vs-on", plain, observed)
+
+	flat := reg.FlatSnapshot()
+	if n := flat["zombie_run_seconds_count"]; n != 1 {
+		t.Fatalf("zombie_run_seconds count = %d, want 1", n)
+	}
+	for _, phase := range []string{"holdout", "extract", "train", "eval"} {
+		if n := flat["zombie_phase_seconds_"+phase+"_count"]; n <= 0 {
+			t.Fatalf("phase %s histogram empty", phase)
+		}
+	}
+}
+
+// TestEventCallbackSeesEveryStep: Config.Event must fire for each step
+// event even when TraceEvents is off, and must deliver exactly the
+// events a traced run retains.
+func TestEventCallbackSeesEveryStep(t *testing.T) {
+	task, groups := wikiTask(t, 1000, 503)
+	cfg := Config{Seed: 47, MaxInputs: 200}
+
+	var streamed []trace.Event
+	cfg.Event = func(ev trace.Event) { streamed = append(streamed, ev) }
+	res, err := mustEngine(t, cfg).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != nil {
+		t.Fatal("TraceEvents off but result retained a trace")
+	}
+	if len(streamed) != res.InputsProcessed {
+		t.Fatalf("callback saw %d events, processed %d inputs", len(streamed), res.InputsProcessed)
+	}
+
+	cfg.Event = nil
+	cfg.TraceEvents = true
+	traced, err := mustEngine(t, cfg).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(traced.Events.Events) != len(streamed) {
+		t.Fatalf("trace has %d events, callback saw %d", len(traced.Events.Events), len(streamed))
+	}
+	for i := range streamed {
+		if streamed[i] != traced.Events.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, streamed[i], traced.Events.Events[i])
+		}
+	}
+}
+
+// TestCacheLookupPhaseAndHitFlags: a warm cached run must attribute
+// lookup overhead to CacheLookup (bounded by the phases it overlaps)
+// and flag its hit steps in the trace; cache-off runs report neither.
+func TestCacheLookupPhaseAndHitFlags(t *testing.T) {
+	task, groups := wikiTask(t, 900, 504)
+	cache := mustCache(t, featcache.Config{})
+	cfg := Config{Seed: 53, MaxInputs: 200, TraceEvents: true, Cache: cache}
+
+	cold, err := mustEngine(t, cfg).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := mustEngine(t, cfg).Run(task, groups)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.CacheHits == 0 {
+		t.Fatal("warm run had no cache hits")
+	}
+	if warm.Phases.CacheLookup <= 0 {
+		t.Fatal("warm run reported zero cache-lookup time")
+	}
+	if max := warm.Phases.Extract + warm.Phases.Holdout; warm.Phases.CacheLookup > max {
+		t.Fatalf("cache-lookup %v exceeds the phases it overlaps (%v)",
+			warm.Phases.CacheLookup, max)
+	}
+	hitSteps := func(r *RunResult) int {
+		n := 0
+		for _, ev := range r.Events.Events {
+			if ev.CacheHit {
+				n++
+			}
+		}
+		return n
+	}
+	// Cold runs may still flag a few steps (the holdout build warms the
+	// cache for inputs the loop later revisits); the warm run must flag
+	// strictly more.
+	if warmHits, coldHits := hitSteps(warm), hitSteps(cold); warmHits == 0 || warmHits <= coldHits {
+		t.Fatalf("warm run flagged %d hit steps, cold flagged %d", warmHits, coldHits)
+	}
+}
+
+// TestPhaseBreakdownHelpers pins the pure accessors.
+func TestPhaseBreakdownHelpers(t *testing.T) {
+	p := PhaseBreakdown{
+		Holdout: 1 * time.Millisecond,
+		Select:  2 * time.Millisecond,
+		Read:    3 * time.Millisecond,
+		Extract: 4 * time.Millisecond,
+		Train:   5 * time.Millisecond,
+		Eval:    6 * time.Millisecond,
+		// CacheLookup overlaps Extract/Holdout and must not count.
+		CacheLookup: 100 * time.Millisecond,
+	}
+	if got := p.Accounted(); got != 21*time.Millisecond {
+		t.Fatalf("Accounted = %v", got)
+	}
+	if got := p.Coverage(42 * time.Millisecond); got != 0.5 {
+		t.Fatalf("Coverage = %v", got)
+	}
+	if got := p.Coverage(0); got != 0 {
+		t.Fatalf("Coverage(0) = %v", got)
+	}
+	ms := p.Millis()
+	if len(ms) != 6 || ms["extract"] != 4 || ms["eval"] != 6 {
+		t.Fatalf("Millis = %v", ms)
+	}
+}

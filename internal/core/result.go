@@ -96,6 +96,11 @@ type RunResult struct {
 	SimTime time.Duration
 	// WallTime is the real time the run took (engine overhead included).
 	WallTime time.Duration
+	// Phases breaks WallTime down by inner-loop phase (holdout build, arm
+	// select, corpus read, extract, train, holdout eval, with the cache's
+	// lookup overhead reported separately). Always filled; purely
+	// observational — see PhaseBreakdown.
+	Phases PhaseBreakdown
 	// Stop records why the run ended.
 	Stop StopReason
 	// CacheHits / CacheMisses count this run's extraction-cache traffic

@@ -36,7 +36,10 @@ type BenchReport struct {
 	// CacheIteration is the extraction-cache cold-vs-warm timing block,
 	// present when the bench included experiment C1.
 	CacheIteration *CacheBenchEntry `json:"cache_iteration,omitempty"`
-	TotalSeconds   float64          `json:"total_seconds"`
+	// PhaseTiming breaks the reference wiki run's wall time down by
+	// inner-loop phase, so a bench regression names the phase that slowed.
+	PhaseTiming  *PhaseBenchEntry `json:"phase_timing,omitempty"`
+	TotalSeconds float64          `json:"total_seconds"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -113,6 +116,11 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 		report.CacheIteration = cacheEntry
 		break
 	}
+	phaseEntry, err := PhaseTimingBench(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: phase timing bench: %w", err)
+	}
+	report.PhaseTiming = phaseEntry
 	report.TotalSeconds = time.Since(total).Seconds()
 	return report, nil
 }

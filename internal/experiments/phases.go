@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// PhaseBenchEntry is the phase-timing block zombie-bench writes to its
+// JSON report: one standard wiki zombie run with its wall time split by
+// inner-loop phase. CI diffs it between commits, so a regression names
+// the phase that slowed down instead of just "the run got slower".
+type PhaseBenchEntry struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	// PhaseMillis maps the six disjoint phases (holdout, select, read,
+	// extract, train, eval) to milliseconds.
+	PhaseMillis map[string]float64 `json:"phase_ms"`
+	// Coverage is the fraction of the wall time the phases explain; the
+	// telemetry contract keeps it above 0.9.
+	Coverage float64 `json:"coverage"`
+	Inputs   int     `json:"inputs"`
+}
+
+// PhaseTimingBench runs the standard wiki zombie loop (the bench's
+// reference workload) and reports its phase breakdown.
+func PhaseTimingBench(cfg Config) (*PhaseBenchEntry, error) {
+	cfg = cfg.withDefaults()
+	wl, err := WikiWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := engineFor(policyFor(wl, "eps-greedy:0.1"), cfg.Seed+2, withWorkloadDefaults(wl, nil))
+	if err != nil {
+		return nil, err
+	}
+	res, err := eng.Run(wl.Task, groups)
+	if err != nil {
+		return nil, err
+	}
+	cov := res.Phases.Coverage(res.WallTime)
+	if cov > 1 {
+		return nil, fmt.Errorf("experiments: phase coverage %.3f exceeds 1 — phases overlap", cov)
+	}
+	return &PhaseBenchEntry{
+		WallSeconds: res.WallTime.Seconds(),
+		PhaseMillis: res.Phases.Millis(),
+		Coverage:    cov,
+		Inputs:      res.InputsProcessed,
+	}, nil
+}

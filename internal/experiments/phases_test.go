@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestPhaseTimingBench: the phase block accounts for the run it measures —
+// the observable phases are populated and together explain at least 90% of
+// the wall time, the coverage contract the telemetry layer promises.
+func TestPhaseTimingBench(t *testing.T) {
+	entry, err := PhaseTimingBench(tiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entry.WallSeconds <= 0 || entry.Inputs <= 0 {
+		t.Fatalf("phase bench malformed: %+v", entry)
+	}
+	if entry.Coverage < 0.9 || entry.Coverage > 1 {
+		t.Fatalf("phase coverage %.3f outside [0.9, 1]", entry.Coverage)
+	}
+	for _, phase := range []string{"holdout", "extract", "train", "eval"} {
+		if entry.PhaseMillis[phase] <= 0 {
+			t.Errorf("phase %q unmeasured: %+v", phase, entry.PhaseMillis)
+		}
+	}
+}
+
+// TestRunBenchIncludesPhaseTiming: every bench report carries the phase
+// block regardless of which experiments ran.
+func TestRunBenchIncludesPhaseTiming(t *testing.T) {
+	report, err := RunBench(tiny, []string{"T1"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := report.PhaseTiming
+	if pt == nil {
+		t.Fatal("phase_timing block missing from bench report")
+	}
+	if pt.Coverage < 0.9 || pt.PhaseMillis["extract"] <= 0 {
+		t.Fatalf("phase_timing malformed: %+v", pt)
+	}
+}

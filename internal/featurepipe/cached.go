@@ -2,6 +2,7 @@ package featurepipe
 
 import (
 	"sync/atomic"
+	"time"
 
 	"zombie/internal/corpus"
 	"zombie/internal/featcache"
@@ -14,6 +15,12 @@ import (
 type CacheCounters struct {
 	Hits   atomic.Int64
 	Misses atomic.Int64
+	// LookupNanos accumulates pure cache overhead: wall time spent inside
+	// the cache (key hashing, shard locking, disk decode, singleflight
+	// waits) with the inner feature-code compute subtracted out. It is the
+	// "cache-lookup" phase of the run's PhaseBreakdown — a subset of
+	// extraction time, never additional to it.
+	LookupNanos atomic.Int64
 }
 
 // Cached wraps feature code with the extraction cache: Extract serves
@@ -76,13 +83,24 @@ func (c *cachedFunc) Fingerprint() string { return c.fp }
 // returned verbatim and never cached (each request retries, exactly like
 // the uncached path); panics propagate to this caller.
 func (c *cachedFunc) Extract(in *corpus.Input) (Result, error) {
+	start := time.Now()
+	var compute time.Duration
 	v, hit, err := c.cache.GetOrCompute(c.fp, in.ID, func() (any, error) {
+		t := time.Now()
 		res, err := c.inner.Extract(in)
+		compute = time.Since(t)
 		if err != nil {
 			return nil, err
 		}
 		return res, nil
 	})
+	if c.ctrs != nil {
+		// Lookup time is total minus the inner compute, so hits charge the
+		// full call and misses charge only the cache's own overhead.
+		if overhead := time.Since(start) - compute; overhead > 0 {
+			c.ctrs.LookupNanos.Add(int64(overhead))
+		}
+	}
 	if err != nil {
 		return Result{}, err
 	}

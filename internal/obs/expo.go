@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PrometheusContentType is the Content-Type of WritePrometheus output.
+const PrometheusContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// FlatSnapshot renders every metric into the flat expvar-style int64 map
+// the service has served at /metrics since PR 1. Counters and gauges
+// appear under their metric name (label value folded in as a suffix);
+// a histogram appears as <name>_count and <name>_sum_ms, the integer
+// projections a flat map can carry.
+func (r *Registry) FlatSnapshot() map[string]int64 {
+	out := map[string]int64{}
+	for _, m := range r.snapshot() {
+		base := m.flatName()
+		switch m.kind {
+		case kindCounter:
+			out[base] = m.counter.Load()
+		case kindGauge:
+			out[base] = m.gauge.Load()
+		case kindGaugeFunc:
+			out[base] = m.gaugeFn()
+		case kindCounterFunc:
+			out[base] = m.counterFn()
+		case kindHistogram:
+			out[base+"_count"] = m.hist.Count()
+			out[base+"_sum_ms"] = int64(m.hist.Sum() * 1000)
+		}
+	}
+	return out
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4). Families are emitted in sorted name order, each
+// with one HELP/TYPE header followed by all its series, so multi-phase
+// histograms sharing a name scrape as one family.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	metrics := r.snapshot()
+	byName := map[string][]*metric{}
+	var names []string
+	for _, m := range metrics {
+		if _, ok := byName[m.name]; !ok {
+			names = append(names, m.name)
+		}
+		byName[m.name] = append(byName[m.name], m)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		family := byName[name]
+		first := family[0]
+		if first.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(first.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, first.kind); err != nil {
+			return err
+		}
+		for _, m := range family {
+			if err := writePromSeries(w, m); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, m *metric) error {
+	switch m.kind {
+	case kindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelSet(m, ""), m.counter.Load())
+		return err
+	case kindGauge:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelSet(m, ""), m.gauge.Load())
+		return err
+	case kindGaugeFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelSet(m, ""), m.gaugeFn())
+		return err
+	case kindCounterFunc:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", m.name, labelSet(m, ""), m.counterFn())
+		return err
+	case kindHistogram:
+		bounds, cum := m.hist.Buckets()
+		for i, b := range bounds {
+			le := strconv.FormatFloat(b, 'g', -1, 64)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelSet(m, le), cum[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", m.name, labelSet(m, "+Inf"), cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", m.name, labelSet(m, ""),
+			strconv.FormatFloat(m.hist.Sum(), 'g', -1, 64)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labelSet(m, ""), m.hist.Count())
+		return err
+	}
+	return nil
+}
+
+// labelSet renders the series' label block: the metric's constant label
+// (if any) plus the histogram "le" label (when le is non-empty), or the
+// empty string when there are no labels at all.
+func labelSet(m *metric, le string) string {
+	var parts []string
+	if m.labelKey != "" {
+		parts = append(parts, m.labelKey+`="`+escapeLabel(m.labelValue)+`"`)
+	}
+	if le != "" {
+		parts = append(parts, `le="`+le+`"`)
+	}
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// escapeHelp escapes a HELP line per the exposition format: backslash
+// and newline only.
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value: backslash, double quote, newline.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a fixed-bucket distribution: observation is two atomic
+// adds (count, sum) plus one atomic add on the bucket found by binary
+// search over the immutable bound slice. Bounds are upper-inclusive
+// (Prometheus "le" semantics) with an implicit +Inf bucket at the end.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1; last is +Inf
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := make([]float64, len(bounds))
+	copy(bs, bounds)
+	sort.Float64s(bs)
+	return &Histogram{
+		bounds:  bs,
+		buckets: make([]atomic.Int64, len(bs)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s finds the first bound >= v only for exact
+	// matches; we want the first bound >= v under le-semantics, i.e. the
+	// first i with v <= bounds[i].
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		newBits := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, newBits) {
+			return
+		}
+	}
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// Buckets returns the upper bounds and cumulative counts (le-semantics,
+// +Inf last) as parallel slices — the Prometheus wire shape.
+func (h *Histogram) Buckets() (bounds []float64, cumulative []int64) {
+	bounds = h.bounds
+	cumulative = make([]int64, len(h.buckets))
+	var acc int64
+	for i := range h.buckets {
+		acc += h.buckets[i].Load()
+		cumulative[i] = acc
+	}
+	return bounds, cumulative
+}
+
+// Timer measures one interval into a histogram. The zero Timer is inert.
+type Timer struct {
+	h     *Histogram
+	start time.Time
+}
+
+// StartTimer begins timing against h (which may be nil: the returned
+// timer still measures, it just observes nowhere — callers timing phases
+// unconditionally pay one time.Now either way).
+func StartTimer(h *Histogram) Timer {
+	return Timer{h: h, start: time.Now()}
+}
+
+// Stop observes the elapsed time (when the timer has a histogram) and
+// returns it, so one measurement can feed both a histogram and an
+// accumulator.
+func (t Timer) Stop() time.Duration {
+	if t.start.IsZero() {
+		return 0
+	}
+	d := time.Since(t.start)
+	if t.h != nil {
+		t.h.ObserveDuration(d)
+	}
+	return d
+}
+
+// ExpBuckets returns n exponentially growing bucket bounds starting at
+// start, each factor times the previous — the standard latency ladder.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// LatencyBuckets covers inner-loop phase durations: 1µs to ~0.26s.
+var LatencyBuckets = ExpBuckets(1e-6, 4, 10)
+
+// RunBuckets covers whole-run durations: 10ms to ~2.7min.
+var RunBuckets = ExpBuckets(0.01, 4, 8)

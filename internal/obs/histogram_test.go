@@ -1,0 +1,80 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestBucketBoundaries pins the le-semantics: a value equal to a bound
+// lands in that bound's bucket, a value above every bound lands in +Inf.
+func TestBucketBoundaries(t *testing.T) {
+	h := newHistogram([]float64{0.1, 1, 10})
+	for _, v := range []float64{0.05, 0.1, 0.5, 1, 5, 10, 50} {
+		h.Observe(v)
+	}
+	bounds, cum := h.Buckets()
+	if len(bounds) != 3 || len(cum) != 4 {
+		t.Fatalf("bounds=%v cum=%v", bounds, cum)
+	}
+	// le=0.1: 0.05, 0.1 | le=1: +0.5, 1 | le=10: +5, 10 | +Inf: +50
+	want := []int64{2, 4, 6, 7}
+	for i, w := range want {
+		if cum[i] != w {
+			t.Fatalf("cumulative[%d] = %d, want %d (%v)", i, cum[i], w, cum)
+		}
+	}
+	if h.Count() != 7 {
+		t.Fatalf("count = %d, want 7", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+5+10+50; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+// TestBoundsAreSortedOnConstruction guards against a caller passing
+// bounds out of order: observation must still bucket correctly.
+func TestBoundsAreSortedOnConstruction(t *testing.T) {
+	h := newHistogram([]float64{10, 0.1, 1})
+	h.Observe(0.05)
+	bounds, cum := h.Buckets()
+	if bounds[0] != 0.1 || bounds[2] != 10 {
+		t.Fatalf("bounds not sorted: %v", bounds)
+	}
+	if cum[0] != 1 {
+		t.Fatalf("0.05 did not land in the first bucket: %v", cum)
+	}
+}
+
+func TestTimerObserves(t *testing.T) {
+	h := newHistogram(LatencyBuckets)
+	tm := StartTimer(h)
+	time.Sleep(time.Millisecond)
+	d := tm.Stop()
+	if d < time.Millisecond {
+		t.Fatalf("timer measured %v, want >= 1ms", d)
+	}
+	if h.Count() != 1 {
+		t.Fatalf("timer did not observe: count = %d", h.Count())
+	}
+	if h.Sum() <= 0 {
+		t.Fatalf("timer observed non-positive sum %v", h.Sum())
+	}
+	// A nil-histogram timer still measures; a zero timer is inert.
+	if d := StartTimer(nil).Stop(); d < 0 {
+		t.Fatalf("nil-histogram timer measured %v", d)
+	}
+	var zero Timer
+	if d := zero.Stop(); d != 0 {
+		t.Fatalf("zero timer measured %v, want 0", d)
+	}
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-6, 4, 3)
+	want := []float64{1e-6, 4e-6, 1.6e-5}
+	for i := range want {
+		if diff := b[i] - want[i]; diff > 1e-18 || diff < -1e-18 {
+			t.Fatalf("bucket[%d] = %v, want %v", i, b[i], want[i])
+		}
+	}
+}

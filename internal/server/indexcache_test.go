@@ -12,7 +12,7 @@ import (
 )
 
 func TestIndexCacheSingleflight(t *testing.T) {
-	metrics := &Metrics{}
+	metrics := NewMetrics(nil)
 	cache := NewIndexCache(metrics)
 	key := IndexKey{Corpus: "c", Strategy: "kmeans", K: 8, Seed: 1}
 

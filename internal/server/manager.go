@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -14,6 +15,7 @@ import (
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/index"
+	"zombie/internal/obs"
 	"zombie/internal/parallel"
 	"zombie/internal/rng"
 	"zombie/internal/workload"
@@ -39,6 +41,7 @@ type Manager struct {
 	featCache *featcache.Cache
 	metrics   *Metrics
 	defaults  RunDefaults
+	log       *slog.Logger
 
 	pool    *parallel.Pool
 	running atomic.Int64
@@ -77,11 +80,29 @@ func NewManager(registry *Registry, cache *IndexCache, featCache *featcache.Cach
 		featCache:  featCache,
 		metrics:    metrics,
 		defaults:   defaults,
+		log:        obs.NopLogger(),
 		pool:       parallel.NewPool(workers, queueCap),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		runs:       map[string]*Run{},
 	}
+}
+
+// SetLogger replaces the manager's run-lifecycle logger (a nop logger by
+// default). Call it before submitting runs.
+func (m *Manager) SetLogger(l *slog.Logger) {
+	if l != nil {
+		m.log = l
+	}
+}
+
+// obsRegistry returns the telemetry registry runs observe into (nil when
+// the manager has no metrics).
+func (m *Manager) obsRegistry() *obs.Registry {
+	if m.metrics == nil {
+		return nil
+	}
+	return m.metrics.Registry()
 }
 
 // normalize fills spec defaults in place.
@@ -260,6 +281,8 @@ func (m *Manager) execute(run *Run) {
 	}
 	m.running.Add(1)
 	defer m.running.Add(-1)
+	m.log.Info("run started", "run", run.ID, "corpus", run.spec.Corpus,
+		"task", run.spec.Task, "mode", run.spec.Mode)
 
 	res, err := m.runEngine(ctx, run)
 	finished := time.Now()
@@ -314,6 +337,15 @@ func (m *Manager) execute(run *Run) {
 			m.metrics.InputsProcessed.Add(int64(res.InputsProcessed))
 		}
 	}
+	info := run.Info()
+	if info.Error != "" {
+		m.log.Error("run finished", "run", run.ID, "state", info.State,
+			"wall_ms", info.WallMillis, "error", info.Error)
+	} else {
+		m.log.Info("run finished", "run", run.ID, "state", info.State,
+			"wall_ms", info.WallMillis, "inputs", info.InputsProcessed,
+			"quality", info.FinalQuality, "quarantined", info.Quarantined)
+	}
 }
 
 // runEngine assembles the task, resolves the index through the shared
@@ -334,6 +366,12 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 		return nil, err
 	}
 	cfg.Progress = run.appendPoint
+	cfg.Obs = m.obsRegistry()
+	if spec.Trace {
+		// Bridge step events into the run's trace ring (and its SSE
+		// subscribers) as they happen, not just into the terminal result.
+		cfg.Event = run.appendEvent
+	}
 	// Every run shares the server's extraction cache; results are
 	// byte-identical either way (see core.Config.Cache), so this is purely
 	// a wall-clock win across a session's repeated runs.

@@ -34,7 +34,7 @@ func writeImageCorpus(t *testing.T, n int, seed int64) string {
 // corpus.
 func newTestManager(t *testing.T, corpusName string, n int, workers, queueCap int) (*Manager, *Metrics) {
 	t.Helper()
-	metrics := &Metrics{}
+	metrics := NewMetrics(nil)
 	registry := NewRegistry()
 	if _, err := registry.Add(corpusName, writeImageCorpus(t, n, 42), false); err != nil {
 		t.Fatal(err)
@@ -256,7 +256,7 @@ func TestRunWallTimeMetrics(t *testing.T) {
 	if got := metrics.RunWallMillis.Load(); got != info.WallMillis {
 		t.Fatalf("cumulative run wall ms = %d, want %d (the only run's wall time)", got, info.WallMillis)
 	}
-	snap := metrics.snapshot(m.QueueDepth(), m.Running(), 1, m.featCache.Stats())
+	snap := metrics.Registry().FlatSnapshot()
 	if snap["run_wall_ms"] != info.WallMillis {
 		t.Fatalf("snapshot run_wall_ms = %d, want %d", snap["run_wall_ms"], info.WallMillis)
 	}

@@ -1,71 +1,105 @@
 package server
 
 import (
-	"sync/atomic"
-
 	"zombie/internal/featcache"
+	"zombie/internal/obs"
 )
 
-// Metrics is the server's counter set, exported at /metrics as a flat
-// expvar-style JSON object. Counters are atomics so the run workers and
-// HTTP handlers update them without shared locks; gauges (queue depth,
-// running count) are sampled from their owners at serve time.
+// Metrics is the server's counter set, declared against an obs.Registry
+// so one set of declarations feeds both /metrics expositions (the flat
+// JSON map served since PR 1 and the Prometheus text format). Counters
+// are registry atomics so run workers and HTTP handlers update them
+// without shared locks; gauges (queue depth, running count, cache
+// residency) are registered as sampling funcs against their owners.
 type Metrics struct {
+	reg *obs.Registry
+
 	// Run lifecycle counters. RunsTimedOut is the subset of RunsCancelled
 	// that hit their deadline rather than a client's DELETE.
-	RunsStarted   atomic.Int64
-	RunsCompleted atomic.Int64
-	RunsFailed    atomic.Int64
-	RunsCancelled atomic.Int64
-	RunsTimedOut  atomic.Int64
+	RunsStarted   *obs.Counter
+	RunsCompleted *obs.Counter
+	RunsFailed    *obs.Counter
+	RunsCancelled *obs.Counter
+	RunsTimedOut  *obs.Counter
 	// InputsProcessed sums RunResult.InputsProcessed over finished runs;
 	// InputsQuarantined sums their quarantine-list lengths.
-	InputsProcessed   atomic.Int64
-	InputsQuarantined atomic.Int64
+	InputsProcessed   *obs.Counter
+	InputsQuarantined *obs.Counter
 	// RunWallMillis sums wall-clock run time (start to terminal state) over
 	// finished runs, in milliseconds. Exposed as both run_wall_ms and the
 	// truncated run_seconds.
-	RunWallMillis atomic.Int64
+	RunWallMillis *obs.Counter
 	// Index cache traffic: builds actually executed vs. requests served
 	// from (or coalesced onto) an existing entry. IndexBuildRetries counts
 	// attempts after a failed first build.
-	IndexBuilds       atomic.Int64
-	IndexCacheHits    atomic.Int64
-	IndexBuildRetries atomic.Int64
+	IndexBuilds       *obs.Counter
+	IndexCacheHits    *obs.Counter
+	IndexBuildRetries *obs.Counter
 }
 
-// snapshot renders the counters plus caller-sampled gauges, including the
-// extraction cache's own counter snapshot under feat_cache_* keys.
-func (m *Metrics) snapshot(queueDepth, running, corpora int, fc featcache.Stats) map[string]int64 {
-	demoted := int64(0)
-	if fc.DiskDemoted {
-		demoted = 1
+// NewMetrics declares the server's counters against reg (a fresh registry
+// when nil). Declaration is idempotent, so two Metrics over one registry
+// share series.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
 	}
-	return map[string]int64{
-		"feat_cache_hits":         fc.Hits,
-		"feat_cache_misses":       fc.Misses,
-		"feat_cache_disk_hits":    fc.DiskHits,
-		"feat_cache_evictions":    fc.Evictions,
-		"feat_cache_entries":      fc.Entries,
-		"feat_cache_bytes":        fc.Bytes,
-		"feat_cache_disk_entries": fc.DiskEntries,
-		"feat_cache_disk_bytes":   fc.DiskBytes,
-		"feat_cache_disk_errors":  fc.DiskErrors,
-		"feat_cache_disk_demoted": demoted,
-		"runs_started":            m.RunsStarted.Load(),
-		"runs_completed":          m.RunsCompleted.Load(),
-		"runs_failed":             m.RunsFailed.Load(),
-		"runs_cancelled":          m.RunsCancelled.Load(),
-		"runs_timed_out":          m.RunsTimedOut.Load(),
-		"inputs_processed":        m.InputsProcessed.Load(),
-		"inputs_quarantined":      m.InputsQuarantined.Load(),
-		"run_wall_ms":             m.RunWallMillis.Load(),
-		"run_seconds":             m.RunWallMillis.Load() / 1000,
-		"index_builds":            m.IndexBuilds.Load(),
-		"index_cache_hits":        m.IndexCacheHits.Load(),
-		"index_build_retries":     m.IndexBuildRetries.Load(),
-		"queue_depth":             int64(queueDepth),
-		"runs_running":            int64(running),
-		"corpora":                 int64(corpora),
+	m := &Metrics{
+		reg:               reg,
+		RunsStarted:       reg.Counter("runs_started", "Runs accepted and enqueued."),
+		RunsCompleted:     reg.Counter("runs_completed", "Runs finished in state done."),
+		RunsFailed:        reg.Counter("runs_failed", "Runs finished in state failed."),
+		RunsCancelled:     reg.Counter("runs_cancelled", "Runs cancelled by a client or a deadline."),
+		RunsTimedOut:      reg.Counter("runs_timed_out", "Cancelled runs that hit their deadline."),
+		InputsProcessed:   reg.Counter("inputs_processed", "Inputs run through feature code, summed over finished runs."),
+		InputsQuarantined: reg.Counter("inputs_quarantined", "Inputs quarantined after absorbed failures, summed over finished runs."),
+		RunWallMillis:     reg.Counter("run_wall_ms", "Cumulative run wall-clock time in milliseconds."),
+		IndexBuilds:       reg.Counter("index_builds", "Index builds actually executed."),
+		IndexCacheHits:    reg.Counter("index_cache_hits", "Index requests served from (or coalesced onto) a cached build."),
+		IndexBuildRetries: reg.Counter("index_build_retries", "Index build attempts after a failed first try."),
 	}
+	reg.CounterFunc("run_seconds", "Cumulative run wall-clock time in whole seconds.",
+		func() int64 { return m.RunWallMillis.Load() / 1000 })
+	return m
+}
+
+// Registry returns the registry the metrics are declared on.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// registerFeatCacheMetrics exposes the extraction cache's own tallies
+// through the registry under the feat_cache_* keys /metrics has always
+// carried. The cache owns the numbers, so every series is a sampling
+// func over its Stats snapshot.
+func registerFeatCacheMetrics(reg *obs.Registry, fc *featcache.Cache) {
+	counter := func(name, help string, f func(featcache.Stats) int64) {
+		reg.CounterFunc(name, help, func() int64 { return f(fc.Stats()) })
+	}
+	gauge := func(name, help string, f func(featcache.Stats) int64) {
+		reg.GaugeFunc(name, help, func() int64 { return f(fc.Stats()) })
+	}
+	counter("feat_cache_hits", "Extraction-cache memory hits.",
+		func(s featcache.Stats) int64 { return s.Hits })
+	counter("feat_cache_misses", "Extraction-cache misses (feature code ran).",
+		func(s featcache.Stats) int64 { return s.Misses })
+	counter("feat_cache_disk_hits", "Extraction-cache hits served from the disk store.",
+		func(s featcache.Stats) int64 { return s.DiskHits })
+	counter("feat_cache_evictions", "Extraction-cache in-memory evictions.",
+		func(s featcache.Stats) int64 { return s.Evictions })
+	counter("feat_cache_disk_errors", "Extraction-cache disk store errors.",
+		func(s featcache.Stats) int64 { return s.DiskErrors })
+	gauge("feat_cache_entries", "Extraction-cache resident in-memory entries.",
+		func(s featcache.Stats) int64 { return s.Entries })
+	gauge("feat_cache_bytes", "Extraction-cache resident in-memory bytes.",
+		func(s featcache.Stats) int64 { return s.Bytes })
+	gauge("feat_cache_disk_entries", "Extraction-cache disk store entries.",
+		func(s featcache.Stats) int64 { return s.DiskEntries })
+	gauge("feat_cache_disk_bytes", "Extraction-cache disk store bytes.",
+		func(s featcache.Stats) int64 { return s.DiskBytes })
+	gauge("feat_cache_disk_demoted", "1 when the disk store has been demoted to memory-only after errors.",
+		func(s featcache.Stats) int64 {
+			if s.DiskDemoted {
+				return 1
+			}
+			return 0
+		})
 }

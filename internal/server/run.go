@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"zombie/internal/core"
+	"zombie/internal/trace"
 )
 
 // RunState is a run's lifecycle position. Transitions are strictly
@@ -46,7 +47,9 @@ type RunSpec struct {
 	EvalEvery int  `json:"eval_every,omitempty"`
 	EarlyStop bool `json:"early_stop,omitempty"`
 	// Trace records the step-level event log, served at
-	// GET /runs/{id}/events as CSV.
+	// GET /runs/{id}/events as CSV once the run is terminal, and feeds the
+	// run's bounded trace ring, served live at GET /runs/{id}/trace and as
+	// "trace" frames on the curve SSE stream.
 	Trace bool `json:"trace,omitempty"`
 	// TimeoutMillis is this run's wall-clock deadline; 0 inherits the
 	// server's default (Config.RunTimeout). A run over its deadline ends as
@@ -63,10 +66,22 @@ type RunSpec struct {
 	FaultSeed int64  `json:"fault_seed,omitempty"`
 }
 
+// traceRingCap bounds each traced run's event ring. Long runs drop their
+// oldest events (the ring reports how many); the full log is still served
+// as CSV from the result once the run finishes.
+const traceRingCap = 4096
+
+// streamMsg is one frame of a run's live stream: exactly one of a curve
+// point or a trace event.
+type streamMsg struct {
+	point *core.CurvePoint
+	event *trace.Event
+}
+
 // Run is one managed run: the spec, its lifecycle state, the live learning
-// curve, and the subscriber fan-out feeding SSE streams. All mutable
-// fields are guarded by mu; done is closed exactly once, on reaching a
-// terminal state.
+// curve, the trace ring (traced runs), and the subscriber fan-out feeding
+// SSE streams. All mutable fields are guarded by mu; done is closed
+// exactly once, on reaching a terminal state.
 type Run struct {
 	ID string
 
@@ -77,25 +92,34 @@ type Run struct {
 	started  time.Time
 	finished time.Time
 	curve    []core.CurvePoint
-	subs     map[int]chan core.CurvePoint
+	subs     map[int]chan streamMsg
 	nextSub  int
 	result   *core.RunResult
 	errMsg   string
 	cancel   context.CancelFunc
 	timedOut bool
 
+	// ring holds the run's recent step events (nil unless spec.Trace). The
+	// engine goroutine appends while HTTP handlers snapshot concurrently;
+	// the ring has its own lock, so appends never contend with r.mu.
+	ring *trace.Ring
+
 	done chan struct{}
 }
 
 func newRun(id string, spec RunSpec, now time.Time) *Run {
-	return &Run{
+	r := &Run{
 		ID:      id,
 		spec:    spec,
 		state:   StateQueued,
 		created: now,
-		subs:    map[int]chan core.CurvePoint{},
+		subs:    map[int]chan streamMsg{},
 		done:    make(chan struct{}),
 	}
+	if spec.Trace {
+		r.ring = trace.NewRing(traceRingCap)
+	}
+	return r
 }
 
 // RunInfo is the externally visible run snapshot.
@@ -124,6 +148,13 @@ type RunInfo struct {
 	// Quarantined counts inputs the run removed after absorbed failures;
 	// the full records are in the result's quarantine list.
 	Quarantined int `json:"quarantined,omitempty"`
+	// PhaseMillis breaks the run's wall time down by inner-loop phase
+	// (milliseconds), present once the run is terminal with a result.
+	PhaseMillis map[string]float64 `json:"phase_ms,omitempty"`
+	// TraceEvents is the number of step events currently retained in the
+	// run's trace ring (traced runs only; the ring is bounded, so long runs
+	// report the cap).
+	TraceEvents int `json:"trace_events,omitempty"`
 	// TimedOut marks a cancelled run that hit its deadline rather than a
 	// client's DELETE.
 	TimedOut bool `json:"timed_out,omitempty"`
@@ -158,6 +189,10 @@ func (r *Run) Info() RunInfo {
 		info.CacheHits = r.result.CacheHits
 		info.CacheMisses = r.result.CacheMisses
 		info.Quarantined = len(r.result.Quarantined)
+		info.PhaseMillis = r.result.Phases.Millis()
+	}
+	if r.ring != nil {
+		info.TraceEvents = r.ring.Len()
 	}
 	info.TimedOut = r.timedOut
 	return info
@@ -201,23 +236,49 @@ func (r *Run) Done() <-chan struct{} { return r.done }
 // appendPoint records a live curve point and fans it out to subscribers.
 // Slow subscribers are skipped rather than blocking the engine loop: SSE
 // consumers that fall more than a channel buffer behind miss interior
-// points but always see the terminal state via Done.
+// frames but always see the terminal state via Done.
 func (r *Run) appendPoint(p core.CurvePoint) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.curve = append(r.curve, p)
+	r.fanOutLocked(streamMsg{point: &p})
+}
+
+// appendEvent records a step event into the trace ring and fans it out to
+// subscribers. It is the engine's Config.Event bridge, wired only for
+// traced runs, and must not block (see appendPoint).
+func (r *Run) appendEvent(ev trace.Event) {
+	r.ring.Append(ev)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fanOutLocked(streamMsg{event: &ev})
+}
+
+func (r *Run) fanOutLocked(msg streamMsg) {
 	for _, ch := range r.subs {
 		select {
-		case ch <- p:
+		case ch <- msg:
 		default:
 		}
 	}
 }
 
-// Subscribe returns the curve so far plus a channel of subsequent points.
-// The channel is closed when the run finishes; if the run is already
-// terminal the returned channel is nil. unsubscribe is safe to call twice.
-func (r *Run) Subscribe() (history []core.CurvePoint, ch <-chan core.CurvePoint, unsubscribe func()) {
+// TraceSnapshot returns the trace ring's retained events (oldest first)
+// and how many older ones the ring dropped. ok is false for untraced
+// runs. It is safe to call while the run executes.
+func (r *Run) TraceSnapshot() (events []trace.Event, dropped int64, ok bool) {
+	if r.ring == nil {
+		return nil, 0, false
+	}
+	events, dropped = r.ring.Snapshot()
+	return events, dropped, true
+}
+
+// Subscribe returns the curve so far plus a channel of subsequent stream
+// frames (curve points and, for traced runs, step events). The channel is
+// closed when the run finishes; if the run is already terminal the
+// returned channel is nil. unsubscribe is safe to call twice.
+func (r *Run) Subscribe() (history []core.CurvePoint, ch <-chan streamMsg, unsubscribe func()) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	history = make([]core.CurvePoint, len(r.curve))
@@ -225,7 +286,9 @@ func (r *Run) Subscribe() (history []core.CurvePoint, ch <-chan core.CurvePoint,
 	if r.state.terminal() {
 		return history, nil, func() {}
 	}
-	c := make(chan core.CurvePoint, 64)
+	// Traced runs push one frame per step, far denser than curve points, so
+	// the buffer is sized for them.
+	c := make(chan streamMsg, 256)
 	id := r.nextSub
 	r.nextSub++
 	r.subs[id] = c

@@ -14,11 +14,14 @@
 //	GET    /runs/{id}            run status
 //	DELETE /runs/{id}            cancel (queued or running)
 //	GET    /runs/{id}/curve      learning curve; ?follow=1 streams SSE
+//	                             ("point" + "trace" frames, then "status")
 //	GET    /runs/{id}/events     step-level trace as CSV (spec.trace runs)
+//	GET    /runs/{id}/trace      trace-ring snapshot as JSON, live mid-run
 //	DELETE /cache                invalidate the shared extraction cache
-//	GET    /healthz              liveness + run-state counts
+//	GET    /healthz              liveness + build info + run-state counts
 //	GET    /metrics              expvar-style counter map (extraction-cache
-//	                             traffic included)
+//	                             traffic included); Prometheus text format
+//	                             via ?format=prom or Accept: text/plain
 package server
 
 import (
@@ -26,14 +29,19 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strconv"
+	"strings"
 	"time"
 
+	"zombie/internal/buildinfo"
 	"zombie/internal/core"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
+	"zombie/internal/obs"
+	"zombie/internal/trace"
 )
 
 // Config sizes the server.
@@ -61,18 +69,26 @@ type Config struct {
 	// faults spec — chaos deployments only; normally nil. It is also passed
 	// to the extraction cache, covering the cache.read/cache.write sites.
 	Faults *fault.Injector
+	// Logger receives structured lifecycle logs (run start/finish, cache
+	// invalidations). Nil discards them.
+	Logger *slog.Logger
 }
 
-// Server wires the registry, index cache, extraction cache, run manager
-// and metrics behind one http.Handler.
+// Server wires the registry, index cache, extraction cache, run manager,
+// metrics and telemetry registry behind one http.Handler.
 type Server struct {
 	registry  *Registry
 	cache     *IndexCache
 	featCache *featcache.Cache
 	manager   *Manager
 	metrics   *Metrics
-	mux       *http.ServeMux
-	start     time.Time
+	obs       *obs.Registry
+	log       *slog.Logger
+	// httpSeconds times every request the handler serves (SSE streams
+	// included, observed at disconnect).
+	httpSeconds *obs.Histogram
+	mux         *http.ServeMux
+	start       time.Time
 }
 
 // New assembles a server and starts its worker pool. It fails only when
@@ -84,7 +100,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.QueueCap < 1 {
 		cfg.QueueCap = 64
 	}
-	metrics := &Metrics{}
+	if cfg.Logger == nil {
+		cfg.Logger = obs.NopLogger()
+	}
+	reg := obs.NewRegistry()
+	metrics := NewMetrics(reg)
 	registry := NewRegistry()
 	cache := NewIndexCache(metrics)
 	// One extraction cache shared by every run the server executes — the
@@ -98,6 +118,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	registerFeatCacheMetrics(reg, featCache)
 	defaults := RunDefaults{
 		Timeout:        cfg.RunTimeout,
 		Faults:         cfg.Faults,
@@ -109,9 +130,22 @@ func New(cfg Config) (*Server, error) {
 		featCache: featCache,
 		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap, defaults),
 		metrics:   metrics,
-		mux:       http.NewServeMux(),
-		start:     time.Now(),
+		obs:       reg,
+		log:       cfg.Logger,
+		httpSeconds: reg.Histogram("zombie_http_request_seconds",
+			"HTTP request service time (streaming requests observe at disconnect).",
+			obs.LatencyBuckets),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
 	}
+	s.manager.SetLogger(cfg.Logger)
+	// Gauges owned by other structures, sampled at exposition time.
+	reg.GaugeFunc("queue_depth", "Runs queued but not yet running.",
+		func() int64 { return int64(s.manager.QueueDepth()) })
+	reg.GaugeFunc("runs_running", "Runs currently executing.",
+		func() int64 { return int64(s.manager.Running()) })
+	reg.GaugeFunc("corpora", "Registered corpora.",
+		func() int64 { return int64(s.registry.Len()) })
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /corpora", s.handleCorpusAdd)
@@ -123,12 +157,24 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("DELETE /runs/{id}", s.handleRunCancel)
 	s.mux.HandleFunc("GET /runs/{id}/curve", s.handleRunCurve)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
+	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("DELETE /cache", s.handleCacheInvalidate)
 	return s, nil
 }
 
-// Handler returns the routed handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the routed handler, wrapped with request timing.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t := obs.StartTimer(s.httpSeconds)
+		// The mux's writer is passed through untouched so streaming
+		// handlers keep their http.Flusher.
+		s.mux.ServeHTTP(w, r)
+		t.Stop()
+	})
+}
+
+// Obs returns the server's telemetry registry (tests and embedders).
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Registry exposes the corpus registry so embedders (cmd/zombie-serve)
 // can preregister corpora from flags.
@@ -182,17 +228,56 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 // --- health + metrics ---
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	version, commit := buildinfo.Resolve()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":         "ok",
+		"version":        version,
+		"commit":         commit,
 		"uptime_seconds": int64(time.Since(s.start).Seconds()),
 		"runs":           s.manager.stateCounts(),
 	})
 }
 
+// handleMetrics serves the registry in the format the client asked for:
+// the flat JSON map by default (the stable contract since PR 1 — existing
+// keys never change name or meaning, new keys are only ever added), or
+// the Prometheus text format via ?format=prom / ?format=json overrides or
+// an Accept header naming text/plain.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK,
-		s.metrics.snapshot(s.manager.QueueDepth(), s.manager.Running(), s.registry.Len(),
-			s.featCache.Stats()))
+	switch format := r.URL.Query().Get("format"); format {
+	case "prom":
+		s.writePromMetrics(w)
+	case "json":
+		writeJSON(w, http.StatusOK, s.obs.FlatSnapshot())
+	case "":
+		if acceptsPrometheus(r.Header.Get("Accept")) {
+			s.writePromMetrics(w)
+			return
+		}
+		writeJSON(w, http.StatusOK, s.obs.FlatSnapshot())
+	default:
+		writeError(w, http.StatusBadRequest, "unknown metrics format %q (want prom or json)", format)
+	}
+}
+
+func (s *Server) writePromMetrics(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	w.WriteHeader(http.StatusOK)
+	s.obs.WritePrometheus(w) //nolint:errcheck // client gone; nothing to do
+}
+
+// acceptsPrometheus reports whether the Accept header names the text
+// exposition format. JSON stays the default: only an explicit text/plain
+// (or the versioned Prometheus media type a scraper sends) flips formats,
+// a bare */* does not.
+func acceptsPrometheus(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, _, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if strings.TrimSpace(mediaType) == "text/plain" {
+			return true
+		}
+	}
+	return false
 }
 
 // handleCacheInvalidate drops every cached extraction, memory and disk —
@@ -329,11 +414,65 @@ func (s *Server) handleRunCurve(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// streamCurve serves the run's learning curve as Server-Sent Events: one
-// "point" event per curve sample (history first, then live), then a single
-// "status" event carrying the terminal RunInfo, then EOF. A client that
-// connects after completion gets the full history and the status event
-// immediately.
+// traceEventJSON is the wire form of one step event, used by both the
+// trace-ring snapshot endpoint and the SSE "trace" frames.
+type traceEventJSON struct {
+	Step        int     `json:"step"`
+	InputIdx    int     `json:"input"`
+	Arm         int     `json:"arm"`
+	Reward      float64 `json:"reward"`
+	Produced    bool    `json:"produced"`
+	Useful      bool    `json:"useful"`
+	Err         string  `json:"err,omitempty"`
+	SimMillis   float64 `json:"sim_ms"`
+	CacheHit    bool    `json:"cache_hit"`
+	Quarantined bool    `json:"quarantined"`
+}
+
+func toTraceJSON(e trace.Event) traceEventJSON {
+	return traceEventJSON{
+		Step: e.Step, InputIdx: e.InputIdx, Arm: e.Arm, Reward: e.Reward,
+		Produced: e.Produced, Useful: e.Useful, Err: e.Err,
+		SimMillis:   float64(e.SimTime) / float64(time.Millisecond),
+		CacheHit:    e.CacheHit,
+		Quarantined: e.Quarantined,
+	}
+}
+
+// handleRunTrace serves a snapshot of the run's trace ring as JSON. It
+// works mid-run — that is the point: the CSV /events endpoint needs the
+// terminal result, the ring shows what a live run is doing right now.
+func (s *Server) handleRunTrace(w http.ResponseWriter, r *http.Request) {
+	run, ok := s.getRun(w, r)
+	if !ok {
+		return
+	}
+	events, dropped, traced := run.TraceSnapshot()
+	if !traced {
+		writeError(w, http.StatusNotFound, "run %s is not traced (submit with \"trace\": true)", run.ID)
+		return
+	}
+	out := make([]traceEventJSON, len(events))
+	for i, e := range events {
+		out[i] = toTraceJSON(e)
+	}
+	body := map[string]any{
+		"id":      run.ID,
+		"state":   run.State(),
+		"dropped": dropped,
+		"events":  out,
+	}
+	if res := run.Result(); res != nil {
+		body["phase_ms"] = res.Phases.Millis()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// streamCurve serves the run's live stream as Server-Sent Events: one
+// "point" event per curve sample (history first, then live) and — for
+// traced runs — one "trace" event per step, then a single "status" event
+// carrying the terminal RunInfo, then EOF. A client that connects after
+// completion gets the full point history and the status event immediately.
 func (s *Server) streamCurve(w http.ResponseWriter, r *http.Request, run *Run) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -367,16 +506,23 @@ func (s *Server) streamCurve(w http.ResponseWriter, r *http.Request, run *Run) {
 	if live != nil {
 	follow:
 		for {
-			// The run's finish closes live after any buffered points, and a
+			// The run's finish closes live after any buffered frames, and a
 			// closed buffered channel drains before reporting !open, so no
 			// separate Done case is needed.
 			select {
-			case p, open := <-live:
+			case msg, open := <-live:
 				if !open {
 					break follow
 				}
-				if !send("point", toCurveJSON(p)) {
-					return
+				switch {
+				case msg.point != nil:
+					if !send("point", toCurveJSON(*msg.point)) {
+						return
+					}
+				case msg.event != nil:
+					if !send("trace", toTraceJSON(*msg.event)) {
+						return
+					}
 				}
 			case <-r.Context().Done():
 				return

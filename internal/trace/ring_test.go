@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsNewestAndCountsDrops(t *testing.T) {
+	r := NewRing(3)
+	for step := 1; step <= 5; step++ {
+		r.Append(Event{Step: step})
+	}
+	events, dropped := r.Snapshot()
+	if dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", dropped)
+	}
+	if len(events) != 3 || events[0].Step != 3 || events[2].Step != 5 {
+		t.Fatalf("snapshot = %+v, want steps 3..5 oldest-first", events)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("len = %d, want 3", r.Len())
+	}
+}
+
+func TestRingUnderfilled(t *testing.T) {
+	r := NewRing(8)
+	r.Append(Event{Step: 1})
+	r.Append(Event{Step: 2})
+	events, dropped := r.Snapshot()
+	if dropped != 0 || len(events) != 2 || events[0].Step != 1 {
+		t.Fatalf("snapshot = %+v dropped=%d", events, dropped)
+	}
+}
+
+func TestRingCapFloor(t *testing.T) {
+	r := NewRing(0)
+	r.Append(Event{Step: 1})
+	r.Append(Event{Step: 2})
+	events, dropped := r.Snapshot()
+	if len(events) != 1 || events[0].Step != 2 || dropped != 1 {
+		t.Fatalf("cap-0 ring: %+v dropped=%d", events, dropped)
+	}
+}
+
+// TestRingConcurrent exercises append-while-snapshot under the race
+// detector: the serving layer reads a live run's ring from HTTP handlers
+// while the engine goroutine appends.
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(64)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 1000; i++ {
+			r.Append(Event{Step: i})
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			events, _ := r.Snapshot()
+			for j := 1; j < len(events); j++ {
+				if events[j].Step != events[j-1].Step+1 {
+					t.Errorf("snapshot out of order: %d after %d", events[j].Step, events[j-1].Step)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -28,6 +28,12 @@ type Event struct {
 	Err string
 	// SimTime is the cumulative simulated processing time after the step.
 	SimTime time.Duration
+	// CacheHit reports whether the step's extraction was served (at least
+	// in part) from the extraction cache.
+	CacheHit bool
+	// Quarantined reports whether the step quarantined its input (a
+	// feature-code panic or corpus read failure the engine absorbed).
+	Quarantined bool
 }
 
 // Log is an append-only event recorder. A nil *Log is valid and records
@@ -52,18 +58,20 @@ func (l *Log) Len() int {
 	return len(l.Events)
 }
 
-// WriteCSV renders the event log with a header row.
+// WriteCSV renders the event log with a header row. Columns are
+// append-only: consumers written against an older header keep parsing
+// (the original eight columns are stable), new columns ride at the end.
 func (l *Log) WriteCSV(w io.Writer) error {
-	if _, err := fmt.Fprintln(w, "step,input,arm,reward,produced,useful,err,sim_ms"); err != nil {
+	if _, err := fmt.Fprintln(w, "step,input,arm,reward,produced,useful,err,sim_ms,cache_hit,quarantined"); err != nil {
 		return err
 	}
 	if l == nil {
 		return nil
 	}
 	for _, e := range l.Events {
-		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%t,%t,%s,%.3f\n",
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%.6f,%t,%t,%s,%.3f,%t,%t\n",
 			e.Step, e.InputIdx, e.Arm, e.Reward, e.Produced, e.Useful, csvQuote(e.Err),
-			float64(e.SimTime)/float64(time.Millisecond)); err != nil {
+			float64(e.SimTime)/float64(time.Millisecond), e.CacheHit, e.Quarantined); err != nil {
 			return err
 		}
 	}

@@ -68,7 +68,7 @@ func TestWriteCSVParsesBack(t *testing.T) {
 		t.Fatalf("rows = %d, want header + 2", len(rows))
 	}
 	header := strings.Join(rows[0], ",")
-	if header != "step,input,arm,reward,produced,useful,err,sim_ms" {
+	if header != "step,input,arm,reward,produced,useful,err,sim_ms,cache_hit,quarantined" {
 		t.Fatalf("header = %q", header)
 	}
 	if rows[1][0] != "1" || rows[1][1] != "9" || rows[1][2] != "2" || rows[1][7] != "1000.000" {
@@ -92,8 +92,8 @@ func TestWriteCSVNilLogHeaderOnly(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rows) != 1 || len(rows[0]) != 8 {
-		t.Fatalf("nil log CSV = %v, want a single 8-column header", rows)
+	if len(rows) != 1 || len(rows[0]) != 10 {
+		t.Fatalf("nil log CSV = %v, want a single 10-column header", rows)
 	}
 }
 
