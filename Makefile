@@ -28,7 +28,7 @@ STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 COVER_PKGS := ./internal/core ./internal/featcache ./internal/fault
 COVER_FLOOR := 70
 
-.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke bench-gate ci
+.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke bench-gate dist-smoke ci
 
 all: build
 
@@ -195,20 +195,103 @@ obs-smoke:
 		{ echo "obs-smoke: terminal trace phase_ms.extract not > 0 (got $$extract_ms)"; exit 1; }; \
 	echo "obs-smoke OK: $$nev trace events, extract $$extract_ms ms, both expositions served"
 
-# bench-gate re-proves the parallel-execution determinism contract through
-# the bench harness: the wall-clock-free experiments (T2, F1) must emit
-# byte-identical output at -parallel 2 vs the sequential baseline. CI runs
-# it as its own step after `make ci` so a regression is visible by name.
+# bench-gate re-proves the determinism and performance contracts through
+# the bench harness. CI runs it as its own step after `make ci` so a
+# regression is visible by name. Three checks:
+#   1. the wall-clock-free experiments (T2, F1) and the distributed
+#      invariance experiment (D1) must emit byte-identical output at
+#      -parallel 2 vs the sequential baseline;
+#   2. no inner-loop phase's share of the reference run's phase time may
+#      grow more than 10% (plus a 3-point absolute floor, so the
+#      sub-millisecond phases don't flap on timer jitter) over the
+#      committed BENCH_baseline.json;
+#   3. the zombie CLI sharded over 1 and 4 in-process dist workers must
+#      emit output byte-identical to the single-process run, the
+#      wall-clock (built:), per-worker (dist:), and cache counter lines
+#      aside.
 bench-gate:
-	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
-	for exp in T2 F1; do \
-		$(GO) run ./cmd/zombie-bench -exp $$exp -scale 0.05 -parallel 2 \
-			-emit-bench $$tmp/$$exp.json >/dev/null || exit 1; \
-		if ! grep -q '"byte_identical": true' $$tmp/$$exp.json; then \
-			echo "bench-gate: $$exp parallel output not byte-identical to sequential"; \
-			cat $$tmp/$$exp.json; exit 1; \
+	@command -v jq >/dev/null || { echo "bench-gate: needs jq"; exit 1; }; \
+	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/zombie-bench -exp T2,F1,D1 -scale 0.05 -parallel 2 \
+		-emit-bench $$tmp/bench.json >/dev/null || exit 1; \
+	bad=$$(jq -r '.experiments[] | select(.byte_identical != true) | .id' $$tmp/bench.json); \
+	if [ -n "$$bad" ]; then \
+		echo "bench-gate: parallel output not byte-identical to sequential for: $$bad"; \
+		cat $$tmp/bench.json; exit 1; \
+	fi; \
+	regressed=$$(jq -r --slurpfile base BENCH_baseline.json ' \
+		.phase_timing.phase_ms as $$n | $$base[0].phase_timing.phase_ms as $$b | \
+		([$$n[]] | add) as $$nt | ([$$b[]] | add) as $$bt | \
+		$$n | to_entries[] | .key as $$k | \
+		(.value / $$nt) as $$ns | (($$b[$$k] // 0) / $$bt) as $$bs | \
+		select($$ns > $$bs * 1.10 + 0.03) | \
+		"  \($$k): baseline share \($$bs * 100 | round)%, now \($$ns * 100 | round)%"' \
+		$$tmp/bench.json); \
+	if [ -n "$$regressed" ]; then \
+		echo "bench-gate: phase share regressed >10% vs BENCH_baseline.json:"; \
+		echo "$$regressed"; exit 1; \
+	fi; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	for s in 0 1 4; do \
+		$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 -shards $$s 2>/dev/null \
+			| grep -v '^built \|^dist:\|^cache:' > $$tmp/shards$$s.out || exit 1; \
+	done; \
+	for s in 1 4; do \
+		if ! cmp -s $$tmp/shards0.out $$tmp/shards$$s.out; then \
+			echo "bench-gate: -shards $$s output diverged from single-process"; \
+			diff $$tmp/shards0.out $$tmp/shards$$s.out; exit 1; \
 		fi; \
 	done; \
-	echo "bench-gate OK: T2 and F1 byte-identical at parallel=2"
+	echo "bench-gate OK: T2/F1/D1 byte-identical at parallel=2, phase shares within 10% of baseline, shards {1,4} == single-process"
 
-ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke
+# dist-smoke proves the distributed determinism contract against real
+# processes and real sockets: a coordinator zombie-serve fronting two
+# worker zombie-serve processes over loopback HTTP must produce a
+# learning curve byte-identical to its own single-process run of the
+# same spec, and the run must report the http transport with both
+# workers executing. Needs curl + jq (standard on CI images).
+dist-smoke:
+	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "dist-smoke: needs curl and jq"; exit 1; }; \
+	tmp=$$(mktemp -d); pids=; trap 'kill $$pids 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	base=http://127.0.0.1:18818; w1=http://127.0.0.1:18819; w2=http://127.0.0.1:18820; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:18819 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w1.log 2>&1 & pids="$$pids $$!"; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:18820 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w2.log 2>&1 & pids="$$pids $$!"; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:18818 -corpus wiki=$$tmp/wiki.jsonl \
+		-dist-workers $$w1,$$w2 >$$tmp/coord.log 2>&1 & pids="$$pids $$!"; }; \
+	for b in $$base $$w1 $$w2; do \
+		up=0; for i in $$(seq 1 50); do curl -sf $$b/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
+		[ $$up = 1 ] || { echo "dist-smoke: $$b never came up"; cat $$tmp/*.log; exit 1; }; \
+	done; \
+	spec='{"corpus":"wiki","task":"wiki","max_inputs":150,"eval_every":25,"seed":9}'; \
+	dspec='{"corpus":"wiki","task":"wiki","max_inputs":150,"eval_every":25,"seed":9,"shards":2}'; \
+	id1=$$(curl -sf -X POST $$base/runs -d "$$spec" | jq -r '.id // empty'); \
+	id2=$$(curl -sf -X POST $$base/runs -d "$$dspec" | jq -r '.id // empty'); \
+	[ -n "$$id1" ] && [ -n "$$id2" ] || { echo "dist-smoke: run submission failed"; cat $$tmp/coord.log; exit 1; }; \
+	for id in $$id1 $$id2; do \
+		state=; for i in $$(seq 1 300); do \
+			state=$$(curl -sf $$base/runs/$$id | jq -r .state); \
+			case $$state in done|failed|cancelled) break;; esac; sleep 0.1; \
+		done; \
+		[ "$$state" = done ] || { echo "dist-smoke: run $$id ended in state $$state"; \
+			curl -s $$base/runs/$$id; cat $$tmp/coord.log; exit 1; }; \
+	done; \
+	curl -sf $$base/runs/$$id2 > $$tmp/dist.info; \
+	transport=$$(jq -r '.transport // empty' $$tmp/dist.info); \
+	nworkers=$$(jq '.workers | length' $$tmp/dist.info); \
+	busy=$$(jq '[.workers[] | select(.steps > 0)] | length' $$tmp/dist.info); \
+	if [ "$$transport" != http ] || [ "$$nworkers" != 2 ] || [ "$$busy" != 2 ]; then \
+		echo "dist-smoke: sharded run reports transport=$$transport workers=$$nworkers busy=$$busy, want http/2/2"; \
+		cat $$tmp/dist.info; exit 1; \
+	fi; \
+	curl -sf $$base/runs/$$id1/curve | jq .curve > $$tmp/single.curve && \
+	curl -sf $$base/runs/$$id2/curve | jq .curve > $$tmp/dist.curve && \
+	if ! cmp -s $$tmp/single.curve $$tmp/dist.curve; then \
+		echo "dist-smoke: sharded curve diverged from single-process"; \
+		diff $$tmp/single.curve $$tmp/dist.curve; exit 1; \
+	fi; \
+	steps=$$(jq '[.workers[].steps] | add' $$tmp/dist.info); \
+	echo "dist-smoke OK: http transport over 2 workers, $$steps worker steps, curve identical to single-process"
+
+ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke dist-smoke

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	zombie-bench [-exp T2] [-scale 1.0] [-seed 20160516]
+//	zombie-bench [-exp T2] [-exp T2,F1,D1] [-scale 1.0] [-seed 20160516]
 //	zombie-bench -exp all -scale 0.25 -parallel 8
 //	zombie-bench -emit-bench BENCH_results.json -parallel 0
 //	zombie-bench -cpuprofile cpu.pprof -exp T2
@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (T1-T4, F1-F8, C1, or 'all')")
+	exp := flag.String("exp", "all", "experiment ids, comma-separated (T1-T4, F1-F8, C1, D1, or 'all')")
 	scale := flag.Float64("scale", 1.0, "corpus scale multiplier (1.0 = 20k inputs per task)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
 	par := flag.Int("parallel", 1, "concurrent runs per experiment (0 = GOMAXPROCS; output is byte-identical for any value)")
@@ -87,13 +87,22 @@ func main() {
 func run(cfg experiments.Config, exp, emitBench string) error {
 	var ids []string // empty = all, in registry order
 	if !strings.EqualFold(exp, "all") {
-		ids = []string{strings.ToUpper(exp)}
+		for _, id := range strings.Split(exp, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, strings.ToUpper(id))
+			}
+		}
 	}
 	if emitBench == "" {
 		if len(ids) == 0 {
 			return experiments.RunAll(cfg, os.Stdout)
 		}
-		return experiments.Run(ids[0], cfg, os.Stdout)
+		for _, id := range ids {
+			if err := experiments.Run(id, cfg, os.Stdout); err != nil {
+				return err
+			}
+		}
+		return nil
 	}
 	report, err := experiments.RunBench(cfg, ids, os.Stdout)
 	if err != nil {

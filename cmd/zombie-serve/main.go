@@ -67,6 +67,7 @@ func run() error {
 	cacheMemMB := flag.Int("cache-mem-mb", 64, "extraction cache in-memory budget in MiB")
 	runTimeout := flag.Duration("run-timeout", 0, "default per-run wall-clock deadline, e.g. 10m (0 = none; a run's timeout_ms overrides)")
 	maxFailures := flag.Float64("max-failures", 0, "default failure budget: fraction of a run's inputs that may be quarantined before it degrades (0 = engine default 0.5)")
+	distWorkers := flag.String("dist-workers", "", "comma-separated worker base URLs (zombie-serve processes serving /dist/*) that sharded runs execute over, e.g. http://w1:8080,http://w2:8080 (empty = shards run in-process)")
 	faultSpec := flag.String("faults", "", "inject deterministic faults into every run, e.g. extract:err=0.01 (chaos deployments)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr)")
@@ -88,6 +89,12 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	var workerAddrs []string
+	for _, a := range strings.Split(*distWorkers, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			workerAddrs = append(workerAddrs, a)
+		}
+	}
 	srv, err := server.New(server.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
@@ -96,6 +103,7 @@ func run() error {
 		RunTimeout:     *runTimeout,
 		MaxFailureFrac: *maxFailures,
 		Faults:         injector,
+		DistWorkers:    workerAddrs,
 		Logger:         logger,
 	})
 	if err != nil {

@@ -12,9 +12,11 @@
 //	zombie -corpus wiki.jsonl -task wiki -session            # full 8-version session
 //	zombie -corpus big.jsonl -task wiki -stream              # corpus larger than RAM
 //	zombie -corpus wiki.jsonl -task wiki -cache-dir .zcache  # warm runs skip extraction
+//	zombie -corpus wiki.jsonl -task wiki -shards 4           # sharded workers, same curve
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +26,7 @@ import (
 	"zombie/internal/buildinfo"
 	"zombie/internal/core"
 	"zombie/internal/corpus"
+	"zombie/internal/dist"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
@@ -61,6 +64,7 @@ func run() error {
 	faultSpec := flag.String("faults", "", "inject deterministic faults, e.g. extract:err=0.04,panic=0.04;corpus.read:err=0.03 (chaos testing)")
 	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
 	maxFailures := flag.Float64("max-failures", 0, "failure budget: fraction of processed inputs that may be quarantined before the run degrades (0 = engine default 0.5, 1 = never degrade)")
+	shards := flag.Int("shards", 0, "run distributed over this many in-process corpus shards (zombie mode; 0 = single-process; the curve is byte-identical either way)")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr; stdout stays the diffable curve CSV)")
 	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -166,17 +170,44 @@ func run() error {
 	}
 
 	var res *core.RunResult
-	switch *mode {
-	case "zombie":
-		res, err = eng.Run(task, groups)
-	case "scan-random":
-		res, err = eng.RunScan(task, true)
-	case "scan-sequential":
-		res, err = eng.RunScan(task, false)
-	case "oracle":
-		res, err = eng.RunOracle(task)
+	var dres *dist.Result
+	switch {
+	case *shards > 0:
+		if *mode != "zombie" {
+			return fmt.Errorf("-shards requires -mode zombie, got %q", *mode)
+		}
+		// The dist workers own the per-step read + extract work (and the
+		// extraction cache, when enabled); the engine's policy, learner, and
+		// curve run unchanged coordinator-side, which is why the output below
+		// is byte-identical to the single-process run.
+		tr := dist.NewLocalTransport(store, *shards, fcache, nil)
+		defer tr.Close()
+		dres, err = dist.Run(context.Background(), eng, tr, dist.Spec{
+			RunID:          "cli",
+			Corpus:         *corpusPath,
+			Task:           *taskName,
+			FeatureVersion: *version,
+			Seed:           *seed,
+			Shards:         *shards,
+			FaultSpec:      *faultSpec,
+			FaultSeed:      *faultSeed,
+		}, task, groups)
+		if err == nil {
+			res = dres.RunResult
+		}
 	default:
-		return fmt.Errorf("unknown mode %q", *mode)
+		switch *mode {
+		case "zombie":
+			res, err = eng.Run(task, groups)
+		case "scan-random":
+			res, err = eng.RunScan(task, true)
+		case "scan-sequential":
+			res, err = eng.RunScan(task, false)
+		case "oracle":
+			res, err = eng.RunOracle(task)
+		default:
+			return fmt.Errorf("unknown mode %q", *mode)
+		}
 	}
 	if err != nil {
 		return err
@@ -220,7 +251,22 @@ func run() error {
 		}
 	}
 	printCacheStats(fcache)
+	printDistStats(dres)
 	return nil
+}
+
+// printDistStats reports a sharded run's per-worker summary on
+// "dist:"-prefixed lines — the same filterable-prefix convention as the
+// cache: line, because the lines legitimately differ across shard counts
+// while the curve and summary above must not.
+func printDistStats(r *dist.Result) {
+	if r == nil {
+		return
+	}
+	for _, w := range r.Workers {
+		fmt.Printf("dist: transport=%s worker=%d inputs=%d holdout=%d steps=%d cache_hits=%d cache_misses=%d failed_calls=%d retried_calls=%d\n",
+			r.Transport, w.Shard, w.Inputs, w.Holdout, w.Steps, w.CacheHits, w.CacheMisses, w.FailedCalls, w.RetriedCalls)
+	}
 }
 
 // printQuarantine lists the run's quarantined inputs, one per

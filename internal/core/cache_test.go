@@ -120,7 +120,7 @@ func TestCacheSharedAcrossSessionVersions(t *testing.T) {
 func TestSafeExtractNamesFeatureAndInput(t *testing.T) {
 	f := &featurepipe.FaultyFeature{Inner: featurepipe.NewWikiFeature(2), PanicPct: 100}
 	in := &corpus.Input{Kind: corpus.TextKind, ID: "page-042", Text: "infobox born text"}
-	_, err, panicked := safeExtract(f, in)
+	_, err, panicked := SafeExtract(f, in)
 	if err == nil || !panicked {
 		t.Fatal("panic not converted to an error")
 	}

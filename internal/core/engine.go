@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"fmt"
 	"strconv"
 	"time"
 
@@ -26,12 +25,22 @@ func (e *Engine) Run(task *featurepipe.Task, groups *index.Groups) (*RunResult, 
 // and, when cancelled, returns the partial result accumulated so far with
 // Stop = StopCancelled rather than an error.
 func (e *Engine) RunContext(ctx context.Context, task *featurepipe.Task, groups *index.Groups) (*RunResult, error) {
+	return e.RunWithExecutor(ctx, task, groups, NewLocalExecutor(task, e.cfg.Cache, e.cfg.Faults))
+}
+
+// RunWithExecutor is RunContext with step execution delegated to exec —
+// the entry point the distributed coordinator uses. The RNG derivation,
+// policy construction and loop are exactly RunContext's, so any executor
+// producing the same step outcomes yields a byte-identical curve; task
+// must be the unwrapped task (the executor owns cache and fault
+// wrapping).
+func (e *Engine) RunWithExecutor(ctx context.Context, task *featurepipe.Task, groups *index.Groups, exec Executor) (*RunResult, error) {
 	r := rng.New(e.cfg.Seed).Split("run:" + task.Name + ":" + task.Feature.Name())
 	src, err := newBanditSource(groups, task.PoolSet(), e.cfg.Policy, e.cfg.PolicyStats, r.Split("policy"))
 	if err != nil {
 		return nil, err
 	}
-	return e.loop(ctx, task, src, r)
+	return e.loop(ctx, task, src, r, exec)
 }
 
 // RunScan executes the same loop over a fixed input order: the sequential
@@ -50,7 +59,7 @@ func (e *Engine) RunScanContext(ctx context.Context, task *featurepipe.Task, shu
 	} else {
 		src = newSequentialScan(task.PoolIdx)
 	}
-	return e.loop(ctx, task, src, r)
+	return e.loop(ctx, task, src, r, NewLocalExecutor(task, e.cfg.Cache, e.cfg.Faults))
 }
 
 // RunOracle executes the loop over the ground-truth-best order: all
@@ -72,7 +81,7 @@ func (e *Engine) RunOracleContext(ctx context.Context, task *featurepipe.Task) (
 		}
 	}
 	src := newOracleScan(useful, rest, r.Split("order"))
-	return e.loop(ctx, task, src, r)
+	return e.loop(ctx, task, src, r, NewLocalExecutor(task, e.cfg.Cache, e.cfg.Faults))
 }
 
 // oracleUseful mirrors the task feature functions' usefulness definitions
@@ -88,36 +97,26 @@ func oracleUseful(in *corpus.Input, f featurepipe.FeatureFunc) bool {
 // Cancellation is checked once per step; a cancelled loop returns the
 // partial result accumulated so far (never an error), skipping the final
 // re-evaluation so cancellation latency is one step, not one holdout pass.
-func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSource, r *rng.RNG) (*RunResult, error) {
+func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSource, r *rng.RNG, exec Executor) (*RunResult, error) {
 	wallStart := time.Now()
 	// Phase accounting is always on: the timers cost a few time.Now calls
 	// per step against feature-extraction work that dominates by orders of
 	// magnitude, and every run reporting where its time went is the whole
 	// point of the telemetry layer. The registry fan-out (po) is optional.
+	// Cache threading and fault wrapping live inside the executor (see
+	// NewLocalExecutor), after the callers derived their RNG substreams and
+	// the oracle inspected the concrete feature type; the wrappers preserve
+	// Name/Dim/fingerprints, so a cached run is byte-identical to an
+	// uncached one and the loop's own task stays unwrapped.
 	var phases PhaseBreakdown
 	po := newPhaseObs(e.cfg.Obs)
-	// Thread the extraction cache under everything the loop runs — holdout
-	// build, reward path and the stream itself. The wrap happens here, after
-	// the callers derived their RNG substreams and the oracle inspected the
-	// concrete feature type, and it preserves Name/Dim/fingerprints, so a
-	// cached run is byte-identical to an uncached one.
-	var cacheCtrs *featurepipe.CacheCounters
-	if e.cfg.Cache != nil {
-		cacheCtrs = &featurepipe.CacheCounters{}
-		task = task.WithFeature(featurepipe.Cached(task.Feature, e.cfg.Cache, cacheCtrs))
-	}
-	// Fault injection wraps OUTSIDE the cache: the injection decision is a
-	// pure hash of (fault seed, input ID), taken before any cache lookup,
-	// so a faulted run stays byte-identical whether the cache is off, cold
-	// or warm — exactly the contract the unfaulted engine already keeps.
-	task = task.WithFeature(featurepipe.WithFaults(task.Feature, e.cfg.Faults))
 
 	res := &RunResult{
 		Task:     task.Name,
 		Strategy: src.name(),
 	}
 	tHoldout := time.Now()
-	holdout, skips, err := task.BuildHoldoutTolerant()
+	holdout, skips, err := exec.BuildHoldout(ctx)
 	phases.Holdout = time.Since(tHoldout)
 	po.observe(phHoldout, phases.Holdout)
 	for _, s := range skips {
@@ -249,24 +248,27 @@ loop:
 			break // pool exhausted
 		}
 		steps++
-		tRead := time.Now()
-		in, readErr := e.readInput(task.Store, idx)
-		dRead := time.Since(tRead)
-		phases.Read += dRead
-		po.observe(phRead, dRead)
-		if readErr != nil {
-			// The input could not even be loaded: no cost is charged (the
-			// payload never arrived), the arm learns nothing good came of
-			// the pull, and the input is quarantined by store index.
+		tStep := time.Now()
+		out, execErr := exec.ExecuteStep(ctx, steps, idx)
+		stepWall := time.Since(tStep)
+		if execErr != nil {
+			// The step never executed: the worker owning this input is dead
+			// or unreachable past the transport's retries. Degrade exactly
+			// like data loss — no cost charged, the arm learns nothing good
+			// came of the pull, the input is quarantined by store index —
+			// so a lost worker trips the same failure budget a corrupt
+			// shard would. The whole step wall is transport time.
+			phases.RPC += stepWall
+			po.observe(phRPC, stepWall)
 			loopQuarantined++
 			res.Quarantined = append(res.Quarantined, Quarantine{
-				InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteCorpusRead),
-				Step: steps, Reason: readErr.Error(),
+				InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteDistStep),
+				Step: steps, Reason: execErr.Error(),
 			})
 			src.feedback(arm, 0)
 			emit(trace.Event{
 				Step: steps, InputIdx: idx, Arm: arm,
-				Err: readErr.Error(), SimTime: simTime, Quarantined: true,
+				Err: execErr.Error(), SimTime: simTime, Quarantined: true,
 			})
 			if overBudget(steps) {
 				stop = StopFailed
@@ -274,34 +276,56 @@ loop:
 			}
 			continue
 		}
-		simTime += task.Cost.Cost(in)
-
-		var hitsBefore int64
-		if cacheCtrs != nil {
-			hitsBefore = cacheCtrs.Hits.Load()
+		// Read and extract are timed where they ran (on a remote worker,
+		// inside the worker process); the remainder of the step wall is
+		// transport overhead — nanoseconds of call dispatch for the local
+		// executor, real serialization and network time for http.
+		dRead := time.Duration(out.ReadNanos)
+		phases.Read += dRead
+		po.observe(phRead, dRead)
+		if rpc := stepWall - time.Duration(out.ReadNanos+out.ExtractNanos); rpc > 0 {
+			phases.RPC += rpc
+			po.observe(phRPC, rpc)
 		}
-		tExtract := time.Now()
-		extRes, extErr, panicked := safeExtract(task.Feature, in)
-		dExtract := time.Since(tExtract)
+		if out.ReadErr != "" {
+			// The input could not even be loaded: no cost is charged (the
+			// payload never arrived), the arm learns nothing good came of
+			// the pull, and the input is quarantined by store index.
+			loopQuarantined++
+			res.Quarantined = append(res.Quarantined, Quarantine{
+				InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteCorpusRead),
+				Step: steps, Reason: out.ReadErr,
+			})
+			src.feedback(arm, 0)
+			emit(trace.Event{
+				Step: steps, InputIdx: idx, Arm: arm,
+				Err: out.ReadErr, SimTime: simTime, Quarantined: true,
+			})
+			if overBudget(steps) {
+				stop = StopFailed
+				break loop
+			}
+			continue
+		}
+		simTime += out.Cost
+
+		dExtract := time.Duration(out.ExtractNanos)
 		phases.Extract += dExtract
 		po.observe(phExtract, dExtract)
-		// The loop goroutine is the only one touching this run's counters,
-		// so a hit delta across the extract call attributes cleanly to this
-		// step (composite features may hit on several parts; any counts).
-		cacheHit := cacheCtrs != nil && cacheCtrs.Hits.Load() > hitsBefore
+		extRes := out.Res
 		reward := 0.0
 		errMsg := ""
 		switch {
-		case extErr != nil:
+		case out.ExtractErr != "":
 			res.Errors++
-			errMsg = extErr.Error()
-			if panicked {
+			errMsg = out.ExtractErr
+			if out.Panicked {
 				// A panic is categorically worse than a returned error:
 				// the feature code lost control on this input. Quarantine
 				// it so the run report names every input of this kind.
 				loopQuarantined++
 				res.Quarantined = append(res.Quarantined, Quarantine{
-					InputID: in.ID, Site: string(fault.SiteExtract),
+					InputID: out.InputID, Site: string(fault.SiteExtract),
 					Step: steps, Reason: errMsg,
 				})
 			}
@@ -327,9 +351,9 @@ loop:
 		emit(trace.Event{
 			Step: steps, InputIdx: idx, Arm: arm, Reward: reward,
 			Produced: extRes.Produced, Useful: extRes.Useful, Err: errMsg,
-			SimTime: simTime, CacheHit: cacheHit, Quarantined: panicked,
+			SimTime: simTime, CacheHit: out.CacheHit, Quarantined: out.Panicked,
 		})
-		if panicked && overBudget(steps) {
+		if out.Panicked && overBudget(steps) {
 			stop = StopFailed
 			break loop
 		}
@@ -366,11 +390,10 @@ loop:
 	res.Stop = stop
 	res.Arms = src.arms()
 	res.Events = events
-	if cacheCtrs != nil {
-		res.CacheHits = cacheCtrs.Hits.Load()
-		res.CacheMisses = cacheCtrs.Misses.Load()
-		phases.CacheLookup = time.Duration(cacheCtrs.LookupNanos.Load())
-	}
+	st := exec.Stats()
+	res.CacheHits = st.CacheHits
+	res.CacheMisses = st.CacheMisses
+	phases.CacheLookup = time.Duration(st.CacheLookupNanos)
 	res.Phases = phases
 	po.observeRun(res.WallTime)
 	return res, nil
@@ -424,40 +447,6 @@ func clamp01(x float64) float64 {
 		return 1
 	}
 	return x
-}
-
-// safeExtract runs feature code with panic isolation: the code under
-// evaluation is by definition unfinished, and a panic on one input must
-// cost one reward, not the run. panicked distinguishes a recovered panic
-// from an ordinary extraction error — the loop quarantines the former.
-func safeExtract(f featurepipe.FeatureFunc, in *corpus.Input) (res featurepipe.Result, err error, panicked bool) {
-	defer func() {
-		if p := recover(); p != nil {
-			res = featurepipe.Result{}
-			err = fmt.Errorf("core: feature %s panicked on input %s: %v", f.Name(), in.ID, p)
-			panicked = true
-		}
-	}()
-	res, err = f.Extract(in)
-	return res, err, false
-}
-
-// readInput fetches one input from the store with panic isolation and
-// corpus-read fault injection. Store implementations panic on corrupt
-// records (DiskStore on a torn or garbage JSONL line); the engine
-// converts that into a quarantinable error so one bad record costs one
-// quarantine entry, not the run.
-func (e *Engine) readInput(store corpus.Store, idx int) (in *corpus.Input, err error) {
-	defer func() {
-		if p := recover(); p != nil {
-			in = nil
-			err = fmt.Errorf("core: corpus read of input %d failed: %v", idx, p)
-		}
-	}()
-	if ferr := e.cfg.Faults.Fire(fault.SiteCorpusRead, strconv.Itoa(idx)); ferr != nil {
-		return nil, ferr
-	}
-	return store.Get(idx), nil
 }
 
 // subsampleHoldout returns a holdout over up to n examples sampled without

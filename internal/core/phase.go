@@ -7,7 +7,7 @@ import (
 )
 
 // PhaseBreakdown accounts a run's wall-clock time to the inner loop's
-// phases. The six primary phases are disjoint — each loop instruction is
+// phases. The seven primary phases are disjoint — each loop instruction is
 // timed into at most one — so Accounted() is a true lower bound on the
 // run's wall time and Coverage() measures how much of the run the
 // breakdown explains (the remainder is loop bookkeeping: plateau
@@ -34,13 +34,18 @@ type PhaseBreakdown struct {
 	Train time.Duration `json:"train"`
 	// Eval is full-holdout quality evaluation at curve points.
 	Eval time.Duration `json:"eval"`
+	// RPC is step-dispatch overhead: the part of each step's wall time not
+	// spent reading or extracting where the work ran. For the in-process
+	// executor this is nanoseconds of call dispatch; for a distributed run
+	// it is serialization, network and coordinator retry time.
+	RPC time.Duration `json:"rpc"`
 	// CacheLookup is extraction-cache overhead, a subset of Extract and
 	// Holdout (see above). Zero when the run had no cache.
 	CacheLookup time.Duration `json:"cache_lookup"`
 }
 
 // phaseNames lists the primary (disjoint) phases in reporting order.
-var phaseNames = []string{"holdout", "select", "read", "extract", "train", "eval"}
+var phaseNames = []string{"holdout", "select", "read", "extract", "train", "eval", "rpc"}
 
 // Durations returns the primary phases as a name → duration map,
 // CacheLookup excluded (it overlaps Extract/Holdout).
@@ -52,6 +57,7 @@ func (p PhaseBreakdown) Durations() map[string]time.Duration {
 		"extract": p.Extract,
 		"train":   p.Train,
 		"eval":    p.Eval,
+		"rpc":     p.RPC,
 	}
 }
 
@@ -68,7 +74,7 @@ func (p PhaseBreakdown) Millis() map[string]float64 {
 // Accounted sums the disjoint phases — the portion of the run's wall
 // time the breakdown explains.
 func (p PhaseBreakdown) Accounted() time.Duration {
-	return p.Holdout + p.Select + p.Read + p.Extract + p.Train + p.Eval
+	return p.Holdout + p.Select + p.Read + p.Extract + p.Train + p.Eval + p.RPC
 }
 
 // Coverage returns Accounted as a fraction of the given wall time
@@ -91,6 +97,7 @@ const (
 	phExtract
 	phTrain
 	phEval
+	phRPC
 	numPhases
 )
 

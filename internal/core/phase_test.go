@@ -156,20 +156,21 @@ func TestPhaseBreakdownHelpers(t *testing.T) {
 		Extract: 4 * time.Millisecond,
 		Train:   5 * time.Millisecond,
 		Eval:    6 * time.Millisecond,
+		RPC:     7 * time.Millisecond,
 		// CacheLookup overlaps Extract/Holdout and must not count.
 		CacheLookup: 100 * time.Millisecond,
 	}
-	if got := p.Accounted(); got != 21*time.Millisecond {
+	if got := p.Accounted(); got != 28*time.Millisecond {
 		t.Fatalf("Accounted = %v", got)
 	}
-	if got := p.Coverage(42 * time.Millisecond); got != 0.5 {
+	if got := p.Coverage(56 * time.Millisecond); got != 0.5 {
 		t.Fatalf("Coverage = %v", got)
 	}
 	if got := p.Coverage(0); got != 0 {
 		t.Fatalf("Coverage(0) = %v", got)
 	}
 	ms := p.Millis()
-	if len(ms) != 6 || ms["extract"] != 4 || ms["eval"] != 6 {
+	if len(ms) != 7 || ms["extract"] != 4 || ms["eval"] != 6 || ms["rpc"] != 7 {
 		t.Fatalf("Millis = %v", ms)
 	}
 }

@@ -150,7 +150,7 @@ func TestSafeExtractRecoversPanic(t *testing.T) {
 		PanicPct: 100,
 	}
 	in := &corpus.Input{ID: "x", Kind: corpus.TextKind, Text: "infobox born"}
-	res, err, panicked := safeExtract(f, in)
+	res, err, panicked := SafeExtract(f, in)
 	if err == nil || !panicked {
 		t.Fatal("panic should surface as error")
 	}

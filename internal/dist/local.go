@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"context"
+	"sync"
+
+	"zombie/internal/corpus"
+	"zombie/internal/featcache"
+	"zombie/internal/obs"
+)
+
+// LocalTransport runs N workers in-process over one store: the
+// single-binary sharding mode behind `zombie -shards N`, and the
+// reference implementation the http transport is tested against. Each
+// worker is served by its own goroutine fed through a channel, so calls
+// to one worker serialize exactly like a remote worker's request loop
+// while different workers proceed concurrently — the same concurrency
+// shape as real deployment, minus the sockets.
+type LocalTransport struct {
+	clients   []Client
+	closeOnce sync.Once
+}
+
+// NewLocalTransport starts shards in-process workers over store. cache is
+// shared by every worker (the extraction cache is content-addressed and
+// concurrency-safe, and cache state cannot affect results); reg receives
+// the workers' metrics. Both may be nil.
+func NewLocalTransport(store corpus.Store, shards int, cache *featcache.Cache, reg *obs.Registry) *LocalTransport {
+	resolve := func(string) (corpus.Store, error) { return store, nil }
+	t := &LocalTransport{}
+	for i := 0; i < shards; i++ {
+		c := &localClient{w: NewWorker(resolve, cache, reg), calls: make(chan func())}
+		go func() {
+			for fn := range c.calls {
+				fn()
+			}
+		}()
+		t.clients = append(t.clients, c)
+	}
+	return t
+}
+
+func (t *LocalTransport) Name() string      { return "local" }
+func (t *LocalTransport) Clients() []Client { return t.clients }
+
+// Close stops the worker goroutines. Calls in flight complete first.
+func (t *LocalTransport) Close() error {
+	t.closeOnce.Do(func() {
+		for _, c := range t.clients {
+			close(c.(*localClient).calls)
+		}
+	})
+	return nil
+}
+
+// localClient funnels calls onto its worker's goroutine.
+type localClient struct {
+	w     *Worker
+	calls chan func()
+}
+
+// do runs fn on the worker goroutine and waits for it, honoring ctx while
+// queued (a call already executing runs to completion, like a request a
+// remote server has already accepted).
+func (c *localClient) do(ctx context.Context, fn func()) error {
+	done := make(chan struct{})
+	select {
+	case c.calls <- func() { fn(); close(done) }:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (c *localClient) Init(ctx context.Context, req InitRequest) (InitResponse, error) {
+	var resp InitResponse
+	var err error
+	if derr := c.do(ctx, func() { resp, err = c.w.Init(req) }); derr != nil {
+		return InitResponse{}, derr
+	}
+	return resp, err
+}
+
+func (c *localClient) Holdout(ctx context.Context, req HoldoutRequest) (HoldoutResponse, error) {
+	var resp HoldoutResponse
+	var err error
+	if derr := c.do(ctx, func() { resp, err = c.w.Holdout(req) }); derr != nil {
+		return HoldoutResponse{}, derr
+	}
+	return resp, err
+}
+
+func (c *localClient) Step(ctx context.Context, req StepRequest) (StepResponse, error) {
+	var resp StepResponse
+	var err error
+	if derr := c.do(ctx, func() { resp, err = c.w.Step(req) }); derr != nil {
+		return StepResponse{}, derr
+	}
+	return resp, err
+}
+
+func (c *localClient) Finish(ctx context.Context, req FinishRequest) (FinishResponse, error) {
+	var resp FinishResponse
+	var err error
+	if derr := c.do(ctx, func() { resp, err = c.w.Finish(req) }); derr != nil {
+		return FinishResponse{}, derr
+	}
+	return resp, err
+}

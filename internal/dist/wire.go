@@ -1,0 +1,183 @@
+package dist
+
+import (
+	"encoding/base64"
+	"fmt"
+
+	"zombie/internal/featurepipe"
+)
+
+// Wire types shared by every transport. The local transport passes them
+// by value with the native Result fields populated; the http transport
+// marshals them as JSON, carrying extraction results as base64 of the
+// versioned featurepipe.ResultCodec binary format — the same codec the
+// extraction cache trusts on disk. The codec round-trips float bits
+// exactly, so a decoded result is byte-identical to the native one; the
+// transport-identity tests assert exactly that.
+
+// InitRequest asks a worker to set up one run's shard view: rebuild the
+// task from (corpus, task, feature version, seed) — the same triple every
+// front end uses, so all workers and the coordinator hold byte-identical
+// tasks — compute the shard map, and wrap its executor with the run's
+// fault injector.
+type InitRequest struct {
+	RunID          string `json:"run_id"`
+	Corpus         string `json:"corpus"`
+	Task           string `json:"task"`
+	FeatureVersion int    `json:"feature_version"`
+	Seed           int64  `json:"seed"`
+	Shards         int    `json:"shards"`
+	Shard          int    `json:"shard"`
+	FaultSpec      string `json:"faults,omitempty"`
+	FaultSeed      int64  `json:"fault_seed,omitempty"`
+}
+
+// InitResponse reports the worker's view of the shard. StoreLen is the
+// worker's corpus size; the coordinator rejects the run when it disagrees
+// with its own (the two processes are not looking at the same artifact,
+// so the shard maps would silently diverge).
+type InitResponse struct {
+	StoreLen     int `json:"store_len"`
+	OwnedInputs  int `json:"owned_inputs"`
+	OwnedHoldout int `json:"owned_holdout"`
+}
+
+// HoldoutRequest asks a worker to extract the holdout inputs its shard
+// owns.
+type HoldoutRequest struct {
+	RunID string `json:"run_id"`
+}
+
+// HoldoutItem is one owned holdout input's extraction: either a result
+// (possibly unproduced) or a skip reason, tagged with the global store
+// index so the coordinator can verify merge alignment.
+type HoldoutItem struct {
+	Idx     int    `json:"idx"`
+	InputID string `json:"input_id"`
+	// Skip carries the tolerant build's skip reason; when non-empty the
+	// result fields are meaningless.
+	Skip string `json:"skip,omitempty"`
+	// ResultB64 is the codec-encoded result on the wire; Result is the
+	// native value in-process. EncodeResults/DecodeResults convert.
+	ResultB64 string             `json:"result,omitempty"`
+	Result    featurepipe.Result `json:"-"`
+}
+
+// HoldoutResponse lists the worker's owned holdout items in ascending
+// global index order (the order Task.HoldoutIdx visits them is the
+// coordinator's business; workers report in a canonical order and the
+// coordinator merges).
+type HoldoutResponse struct {
+	Items []HoldoutItem `json:"items"`
+}
+
+// StepRequest asks the owning worker to execute one bandit step: read
+// store index Idx and extract it. Step is the loop's step counter, for
+// tracing and fault keying symmetry with the engine.
+type StepRequest struct {
+	RunID string `json:"run_id"`
+	Step  int    `json:"step"`
+	Idx   int    `json:"idx"`
+}
+
+// StepResponse mirrors core.StepOutcome on the wire.
+type StepResponse struct {
+	InputID      string `json:"input_id,omitempty"`
+	ReadErr      string `json:"read_err,omitempty"`
+	CostNanos    int64  `json:"cost_ns,omitempty"`
+	ExtractErr   string `json:"extract_err,omitempty"`
+	Panicked     bool   `json:"panicked,omitempty"`
+	CacheHit     bool   `json:"cache_hit,omitempty"`
+	ReadNanos    int64  `json:"read_ns,omitempty"`
+	ExtractNanos int64  `json:"extract_ns,omitempty"`
+
+	ResultB64 string             `json:"result,omitempty"`
+	Result    featurepipe.Result `json:"-"`
+}
+
+// FinishRequest releases a run's state on the worker and collects its
+// execution-side tallies.
+type FinishRequest struct {
+	RunID string `json:"run_id"`
+}
+
+// FinishResponse reports one worker's run totals.
+type FinishResponse struct {
+	Steps            int   `json:"steps"`
+	CacheHits        int64 `json:"cache_hits"`
+	CacheMisses      int64 `json:"cache_misses"`
+	CacheLookupNanos int64 `json:"cache_lookup_ns"`
+}
+
+var resultCodec featurepipe.ResultCodec
+
+// EncodeResult fills ResultB64 from the native Result for the wire.
+func (r *StepResponse) EncodeResult() error {
+	b, err := resultCodec.Encode(r.Result)
+	if err != nil {
+		return fmt.Errorf("dist: encode step result: %w", err)
+	}
+	r.ResultB64 = base64.StdEncoding.EncodeToString(b)
+	return nil
+}
+
+// DecodeResult fills the native Result from ResultB64 after unmarshaling.
+func (r *StepResponse) DecodeResult() error {
+	if r.ResultB64 == "" {
+		return nil
+	}
+	res, err := decodeResultB64(r.ResultB64)
+	if err != nil {
+		return fmt.Errorf("dist: decode step result: %w", err)
+	}
+	r.Result = res
+	return nil
+}
+
+// EncodeResults fills every item's ResultB64 for the wire.
+func (h *HoldoutResponse) EncodeResults() error {
+	for i := range h.Items {
+		it := &h.Items[i]
+		if it.Skip != "" {
+			continue
+		}
+		b, err := resultCodec.Encode(it.Result)
+		if err != nil {
+			return fmt.Errorf("dist: encode holdout result for input %d: %w", it.Idx, err)
+		}
+		it.ResultB64 = base64.StdEncoding.EncodeToString(b)
+	}
+	return nil
+}
+
+// DecodeResults fills every item's native Result after unmarshaling.
+func (h *HoldoutResponse) DecodeResults() error {
+	for i := range h.Items {
+		it := &h.Items[i]
+		if it.Skip != "" || it.ResultB64 == "" {
+			continue
+		}
+		res, err := decodeResultB64(it.ResultB64)
+		if err != nil {
+			return fmt.Errorf("dist: decode holdout result for input %d: %w", it.Idx, err)
+		}
+		it.Result = res
+	}
+	return nil
+}
+
+func decodeResultB64(s string) (featurepipe.Result, error) {
+	b, err := base64.StdEncoding.DecodeString(s)
+	if err != nil {
+		return featurepipe.Result{}, err
+	}
+	v, err := resultCodec.Decode(b)
+	if err != nil {
+		return featurepipe.Result{}, err
+	}
+	res, ok := v.(featurepipe.Result)
+	if !ok {
+		return featurepipe.Result{}, fmt.Errorf("codec returned %T", v)
+	}
+	return res, nil
+}

@@ -1,0 +1,237 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"zombie/internal/core"
+	"zombie/internal/corpus"
+	"zombie/internal/fault"
+	"zombie/internal/featcache"
+	"zombie/internal/obs"
+	"zombie/internal/rng"
+	"zombie/internal/workload"
+)
+
+// Worker owns corpus shards and executes bandit steps for them. One
+// Worker serves any number of concurrent runs (keyed by run ID); each
+// run's state is the worker's view of that run's shard: the rebuilt task,
+// the shard map, and a core.LocalExecutor threading the worker's own
+// featcache and the run's fault injector — identical wrapping, in
+// identical order, to the single-process engine, which is half of the
+// byte-identity contract (the other half is the coordinator driving the
+// unchanged engine loop).
+//
+// Workers are intentionally dumb: they never see the policy, the learner,
+// or the curve. Everything a worker computes is a pure function of
+// (corpus, task name, feature version, seed, input index), so any two
+// workers given the same spec are interchangeable, and a step may be
+// retried on the same worker without state drift.
+type Worker struct {
+	resolve func(name string) (corpus.Store, error)
+	cache   *featcache.Cache
+	reg     *obs.Registry
+
+	mu   sync.Mutex
+	runs map[string]*workerRun
+
+	steps   *obs.Counter
+	read    *obs.Histogram
+	extract *obs.Histogram
+}
+
+type workerRun struct {
+	shard  int
+	label  string // "w<shard>", the dist.step fault key
+	sm     *ShardMap
+	exec   *core.LocalExecutor
+	faults *fault.Injector
+	steps  atomic.Int64
+}
+
+// NewWorker returns a worker resolving corpus names through resolve
+// (the server passes its corpus registry; the local transport a closure
+// over one store). cache is the worker's own extraction-cache view (nil
+// for none); reg receives the worker's metrics (nil for none).
+func NewWorker(resolve func(name string) (corpus.Store, error), cache *featcache.Cache, reg *obs.Registry) *Worker {
+	w := &Worker{resolve: resolve, cache: cache, runs: map[string]*workerRun{}}
+	if reg != nil {
+		w.reg = reg
+		w.steps = reg.Counter("dist_worker_steps", "Bandit steps executed by this worker.")
+		const name, help = "dist_worker_phase_seconds", "Worker-side step time by phase."
+		w.read = reg.HistogramL(name, help, "phase", "read", obs.LatencyBuckets)
+		w.extract = reg.HistogramL(name, help, "phase", "extract", obs.LatencyBuckets)
+	}
+	return w
+}
+
+// Init sets up (or replaces — Init is idempotent, so a retried call is
+// harmless) one run's shard view.
+func (w *Worker) Init(req InitRequest) (InitResponse, error) {
+	if req.RunID == "" {
+		return InitResponse{}, fmt.Errorf("dist: init: empty run ID")
+	}
+	if req.Shard < 0 || req.Shard >= req.Shards {
+		return InitResponse{}, fmt.Errorf("dist: init: shard %d out of range for %d shards", req.Shard, req.Shards)
+	}
+	store, err := w.resolve(req.Corpus)
+	if err != nil {
+		return InitResponse{}, fmt.Errorf("dist: init: corpus %q: %w", req.Corpus, err)
+	}
+	// The task rebuild uses the exact (name, store, version, seed-split)
+	// recipe every front end uses, so this worker's pool/holdout split and
+	// feature code are byte-identical to the coordinator's.
+	task, _, err := workload.Build(req.Task, store, req.FeatureVersion, rng.New(req.Seed).Split("task"))
+	if err != nil {
+		return InitResponse{}, fmt.Errorf("dist: init: %w", err)
+	}
+	faults, err := fault.Parse(req.FaultSpec, req.FaultSeed)
+	if err != nil {
+		return InitResponse{}, fmt.Errorf("dist: init: %w", err)
+	}
+	sm, err := NewShardMap(store.Len(), req.Shards, req.Seed)
+	if err != nil {
+		return InitResponse{}, fmt.Errorf("dist: init: %w", err)
+	}
+	run := &workerRun{
+		shard:  req.Shard,
+		label:  "w" + strconv.Itoa(req.Shard),
+		sm:     sm,
+		exec:   core.NewLocalExecutor(task, w.cache, faults),
+		faults: faults,
+	}
+	owned, ownedHoldout := 0, 0
+	for _, s := range sm.Assign {
+		if s == req.Shard {
+			owned++
+		}
+	}
+	for _, idx := range task.HoldoutIdx {
+		if sm.Owner(idx) == req.Shard {
+			ownedHoldout++
+		}
+	}
+	if w.reg != nil {
+		w.reg.GaugeL("dist_shard_inputs", "Store indices owned by the shard.",
+			"shard", strconv.Itoa(req.Shard)).Set(int64(owned))
+	}
+	w.mu.Lock()
+	w.runs[req.RunID] = run
+	w.mu.Unlock()
+	return InitResponse{StoreLen: store.Len(), OwnedInputs: owned, OwnedHoldout: ownedHoldout}, nil
+}
+
+func (w *Worker) run(id string) (*workerRun, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	run, ok := w.runs[id]
+	if !ok {
+		return nil, fmt.Errorf("dist: unknown run %q on this worker (init first)", id)
+	}
+	return run, nil
+}
+
+// Holdout extracts the holdout inputs the run's shard owns, in ascending
+// global index order, through the run's wrapped task — cache and fault
+// behavior identical to a single-process holdout build over the same
+// inputs.
+func (w *Worker) Holdout(req HoldoutRequest) (HoldoutResponse, error) {
+	run, err := w.run(req.RunID)
+	if err != nil {
+		return HoldoutResponse{}, err
+	}
+	task := run.exec.Task()
+	// HoldoutIdx is iterated sorted by global index (Owned order), not in
+	// the task's shuffled holdout order: the canonical order lets the
+	// coordinator verify merge alignment without trusting worker iteration.
+	ownedSet := map[int]bool{}
+	for _, idx := range task.HoldoutIdx {
+		if run.sm.Owner(idx) == run.shard {
+			ownedSet[idx] = true
+		}
+	}
+	var resp HoldoutResponse
+	for idx := 0; idx < task.Store.Len(); idx++ {
+		if !ownedSet[idx] {
+			continue
+		}
+		res, id, err := task.ExtractHoldout(idx)
+		item := HoldoutItem{Idx: idx, InputID: id}
+		if err != nil {
+			item.Skip = err.Error()
+		} else {
+			item.Result = res
+		}
+		resp.Items = append(resp.Items, item)
+	}
+	return resp, nil
+}
+
+// Step executes one bandit step: fire the worker's dist.step fault gate
+// (a dead worker errors every step; a slow one sleeps), check ownership,
+// then read + extract through the shared local executor. A panic anywhere
+// in the step (an injected panic rule at dist.step, most likely) is
+// recovered into an error so both transports surface it as a failed step
+// with the same message, rather than http tearing down the connection
+// while local crashes the process.
+func (w *Worker) Step(req StepRequest) (resp StepResponse, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			resp, err = StepResponse{}, fmt.Errorf("dist: worker step panic: %v", p)
+		}
+	}()
+	run, err := w.run(req.RunID)
+	if err != nil {
+		return StepResponse{}, err
+	}
+	if ferr := run.faults.Fire(fault.SiteDistStep, run.label); ferr != nil {
+		return StepResponse{}, ferr
+	}
+	if owner := run.sm.Owner(req.Idx); owner != run.shard {
+		return StepResponse{}, fmt.Errorf("dist: input %d belongs to shard %d, not %d (misrouted step)", req.Idx, owner, run.shard)
+	}
+	out, err := run.exec.ExecuteStep(context.Background(), req.Step, req.Idx)
+	if err != nil {
+		return StepResponse{}, err
+	}
+	run.steps.Add(1)
+	if w.steps != nil {
+		w.steps.Inc()
+		w.read.Observe(float64(out.ReadNanos) / 1e9)
+		w.extract.Observe(float64(out.ExtractNanos) / 1e9)
+	}
+	return StepResponse{
+		InputID:      out.InputID,
+		ReadErr:      out.ReadErr,
+		CostNanos:    int64(out.Cost),
+		ExtractErr:   out.ExtractErr,
+		Panicked:     out.Panicked,
+		CacheHit:     out.CacheHit,
+		ReadNanos:    out.ReadNanos,
+		ExtractNanos: out.ExtractNanos,
+		Result:       out.Res,
+	}, nil
+}
+
+// Finish releases the run's state and reports its tallies. Finishing an
+// unknown run is not an error (the coordinator may retry a finish whose
+// first response was lost).
+func (w *Worker) Finish(req FinishRequest) (FinishResponse, error) {
+	w.mu.Lock()
+	run, ok := w.runs[req.RunID]
+	delete(w.runs, req.RunID)
+	w.mu.Unlock()
+	if !ok {
+		return FinishResponse{}, nil
+	}
+	st := run.exec.Stats()
+	return FinishResponse{
+		Steps:            int(run.steps.Load()),
+		CacheHits:        st.CacheHits,
+		CacheMisses:      st.CacheMisses,
+		CacheLookupNanos: st.CacheLookupNanos,
+	}, nil
+}

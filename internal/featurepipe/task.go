@@ -176,6 +176,15 @@ func (t *Task) BuildHoldoutTolerant() (*learner.Holdout, []HoldoutSkip, error) {
 	return learner.NewHoldout(examples, t.Metric, t.Positive), skips, nil
 }
 
+// ExtractHoldout reads and extracts the holdout input at store index idx
+// with the tolerant build's exact isolation and ID semantics — the
+// per-input unit BuildHoldoutTolerant is made of, exported so a
+// distributed worker can extract just the holdout inputs it owns while
+// the coordinator merges examples and skips in global HoldoutIdx order.
+func (t *Task) ExtractHoldout(idx int) (res Result, id string, err error) {
+	return t.holdoutExtract(idx)
+}
+
 // holdoutExtract reads and extracts one holdout input with panic
 // isolation around both the store read and the feature code. The input
 // ID is best-effort: "#<idx>" when the read itself failed.

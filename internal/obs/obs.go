@@ -144,6 +144,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 	return m.gauge
 }
 
+// GaugeL is Gauge with one constant label, e.g. shard="0" — the same
+// labeling rule HistogramL follows: series sharing a name must share the
+// label key, and the flat-JSON exposition folds the value into the key.
+func (r *Registry) GaugeL(name, help, labelKey, labelValue string) *Gauge {
+	m := r.declare(&metric{
+		name: name, help: help, kind: kindGauge,
+		labelKey: labelKey, labelValue: labelValue,
+		gauge: &Gauge{},
+	})
+	return m.gauge
+}
+
 // GaugeFunc declares a gauge sampled by calling fn at exposition time —
 // for values owned by another structure (queue depths, cache residency).
 // fn must be safe to call from any goroutine.

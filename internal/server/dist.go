@@ -1,0 +1,73 @@
+package server
+
+import (
+	"net/http"
+
+	"zombie/internal/dist"
+)
+
+// The /dist/* endpoints make any zombie-serve process a distributed-run
+// worker: a coordinator (another zombie-serve, or a test harness) POSTs
+// the dist wire types here and this server executes the steps against its
+// own registered corpora, extraction cache, and telemetry registry. The
+// error convention is the server's usual {"error": "..."} body; the HTTP
+// transport surfaces that message verbatim, which is what keeps failures
+// byte-identical to the in-process local transport.
+
+func (s *Server) handleDistInit(w http.ResponseWriter, r *http.Request) {
+	var req dist.InitRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.distWorker.Init(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDistHoldout(w http.ResponseWriter, r *http.Request) {
+	var req dist.HoldoutRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.distWorker.Holdout(req)
+	if err == nil {
+		err = resp.EncodeResults()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDistStep(w http.ResponseWriter, r *http.Request) {
+	var req dist.StepRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.distWorker.Step(req)
+	if err == nil {
+		err = resp.EncodeResult()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDistFinish(w http.ResponseWriter, r *http.Request) {
+	var req dist.FinishRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.distWorker.Finish(req)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+)
+
+// newWorkerServer boots a full Server with the named corpus registered —
+// the process a production deployment would run with `zombie-serve
+// -corpus name=path` to act as a dist worker.
+func newWorkerServer(t *testing.T, corpusName, path string) *httptest.Server {
+	t.Helper()
+	s, ts := newTestServer(t)
+	if _, err := s.Registry().Add(corpusName, path, false); err != nil {
+		t.Fatal(err)
+	}
+	return ts
+}
+
+// TestDistributedRunMatchesSingleProcess is the server-level identity
+// check: the same RunSpec executed single-process, sharded in-process,
+// and sharded over HTTP against two real zombie-serve workers must
+// produce identical curves and summaries.
+func TestDistributedRunMatchesSingleProcess(t *testing.T) {
+	path := writeImageCorpus(t, 200, 21)
+	coord, _ := newTestServer(t)
+	if _, err := coord.Registry().Add("imgs", path, false); err != nil {
+		t.Fatal(err)
+	}
+	w1 := newWorkerServer(t, "imgs", path)
+	w2 := newWorkerServer(t, "imgs", path)
+
+	base := RunSpec{Corpus: "imgs", Task: "image", MaxInputs: 60, EvalEvery: 20, Seed: 5}
+	submit := func(spec RunSpec) *Run {
+		t.Helper()
+		run, err := coord.Manager().Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		<-run.Done()
+		if st := run.State(); st != StateDone {
+			t.Fatalf("run %s ended %s: %s", run.ID, st, run.Info().Error)
+		}
+		return run
+	}
+
+	ref := submit(base)
+
+	local := base
+	local.Shards = 2
+	lrun := submit(local)
+	if info := lrun.Info(); info.Transport != "local" || len(info.Workers) != 2 {
+		t.Fatalf("local dist info: transport=%q workers=%+v", info.Transport, info.Workers)
+	}
+
+	remote := base
+	remote.DistWorkers = []string{w1.URL, w2.URL}
+	hrun := submit(remote)
+	if info := hrun.Info(); info.Transport != "http" || len(info.Workers) != 2 {
+		t.Fatalf("http dist info: transport=%q workers=%+v", info.Transport, info.Workers)
+	}
+
+	want := ref.Curve()
+	for name, run := range map[string]*Run{"local": lrun, "http": hrun} {
+		if got := run.Curve(); !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s sharded curve diverged:\nwant %+v\ngot  %+v", name, want, got)
+		}
+		ri, wi := run.Info(), ref.Info()
+		if ri.FinalQuality != wi.FinalQuality || ri.InputsProcessed != wi.InputsProcessed || ri.Stop != wi.Stop {
+			t.Fatalf("%s summary diverged: %+v vs %+v", name, ri, wi)
+		}
+	}
+}
+
+// TestDistSubmitValidation pins the sharding-specific submit guards.
+func TestDistSubmitValidation(t *testing.T) {
+	m, _ := newTestManager(t, "imgs", 100, 1, 4)
+	cases := []RunSpec{
+		{Corpus: "imgs", Task: "image", Shards: -1},
+		{Corpus: "imgs", Task: "image", Mode: "scan-random", Shards: 2},
+		{Corpus: "imgs", Task: "image", Mode: "oracle", DistWorkers: []string{"http://x"}},
+		{Corpus: "imgs", Task: "image", Shards: 3, DistWorkers: []string{"http://x", "http://y"}},
+	}
+	for i, spec := range cases {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("case %d (%+v): expected a submit error", i, spec)
+		}
+	}
+}
+
+// TestDistWorkerEndpointUnknownRun: a step against a run that was never
+// initialized on this worker must surface the worker's own error message
+// through the JSON error body — the contract the HTTP transport's
+// message-verbatim behavior rests on.
+func TestDistWorkerEndpointUnknownRun(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp := postJSON(t, ts.URL+"/dist/step", map[string]any{"run_id": "ghost", "step": 1, "idx": 0})
+	body := decodeBody[errorBody](t, resp, http.StatusInternalServerError)
+	if body.Error != `dist: unknown run "ghost" on this worker (init first)` {
+		t.Fatalf("error body %q", body.Error)
+	}
+}

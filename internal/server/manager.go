@@ -12,8 +12,11 @@ import (
 
 	"zombie/internal/bandit"
 	"zombie/internal/core"
+	"zombie/internal/corpus"
+	"zombie/internal/dist"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
+	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/obs"
 	"zombie/internal/parallel"
@@ -68,6 +71,9 @@ type RunDefaults struct {
 	Faults *fault.Injector
 	// MaxFailureFrac is the default failure budget (0 = core's default).
 	MaxFailureFrac float64
+	// DistWorkers lists worker base URLs sharded runs execute over when
+	// their spec names none of its own (see Config.DistWorkers).
+	DistWorkers []string
 }
 
 // NewManager starts a pool of workers goroutines over a queue of queueCap
@@ -189,6 +195,15 @@ func (m *Manager) Submit(spec RunSpec) (*Run, error) {
 	}
 	if spec.TimeoutMillis < 0 {
 		return nil, fmt.Errorf("server: timeout_ms must be >= 0, got %d", spec.TimeoutMillis)
+	}
+	if spec.Shards < 0 {
+		return nil, fmt.Errorf("server: shards must be >= 0, got %d", spec.Shards)
+	}
+	if spec.distributed() && spec.Mode != "zombie" {
+		return nil, fmt.Errorf("server: distributed execution (shards/dist_workers) requires mode zombie, got %q", spec.Mode)
+	}
+	if spec.Shards > 0 && len(spec.DistWorkers) > 0 && spec.Shards != len(spec.DistWorkers) {
+		return nil, fmt.Errorf("server: shards=%d does not match %d dist_workers", spec.Shards, len(spec.DistWorkers))
 	}
 	// Validate the engine configuration (policy and fault specs included)
 	// eagerly so submission errors surface as 400s, not failed runs.
@@ -392,6 +407,9 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 		if err != nil {
 			return nil, err
 		}
+		if spec.distributed() {
+			return m.runDist(ctx, run, eng, store, task, groups)
+		}
 		return eng.RunContext(ctx, task, groups)
 	case "scan-random":
 		return eng.RunScanContext(ctx, task, true)
@@ -402,6 +420,47 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 	default:
 		return nil, fmt.Errorf("server: unknown mode %q", spec.Mode)
 	}
+}
+
+// runDist executes a sharded zombie run through internal/dist. The index
+// was already resolved coordinator-side (through the shared index cache,
+// exactly like a single-process run); only the per-input read + extract
+// work fans out. Worker addresses resolve spec-first, then the server's
+// -dist-workers default, then in-process local workers sharing the
+// server's extraction cache and telemetry registry.
+func (m *Manager) runDist(ctx context.Context, run *Run, eng *core.Engine, store corpus.Store, task *featurepipe.Task, groups *index.Groups) (*core.RunResult, error) {
+	spec := run.spec
+	addrs := spec.DistWorkers
+	shards := spec.Shards
+	if len(addrs) == 0 && shards > 0 && shards <= len(m.defaults.DistWorkers) {
+		addrs = m.defaults.DistWorkers[:shards]
+	}
+	var tr dist.Transport
+	if len(addrs) > 0 {
+		shards = len(addrs)
+		tr = dist.NewHTTPTransport(addrs)
+	} else {
+		tr = dist.NewLocalTransport(store, shards, m.featCache, m.obsRegistry())
+	}
+	defer tr.Close()
+	res, err := dist.Run(ctx, eng, tr, dist.Spec{
+		RunID:          run.ID,
+		Corpus:         spec.Corpus,
+		Task:           spec.Task,
+		FeatureVersion: spec.FeatureVersion,
+		Seed:           spec.Seed,
+		Shards:         shards,
+		FaultSpec:      spec.Faults,
+		FaultSeed:      spec.FaultSeed,
+		Obs:            m.obsRegistry(),
+	}, task, groups)
+	if err != nil {
+		return nil, err
+	}
+	run.setDist(res.Transport, res.Workers)
+	m.log.Info("distributed run merged", "run", run.ID,
+		"transport", res.Transport, "shards", shards)
+	return res.RunResult, nil
 }
 
 // Index builds are retried because they are the one run phase with a

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"zombie/internal/core"
+	"zombie/internal/dist"
 	"zombie/internal/trace"
 )
 
@@ -64,6 +65,22 @@ type RunSpec struct {
 	// chaos tests submit runs with their own spec.
 	Faults    string `json:"faults,omitempty"`
 	FaultSeed int64  `json:"fault_seed,omitempty"`
+	// Shards > 0 executes the run distributed over that many corpus shards
+	// (zombie mode only). The curve is byte-identical to the single-process
+	// run for the same seed — shards only change where steps execute.
+	// Without worker addresses the shards run on in-process workers.
+	Shards int `json:"shards,omitempty"`
+	// DistWorkers lists worker base URLs (zombie-serve processes serving
+	// /dist/*) to execute the shards over HTTP; its length must match
+	// shards when both are set. Empty inherits the server's -dist-workers
+	// default, if any.
+	DistWorkers []string `json:"dist_workers,omitempty"`
+}
+
+// distributed reports whether the spec asks for the sharded execution
+// path (which requires mode zombie; Submit enforces that).
+func (s *RunSpec) distributed() bool {
+	return s.Shards > 0 || len(s.DistWorkers) > 0
 }
 
 // traceRingCap bounds each traced run's event ring. Long runs drop their
@@ -98,6 +115,10 @@ type Run struct {
 	errMsg   string
 	cancel   context.CancelFunc
 	timedOut bool
+	// distTransport / distWorkers record the distribution summary for
+	// sharded runs, set by the manager before the run finishes.
+	distTransport string
+	distWorkers   []dist.WorkerStats
 
 	// ring holds the run's recent step events (nil unless spec.Trace). The
 	// engine goroutine appends while HTTP handlers snapshot concurrently;
@@ -158,6 +179,11 @@ type RunInfo struct {
 	// TimedOut marks a cancelled run that hit its deadline rather than a
 	// client's DELETE.
 	TimedOut bool `json:"timed_out,omitempty"`
+	// Transport and Workers describe a distributed run's execution: which
+	// transport carried the steps ("local" or "http") and each worker's
+	// share. Absent for single-process runs.
+	Transport string             `json:"transport,omitempty"`
+	Workers   []dist.WorkerStats `json:"workers,omitempty"`
 }
 
 // Info snapshots the run.
@@ -195,7 +221,18 @@ func (r *Run) Info() RunInfo {
 		info.TraceEvents = r.ring.Len()
 	}
 	info.TimedOut = r.timedOut
+	info.Transport = r.distTransport
+	info.Workers = r.distWorkers
 	return info
+}
+
+// setDist records a sharded run's distribution summary; called by the
+// manager once the coordinator has merged the result.
+func (r *Run) setDist(transport string, workers []dist.WorkerStats) {
+	r.mu.Lock()
+	r.distTransport = transport
+	r.distWorkers = workers
+	r.mu.Unlock()
 }
 
 // setTimedOut marks the run as deadline-expired; called by the worker

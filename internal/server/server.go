@@ -17,6 +17,10 @@
 //	                             ("point" + "trace" frames, then "status")
 //	GET    /runs/{id}/events     step-level trace as CSV (spec.trace runs)
 //	GET    /runs/{id}/trace      trace-ring snapshot as JSON, live mid-run
+//	POST   /dist/{init,holdout,step,finish}
+//	                             distributed-run worker endpoints: a
+//	                             coordinator drives this server's corpus
+//	                             shards through them (internal/dist)
 //	DELETE /cache                invalidate the shared extraction cache
 //	GET    /healthz              liveness + build info + run-state counts
 //	GET    /metrics              expvar-style counter map (extraction-cache
@@ -37,6 +41,7 @@ import (
 
 	"zombie/internal/buildinfo"
 	"zombie/internal/core"
+	"zombie/internal/dist"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
@@ -68,7 +73,16 @@ type Config struct {
 	// Faults injects deterministic failures into every run without its own
 	// faults spec — chaos deployments only; normally nil. It is also passed
 	// to the extraction cache, covering the cache.read/cache.write sites.
+	// Distributed runs are the exception: their workers rebuild injectors
+	// from the run's own faults spec string, so this default does not reach
+	// them.
 	Faults *fault.Injector
+	// DistWorkers lists worker base URLs (other zombie-serve processes
+	// serving /dist/*) that sharded runs execute over by default: a run
+	// submitted with shards=N and no dist_workers of its own uses the first
+	// N of these over HTTP. Empty means sharded runs execute on in-process
+	// workers.
+	DistWorkers []string
 	// Logger receives structured lifecycle logs (run start/finish, cache
 	// invalidations). Nil discards them.
 	Logger *slog.Logger
@@ -77,13 +91,14 @@ type Config struct {
 // Server wires the registry, index cache, extraction cache, run manager,
 // metrics and telemetry registry behind one http.Handler.
 type Server struct {
-	registry  *Registry
-	cache     *IndexCache
-	featCache *featcache.Cache
-	manager   *Manager
-	metrics   *Metrics
-	obs       *obs.Registry
-	log       *slog.Logger
+	registry   *Registry
+	cache      *IndexCache
+	featCache  *featcache.Cache
+	manager    *Manager
+	distWorker *dist.Worker
+	metrics    *Metrics
+	obs        *obs.Registry
+	log        *slog.Logger
 	// httpSeconds times every request the handler serves (SSE streams
 	// included, observed at disconnect).
 	httpSeconds *obs.Histogram
@@ -123,15 +138,21 @@ func New(cfg Config) (*Server, error) {
 		Timeout:        cfg.RunTimeout,
 		Faults:         cfg.Faults,
 		MaxFailureFrac: cfg.MaxFailureFrac,
+		DistWorkers:    cfg.DistWorkers,
 	}
 	s := &Server{
 		registry:  registry,
 		cache:     cache,
 		featCache: featCache,
 		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap, defaults),
-		metrics:   metrics,
-		obs:       reg,
-		log:       cfg.Logger,
+		// The dist worker shares the server's corpus registry, extraction
+		// cache, and telemetry registry: serving a coordinator's steps is
+		// just another way of running the inner loop over this process's
+		// corpora.
+		distWorker: dist.NewWorker(registry.Get, featCache, reg),
+		metrics:    metrics,
+		obs:        reg,
+		log:        cfg.Logger,
 		httpSeconds: reg.Histogram("zombie_http_request_seconds",
 			"HTTP request service time (streaming requests observe at disconnect).",
 			obs.LatencyBuckets),
@@ -159,6 +180,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
 	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
 	s.mux.HandleFunc("DELETE /cache", s.handleCacheInvalidate)
+	s.mux.HandleFunc("POST /dist/init", s.handleDistInit)
+	s.mux.HandleFunc("POST /dist/holdout", s.handleDistHoldout)
+	s.mux.HandleFunc("POST /dist/step", s.handleDistStep)
+	s.mux.HandleFunc("POST /dist/finish", s.handleDistFinish)
 	return s, nil
 }
 
