@@ -28,7 +28,7 @@ STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 COVER_PKGS := ./internal/core ./internal/featcache ./internal/fault
 COVER_FLOOR := 70
 
-.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke bench-gate dist-smoke ci
+.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke bench-gate dist-smoke batch-smoke ci
 
 all: build
 
@@ -294,4 +294,37 @@ dist-smoke:
 	steps=$$(jq '[.workers[].steps] | add' $$tmp/dist.info); \
 	echo "dist-smoke OK: http transport over 2 workers, $$steps worker steps, curve identical to single-process"
 
-ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke dist-smoke
+# batch-smoke proves the batched inner loop's contracts end to end through
+# the CLI: -batch 1 must be byte-identical to the default per-step loop, a
+# -batch 8 run must replay byte-identically, and the same K=8 run sharded
+# over 2 in-process dist workers (the StepBatch RPC path) must match the
+# single-process K=8 run — the wall-clock (built:), per-worker (dist:),
+# and cache counter lines aside.
+batch-smoke:
+	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 2>/dev/null \
+		| grep -v '^built \|^dist:\|^cache:' > $$tmp/default.out && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 -batch 1 2>/dev/null \
+		| grep -v '^built \|^dist:\|^cache:' > $$tmp/k1.out && \
+	if ! cmp -s $$tmp/default.out $$tmp/k1.out; then \
+		echo "batch-smoke: -batch 1 diverged from the default loop"; \
+		diff $$tmp/default.out $$tmp/k1.out; exit 1; \
+	fi && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 -batch 8 2>/dev/null \
+		| grep -v '^built \|^dist:\|^cache:' > $$tmp/k8a.out && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 -batch 8 2>/dev/null \
+		| grep -v '^built \|^dist:\|^cache:' > $$tmp/k8b.out && \
+	if ! cmp -s $$tmp/k8a.out $$tmp/k8b.out; then \
+		echo "batch-smoke: same-seed -batch 8 runs differ"; \
+		diff $$tmp/k8a.out $$tmp/k8b.out; exit 1; \
+	fi && \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 -batch 8 -shards 2 2>/dev/null \
+		| grep -v '^built \|^dist:\|^cache:' > $$tmp/k8s.out && \
+	if ! cmp -s $$tmp/k8a.out $$tmp/k8s.out; then \
+		echo "batch-smoke: -batch 8 -shards 2 diverged from single-process -batch 8"; \
+		diff $$tmp/k8a.out $$tmp/k8s.out; exit 1; \
+	fi && \
+	echo "batch-smoke OK: K=1 == default, K=8 deterministic, K=8 over 2 shards == single-process"
+
+ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke dist-smoke batch-smoke

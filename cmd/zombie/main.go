@@ -53,6 +53,7 @@ func run() error {
 	k := flag.Int("k", 32, "number of index groups")
 	seed := flag.Int64("seed", 1, "random seed")
 	maxInputs := flag.Int("max", 0, "input budget (0 = exhaust the pool)")
+	batch := flag.Int("batch", 0, "inputs popped per arm pull (0/1 = classic per-step loop; K>1 amortizes selection, evaluation and RPCs — see DESIGN.md §13)")
 	maxTime := flag.Duration("max-time", 0, "simulated-time budget, e.g. 20m (0 = none)")
 	earlyStop := flag.Bool("early-stop", false, "enable plateau early stopping")
 	version := flag.Int("feature-version", 0, "feature-code version (0 = task default)")
@@ -134,6 +135,7 @@ func run() error {
 		MaxInputs:      *maxInputs,
 		MaxSimTime:     *maxTime,
 		MaxFailureFrac: *maxFailures,
+		BatchSize:      *batch,
 	}
 	if *earlyStop {
 		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}

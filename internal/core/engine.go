@@ -223,6 +223,26 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 			float64(loopQuarantined) > e.cfg.MaxFailureFrac*float64(steps)
 	}
 
+	// The loop processes inputs in batches of up to BatchSize per arm pull
+	// (K=1, the default, is the classic per-step bandit; its decision
+	// stream — and therefore its output — is byte-identical to the
+	// pre-batching loop). Per-batch scratch is allocated once and reused:
+	// the inner loop must not pay an allocation per processed input.
+	deltaBased := e.cfg.Reward != RewardUsefulness
+	batchExec, _ := exec.(BatchExecutor)
+	batchCap := e.cfg.BatchSize
+	rewards := make([]float64, 0, batchCap)
+	errMsgs := make([]string, 0, batchCap)
+	simAt := make([]time.Duration, 0, batchCap)
+	var outs []StepOutcome
+	var errs []error
+	var out1 [1]StepOutcome // K=1 fast path: no per-step slice allocation
+	var err1 [1]error
+	if batchExec == nil && batchCap > 1 {
+		outs = make([]StepOutcome, 0, batchCap)
+		errs = make([]error, 0, batchCap)
+	}
+
 	stop := StopExhausted
 	steps := 0
 loop:
@@ -239,126 +259,196 @@ loop:
 			stop = StopBudget
 			break
 		}
+		// Clamp the batch to the remaining input budget so a batch never
+		// overshoots MaxInputs: a K=16 run with MaxInputs=100 processes
+		// exactly 100 inputs, same as K=1 would.
+		k := e.cfg.BatchSize
+		if e.cfg.MaxInputs > 0 && steps+k > e.cfg.MaxInputs {
+			k = e.cfg.MaxInputs - steps
+		}
 		tSelect := time.Now()
-		idx, arm, ok := src.next()
+		idxs, arm, ok := src.nextBatch(k)
 		dSelect := time.Since(tSelect)
 		phases.Select += dSelect
 		po.observe(phSelect, dSelect)
 		if !ok {
 			break // pool exhausted
 		}
-		steps++
+		// The selected arm may hold fewer than k inputs; the short batch
+		// still trains and evaluates normally (see TestPartialBatch).
+		batchStart := steps
 		tStep := time.Now()
-		out, execErr := exec.ExecuteStep(ctx, steps, idx)
-		stepWall := time.Since(tStep)
-		if execErr != nil {
-			// The step never executed: the worker owning this input is dead
-			// or unreachable past the transport's retries. Degrade exactly
-			// like data loss — no cost charged, the arm learns nothing good
-			// came of the pull, the input is quarantined by store index —
-			// so a lost worker trips the same failure budget a corrupt
-			// shard would. The whole step wall is transport time.
-			phases.RPC += stepWall
-			po.observe(phRPC, stepWall)
-			loopQuarantined++
-			res.Quarantined = append(res.Quarantined, Quarantine{
-				InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteDistStep),
-				Step: steps, Reason: execErr.Error(),
-			})
-			src.feedback(arm, 0)
-			emit(trace.Event{
-				Step: steps, InputIdx: idx, Arm: arm,
-				Err: execErr.Error(), SimTime: simTime, Quarantined: true,
-			})
-			if overBudget(steps) {
-				stop = StopFailed
-				break loop
-			}
-			continue
-		}
-		// Read and extract are timed where they ran (on a remote worker,
-		// inside the worker process); the remainder of the step wall is
-		// transport overhead — nanoseconds of call dispatch for the local
-		// executor, real serialization and network time for http.
-		dRead := time.Duration(out.ReadNanos)
-		phases.Read += dRead
-		po.observe(phRead, dRead)
-		if rpc := stepWall - time.Duration(out.ReadNanos+out.ExtractNanos); rpc > 0 {
-			phases.RPC += rpc
-			po.observe(phRPC, rpc)
-		}
-		if out.ReadErr != "" {
-			// The input could not even be loaded: no cost is charged (the
-			// payload never arrived), the arm learns nothing good came of
-			// the pull, and the input is quarantined by store index.
-			loopQuarantined++
-			res.Quarantined = append(res.Quarantined, Quarantine{
-				InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteCorpusRead),
-				Step: steps, Reason: out.ReadErr,
-			})
-			src.feedback(arm, 0)
-			emit(trace.Event{
-				Step: steps, InputIdx: idx, Arm: arm,
-				Err: out.ReadErr, SimTime: simTime, Quarantined: true,
-			})
-			if overBudget(steps) {
-				stop = StopFailed
-				break loop
-			}
-			continue
-		}
-		simTime += out.Cost
-
-		dExtract := time.Duration(out.ExtractNanos)
-		phases.Extract += dExtract
-		po.observe(phExtract, dExtract)
-		extRes := out.Res
-		reward := 0.0
-		errMsg := ""
 		switch {
-		case out.ExtractErr != "":
-			res.Errors++
-			errMsg = out.ExtractErr
-			if out.Panicked {
-				// A panic is categorically worse than a returned error:
-				// the feature code lost control on this input. Quarantine
-				// it so the run report names every input of this kind.
+		case len(idxs) == 1:
+			// Single-input batches dispatch through ExecuteStep so a K=1
+			// run issues exactly the calls (and, distributed, the RPCs)
+			// the pre-batching loop issued.
+			out1[0], err1[0] = exec.ExecuteStep(ctx, steps+1, idxs[0])
+			outs, errs = out1[:], err1[:]
+		case batchExec != nil:
+			outs, errs = batchExec.ExecuteBatch(ctx, steps+1, idxs)
+		default:
+			outs, errs = outs[:0], errs[:0]
+			for j, idx := range idxs {
+				out, err := exec.ExecuteStep(ctx, steps+1+j, idx)
+				outs = append(outs, out)
+				errs = append(errs, err)
+			}
+		}
+		batchWall := time.Since(tStep)
+
+		// Pass 1 — account and train, in input order. Failures quarantine
+		// exactly as before: an executor error (dead worker past the
+		// transport's retries) or a read error charges no cost and
+		// quarantines by store index; a feature-code panic quarantines by
+		// input ID. Delta-based rewards bracket the whole batch with one
+		// before/after measurement of the reward holdout — the batch-train
+		// amortization — which at K=1 degenerates to the exact per-input
+		// bracket the loop always used.
+		rewards, errMsgs, simAt = rewards[:0], errMsgs[:0], simAt[:0]
+		var before float64
+		beforeDone := false
+		trained := 0         // produced examples trained this batch
+		advanced := false    // any input reached the extract stage
+		quarantined := false // any input quarantined this batch
+		var workNanos int64  // worker-side read+extract time, for rpc split
+		for j, idx := range idxs {
+			steps++
+			rewards = append(rewards, 0)
+			errMsgs = append(errMsgs, "")
+			simAt = append(simAt, simTime)
+			if errs[j] != nil {
+				quarantined = true
 				loopQuarantined++
+				errMsgs[j] = errs[j].Error()
 				res.Quarantined = append(res.Quarantined, Quarantine{
-					InputID: out.InputID, Site: string(fault.SiteExtract),
-					Step: steps, Reason: errMsg,
+					InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteDistStep),
+					Step: steps, Reason: errMsgs[j],
 				})
+				continue
 			}
-		case extRes.Produced:
-			res.Produced++
-			if extRes.Useful {
-				res.Useful++
+			out := &outs[j]
+			workNanos += out.ReadNanos + out.ExtractNanos
+			dRead := time.Duration(out.ReadNanos)
+			phases.Read += dRead
+			po.observe(phRead, dRead)
+			if out.ReadErr != "" {
+				quarantined = true
+				loopQuarantined++
+				errMsgs[j] = out.ReadErr
+				res.Quarantined = append(res.Quarantined, Quarantine{
+					InputID: "#" + strconv.Itoa(idx), Site: string(fault.SiteCorpusRead),
+					Step: steps, Reason: out.ReadErr,
+				})
+				continue
 			}
-			tTrain := time.Now()
-			reward = e.rewardFor(extRes, model, rewardHold)
-			dTrain := time.Since(tTrain)
-			phases.Train += dTrain
-			po.observe(phTrain, dTrain)
-			if !e.cfg.EvalIncremental {
-				if fromScratch {
-					collected = append(collected, extRes.Example)
+			advanced = true
+			simTime += out.Cost
+			simAt[j] = simTime
+			dExtract := time.Duration(out.ExtractNanos)
+			phases.Extract += dExtract
+			po.observe(phExtract, dExtract)
+			switch {
+			case out.ExtractErr != "":
+				res.Errors++
+				errMsgs[j] = out.ExtractErr
+				if out.Panicked {
+					// A panic is categorically worse than a returned error:
+					// the feature code lost control on this input. Quarantine
+					// it so the run report names every input of this kind.
+					quarantined = true
+					loopQuarantined++
+					res.Quarantined = append(res.Quarantined, Quarantine{
+						InputID: out.InputID, Site: string(fault.SiteExtract),
+						Step: steps, Reason: errMsgs[j],
+					})
+				}
+			case out.Res.Produced:
+				res.Produced++
+				if out.Res.Useful {
+					res.Useful++
+				}
+				tTrain := time.Now()
+				if deltaBased {
+					// rewards[j] temporarily holds the usefulness bit; the
+					// shared batch delta folds in after the batch trains.
+					if !beforeDone {
+						before = rewardHold.Quality(model)
+						beforeDone = true
+					}
+					model.PartialFit(out.Res.Example)
+					trained++
+					if out.Res.Useful {
+						rewards[j] = 1
+					}
 				} else {
-					pending = append(pending, extRes.Example)
+					rewards[j] = e.rewardFor(out.Res, model, rewardHold)
+				}
+				dTrain := time.Since(tTrain)
+				phases.Train += dTrain
+				po.observe(phTrain, dTrain)
+				if !e.cfg.EvalIncremental {
+					if fromScratch {
+						collected = append(collected, out.Res.Example)
+					} else {
+						pending = append(pending, out.Res.Example)
+					}
 				}
 			}
 		}
-		src.feedback(arm, reward)
-		emit(trace.Event{
-			Step: steps, InputIdx: idx, Arm: arm, Reward: reward,
-			Produced: extRes.Produced, Useful: extRes.Useful, Err: errMsg,
-			SimTime: simTime, CacheHit: out.CacheHit, Quarantined: out.Panicked,
-		})
-		if out.Panicked && overBudget(steps) {
+		// Read and extract are timed where they ran (on a remote worker,
+		// inside the worker process); the remainder of the batch wall is
+		// transport overhead — nanoseconds of call dispatch for the local
+		// executor, real serialization and network time for http. A batch
+		// that never executed (dead worker) is all transport time.
+		if rpc := batchWall - time.Duration(workNanos); rpc > 0 {
+			phases.RPC += rpc
+			po.observe(phRPC, rpc)
+		}
+
+		// Pass 2 — close the delta-reward bracket: one "after" measurement
+		// for the whole batch; every produced input shares the batch delta.
+		if deltaBased && trained > 0 {
+			tTrain := time.Now()
+			after := rewardHold.Quality(model)
+			delta := clamp01((after - before) * e.cfg.RewardScale)
+			dTrain := time.Since(tTrain)
+			phases.Train += dTrain
+			po.observe(phTrain, dTrain)
+			for j := range idxs {
+				if errs[j] == nil && outs[j].Res.Produced {
+					if e.cfg.Reward == RewardQualityDelta {
+						rewards[j] = delta
+					} else { // RewardHybrid
+						rewards[j] = 0.5*rewards[j] + 0.5*delta
+					}
+				}
+			}
+		}
+
+		// Pass 3 — credit the arm once per input and emit the step events,
+		// in input order.
+		for j, idx := range idxs {
+			out := &outs[j]
+			src.feedback(arm, rewards[j])
+			emit(trace.Event{
+				Step: batchStart + 1 + j, InputIdx: idx, Arm: arm, Reward: rewards[j],
+				Produced: out.Res.Produced, Useful: out.Res.Useful, Err: errMsgs[j],
+				SimTime: simAt[j], CacheHit: out.CacheHit,
+				Quarantined: errs[j] != nil || out.ReadErr != "" || out.Panicked,
+			})
+		}
+		if quarantined && overBudget(steps) {
 			stop = StopFailed
 			break loop
 		}
 
-		if steps%e.cfg.EvalEvery == 0 {
+		// Evaluate once per batch boundary: whenever this batch pushed the
+		// processed-input count across a multiple of EvalEvery. At K=1 the
+		// condition is exactly steps%EvalEvery == 0. A batch whose every
+		// input failed before extraction records no point, matching the
+		// per-step loop's behavior on failed steps.
+		if advanced && steps/e.cfg.EvalEvery > batchStart/e.cfg.EvalEvery {
 			q := evaluate()
 			record(CurvePoint{Inputs: steps, Quality: q, SimTime: simTime})
 			plateau := detector.Observe(q)

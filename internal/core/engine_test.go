@@ -43,7 +43,7 @@ func imageTask(t *testing.T, n int, seed int64) (*featurepipe.Task, *index.Group
 	return task, groups
 }
 
-func wikiTask(t *testing.T, n int, seed int64) (*featurepipe.Task, *index.Groups) {
+func wikiTask(t testing.TB, n int, seed int64) (*featurepipe.Task, *index.Groups) {
 	t.Helper()
 	cfg := corpus.DefaultWikiConfig()
 	cfg.N = n
@@ -72,7 +72,7 @@ func wikiTask(t *testing.T, n int, seed int64) (*featurepipe.Task, *index.Groups
 	return task, groups
 }
 
-func mustEngine(t *testing.T, cfg Config) *Engine {
+func mustEngine(t testing.TB, cfg Config) *Engine {
 	t.Helper()
 	e, err := New(cfg)
 	if err != nil {

@@ -43,6 +43,23 @@ type Executor interface {
 	Stats() ExecutorStats
 }
 
+// BatchExecutor is an Executor that can execute a whole batch of steps in
+// one call — the seam the batched bandit loop (Config.BatchSize > 1) uses
+// to amortize per-input dispatch, and the distributed coordinator
+// implements with one StepBatch RPC per owning worker instead of one Step
+// RPC per input. Executors that don't implement it still work at any K:
+// the loop falls back to per-input ExecuteStep calls.
+type BatchExecutor interface {
+	Executor
+	// ExecuteBatch executes the inputs at store indices idxs; firstStep is
+	// the loop's step counter for idxs[0] (idxs[j] runs as step
+	// firstStep+j). Outcomes and errors are positional: outs[j]/errs[j]
+	// belong to idxs[j], with errs[j] non-nil exactly when ExecuteStep
+	// would have returned an error for that input — a per-input failure
+	// must not poison the rest of the batch. Both slices have len(idxs).
+	ExecuteBatch(ctx context.Context, firstStep int, idxs []int) (outs []StepOutcome, errs []error)
+}
+
 // StepOutcome is everything the loop needs back from executing one input.
 type StepOutcome struct {
 	// InputID is the corpus input's ID (empty when the read failed).
@@ -139,6 +156,19 @@ func (x *LocalExecutor) ExecuteStep(_ context.Context, _, idx int) (StepOutcome,
 	// (composite features may hit on several parts; any counts).
 	out.CacheHit = x.ctrs != nil && x.ctrs.Hits.Load() > hitsBefore
 	return out, nil
+}
+
+// ExecuteBatch implements BatchExecutor by executing the inputs in order
+// through ExecuteStep. In-process there is nothing to amortize at the
+// dispatch layer — the batching win for local runs comes from the loop's
+// amortized selection, evaluation and reward accounting.
+func (x *LocalExecutor) ExecuteBatch(ctx context.Context, firstStep int, idxs []int) ([]StepOutcome, []error) {
+	outs := make([]StepOutcome, len(idxs))
+	errs := make([]error, len(idxs))
+	for j, idx := range idxs {
+		outs[j], errs[j] = x.ExecuteStep(ctx, firstStep+j, idx)
+	}
+	return outs, errs
 }
 
 func (x *LocalExecutor) Stats() ExecutorStats {

@@ -12,10 +12,18 @@ import (
 // inputSource abstracts where the next input comes from, so the bandit
 // engine and the scan baselines share one inner loop.
 type inputSource interface {
-	// next returns the next input's store index and the arm that chose
-	// it; ok is false when the source is exhausted.
-	next() (inputIdx, arm int, ok bool)
-	// feedback credits the reward for the most recent pull of arm.
+	// nextBatch returns up to k input store indices popped under one
+	// selection decision, and the arm that chose them; ok is false when
+	// the source is exhausted. Exactly one policy decision (and therefore
+	// one RNG draw sequence) is consumed per call regardless of k, which
+	// is what makes nextBatch(1) consume randomness identically to the
+	// pre-batching per-step loop. The returned slice may alias internal
+	// storage and is only valid until the next call. A short batch (fewer
+	// than k indices) means the chosen arm ran out of inputs, not that the
+	// source is exhausted — the caller keeps pulling.
+	nextBatch(k int) (idxs []int, arm int, ok bool)
+	// feedback credits the reward for one input of the most recent pull
+	// of arm; a batch of n inputs feeds back n times.
 	feedback(arm int, reward float64)
 	// name labels the selection strategy in results.
 	name() string
@@ -33,6 +41,7 @@ type banditSource struct {
 	members [][]int
 	cursor  []int
 	elig    []bool
+	batch   []int // reused across nextBatch calls
 	label   string
 }
 
@@ -72,7 +81,7 @@ func newBanditSource(groups *index.Groups, pool []bool, spec bandit.Spec,
 	return s, nil
 }
 
-func (s *banditSource) next() (int, int, bool) {
+func (s *banditSource) nextBatch(k int) ([]int, int, bool) {
 	any := false
 	for g := range s.members {
 		ok := s.cursor[g] < len(s.members[g])
@@ -80,12 +89,21 @@ func (s *banditSource) next() (int, int, bool) {
 		any = any || ok
 	}
 	if !any {
-		return 0, 0, false
+		return nil, 0, false
 	}
 	arm := s.policy.Select(s.elig)
-	idx := s.members[arm][s.cursor[arm]]
-	s.cursor[arm]++
-	return idx, arm, true
+	// Pop up to k consecutive members from the selected arm. When the arm
+	// holds fewer than k the batch is short — the caller handles partial
+	// batches; the arm simply becomes ineligible on the next pull.
+	if remaining := len(s.members[arm]) - s.cursor[arm]; k > remaining {
+		k = remaining
+	}
+	s.batch = s.batch[:0]
+	for i := 0; i < k; i++ {
+		s.batch = append(s.batch, s.members[arm][s.cursor[arm]])
+		s.cursor[arm]++
+	}
+	return s.batch, arm, true
 }
 
 func (s *banditSource) feedback(arm int, reward float64) { s.policy.Update(arm, reward) }
@@ -100,13 +118,16 @@ type scanSource struct {
 	label  string
 }
 
-func (s *scanSource) next() (int, int, bool) {
+func (s *scanSource) nextBatch(k int) ([]int, int, bool) {
 	if s.cursor >= len(s.order) {
-		return 0, 0, false
+		return nil, 0, false
 	}
-	idx := s.order[s.cursor]
-	s.cursor++
-	return idx, 0, true
+	if remaining := len(s.order) - s.cursor; k > remaining {
+		k = remaining
+	}
+	batch := s.order[s.cursor : s.cursor+k]
+	s.cursor += k
+	return batch, 0, true
 }
 
 func (s *scanSource) feedback(int, float64)      {}

@@ -110,10 +110,11 @@ type coordinator struct {
 	sm      *ShardMap
 	workers []WorkerStats
 
-	rpcInit    *obs.Histogram
-	rpcHoldout *obs.Histogram
-	rpcStep    *obs.Histogram
-	rpcFinish  *obs.Histogram
+	rpcInit      *obs.Histogram
+	rpcHoldout   *obs.Histogram
+	rpcStep      *obs.Histogram
+	rpcStepBatch *obs.Histogram
+	rpcFinish    *obs.Histogram
 
 	finishOnce sync.Once
 	stats      core.ExecutorStats
@@ -146,6 +147,7 @@ func newCoordinator(tr Transport, spec Spec, task *featurepipe.Task) (*coordinat
 		c.rpcInit = spec.Obs.HistogramL(name, help, "method", "init", obs.LatencyBuckets)
 		c.rpcHoldout = spec.Obs.HistogramL(name, help, "method", "holdout", obs.LatencyBuckets)
 		c.rpcStep = spec.Obs.HistogramL(name, help, "method", "step", obs.LatencyBuckets)
+		c.rpcStepBatch = spec.Obs.HistogramL(name, help, "method", "step-batch", obs.LatencyBuckets)
 		c.rpcFinish = spec.Obs.HistogramL(name, help, "method", "finish", obs.LatencyBuckets)
 	}
 	return c, nil
@@ -317,6 +319,84 @@ func (c *coordinator) ExecuteStep(ctx context.Context, step, idx int) (core.Step
 		ReadNanos:    resp.ReadNanos,
 		ExtractNanos: resp.ExtractNanos,
 	}, nil
+}
+
+// ExecuteBatch implements core.BatchExecutor: group the batch by owning
+// shard and send ONE StepBatch per shard — for a batch of K inputs over S
+// shards that is at most min(K, S) round trips instead of K, which is the
+// distributed payoff of Config.BatchSize. Shard calls run concurrently
+// (like real workers serving independent requests); outcomes are
+// reassembled positionally, so the engine sees exactly what K per-item
+// ExecuteStep calls would have produced. A shard whose whole call fails
+// after retries errors each of its items — infrastructure loss degrades
+// per input, exactly like the per-item path.
+func (c *coordinator) ExecuteBatch(ctx context.Context, firstStep int, idxs []int) ([]core.StepOutcome, []error) {
+	outs := make([]core.StepOutcome, len(idxs))
+	errs := make([]error, len(idxs))
+	// Group batch positions by owner, owners in first-seen (batch) order.
+	var owners []int
+	positions := map[int][]int{}
+	for p, idx := range idxs {
+		owner := c.sm.Owner(idx)
+		if owner < 0 {
+			errs[p] = fmt.Errorf("dist: step %d: input %d outside the shard map", firstStep+p, idx)
+			continue
+		}
+		if _, seen := positions[owner]; !seen {
+			owners = append(owners, owner)
+		}
+		positions[owner] = append(positions[owner], p)
+	}
+	parallel.ForEach(len(owners), len(owners), func(i int) {
+		owner := owners[i]
+		ps := positions[owner]
+		req := StepBatchRequest{
+			RunID: c.spec.RunID,
+			Steps: make([]int, len(ps)),
+			Idxs:  make([]int, len(ps)),
+		}
+		for j, p := range ps {
+			req.Steps[j] = firstStep + p
+			req.Idxs[j] = idxs[p]
+		}
+		var resp StepBatchResponse
+		err := c.withRetry(ctx, c.rpcStepBatch, owner, func(ctx context.Context) error {
+			r, err := c.clients[owner].StepBatch(ctx, req)
+			if err == nil {
+				resp = r
+			}
+			return err
+		})
+		if err == nil && len(resp.Items) != len(ps) {
+			err = fmt.Errorf("dist: worker %d returned %d outcomes for %d batched steps", owner, len(resp.Items), len(ps))
+		}
+		if err != nil {
+			for j, p := range ps {
+				errs[p] = fmt.Errorf("dist: worker %d failed step %d (input %d): %v", owner, req.Steps[j], req.Idxs[j], err)
+			}
+			return
+		}
+		for j, p := range ps {
+			it := &resp.Items[j]
+			if it.Err != "" {
+				errs[p] = fmt.Errorf("dist: worker %d failed step %d (input %d): %v", owner, req.Steps[j], req.Idxs[j], it.Err)
+				continue
+			}
+			c.workers[owner].Steps++
+			outs[p] = core.StepOutcome{
+				InputID:      it.InputID,
+				ReadErr:      it.ReadErr,
+				Cost:         time.Duration(it.CostNanos),
+				Res:          it.Result,
+				ExtractErr:   it.ExtractErr,
+				Panicked:     it.Panicked,
+				CacheHit:     it.CacheHit,
+				ReadNanos:    it.ReadNanos,
+				ExtractNanos: it.ExtractNanos,
+			}
+		}
+	})
+	return outs, errs
 }
 
 // Stats collects worker tallies, finishing the run on every worker the

@@ -127,6 +127,22 @@ func distWorkerHandler(w *Worker) http.Handler {
 		}
 		writeJSON(rw, http.StatusOK, resp)
 	})
+	mux.HandleFunc("POST /dist/step-batch", func(rw http.ResponseWriter, r *http.Request) {
+		var req StepBatchRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			fail(rw, err)
+			return
+		}
+		resp, err := w.StepBatch(req)
+		if err == nil {
+			err = resp.EncodeResults()
+		}
+		if err != nil {
+			fail(rw, err)
+			return
+		}
+		writeJSON(rw, http.StatusOK, resp)
+	})
 	mux.HandleFunc("POST /dist/finish", func(rw http.ResponseWriter, r *http.Request) {
 		var req FinishRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {

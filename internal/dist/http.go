@@ -127,6 +127,17 @@ func (c *httpClient) Step(ctx context.Context, req StepRequest) (StepResponse, e
 	return resp, nil
 }
 
+func (c *httpClient) StepBatch(ctx context.Context, req StepBatchRequest) (StepBatchResponse, error) {
+	var resp StepBatchResponse
+	if err := c.post(ctx, "/dist/step-batch", req, &resp); err != nil {
+		return StepBatchResponse{}, err
+	}
+	if err := resp.DecodeResults(); err != nil {
+		return StepBatchResponse{}, err
+	}
+	return resp, nil
+}
+
 func (c *httpClient) Finish(ctx context.Context, req FinishRequest) (FinishResponse, error) {
 	var resp FinishResponse
 	if err := c.post(ctx, "/dist/finish", req, &resp); err != nil {

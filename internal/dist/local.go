@@ -104,6 +104,15 @@ func (c *localClient) Step(ctx context.Context, req StepRequest) (StepResponse, 
 	return resp, err
 }
 
+func (c *localClient) StepBatch(ctx context.Context, req StepBatchRequest) (StepBatchResponse, error) {
+	var resp StepBatchResponse
+	var err error
+	if derr := c.do(ctx, func() { resp, err = c.w.StepBatch(req) }); derr != nil {
+		return StepBatchResponse{}, derr
+	}
+	return resp, err
+}
+
 func (c *localClient) Finish(ctx context.Context, req FinishRequest) (FinishResponse, error) {
 	var resp FinishResponse
 	var err error

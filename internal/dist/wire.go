@@ -95,6 +95,36 @@ type StepResponse struct {
 	Result    featurepipe.Result `json:"-"`
 }
 
+// StepBatchRequest asks the owning worker to execute a whole batch of
+// bandit steps in one call — the transport-level half of Config.BatchSize:
+// the coordinator groups each engine batch by owning shard and sends one
+// StepBatch per shard instead of one Step per input. Steps[j] is the
+// engine loop's step counter for Idxs[j], exactly the number a per-item
+// Step call would carry; the slices are parallel and must have equal
+// length.
+type StepBatchRequest struct {
+	RunID string `json:"run_id"`
+	Steps []int  `json:"steps"`
+	Idxs  []int  `json:"idxs"`
+}
+
+// StepBatchItem is one input's outcome inside a batch: either a
+// StepResponse or a worker-produced error. Err carries exactly the message
+// a per-item Step call would have returned as its error — per-item
+// failures (an injected dist.step fault, a misrouted input, a worker
+// panic) ride inside a successful batch response so one bad input cannot
+// poison its batchmates.
+type StepBatchItem struct {
+	Err string `json:"error,omitempty"`
+	StepResponse
+}
+
+// StepBatchResponse lists the batch outcomes positionally: Items[j]
+// belongs to request Idxs[j].
+type StepBatchResponse struct {
+	Items []StepBatchItem `json:"items"`
+}
+
 // FinishRequest releases a run's state on the worker and collects its
 // execution-side tallies.
 type FinishRequest struct {
@@ -131,6 +161,35 @@ func (r *StepResponse) DecodeResult() error {
 		return fmt.Errorf("dist: decode step result: %w", err)
 	}
 	r.Result = res
+	return nil
+}
+
+// EncodeResults fills every non-errored item's ResultB64 for the wire.
+func (b *StepBatchResponse) EncodeResults() error {
+	for i := range b.Items {
+		it := &b.Items[i]
+		if it.Err != "" {
+			continue
+		}
+		if err := it.EncodeResult(); err != nil {
+			return fmt.Errorf("dist: batch item %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DecodeResults fills every non-errored item's native Result after
+// unmarshaling.
+func (b *StepBatchResponse) DecodeResults() error {
+	for i := range b.Items {
+		it := &b.Items[i]
+		if it.Err != "" {
+			continue
+		}
+		if err := it.DecodeResult(); err != nil {
+			return fmt.Errorf("dist: batch item %d: %w", i, err)
+		}
+	}
 	return nil
 }
 

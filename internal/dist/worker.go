@@ -177,23 +177,30 @@ func (w *Worker) Holdout(req HoldoutRequest) (HoldoutResponse, error) {
 // recovered into an error so both transports surface it as a failed step
 // with the same message, rather than http tearing down the connection
 // while local crashes the process.
-func (w *Worker) Step(req StepRequest) (resp StepResponse, err error) {
+func (w *Worker) Step(req StepRequest) (StepResponse, error) {
+	run, err := w.run(req.RunID)
+	if err != nil {
+		return StepResponse{}, err
+	}
+	return w.stepOne(run, req.Step, req.Idx)
+}
+
+// stepOne executes one step for a looked-up run: the shared body of Step
+// and StepBatch, so a batched step behaves — fault gate, ownership check,
+// panic isolation, error text — exactly like a per-item Step call.
+func (w *Worker) stepOne(run *workerRun, step, idx int) (resp StepResponse, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			resp, err = StepResponse{}, fmt.Errorf("dist: worker step panic: %v", p)
 		}
 	}()
-	run, err := w.run(req.RunID)
-	if err != nil {
-		return StepResponse{}, err
-	}
 	if ferr := run.faults.Fire(fault.SiteDistStep, run.label); ferr != nil {
 		return StepResponse{}, ferr
 	}
-	if owner := run.sm.Owner(req.Idx); owner != run.shard {
-		return StepResponse{}, fmt.Errorf("dist: input %d belongs to shard %d, not %d (misrouted step)", req.Idx, owner, run.shard)
+	if owner := run.sm.Owner(idx); owner != run.shard {
+		return StepResponse{}, fmt.Errorf("dist: input %d belongs to shard %d, not %d (misrouted step)", idx, owner, run.shard)
 	}
-	out, err := run.exec.ExecuteStep(context.Background(), req.Step, req.Idx)
+	out, err := run.exec.ExecuteStep(context.Background(), step, idx)
 	if err != nil {
 		return StepResponse{}, err
 	}
@@ -214,6 +221,31 @@ func (w *Worker) Step(req StepRequest) (resp StepResponse, err error) {
 		ExtractNanos: out.ExtractNanos,
 		Result:       out.Res,
 	}, nil
+}
+
+// StepBatch executes a batch of steps in one call. The run lookup and
+// request validation fail the whole call (there is nothing per-item about
+// them); everything after runs per item through stepOne, with each item's
+// failure captured in its StepBatchItem.Err so the rest of the batch
+// proceeds.
+func (w *Worker) StepBatch(req StepBatchRequest) (StepBatchResponse, error) {
+	if len(req.Steps) != len(req.Idxs) {
+		return StepBatchResponse{}, fmt.Errorf("dist: step batch has %d steps for %d inputs", len(req.Steps), len(req.Idxs))
+	}
+	run, err := w.run(req.RunID)
+	if err != nil {
+		return StepBatchResponse{}, err
+	}
+	resp := StepBatchResponse{Items: make([]StepBatchItem, len(req.Idxs))}
+	for j, idx := range req.Idxs {
+		sr, err := w.stepOne(run, req.Steps[j], idx)
+		if err != nil {
+			resp.Items[j].Err = err.Error()
+			continue
+		}
+		resp.Items[j].StepResponse = sr
+	}
+	return resp, nil
 }
 
 // Finish releases the run's state and reports its tallies. Finishing an

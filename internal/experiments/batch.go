@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"zombie/internal/core"
+	"zombie/internal/index"
+	"zombie/internal/learner"
+)
+
+// batchSweepSizes are the K values the batch sweep reports. K=1 is the
+// classic per-step loop; K=16 is where the amortization headroom levels
+// off on the reference workload.
+var batchSweepSizes = []int{1, 4, 16}
+
+// batchRun executes the standard wiki zombie run at the given batch size
+// under the quality-delta reward — the reward whose per-step before/after
+// holdout bracket batching amortizes — and returns the result with its
+// measured wall time.
+func batchRun(wl *Workload, groups *index.Groups, batch int, seed int64) (*core.RunResult, time.Duration, error) {
+	eng, err := engineFor("eps-greedy:0.1", seed, withWorkloadDefaults(wl, func(c *core.Config) {
+		c.Reward = core.RewardQualityDelta
+		c.BatchSize = batch
+	}))
+	if err != nil {
+		return nil, 0, err
+	}
+	start := time.Now()
+	res, err := eng.Run(wl.Task, groups)
+	if err != nil {
+		return nil, 0, err
+	}
+	return res, time.Since(start), nil
+}
+
+// runsMatch reports whether two runs are observably identical: same
+// inputs, final quality, stop reason, and full learning curve. This is
+// the batching determinism contract (wall time excluded, of course).
+func runsMatch(a, b *core.RunResult) bool {
+	if a.InputsProcessed != b.InputsProcessed || a.FinalQuality != b.FinalQuality ||
+		a.Stop != b.Stop || len(a.Curve) != len(b.Curve) {
+		return false
+	}
+	for i := range a.Curve {
+		if a.Curve[i] != b.Curve[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// B1BatchSweep reports the batched-step extension: throughput of the wiki
+// quality-delta run at K ∈ {1, 4, 16}. It asserts the two halves of the
+// batching contract before printing anything — K=1 must reproduce the
+// unbatched run exactly, and every K must replay deterministically.
+func B1BatchSweep(cfg Config, w io.Writer) error {
+	cfg = cfg.withDefaults()
+	wl, err := WikiWorkload(cfg)
+	if err != nil {
+		return err
+	}
+	groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
+	if err != nil {
+		return err
+	}
+	ref, _, err := batchRun(wl, groups, 0, cfg.Seed+2)
+	if err != nil {
+		return err
+	}
+	table := &Table{
+		ID:     "B1",
+		Title:  "Batched bandit steps (wiki, quality-delta reward)",
+		Header: []string{"batch", "inputs", "final quality", "curve points", "identical to K=1"},
+	}
+	for _, k := range batchSweepSizes {
+		res, _, err := batchRun(wl, groups, k, cfg.Seed+2)
+		if err != nil {
+			return err
+		}
+		again, _, err := batchRun(wl, groups, k, cfg.Seed+2)
+		if err != nil {
+			return err
+		}
+		if !runsMatch(res, again) {
+			return fmt.Errorf("experiments: B1: batch K=%d did not replay deterministically", k)
+		}
+		identical := runsMatch(res, ref)
+		if k == 1 && !identical {
+			return fmt.Errorf("experiments: B1: K=1 diverged from the unbatched run")
+		}
+		table.AddRow(fmt.Sprintf("%d", k), fmt.Sprintf("%d", res.InputsProcessed),
+			fmt.Sprintf("%.4f", res.FinalQuality), fmt.Sprintf("%d", len(res.Curve)),
+			fmt.Sprintf("%t", identical))
+	}
+	table.Notes = []string{
+		"every row replayed byte-identically; K=1 reproduces the unbatched loop exactly",
+		"K>1 trades curve resolution (one point per batch boundary) for amortized selection/evaluation",
+	}
+	if err := table.Fprint(w); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w)
+	return err
+}
+
+// BatchPoint is one K value's timing inside the bench report.
+type BatchPoint struct {
+	Batch       int     `json:"batch"`
+	Inputs      int     `json:"inputs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+	// AllocsPerInput is heap allocations per processed input over the
+	// whole run (runtime.MemStats.Mallocs delta), the regression number
+	// the allocation-free inner loop is held to.
+	AllocsPerInput float64 `json:"allocs_per_input"`
+}
+
+// BatchBenchEntry is the batch-sweep block of the bench report: the same
+// wiki quality-delta run at each K, plus the headline K=16-over-K=1
+// throughput ratio CI gates on.
+type BatchBenchEntry struct {
+	Points []BatchPoint `json:"points"`
+	// SpeedupK16 is steps/sec at the largest K over steps/sec at K=1.
+	SpeedupK16 float64 `json:"speedup_k16"`
+	// ByteIdentical reports whether K=1 reproduced the unbatched run.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// BatchSweepBench times the batch sweep for the bench report. Allocation
+// counts come from MemStats deltas around each run; a GC fence before
+// each measurement keeps scavenging noise out of the Mallocs counter
+// (Mallocs itself is monotonic, the fence just stabilizes timing).
+func BatchSweepBench(cfg Config) (*BatchBenchEntry, error) {
+	cfg = cfg.withDefaults()
+	wl, err := WikiWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	ref, _, err := batchRun(wl, groups, 0, cfg.Seed+2)
+	if err != nil {
+		return nil, err
+	}
+	entry := &BatchBenchEntry{}
+	var perSec []float64
+	for _, k := range batchSweepSizes {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, wall, err := batchRun(wl, groups, k, cfg.Seed+2)
+		if err != nil {
+			return nil, err
+		}
+		runtime.ReadMemStats(&after)
+		p := BatchPoint{Batch: k, Inputs: res.InputsProcessed, WallSeconds: wall.Seconds()}
+		if wall > 0 {
+			p.StepsPerSec = float64(res.InputsProcessed) / wall.Seconds()
+		}
+		if res.InputsProcessed > 0 {
+			p.AllocsPerInput = float64(after.Mallocs-before.Mallocs) / float64(res.InputsProcessed)
+		}
+		entry.Points = append(entry.Points, p)
+		perSec = append(perSec, p.StepsPerSec)
+		if k == 1 {
+			entry.ByteIdentical = runsMatch(res, ref)
+		}
+	}
+	if first := perSec[0]; first > 0 {
+		entry.SpeedupK16 = perSec[len(perSec)-1] / first
+	}
+	return entry, nil
+}
+
+// AllocBenchEntry records allocs/op for the two hottest leaf operations
+// the inner loop calls, measured directly (MemStats deltas) so the bench
+// report carries the same numbers `go test -benchmem` reports.
+type AllocBenchEntry struct {
+	WikiExtractAllocsPerOp    float64 `json:"wiki_extract_allocs_per_op"`
+	HoldoutQualityAllocsPerOp float64 `json:"holdout_quality_allocs_per_op"`
+}
+
+// allocsPerOp runs f ops times and returns the mean heap allocations per
+// call. Must be called with no other goroutines allocating.
+func allocsPerOp(ops int, f func()) float64 {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < ops; i++ {
+		f()
+	}
+	runtime.ReadMemStats(&after)
+	return float64(after.Mallocs-before.Mallocs) / float64(ops)
+}
+
+// AllocBench measures the leaf allocation counts on the wiki workload:
+// one feature extraction per op, and one full holdout scoring per op over
+// a holdout trained on the extracted examples.
+func AllocBench(cfg Config) (*AllocBenchEntry, error) {
+	cfg = cfg.withDefaults()
+	wl, err := WikiWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	task := wl.Task
+	var examples []learner.Example
+	for _, idx := range task.HoldoutIdx {
+		res, err := task.Feature.Extract(task.Store.Get(idx))
+		if err != nil {
+			return nil, err
+		}
+		if res.Produced {
+			examples = append(examples, res.Example)
+		}
+	}
+	if len(examples) == 0 {
+		return nil, fmt.Errorf("experiments: alloc bench extracted no examples")
+	}
+	model := task.NewModel(task.Feature)
+	for _, ex := range examples {
+		model.PartialFit(ex)
+	}
+	holdout := learner.NewHoldout(examples, task.Metric, task.Positive)
+
+	entry := &AllocBenchEntry{}
+	pool := task.PoolIdx
+	entry.WikiExtractAllocsPerOp = allocsPerOp(200, func() {
+		in := task.Store.Get(pool[0])
+		pool = append(pool[1:], pool[0])
+		if _, err := task.Feature.Extract(in); err != nil {
+			panic(err)
+		}
+	})
+	entry.HoldoutQualityAllocsPerOp = allocsPerOp(20, func() {
+		holdout.Quality(model)
+	})
+	return entry, nil
+}

@@ -38,7 +38,13 @@ type BenchReport struct {
 	CacheIteration *CacheBenchEntry `json:"cache_iteration,omitempty"`
 	// PhaseTiming breaks the reference wiki run's wall time down by
 	// inner-loop phase, so a bench regression names the phase that slowed.
-	PhaseTiming  *PhaseBenchEntry `json:"phase_timing,omitempty"`
+	PhaseTiming *PhaseBenchEntry `json:"phase_timing,omitempty"`
+	// BatchSweep times the batched inner loop at each K and carries the
+	// K=16-over-K=1 throughput ratio CI gates on.
+	BatchSweep *BatchBenchEntry `json:"batch_sweep,omitempty"`
+	// Alloc records allocs/op for the hottest leaf operations, the
+	// regression guard for the allocation-free inner loop.
+	Alloc        *AllocBenchEntry `json:"alloc,omitempty"`
 	TotalSeconds float64          `json:"total_seconds"`
 }
 
@@ -121,6 +127,16 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 		return nil, fmt.Errorf("experiments: phase timing bench: %w", err)
 	}
 	report.PhaseTiming = phaseEntry
+	batchEntry, err := BatchSweepBench(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: batch sweep bench: %w", err)
+	}
+	report.BatchSweep = batchEntry
+	allocEntry, err := AllocBench(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: alloc bench: %w", err)
+	}
+	report.Alloc = allocEntry
 	report.TotalSeconds = time.Since(total).Seconds()
 	return report, nil
 }

@@ -98,3 +98,31 @@ func TestRunBenchUnknownID(t *testing.T) {
 		t.Fatal("unknown id should fail")
 	}
 }
+
+// TestRunBenchBatchAndAllocBlocks: every bench report carries the batch
+// sweep (with its K=1 identity check green) and the leaf allocs/op block.
+func TestRunBenchBatchAndAllocBlocks(t *testing.T) {
+	report, err := RunBench(tiny, []string{"T1"}, &bytes.Buffer{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := report.BatchSweep
+	if bs == nil || len(bs.Points) != 3 {
+		t.Fatalf("batch_sweep block malformed: %+v", bs)
+	}
+	if !bs.ByteIdentical {
+		t.Fatal("K=1 bench run diverged from the unbatched run")
+	}
+	for _, p := range bs.Points {
+		if p.Inputs <= 0 || p.WallSeconds <= 0 || p.StepsPerSec <= 0 {
+			t.Fatalf("batch point malformed: %+v", p)
+		}
+	}
+	if bs.SpeedupK16 <= 0 {
+		t.Fatalf("speedup_k16 missing: %+v", bs)
+	}
+	a := report.Alloc
+	if a == nil || a.WikiExtractAllocsPerOp <= 0 || a.HoldoutQualityAllocsPerOp < 0 {
+		t.Fatalf("alloc block malformed: %+v", a)
+	}
+}

@@ -166,7 +166,7 @@ func TestBuildNamedGroupsAll(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	ids := IDs()
-	want := []string{"C1", "D1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1", "T2", "T3", "T4"}
+	want := []string{"B1", "C1", "D1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1", "T2", "T3", "T4"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}

@@ -1,0 +1,18 @@
+package featurepipe
+
+import "testing"
+
+// BenchmarkWikiExtract measures the tokenize → hash → sparse-vector path
+// for one input, the per-step cost every bandit pull pays. The pooled
+// dense scratch should keep allocs/op flat regardless of token count.
+func BenchmarkWikiExtract(b *testing.B) {
+	f := NewWikiFeature(3)
+	ins := wikiInputs(b, 256, 900)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Extract(ins[i%len(ins)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

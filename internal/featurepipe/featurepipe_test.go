@@ -10,7 +10,7 @@ import (
 	"zombie/internal/rng"
 )
 
-func wikiInputs(t *testing.T, n int, seed int64) []*corpus.Input {
+func wikiInputs(t testing.TB, n int, seed int64) []*corpus.Input {
 	t.Helper()
 	cfg := corpus.DefaultWikiConfig()
 	cfg.N = n

@@ -2,7 +2,9 @@ package featurepipe
 
 import (
 	"fmt"
+	"sort"
 	"strings"
+	"sync"
 
 	"zombie/internal/corpus"
 	"zombie/internal/index"
@@ -63,6 +65,79 @@ var markerSet = func() map[string]bool {
 	return m
 }()
 
+// wikiScratch is the reusable accumulation buffer behind WikiFeature
+// extraction: a dense bucket array standing in for the per-call
+// map[int]float64 the pre-batching code allocated, plus the list of
+// touched buckets so reset is O(nnz) instead of O(FuncDim). Pooled
+// because extraction runs concurrently (parallel holdout builds,
+// distributed workers sharing a process).
+type wikiScratch struct {
+	dense   []float64
+	touched []int
+}
+
+var wikiScratchPool = sync.Pool{New: func() any { return new(wikiScratch) }}
+
+// getWikiScratch returns a scratch whose dense buffer covers dim and is
+// all zeros — freshly grown buffers come zeroed from make, reused ones
+// were reset entry-by-entry before Put.
+func getWikiScratch(dim int) *wikiScratch {
+	s := wikiScratchPool.Get().(*wikiScratch)
+	if len(s.dense) < dim {
+		s.dense = make([]float64, dim)
+	}
+	s.touched = s.touched[:0]
+	return s
+}
+
+// putWikiScratch zeroes the touched entries and returns the scratch to
+// the pool. touched may hold duplicates; zeroing is idempotent.
+func putWikiScratch(s *wikiScratch) {
+	for _, h := range s.touched {
+		s.dense[h] = 0
+	}
+	wikiScratchPool.Put(s)
+}
+
+// add accumulates weight w into bucket h, recording the bucket the first
+// time it leaves zero. Accumulation order is the caller's token order —
+// the same order the old map-based code summed in, so the per-bucket
+// floating-point totals are bit-identical.
+func (s *wikiScratch) add(h int, w float64) {
+	before := s.dense[h]
+	s.dense[h] = before + w
+	if before == 0 && s.dense[h] != 0 {
+		s.touched = append(s.touched, h)
+	}
+}
+
+// sparse builds the exact-size Sparse vector from the accumulated
+// buckets: sort the touched list, skip duplicates and entries that ended
+// at zero (NewSparse drops those too), and hand the slices to
+// SparseFromOrdered — one allocation each for Idx and Val, nothing else.
+func (s *wikiScratch) sparse(dim int) *linalg.Sparse {
+	sort.Ints(s.touched)
+	n := 0
+	prev := -1
+	for _, h := range s.touched {
+		if h != prev && s.dense[h] != 0 {
+			n++
+		}
+		prev = h
+	}
+	idx := make([]int, 0, n)
+	val := make([]float64, 0, n)
+	prev = -1
+	for _, h := range s.touched {
+		if h != prev && s.dense[h] != 0 {
+			idx = append(idx, h)
+			val = append(val, s.dense[h])
+		}
+		prev = h
+	}
+	return linalg.SparseFromOrdered(dim, idx, val)
+}
+
 // Extract implements FeatureFunc.
 func (f *WikiFeature) Extract(in *corpus.Input) (Result, error) {
 	if in.Kind != corpus.TextKind {
@@ -83,20 +158,21 @@ func (f *WikiFeature) Extract(in *corpus.Input) (Result, error) {
 			return Result{}, nil
 		}
 	}
-	counts := map[int]float64{}
+	scratch := getWikiScratch(f.FuncDim)
 	var prev string
 	for _, tok := range tokens {
 		w := 1.0
 		if markerSet[tok] {
 			w = f.MarkerBoost
 		}
-		counts[index.HashToken(tok, f.FuncDim)] += w
+		scratch.add(index.HashToken(tok, f.FuncDim), w)
 		if f.Bigrams && prev != "" {
-			counts[index.HashToken(prev+"_"+tok, f.FuncDim)]++
+			scratch.add(index.HashTokenPair(prev, tok, f.FuncDim), 1)
 		}
 		prev = tok
 	}
-	vec := linalg.SparseFromMap(f.FuncDim, counts)
+	vec := scratch.sparse(f.FuncDim)
+	putWikiScratch(scratch)
 	ex := learner.Example{
 		Features: learner.SparseVec(vec),
 		Class:    in.Truth.Class,

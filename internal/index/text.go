@@ -11,7 +11,6 @@
 package index
 
 import (
-	"hash/fnv"
 	"math"
 	"strings"
 	"unicode"
@@ -30,13 +29,44 @@ func Tokenize(text string) []string {
 	})
 }
 
+// FNV-1a 32-bit parameters (the same constants hash/fnv uses); hashing is
+// inlined here because the stdlib hasher costs two heap allocations per
+// call and HashToken sits on the per-token hot path of every extraction.
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
 // HashToken maps a token to a bucket in [0, dim) with FNV-1a. All hashing
 // in the system goes through this single function so vectorizers and
 // feature code agree on bucket assignment.
 func HashToken(token string, dim int) int {
-	h := fnv.New32a()
-	h.Write([]byte(token))
-	return int(h.Sum32() % uint32(dim))
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(token); i++ {
+		h ^= uint32(token[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(dim))
+}
+
+// HashTokenPair hashes the bigram "a_b" without building the joined
+// string: it streams a, '_', b through the same FNV-1a state, so
+// HashTokenPair(a, b, dim) == HashToken(a+"_"+b, dim) exactly — bucket
+// assignments (and therefore every committed curve) are unchanged; only
+// the per-bigram concatenation allocation is gone.
+func HashTokenPair(a, b string, dim int) int {
+	h := uint32(fnvOffset32)
+	for i := 0; i < len(a); i++ {
+		h ^= uint32(a[i])
+		h *= fnvPrime32
+	}
+	h ^= uint32('_')
+	h *= fnvPrime32
+	for i := 0; i < len(b); i++ {
+		h ^= uint32(b[i])
+		h *= fnvPrime32
+	}
+	return int(h % uint32(dim))
 }
 
 // Vectorizer converts a raw input into a dense index-feature vector for

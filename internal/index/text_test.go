@@ -1,6 +1,7 @@
 package index
 
 import (
+	"hash/fnv"
 	"math"
 	"testing"
 
@@ -34,6 +35,35 @@ func TestHashTokenStableAndInRange(t *testing.T) {
 		h := HashToken(tok, 7)
 		if h < 0 || h >= 7 {
 			t.Fatalf("HashToken(%q, 7) = %d out of range", tok, h)
+		}
+	}
+}
+
+// TestHashTokenMatchesStdlibFNV pins the inlined hash to hash/fnv: bucket
+// assignment is baked into every committed curve and baseline, so the
+// allocation-free rewrite must be bit-equal to the stdlib hasher it
+// replaced.
+func TestHashTokenMatchesStdlibFNV(t *testing.T) {
+	ref := func(s string, dim int) int {
+		h := fnv.New32a()
+		h.Write([]byte(s))
+		return int(h.Sum32() % uint32(dim))
+	}
+	tokens := []string{"", "a", "the", "zombie", "élan", "a_b", "many different tokens", "0123456789"}
+	for _, tok := range tokens {
+		for _, dim := range []int{1, 7, 64, 16384} {
+			if got, want := HashToken(tok, dim), ref(tok, dim); got != want {
+				t.Fatalf("HashToken(%q, %d) = %d, want stdlib %d", tok, dim, got, want)
+			}
+		}
+	}
+	for _, a := range tokens {
+		for _, b := range tokens {
+			for _, dim := range []int{7, 4096} {
+				if got, want := HashTokenPair(a, b, dim), ref(a+"_"+b, dim); got != want {
+					t.Fatalf("HashTokenPair(%q, %q, %d) = %d, want joined %d", a, b, dim, got, want)
+				}
+			}
 		}
 	}
 }

@@ -79,8 +79,13 @@ func (m *MultinomialNB) logJoint(v FeatureVector, out []float64) {
 
 // PredictClass implements Classifier.
 func (m *MultinomialNB) PredictClass(v FeatureVector) int {
+	return m.PredictClassInto(v, make([]float64, len(m.featCount)))
+}
+
+// PredictClassInto implements BufferedClassifier.
+func (m *MultinomialNB) PredictClassInto(v FeatureVector, buf []float64) int {
 	checkDim(len(m.featCount[0]), v, "MultinomialNB")
-	out := make([]float64, len(m.featCount))
+	out := buf[:len(m.featCount)]
 	m.logJoint(v, out)
 	return linalg.ArgMax(out)
 }
@@ -191,8 +196,13 @@ func (m *GaussianNB) logJoint(v FeatureVector, out []float64) {
 
 // PredictClass implements Classifier.
 func (m *GaussianNB) PredictClass(v FeatureVector) int {
+	return m.PredictClassInto(v, make([]float64, len(m.mean)))
+}
+
+// PredictClassInto implements BufferedClassifier.
+func (m *GaussianNB) PredictClassInto(v FeatureVector, buf []float64) int {
 	checkDim(len(m.mean[0]), v, "GaussianNB")
-	out := make([]float64, len(m.mean))
+	out := buf[:len(m.mean)]
 	m.logJoint(v, out)
 	return linalg.ArgMax(out)
 }

@@ -3,6 +3,7 @@ package learner
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"zombie/internal/rng"
 )
@@ -87,11 +88,11 @@ func (h *Holdout) Quality(m Model) float64 {
 	}
 	if h.Metric.IsClassification() {
 		c := h.classifier(m)
-		cm := NewConfusionMatrix(c.NumClasses())
-		for _, ex := range h.Examples {
-			cm.Observe(ex.Class, c.PredictClass(ex.Features))
-		}
-		return h.scoreClassification(cm)
+		s := getEvalScratch(c.NumClasses())
+		observeClassified(s.cm, c, h.Examples, s.buf)
+		q := h.scoreClassification(s.cm)
+		evalScratchPool.Put(s)
+		return q
 	}
 	r := h.regressor(m)
 	var rm RegressionMetrics
@@ -99,6 +100,50 @@ func (h *Holdout) Quality(m Model) float64 {
 		rm.Observe(ex.Target, r.Predict(ex.Features))
 	}
 	return h.scoreRegression(&rm)
+}
+
+// evalScratch is the per-evaluation reusable state: the confusion matrix
+// and the class-score buffer handed to BufferedClassifier models. Quality
+// runs once per curve point and twice per delta-reward bracket, so the
+// per-call matrix and per-prediction score slice used to dominate the
+// evaluation phase's allocations. Pooled because many runs (and the
+// engine's parallel evaluation chunks) evaluate concurrently.
+type evalScratch struct {
+	cm  *ConfusionMatrix
+	buf []float64
+}
+
+var evalScratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// getEvalScratch returns a scratch with a zeroed classes×classes matrix
+// and a class-score buffer of at least classes entries.
+func getEvalScratch(classes int) *evalScratch {
+	s := evalScratchPool.Get().(*evalScratch)
+	if s.cm == nil || len(s.cm.Cells) != classes {
+		s.cm = NewConfusionMatrix(classes)
+	} else {
+		s.cm.Reset()
+	}
+	if len(s.buf) < classes {
+		s.buf = make([]float64, classes)
+	}
+	return s
+}
+
+// observeClassified fills cm with one Observe per example, routing
+// predictions through the caller's score buffer when the model supports
+// it. The buffered and unbuffered paths return identical classes by the
+// BufferedClassifier contract.
+func observeClassified(cm *ConfusionMatrix, c Classifier, examples []Example, buf []float64) {
+	if bc, ok := c.(BufferedClassifier); ok {
+		for _, ex := range examples {
+			cm.Observe(ex.Class, bc.PredictClassInto(ex.Features, buf))
+		}
+		return
+	}
+	for _, ex := range examples {
+		cm.Observe(ex.Class, c.PredictClass(ex.Features))
+	}
 }
 
 // classifier asserts the model matches the classification metric.

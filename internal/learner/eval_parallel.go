@@ -27,10 +27,11 @@ func (h *Holdout) QualityParallel(m Model, workers int) float64 {
 	if h.Metric.IsClassification() {
 		c := h.classifier(m)
 		parts := parallel.MapChunks(workers, len(h.Examples), evalChunkSize, func(lo, hi int) *ConfusionMatrix {
+			// One matrix and one score buffer per chunk (they outlive the
+			// chunk via the merge below, so they cannot come from the eval
+			// scratch pool) instead of one score slice per prediction.
 			cm := NewConfusionMatrix(c.NumClasses())
-			for _, ex := range h.Examples[lo:hi] {
-				cm.Observe(ex.Class, c.PredictClass(ex.Features))
-			}
+			observeClassified(cm, c, h.Examples[lo:hi], make([]float64, c.NumClasses()))
 			return cm
 		})
 		cm := parts[0]

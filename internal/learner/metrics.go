@@ -47,6 +47,16 @@ func (m *ConfusionMatrix) Merge(other *ConfusionMatrix) {
 	}
 }
 
+// Reset zeroes every cell so the matrix can be reused across evaluations
+// without reallocating its rows.
+func (m *ConfusionMatrix) Reset() {
+	for _, row := range m.Cells {
+		for j := range row {
+			row[j] = 0
+		}
+	}
+}
+
 // Total returns the number of observations.
 func (m *ConfusionMatrix) Total() int64 {
 	var t int64

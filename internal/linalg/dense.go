@@ -14,18 +14,33 @@ import (
 
 // Dot returns the inner product of a and b. It panics if the lengths
 // differ, since a silent truncation would corrupt a model.
+//
+// The loop is 4-way unrolled into a SINGLE sequential accumulator: the
+// additions happen in exactly the same order as the plain range loop, so
+// the result is bit-identical — splitting into partial sums would
+// reassociate floating-point adds and silently change every committed
+// curve.
 func Dot(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: Dot length mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)] // hoist the bounds check out of the loop
 	s := 0.0
-	for i, v := range a {
-		s += v * b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		s += a[i] * b[i]
+		s += a[i+1] * b[i+1]
+		s += a[i+2] * b[i+2]
+		s += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s += a[i] * b[i]
 	}
 	return s
 }
 
 // Axpy computes y += alpha * x in place. It panics on length mismatch.
+// Element-wise, so unrolling cannot reassociate anything.
 func Axpy(alpha float64, x, y []float64) {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("linalg: Axpy length mismatch %d vs %d", len(x), len(y)))
@@ -33,8 +48,16 @@ func Axpy(alpha float64, x, y []float64) {
 	if alpha == 0 {
 		return
 	}
-	for i, v := range x {
-		y[i] += alpha * v
+	y = y[:len(x)] // hoist the bounds check out of the loop
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		y[i] += alpha * x[i]
+		y[i+1] += alpha * x[i+1]
+		y[i+2] += alpha * x[i+2]
+		y[i+3] += alpha * x[i+3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
 	}
 }
 
@@ -70,14 +93,28 @@ func Norm1(x []float64) float64 {
 }
 
 // SqDist returns the squared Euclidean distance between a and b. It panics
-// on length mismatch. This is the k-means hot path.
+// on length mismatch. This is the k-means hot path. Like Dot, the unroll
+// keeps one sequential accumulator so the sum order (and therefore the
+// clustering, and every committed grouping) is unchanged.
 func SqDist(a, b []float64) float64 {
 	if len(a) != len(b) {
 		panic(fmt.Sprintf("linalg: SqDist length mismatch %d vs %d", len(a), len(b)))
 	}
+	b = b[:len(a)] // hoist the bounds check out of the loop
 	s := 0.0
-	for i, v := range a {
-		d := v - b[i]
+	i := 0
+	for ; i+4 <= len(a); i += 4 {
+		d0 := a[i] - b[i]
+		s += d0 * d0
+		d1 := a[i+1] - b[i+1]
+		s += d1 * d1
+		d2 := a[i+2] - b[i+2]
+		s += d2 * d2
+		d3 := a[i+3] - b[i+3]
+		s += d3 * d3
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
 		s += d * d
 	}
 	return s

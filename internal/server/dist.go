@@ -59,6 +59,22 @@ func (s *Server) handleDistStep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleDistStepBatch(w http.ResponseWriter, r *http.Request) {
+	var req dist.StepBatchRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	resp, err := s.distWorker.StepBatch(req)
+	if err == nil {
+		err = resp.EncodeResults()
+	}
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleDistFinish(w http.ResponseWriter, r *http.Request) {
 	var req dist.FinishRequest
 	if !readJSON(w, r, &req) {

@@ -71,6 +71,10 @@ type RunDefaults struct {
 	Faults *fault.Injector
 	// MaxFailureFrac is the default failure budget (0 = core's default).
 	MaxFailureFrac float64
+	// Batch is the default core.Config.BatchSize for specs that leave
+	// batch unset (0 = the engine's default of 1, the classic per-step
+	// loop).
+	Batch int
 	// DistWorkers lists worker base URLs sharded runs execute over when
 	// their spec names none of its own (see Config.DistWorkers).
 	DistWorkers []string
@@ -139,6 +143,10 @@ func (m *Manager) engineConfig(spec RunSpec) (core.Config, error) {
 		MaxInputs:      spec.MaxInputs,
 		EvalEvery:      spec.EvalEvery,
 		MaxFailureFrac: spec.MaxFailures,
+		BatchSize:      spec.Batch,
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = m.defaults.Batch
 	}
 	if spec.EarlyStop {
 		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
@@ -198,6 +206,9 @@ func (m *Manager) Submit(spec RunSpec) (*Run, error) {
 	}
 	if spec.Shards < 0 {
 		return nil, fmt.Errorf("server: shards must be >= 0, got %d", spec.Shards)
+	}
+	if spec.Batch < 0 {
+		return nil, fmt.Errorf("server: batch must be >= 0, got %d", spec.Batch)
 	}
 	if spec.distributed() && spec.Mode != "zombie" {
 		return nil, fmt.Errorf("server: distributed execution (shards/dist_workers) requires mode zombie, got %q", spec.Mode)
