@@ -28,7 +28,7 @@ STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 COVER_PKGS := ./internal/core ./internal/featcache ./internal/fault
 COVER_FLOOR := 70
 
-.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke bench-gate dist-smoke batch-smoke ci
+.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke bench-gate dist-smoke batch-smoke ci
 
 all: build
 
@@ -195,6 +195,49 @@ obs-smoke:
 		{ echo "obs-smoke: terminal trace phase_ms.extract not > 0 (got $$extract_ms)"; exit 1; }; \
 	echo "obs-smoke OK: $$nev trace events, extract $$extract_ms ms, both expositions served"
 
+# session-smoke proves the recipe-session workflow end to end against a
+# live zombie-serve: open a workspace, submit recipe v1, edit one part
+# and submit v2, then assert the v2 run reused cached extractions for
+# the unchanged parts (cache_hits > 0, shared_parts = 2) and was
+# warm-started from v1's arm statistics (warm_start.applied). Also
+# exercises the zombie -recipe CLI path against the same recipe file.
+# Needs curl + jq (standard on CI images).
+session-smoke:
+	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "session-smoke: needs curl and jq"; exit 1; }; \
+	tmp=$$(mktemp -d); pid=; trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
+	base=http://127.0.0.1:18828; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:18828 -corpus wiki=$$tmp/wiki.jsonl -log-format json >$$tmp/serve.log 2>&1 & pid=$$!; }; \
+	up=0; for i in $$(seq 1 50); do curl -sf $$base/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
+	[ $$up = 1 ] || { echo "session-smoke: server never came up"; cat $$tmp/serve.log; exit 1; }; \
+	sid=$$(curl -sf -X POST $$base/sessions \
+		-d '{"corpus":"wiki","task":"wiki","k":8,"seed":3,"max_inputs":150,"eval_every":25}' | jq -r '.id // empty'); \
+	[ -n "$$sid" ] || { echo "session-smoke: session creation failed"; cat $$tmp/serve.log; exit 1; }; \
+	printf '%s' '{"name":"smoke","parts":[{"name":"base","kind":"wiki","version":2},{"name":"mid","kind":"wiki","version":4,"deps":["base"]},{"name":"top","kind":"wiki","version":5,"deps":["mid"]}]}' > $$tmp/rec1.json; \
+	jq '.parts[2].version = 6' $$tmp/rec1.json > $$tmp/rec2.json; \
+	for rec in rec1 rec2; do \
+		curl -sf -X POST $$base/sessions/$$sid/runs --data-binary @$$tmp/$$rec.json >/dev/null || \
+			{ echo "session-smoke: submitting $$rec failed"; cat $$tmp/serve.log; exit 1; }; \
+		state=; for i in $$(seq 1 300); do \
+			state=$$(curl -sf $$base/sessions/$$sid | jq -r '.versions[-1].state'); \
+			case $$state in done|failed) break;; esac; sleep 0.1; \
+		done; \
+		[ "$$state" = done ] || { echo "session-smoke: $$rec ended in state $$state"; curl -s $$base/sessions/$$sid; exit 1; }; \
+	done; \
+	curl -sf $$base/sessions/$$sid > $$tmp/session.json; \
+	hits=$$(jq -r '.versions[1].cache_hits' $$tmp/session.json); \
+	shared=$$(jq -r '.versions[1].shared_parts' $$tmp/session.json); \
+	applied=$$(jq -r '.versions[1].warm_start.applied' $$tmp/session.json); \
+	[ "$$hits" -gt 0 ] || { echo "session-smoke: v2 cache_hits not > 0 (got $$hits)"; cat $$tmp/session.json; exit 1; }; \
+	[ "$$shared" = 2 ] || { echo "session-smoke: v2 shared_parts != 2 (got $$shared)"; cat $$tmp/session.json; exit 1; }; \
+	[ "$$applied" = true ] || { echo "session-smoke: v2 warm_start.applied != true"; cat $$tmp/session.json; exit 1; }; \
+	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -recipe $$tmp/rec2.json -max 150 > $$tmp/cli.out 2>&1 || \
+		{ echo "session-smoke: zombie -recipe run failed"; cat $$tmp/cli.out; exit 1; }; \
+	nparts=$$(grep -c '^recipe: part=' $$tmp/cli.out); \
+	[ "$$nparts" = 3 ] || { echo "session-smoke: zombie -recipe printed $$nparts part lines, want 3"; cat $$tmp/cli.out; exit 1; }; \
+	echo "session-smoke OK: v2 warm-started with $$hits cache hits, $$shared/3 parts reused, CLI ran $$nparts-part recipe"
+
 # bench-gate re-proves the determinism and performance contracts through
 # the bench harness. CI runs it as its own step after `make ci` so a
 # regression is visible by name. Three checks:
@@ -327,4 +370,4 @@ batch-smoke:
 	fi && \
 	echo "batch-smoke OK: K=1 == default, K=8 deterministic, K=8 over 2 shards == single-process"
 
-ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke dist-smoke batch-smoke
+ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke dist-smoke batch-smoke

@@ -35,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment ids, comma-separated (T1-T4, F1-F8, C1, D1, or 'all')")
+	exp := flag.String("exp", "all", "experiment ids, comma-separated (T1-T4, F1-F8, B1, C1, D1, S1, or 'all')")
 	scale := flag.Float64("scale", 1.0, "corpus scale multiplier (1.0 = 20k inputs per task)")
 	seed := flag.Int64("seed", 0, "random seed (0 = default)")
 	par := flag.Int("parallel", 1, "concurrent runs per experiment (0 = GOMAXPROCS; output is byte-identical for any value)")

@@ -10,6 +10,7 @@
 //	zombie -corpus wiki.jsonl -task wiki -index groups.gob   # reuse a saved index
 //	zombie -corpus wiki.jsonl -task wiki -save-index groups.gob
 //	zombie -corpus wiki.jsonl -task wiki -session            # full 8-version session
+//	zombie -corpus wiki.jsonl -task wiki -recipe rec.json    # declarative feature recipe
 //	zombie -corpus big.jsonl -task wiki -stream              # corpus larger than RAM
 //	zombie -corpus wiki.jsonl -task wiki -cache-dir .zcache  # warm runs skip extraction
 //	zombie -corpus wiki.jsonl -task wiki -shards 4           # sharded workers, same curve
@@ -32,6 +33,7 @@ import (
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/obs"
+	"zombie/internal/recipe"
 	"zombie/internal/rng"
 	"zombie/internal/workload"
 )
@@ -47,6 +49,7 @@ func run() error {
 	corpusPath := flag.String("corpus", "", "JSONL corpus path (required)")
 	stream := flag.Bool("stream", false, "read the corpus lazily from disk instead of loading it")
 	sessionMode := flag.Bool("session", false, "replay the standard 8-version engineering session (wiki only)")
+	recipePath := flag.String("recipe", "", "run a declarative feature recipe (JSON spec, see internal/recipe) instead of the task's default feature")
 	taskName := flag.String("task", "wiki", "task: wiki, songs, or image")
 	mode := flag.String("mode", "zombie", "mode: zombie, scan-random, scan-sequential, or oracle")
 	policy := flag.String("policy", "eps-greedy:0.1", "bandit policy spec")
@@ -105,6 +108,30 @@ func run() error {
 	task, grouper, err := workload.Build(*taskName, store, *version, rng.New(*seed).Split("task"))
 	if err != nil {
 		return err
+	}
+	if *recipePath != "" {
+		if *sessionMode {
+			return fmt.Errorf("-recipe and -session are mutually exclusive")
+		}
+		spec, err := recipe.ParseSpecFile(*recipePath)
+		if err != nil {
+			return err
+		}
+		rec, err := spec.Recipe()
+		if err != nil {
+			return err
+		}
+		if rec.Feature().NumClasses() != task.Feature.NumClasses() {
+			return fmt.Errorf("recipe %s targets %d classes but task %s has %d",
+				rec.Name(), rec.Feature().NumClasses(), *taskName, task.Feature.NumClasses())
+		}
+		// One "recipe:" line per part, filterable like cache:/dist: lines,
+		// so scripts diffing curves across recipe edits can strip them.
+		for _, p := range rec.Parts() {
+			fmt.Printf("recipe: part=%s kind=%s version=%d fingerprint=%s\n",
+				p.Name, p.Kind, max(p.Version, 1), rec.PartFingerprints()[p.Name])
+		}
+		task = task.WithFeature(rec.Feature())
 	}
 
 	var groups *index.Groups

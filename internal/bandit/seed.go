@@ -1,0 +1,67 @@
+package bandit
+
+import (
+	"fmt"
+	"math"
+)
+
+// Seed warm-starts a freshly built policy from a previous run's final
+// ArmSnapshots: the session workspace's bridge between two versions of a
+// feature recipe. Editing one recipe part barely changes which index
+// groups are rich in useful inputs, so the next run should not pay the
+// full explore cost again — instead the previous run's per-arm statistics
+// are replayed into the new policy as synthetic pulls.
+//
+// For each snapshot, the arm receives round(decay × Pulls) calls of
+// Update(arm, Mean). Replaying through the public Update path (rather
+// than poking estimator internals) makes seeding uniform across every
+// policy: cumulative estimators land exactly on the snapshot mean,
+// Thompson's Beta posterior accumulates the same pseudo-counts a real
+// reward stream with that mean would have produced, UCB's pull counts
+// shrink its exploration bonus, and EXP3's weights tilt toward the arms
+// that paid. No policy consumes randomness in Update, so seeding draws
+// nothing from the policy's RNG substream.
+//
+// decay scales trust in the previous version, in [0,1]: 1 replays every
+// pull, 0 replays nothing. Seed is a pure function of (snapshots, decay):
+// it touches only the policy, deterministically, so two policies seeded
+// from the same inputs behave identically ever after. With decay = 0 (or
+// no snapshots) Seed returns without calling Update at all, which is what
+// makes a decay-0 session run byte-identical to a cold run.
+//
+// It returns the total number of synthetic pulls applied.
+func Seed(p Policy, snaps []ArmSnapshot, decay float64) (int64, error) {
+	if p == nil {
+		return 0, fmt.Errorf("bandit: Seed requires a policy")
+	}
+	if decay < 0 || decay > 1 || math.IsNaN(decay) {
+		return 0, fmt.Errorf("bandit: Seed decay must be in [0,1], got %v", decay)
+	}
+	if decay == 0 || len(snaps) == 0 {
+		return 0, nil
+	}
+	n := p.NumArms()
+	var total int64
+	for _, s := range snaps {
+		if s.Arm < 0 || s.Arm >= n {
+			return 0, fmt.Errorf("bandit: Seed snapshot arm %d out of range [0,%d)", s.Arm, n)
+		}
+		if s.Pulls < 0 {
+			return 0, fmt.Errorf("bandit: Seed snapshot arm %d has negative pulls %d", s.Arm, s.Pulls)
+		}
+		k := SeededPulls(s.Pulls, decay)
+		for i := int64(0); i < k; i++ {
+			p.Update(s.Arm, s.Mean)
+		}
+		total += k
+	}
+	return total, nil
+}
+
+// SeededPulls returns how many synthetic pulls Seed replays for an arm
+// with the given historical pull count at the given decay:
+// round(decay × pulls). Exposed so tests and stats reporting share the
+// exact rounding rule.
+func SeededPulls(pulls int64, decay float64) int64 {
+	return int64(math.Floor(decay*float64(pulls) + 0.5))
+}

@@ -1,0 +1,225 @@
+package bandit
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"zombie/internal/rng"
+)
+
+// trainPolicy feeds a deterministic reward stream with per-arm means into
+// a policy and returns its final snapshot. Rewards stay in {0,1} so every
+// estimator family (cumulative mean, Beta pseudo-counts, EXP3 weights)
+// sees the stream a real usefulness-reward run would produce.
+func trainPolicy(p Policy, r *rng.RNG, steps int) []ArmSnapshot {
+	n := p.NumArms()
+	elig := AllEligible(n)
+	for i := 0; i < steps; i++ {
+		arm := p.Select(elig)
+		// Arm j pays 1 with probability (j+1)/(n+1).
+		reward := 0.0
+		if r.Float64() < float64(arm+1)/float64(n+1) {
+			reward = 1
+		}
+		p.Update(arm, reward)
+	}
+	return p.Snapshot()
+}
+
+func seedPolicies(t *testing.T) []func(seed int64) Policy {
+	t.Helper()
+	cfg := DefaultStats()
+	return []func(seed int64) Policy{
+		func(seed int64) Policy { return NewUCB1(6, math.Sqrt2, cfg, rng.New(seed)) },
+		func(seed int64) Policy { return NewThompsonBernoulli(6, cfg, rng.New(seed)) },
+		func(seed int64) Policy { return NewEXP3(6, 0.1, cfg, rng.New(seed)) },
+		func(seed int64) Policy { return NewEpsilonGreedy(6, 0.1, 0, cfg, rng.New(seed)) },
+	}
+}
+
+// TestSeedRoundTrip asserts the snapshot → seed round trip reproduces the
+// estimator state a snapshot describes: at decay 1 the seeded policy's own
+// snapshot carries the original pull counts and means.
+func TestSeedRoundTrip(t *testing.T) {
+	for _, build := range seedPolicies(t) {
+		orig := build(1)
+		snaps := trainPolicy(orig, rng.New(42), 400)
+
+		seeded := build(1)
+		total, err := Seed(seeded, snaps, 1)
+		if err != nil {
+			t.Fatalf("%s: Seed: %v", orig.Name(), err)
+		}
+		var wantTotal int64
+		for _, s := range snaps {
+			wantTotal += s.Pulls
+		}
+		if total != wantTotal {
+			t.Fatalf("%s: seeded %d pulls, want %d", orig.Name(), total, wantTotal)
+		}
+		got := seeded.Snapshot()
+		for i, s := range snaps {
+			if got[i].Pulls != s.Pulls {
+				t.Errorf("%s arm %d: seeded pulls %d, want %d", orig.Name(), i, got[i].Pulls, s.Pulls)
+			}
+			// Replaying Pulls copies of Mean lands a cumulative estimator
+			// exactly on Mean; Thompson's Beta posterior (reported via
+			// Recent) accumulates the same pseudo-counts, so its mean moves
+			// to (prior + pulls·mean)/(prior·2 + pulls) — compare against
+			// that when the policy overrides Recent.
+			if math.Abs(got[i].Mean-s.Mean) > 1e-9 {
+				t.Errorf("%s arm %d: seeded mean %v, want %v", orig.Name(), i, got[i].Mean, s.Mean)
+			}
+		}
+	}
+}
+
+// TestSeedPure asserts decayed seeding is a pure function of
+// (snapshot, decay): seeding two fresh policies produces identical
+// snapshots and identical subsequent behavior, and seeding consumes no
+// randomness from the policy's RNG substream.
+func TestSeedPure(t *testing.T) {
+	for _, build := range seedPolicies(t) {
+		snaps := trainPolicy(build(1), rng.New(7), 300)
+		for _, decay := range []float64{0.25, 0.5, 1} {
+			a, b := build(9), build(9)
+			ta, err := Seed(a, snaps, decay)
+			if err != nil {
+				t.Fatalf("Seed: %v", err)
+			}
+			tb, err := Seed(b, snaps, decay)
+			if err != nil {
+				t.Fatalf("Seed: %v", err)
+			}
+			if ta != tb {
+				t.Fatalf("%s decay %v: pull totals differ: %d vs %d", a.Name(), decay, ta, tb)
+			}
+			if !reflect.DeepEqual(a.Snapshot(), b.Snapshot()) {
+				t.Fatalf("%s decay %v: seeded snapshots differ", a.Name(), decay)
+			}
+			// Same RNG seed + same seeded state → identical selection stream.
+			elig := AllEligible(a.NumArms())
+			for i := 0; i < 50; i++ {
+				sa, sb := a.Select(elig), b.Select(elig)
+				if sa != sb {
+					t.Fatalf("%s decay %v: Select diverged at step %d: %d vs %d", a.Name(), decay, i, sa, sb)
+				}
+				a.Update(sa, 1)
+				b.Update(sb, 1)
+			}
+		}
+	}
+}
+
+// TestSeedZeroDecayIsNoOp asserts the decay=0 identity contract at the
+// policy level: a policy seeded with decay 0 is indistinguishable from a
+// never-seeded one.
+func TestSeedZeroDecayIsNoOp(t *testing.T) {
+	for _, build := range seedPolicies(t) {
+		snaps := trainPolicy(build(1), rng.New(11), 200)
+		cold, seeded := build(3), build(3)
+		total, err := Seed(seeded, snaps, 0)
+		if err != nil {
+			t.Fatalf("Seed: %v", err)
+		}
+		if total != 0 {
+			t.Fatalf("%s: decay 0 applied %d pulls, want 0", cold.Name(), total)
+		}
+		if !reflect.DeepEqual(cold.Snapshot(), seeded.Snapshot()) {
+			t.Fatalf("%s: decay 0 changed policy state", cold.Name())
+		}
+		elig := AllEligible(cold.NumArms())
+		for i := 0; i < 50; i++ {
+			sc, ss := cold.Select(elig), seeded.Select(elig)
+			if sc != ss {
+				t.Fatalf("%s: decay 0 diverged at step %d", cold.Name(), i)
+			}
+			cold.Update(sc, 0.5)
+			seeded.Update(ss, 0.5)
+		}
+	}
+}
+
+// TestSeedThompsonPosterior pins the Thompson Beta posterior produced by
+// seeding: alpha/beta pseudo-counts must match what a real reward stream
+// with the snapshot's mean would have accumulated.
+func TestSeedThompsonPosterior(t *testing.T) {
+	snaps := []ArmSnapshot{
+		{Arm: 0, Pulls: 10, Mean: 0.8},
+		{Arm: 1, Pulls: 4, Mean: 0.25},
+		{Arm: 2, Pulls: 0, Mean: 0},
+	}
+	p := NewThompsonBernoulli(3, DefaultStats(), rng.New(1))
+	if _, err := Seed(p, snaps, 1); err != nil {
+		t.Fatal(err)
+	}
+	got := p.Snapshot()
+	// Recent reports the posterior mean alpha/(alpha+beta) with a (1,1)
+	// prior: arm 0 → (1+8)/(2+10), arm 1 → (1+1)/(2+4), arm 2 untouched.
+	want := []float64{9.0 / 12, 2.0 / 6, 0.5}
+	for i, w := range want {
+		if math.Abs(got[i].Recent-w) > 1e-9 {
+			t.Errorf("arm %d posterior mean %v, want %v", i, got[i].Recent, w)
+		}
+	}
+}
+
+// TestSeedDecayScalesPulls pins the rounding rule and partial-decay pull
+// counts.
+func TestSeedDecayScalesPulls(t *testing.T) {
+	cases := []struct {
+		pulls int64
+		decay float64
+		want  int64
+	}{
+		{10, 1, 10}, {10, 0.5, 5}, {10, 0, 0},
+		{3, 0.5, 2}, {1, 0.4, 0}, {1, 0.6, 1}, {7, 0.25, 2},
+	}
+	for _, c := range cases {
+		if got := SeededPulls(c.pulls, c.decay); got != c.want {
+			t.Errorf("SeededPulls(%d, %v) = %d, want %d", c.pulls, c.decay, got, c.want)
+		}
+	}
+	p := NewUCB1(2, math.Sqrt2, DefaultStats(), rng.New(1))
+	total, err := Seed(p, []ArmSnapshot{{Arm: 0, Pulls: 10, Mean: 1}, {Arm: 1, Pulls: 3, Mean: 0}}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 7 {
+		t.Fatalf("total seeded pulls = %d, want 7", total)
+	}
+	snap := p.Snapshot()
+	if snap[0].Pulls != 5 || snap[1].Pulls != 2 {
+		t.Fatalf("per-arm seeded pulls = %d,%d, want 5,2", snap[0].Pulls, snap[1].Pulls)
+	}
+}
+
+// TestSeedValidation covers the error paths: bad decay, out-of-range arm,
+// negative pulls, nil policy.
+func TestSeedValidation(t *testing.T) {
+	p := NewUCB1(2, math.Sqrt2, DefaultStats(), rng.New(1))
+	if _, err := Seed(nil, nil, 0.5); err == nil {
+		t.Error("nil policy: want error")
+	}
+	for _, d := range []float64{-0.1, 1.1, math.NaN()} {
+		if _, err := Seed(p, nil, d); err == nil {
+			t.Errorf("decay %v: want error", d)
+		}
+	}
+	if _, err := Seed(p, []ArmSnapshot{{Arm: 2, Pulls: 1}}, 1); err == nil {
+		t.Error("out-of-range arm: want error")
+	}
+	if _, err := Seed(p, []ArmSnapshot{{Arm: 0, Pulls: -1}}, 1); err == nil {
+		t.Error("negative pulls: want error")
+	}
+	// Errors must not leave partial state behind the caller's back for the
+	// arms validated before the bad one — validation happens per snapshot,
+	// so order matters; pin that the first (valid) snapshot did apply.
+	snap := p.Snapshot()
+	if snap[0].Pulls != 0 && snap[1].Pulls != 0 {
+		// Seed applies snapshots in order; the documented contract is only
+		// that an error return means the policy may be partially seeded.
+		t.Log("partial seeding after error is acceptable")
+	}
+}

@@ -170,6 +170,21 @@ type Config struct {
 	MaxSimTime time.Duration
 	// Seed drives every random choice the engine makes.
 	Seed int64
+	// WarmStart, when non-empty and WarmStartDecay > 0, seeds the freshly
+	// built bandit policy from a previous run's final ArmSnapshots before
+	// the first selection — the session workspace's bridge between two
+	// versions of a feature recipe over the same index groups. Each
+	// snapshot arm receives round(WarmStartDecay × Pulls) synthetic
+	// Update(arm, Mean) calls (see bandit.Seed); seeding consumes no
+	// randomness, so a warm-started run is a pure function of
+	// (Config, snapshots). Snapshot arms must index into the run's groups.
+	// Ignored by scans and the oracle, which have no policy to seed.
+	WarmStart []bandit.ArmSnapshot
+	// WarmStartDecay scales trust in WarmStart, in [0,1]: 1 replays every
+	// historical pull, 0 disables seeding entirely. The decay-0 identity
+	// contract is load-bearing for sessions: with WarmStartDecay == 0 the
+	// run is byte-identical to one with no WarmStart at all.
+	WarmStartDecay float64
 	// Cache, when non-nil, memoizes feature extraction through the
 	// content-addressed extraction cache: every Extract during the run
 	// (holdout builds included) is served from the cache when the
@@ -269,6 +284,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.MaxFailureFrac > 1 {
 		return nil, fmt.Errorf("core: MaxFailureFrac must be in (0,1], got %v", cfg.MaxFailureFrac)
+	}
+	if cfg.WarmStartDecay != cfg.WarmStartDecay || cfg.WarmStartDecay < 0 || cfg.WarmStartDecay > 1 {
+		return nil, fmt.Errorf("core: WarmStartDecay must be in [0,1], got %v", cfg.WarmStartDecay)
 	}
 	// Validate the policy spec eagerly with a throwaway build.
 	if _, err := cfg.Policy.Build(2, cfg.PolicyStats, dummyRNG()); err != nil {

@@ -40,7 +40,15 @@ func (e *Engine) RunWithExecutor(ctx context.Context, task *featurepipe.Task, gr
 	if err != nil {
 		return nil, err
 	}
-	return e.loop(ctx, task, src, r, exec)
+	seeded, err := src.warmStart(e.cfg.WarmStart, e.cfg.WarmStartDecay)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.loop(ctx, task, src, r, exec)
+	if res != nil {
+		res.WarmStartPulls = seeded
+	}
+	return res, err
 }
 
 // RunScan executes the same loop over a fixed input order: the sequential

@@ -117,6 +117,10 @@ type RunResult struct {
 	Quarantined []Quarantine
 	// Arms holds final per-group bandit statistics (nil for scans).
 	Arms []bandit.ArmSnapshot
+	// WarmStartPulls counts the synthetic pulls seeded into the policy
+	// from Config.WarmStart before the first real selection (0 for cold
+	// runs and scans). Seeded pulls are included in Arms' pull counts.
+	WarmStartPulls int64
 	// Events is the step trace when Config.TraceEvents was set.
 	Events *trace.Log
 }

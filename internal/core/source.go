@@ -106,6 +106,20 @@ func (s *banditSource) nextBatch(k int) ([]int, int, bool) {
 	return s.batch, arm, true
 }
 
+// warmStart seeds the policy from a previous run's arm snapshots (see
+// bandit.Seed). It must run before the first nextBatch call; it returns
+// the number of synthetic pulls applied.
+func (s *banditSource) warmStart(snaps []bandit.ArmSnapshot, decay float64) (int64, error) {
+	if decay == 0 || len(snaps) == 0 {
+		return 0, nil
+	}
+	n, err := bandit.Seed(s.policy, snaps, decay)
+	if err != nil {
+		return 0, fmt.Errorf("core: warm start: %w", err)
+	}
+	return n, nil
+}
+
 func (s *banditSource) feedback(arm int, reward float64) { s.policy.Update(arm, reward) }
 func (s *banditSource) name() string                     { return s.label }
 func (s *banditSource) arms() []bandit.ArmSnapshot       { return s.policy.Snapshot() }

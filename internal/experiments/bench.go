@@ -36,6 +36,9 @@ type BenchReport struct {
 	// CacheIteration is the extraction-cache cold-vs-warm timing block,
 	// present when the bench included experiment C1.
 	CacheIteration *CacheBenchEntry `json:"cache_iteration,omitempty"`
+	// SessionWarmstart is the warm-vs-cold recipe-session block, present
+	// when the bench included experiment S1.
+	SessionWarmstart *SessionWarmstartBenchEntry `json:"session_warmstart,omitempty"`
 	// PhaseTiming breaks the reference wiki run's wall time down by
 	// inner-loop phase, so a bench regression names the phase that slowed.
 	PhaseTiming *PhaseBenchEntry `json:"phase_timing,omitempty"`
@@ -120,6 +123,17 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 			return nil, fmt.Errorf("experiments: cache iteration bench: %w", err)
 		}
 		report.CacheIteration = cacheEntry
+		break
+	}
+	for _, id := range ids {
+		if id != "S1" {
+			continue
+		}
+		sessionEntry, err := SessionWarmstartBench(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: session warmstart bench: %w", err)
+		}
+		report.SessionWarmstart = sessionEntry
 		break
 	}
 	phaseEntry, err := PhaseTimingBench(cfg)

@@ -166,7 +166,7 @@ func TestBuildNamedGroupsAll(t *testing.T) {
 
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	ids := IDs()
-	want := []string{"B1", "C1", "D1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "T1", "T2", "T3", "T4"}
+	want := []string{"B1", "C1", "D1", "F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "S1", "T1", "T2", "T3", "T4"}
 	if len(ids) != len(want) {
 		t.Fatalf("IDs = %v", ids)
 	}
@@ -298,6 +298,24 @@ func TestC1Output(t *testing.T) {
 	for _, line := range strings.Split(out, "\n") {
 		if strings.Contains(line, "warm pass:") && !strings.Contains(line, "/ 0 misses") {
 			t.Fatalf("C1 warm pass should have zero misses: %q", line)
+		}
+	}
+}
+
+// TestS1Output runs the warm-vs-cold session experiment. The experiment
+// asserts its own claim internally (positive total inputs saved across
+// independent corpus draws, unless the scale is degenerate), so a clean
+// return is the main check; the table shape is pinned on top.
+func TestS1Output(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("S1", Config{Scale: 0.05, Seed: 5}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"=== S1", "cold-to-target", "warm-to-target", "seeded-pulls",
+		"total inputs saved by the warm start", "median inputs to re-reach v1 plateau", "extraction cache"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("S1 output missing %q:\n%s", want, out)
 		}
 	}
 }

@@ -83,6 +83,7 @@ var registry = map[string]struct {
 	"F6": {"Indexing-strategy ablation", F6Indexing},
 	"F7": {"Arm-statistics aging ablation", F7Nonstationary},
 	"F8": {"Speedup vs corpus size (extension)", F8Scaling},
+	"S1": {"Warm-vs-cold recipe session (bandit warm start)", S1SessionWarmstart},
 }
 
 // IDs returns every experiment id in stable order.

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+
+	"zombie/internal/core"
+	"zombie/internal/featcache"
+	"zombie/internal/featurepipe"
+	"zombie/internal/recipe"
+)
+
+// sessionWarmstartDecay is the warm-start decay the S1 experiment uses —
+// the same 0.5 zombie-serve defaults sessions to, so the experiment
+// validates the shipped default. Half trust beats full trust here: with
+// decay 1.0 the seeded posterior occasionally over-commits to a group
+// whose usefulness density hurts early F1 on an adverse corpus draw, and
+// a single such run can erase the aggregate saving.
+const sessionWarmstartDecay = 0.5
+
+// sessionWarmstartTrials is how many independent corpora the comparison
+// repeats over. Time-to-quality crossings are noisy near flat curve
+// regions, and a fixed corpus correlates the trials, so each trial draws
+// its own corpus and the claim is asserted on the aggregate.
+const sessionWarmstartTrials = 7
+
+// warmstartTrial is one corpus draw's warm-vs-cold pair.
+type warmstartTrial struct {
+	corpusSeed  int64
+	v1Quality   float64
+	target      float64
+	coldTo      int // inputs for the cold v2 to reach target (capped when unreached)
+	warmTo      int
+	coldReached bool
+	warmReached bool
+	seededPulls int64
+}
+
+// saved is the trial's margin: inputs the warm start saved over the cold
+// restart (negative when warm was slower).
+func (t warmstartTrial) saved() int { return t.coldTo - t.warmTo }
+
+// sessionWarmstartOutcome is the raw material S1 and its bench entry
+// share.
+type sessionWarmstartOutcome struct {
+	trials     []warmstartTrial
+	totalSaved int
+	medianCold int
+	medianWarm int
+}
+
+// degenerate reports whether the comparison carries no signal: every
+// trial's v1 plateaued at quality 0, so the 95%-of-plateau target is 0
+// and both paths trivially "reach" it at zero inputs.
+func (o *sessionWarmstartOutcome) degenerate() bool {
+	for _, t := range o.trials {
+		if t.target > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// runSessionWarmstart runs the warm-vs-cold comparison: recipe v1 (three
+// wiki parts), then v2 with one part edited, once in a decay-0 session
+// (v2 restarts cold) and once in a decay-0.5 session (v2's bandit is
+// seeded from v1's arm statistics) — repeated over independent corpus
+// draws. Each trial opens its own extraction cache: generated corpora
+// reuse input IDs ("wiki-0001" exists in every draw), so a shared cache
+// would serve one corpus's extractions for another's inputs. Within a
+// trial both paths share the trial's cache, so the comparison isolates
+// the bandit warm start.
+func runSessionWarmstart(cfg Config) (*sessionWarmstartOutcome, error) {
+	cfg = cfg.withDefaults()
+	out := &sessionWarmstartOutcome{}
+	for i := 0; i < sessionWarmstartTrials; i++ {
+		trialCfg := cfg
+		trialCfg.Seed = cfg.Seed + int64(i)*7919 // distinct corpus per trial
+		trial := warmstartTrial{corpusSeed: trialCfg.Seed}
+		wl, err := WikiWorkload(trialCfg)
+		if err != nil {
+			return nil, err
+		}
+		groups, err := wl.Groups(wl.DefaultK, trialCfg.Seed+1)
+		if err != nil {
+			return nil, err
+		}
+		v1, err := recipe.New("s1", []recipe.Part{
+			{Name: "base", Kind: "wiki", Version: 2},
+			{Name: "mid", Kind: "wiki", Version: 4, Deps: []string{"base"}},
+			{Name: "top", Kind: "wiki", Version: 5, Deps: []string{"mid"}},
+		})
+		if err != nil {
+			return nil, err
+		}
+		edited := append([]recipe.Part(nil), v1.Parts()...)
+		for j := range edited {
+			if edited[j].Name == "top" {
+				edited[j].Version = 6
+			}
+		}
+		v2, err := recipe.New("s1", edited)
+		if err != nil {
+			return nil, err
+		}
+		cache, err := featcache.Open(featcache.Config{}, featurepipe.ResultCodec{})
+		if err != nil {
+			return nil, err
+		}
+		for _, decay := range []float64{0, sessionWarmstartDecay} {
+			engCfg := core.Config{
+				Policy:    "thompson",
+				Seed:      trialCfg.Seed + 2,
+				MaxInputs: trialCfg.n(3000),
+				EvalEvery: 25,
+				Cache:     cache,
+			}
+			s, err := recipe.NewSession("s1", wl.Task, groups, recipe.Config{Engine: engCfg, Decay: decay})
+			if err != nil {
+				cache.Close()
+				return nil, err
+			}
+			r1, err := s.Submit(context.Background(), v1)
+			if err != nil {
+				cache.Close()
+				return nil, err
+			}
+			r2, err := s.Submit(context.Background(), v2)
+			if err != nil {
+				cache.Close()
+				return nil, err
+			}
+			target := wl.QualityTarget * r1.Run.FinalQuality
+			to, _, reached := r2.Run.InputsToQuality(target)
+			if !reached {
+				to = r2.Run.InputsProcessed + 1 // rank unreached below any crossing
+			}
+			if decay == 0 {
+				trial.v1Quality = r1.Run.FinalQuality
+				trial.target = target
+				trial.coldTo, trial.coldReached = to, reached
+			} else {
+				trial.warmTo, trial.warmReached = to, reached
+				trial.seededPulls = r2.WarmStart.SeededPulls
+			}
+		}
+		cache.Close()
+		out.trials = append(out.trials, trial)
+		out.totalSaved += trial.saved()
+	}
+	out.medianCold = medianInt(out.trials, func(t warmstartTrial) int { return t.coldTo })
+	out.medianWarm = medianInt(out.trials, func(t warmstartTrial) int { return t.warmTo })
+	// The acceptance claim: across independent corpus draws, warm-started
+	// edits re-reach the previous version's plateau quality in fewer total
+	// inputs than cold restarts. This is asserted, not just reported — a
+	// regression that breaks seeding fails the experiment instead of
+	// silently printing a worse table. The one exemption is the degenerate
+	// zero-target case (every trial's v1 plateaued at 0), where both paths
+	// trivially "reach" the target immediately and no comparison is
+	// possible.
+	if !out.degenerate() && out.totalSaved <= 0 {
+		return nil, fmt.Errorf("experiments: S1: warm start saved %d inputs over %d independent corpora — expected a positive saving",
+			out.totalSaved, len(out.trials))
+	}
+	return out, nil
+}
+
+// medianInt returns the median of pick over the trials.
+func medianInt(trials []warmstartTrial, pick func(warmstartTrial) int) int {
+	vals := make([]int, len(trials))
+	for i, t := range trials {
+		vals[i] = pick(t)
+	}
+	sort.Ints(vals)
+	return vals[len(vals)/2]
+}
+
+// S1SessionWarmstart reproduces the session workspace's core claim (an
+// extension beyond the paper): after editing one recipe part, seeding the
+// new version's bandit from the previous version's arm statistics re-
+// reaches plateau quality in fewer inputs than restarting cold, in
+// aggregate over independent corpus draws. Wall-clock timings stay out of
+// the table; zombie-bench's session_warmstart block carries the same
+// comparison for CI diffing.
+func S1SessionWarmstart(cfg Config, w io.Writer) error {
+	out, err := runSessionWarmstart(cfg)
+	if err != nil {
+		return err
+	}
+	table := &Table{
+		ID:     "S1",
+		Title:  "Warm-vs-cold recipe session (edit one part of three, wiki, thompson)",
+		Header: []string{"corpus-seed", "v1-plateau", "target", "cold-to-target", "warm-to-target", "saved", "seeded-pulls"},
+	}
+	cell := func(to int, reached bool) string {
+		if !reached {
+			return "n/a"
+		}
+		return d(to)
+	}
+	for _, tr := range out.trials {
+		table.AddRow(fmt.Sprintf("%d", tr.corpusSeed), f(tr.v1Quality), f(tr.target),
+			cell(tr.coldTo, tr.coldReached), cell(tr.warmTo, tr.warmReached),
+			d(tr.saved()), fmt.Sprintf("%d", tr.seededPulls))
+	}
+	verdict := fmt.Sprintf("total inputs saved by the warm start over %d independent corpora: %d (decay %.1f; asserted > 0)",
+		len(out.trials), out.totalSaved, sessionWarmstartDecay)
+	if out.degenerate() {
+		verdict = "degenerate at this scale: every v1 plateaued at quality 0, no comparison possible"
+	}
+	table.Notes = append(table.Notes,
+		verdict,
+		fmt.Sprintf("median inputs to re-reach v1 plateau: cold %d, warm %d", out.medianCold, out.medianWarm),
+		"each trial draws its own corpus and extraction cache; within a trial both paths share the cache, isolating the bandit warm start",
+	)
+	return table.Fprint(w)
+}
+
+// SessionWarmstartBenchEntry is the warm-vs-cold block zombie-bench
+// writes to its JSON report when the bench includes S1.
+type SessionWarmstartBenchEntry struct {
+	Trials int `json:"trials"`
+	// MedianColdInputs / MedianWarmInputs are the median inputs v2 needed
+	// to re-reach 95% of v1's plateau quality, cold vs warm-started.
+	MedianColdInputs int `json:"median_cold_inputs"`
+	MedianWarmInputs int `json:"median_warm_inputs"`
+	// InputsSavedTotal is the asserted quantity: summed over the trials,
+	// how many fewer inputs the warm-started v2 needed than the cold one.
+	InputsSavedTotal int  `json:"inputs_saved_total"`
+	Degenerate       bool `json:"degenerate,omitempty"`
+}
+
+// SessionWarmstartBench runs the S1 comparison for the bench report.
+func SessionWarmstartBench(cfg Config) (*SessionWarmstartBenchEntry, error) {
+	out, err := runSessionWarmstart(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &SessionWarmstartBenchEntry{
+		Trials:           len(out.trials),
+		MedianColdInputs: out.medianCold,
+		MedianWarmInputs: out.medianWarm,
+		InputsSavedTotal: out.totalSaved,
+		Degenerate:       out.degenerate(),
+	}, nil
+}

@@ -1,0 +1,64 @@
+package featurepipe
+
+import (
+	"testing"
+
+	"zombie/internal/corpus"
+)
+
+// TestGoldenFingerprints pins the fingerprint of every built-in feature
+// version and of a composite. Fingerprints key the extraction cache —
+// on-disk caches and session workspaces survive process restarts only if
+// these strings are stable across builds. If this test breaks, the change
+// invalidated every cached extraction for that feature; that can be the
+// right call (the extraction logic really changed), but it must be
+// deliberate: update the golden value AND note the cache invalidation in
+// the change description.
+func TestGoldenFingerprints(t *testing.T) {
+	golden := map[string]string{
+		"wiki-v1":   "c88e466a71d14387",
+		"wiki-v2":   "da168e26076cd578",
+		"wiki-v3":   "69a3c335d17cf963",
+		"wiki-v4":   "f2e5f6811e97ca98",
+		"wiki-v5":   "818c8c15c68188ec",
+		"wiki-v6":   "f4199f753f8bdd22",
+		"wiki-v7":   "403d06de5708757",
+		"wiki-v8":   "265e56429efd0fa5",
+		"song-v1":   "82eb27a4b447d73a",
+		"song-v2":   "30427e1a2990d1e7",
+		"image-v1":  "96b698725e372dd5",
+		"image-v2":  "bdfa2a66860393df",
+		"image-v3":  "bedd2aa4fe3486ab",
+		"composite": "9e5e91834177f844",
+	}
+	features := map[string]FeatureFunc{}
+	for v := 1; v <= 8; v++ {
+		features[name("wiki", v)] = NewWikiFeature(v)
+	}
+	for v := 1; v <= 2; v++ {
+		features[name("song", v)] = NewSongFeature(v, corpus.DefaultSongConfig())
+	}
+	for v := 1; v <= 3; v++ {
+		features[name("image", v)] = NewImageFeature(v, corpus.DefaultImageConfig())
+	}
+	comp, err := NewCompositeFeature("golden-comp", NewWikiFeature(2), NewWikiFeature(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	features["composite"] = comp
+
+	for key, f := range features {
+		want, ok := golden[key]
+		if !ok {
+			t.Errorf("no golden value for %s: got %q", key, FingerprintOf(f))
+			continue
+		}
+		if got := FingerprintOf(f); got != want {
+			t.Errorf("%s fingerprint = %q, want %q (cache invalidation — see test comment)", key, got, want)
+		}
+	}
+}
+
+func name(kind string, v int) string {
+	return kind + "-v" + string(rune('0'+v))
+}

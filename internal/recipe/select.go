@@ -1,0 +1,168 @@
+package recipe
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"zombie/internal/core"
+)
+
+// SelectConfig tunes the forward stepwise part-selection loop.
+type SelectConfig struct {
+	// MinGain is the minimum holdout-quality improvement a round must
+	// deliver to keep growing the recipe (default 0.002, the engine's
+	// plateau slope threshold). The first part is always kept.
+	MinGain float64
+	// MaxParts caps the selected part count; 0 means no cap.
+	MaxParts int
+}
+
+// Candidate is one evaluated extension in a selection round.
+type Candidate struct {
+	// Part is the part name the round tried adding.
+	Part string `json:"part"`
+	// Quality is the run's final holdout quality with the part added.
+	Quality float64 `json:"quality"`
+	// Inputs is how many inputs the evaluation run processed.
+	Inputs int `json:"inputs"`
+}
+
+// SelectRound records one round of forward selection.
+type SelectRound struct {
+	// Added is the part the round kept ("" when the round only measured
+	// and stopped).
+	Added string `json:"added"`
+	// Quality is the best quality measured this round.
+	Quality float64 `json:"quality"`
+	// Candidates lists every extension evaluated, in name order.
+	Candidates []Candidate `json:"candidates"`
+}
+
+// SelectResult is the outcome of SelectParts.
+type SelectResult struct {
+	// Selected lists the kept parts in the order they were added.
+	Selected []string `json:"selected"`
+	// Rounds records each selection round.
+	Rounds []SelectRound `json:"rounds"`
+	// Recipe is the final selected recipe.
+	Recipe *Recipe `json:"-"`
+	// Quality is the final recipe's measured holdout quality.
+	Quality float64 `json:"quality"`
+}
+
+// SelectParts runs forward stepwise part selection — the first built-in
+// multi-run scenario over the inner bandit loop. Starting from nothing,
+// each round evaluates every not-yet-selected part whose dependencies are
+// already selected (one full bandit run per candidate, sharing the
+// session's extraction cache, so re-evaluating a part is nearly free
+// after its first appearance) and keeps the part with the best final
+// holdout quality. Selection stops when no eligible part remains, the
+// best candidate improves quality by less than MinGain, or MaxParts is
+// reached. Evaluation runs are cold (no warm-start): candidate sets
+// differ structurally, and cross-candidate seeding would bias the
+// comparison. The loop is deterministic: candidates evaluate in name
+// order and ties keep the lexicographically first part.
+func (s *Session) SelectParts(ctx context.Context, candidate *Recipe, cfg SelectConfig) (*SelectResult, error) {
+	if candidate == nil {
+		return nil, fmt.Errorf("recipe: SelectParts requires a candidate recipe")
+	}
+	if cfg.MinGain <= 0 {
+		cfg.MinGain = 0.002
+	}
+	engCfg := s.cfg.Engine
+	engCfg.WarmStart, engCfg.WarmStartDecay = nil, 0
+	eng, err := core.New(engCfg)
+	if err != nil {
+		return nil, err
+	}
+	parts := candidate.Parts()
+	byName := make(map[string]Part, len(parts))
+	for _, p := range parts {
+		byName[p.Name] = p
+	}
+	selected := make(map[string]bool, len(parts))
+	res := &SelectResult{}
+	bestQuality := 0.0
+	for {
+		if cfg.MaxParts > 0 && len(res.Selected) >= cfg.MaxParts {
+			break
+		}
+		var eligible []string
+		for _, p := range parts {
+			if selected[p.Name] {
+				continue
+			}
+			ready := true
+			for _, d := range p.Deps {
+				if !selected[d] {
+					ready = false
+					break
+				}
+			}
+			if ready {
+				eligible = append(eligible, p.Name)
+			}
+		}
+		if len(eligible) == 0 {
+			break
+		}
+		sort.Strings(eligible)
+		round := SelectRound{}
+		bestPart, bestQ := "", -1.0
+		for _, name := range eligible {
+			sub, err := subRecipe(candidate.Name(), byName, res.Selected, name)
+			if err != nil {
+				return nil, err
+			}
+			run, err := eng.RunContext(ctx, s.task.WithFeature(sub.Feature()), s.groups)
+			if err != nil {
+				return nil, fmt.Errorf("recipe: SelectParts: evaluate %s: %w", name, err)
+			}
+			round.Candidates = append(round.Candidates, Candidate{
+				Part: name, Quality: run.FinalQuality, Inputs: run.InputsProcessed,
+			})
+			if run.FinalQuality > bestQ {
+				bestPart, bestQ = name, run.FinalQuality
+			}
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		round.Quality = bestQ
+		if len(res.Selected) > 0 && bestQ < bestQuality+cfg.MinGain {
+			res.Rounds = append(res.Rounds, round)
+			break
+		}
+		round.Added = bestPart
+		res.Rounds = append(res.Rounds, round)
+		res.Selected = append(res.Selected, bestPart)
+		selected[bestPart] = true
+		bestQuality = bestQ
+	}
+	if len(res.Selected) == 0 {
+		return nil, fmt.Errorf("recipe: SelectParts selected no parts from %s", candidate.Name())
+	}
+	final, err := subRecipe(candidate.Name(), byName, res.Selected, "")
+	if err != nil {
+		return nil, err
+	}
+	res.Recipe = final
+	res.Quality = bestQuality
+	return res, nil
+}
+
+// subRecipe builds the recipe restricted to selected (+extra when
+// non-empty), preserving each part's declared dependencies — all of which
+// are inside the subset by construction of the eligibility rule.
+func subRecipe(name string, byName map[string]Part, selected []string, extra string) (*Recipe, error) {
+	names := append([]string(nil), selected...)
+	if extra != "" {
+		names = append(names, extra)
+	}
+	sub := make([]Part, 0, len(names))
+	for _, n := range names {
+		sub = append(sub, byName[n])
+	}
+	return New(fmt.Sprintf("%s[%d]", name, len(sub)), sub)
+}

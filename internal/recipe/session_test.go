@@ -1,0 +1,262 @@
+package recipe
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"zombie/internal/core"
+	"zombie/internal/corpus"
+	"zombie/internal/featcache"
+	"zombie/internal/featurepipe"
+	"zombie/internal/index"
+	"zombie/internal/rng"
+	"zombie/internal/workload"
+)
+
+func wikiFixture(t testing.TB, n int, seed int64) (*featurepipe.Task, *index.Groups) {
+	t.Helper()
+	cfg := corpus.DefaultWikiConfig()
+	cfg.N = n
+	ins, err := corpus.GenerateWiki(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := corpus.NewMemStore(ins)
+	task, grouper, err := workload.Build("wiki", store, 0, rng.New(seed+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := grouper.Group(store, 8, rng.New(seed+2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return task, groups
+}
+
+func testEngineConfig(cache *featcache.Cache) core.Config {
+	return core.Config{
+		Policy:    "eps-greedy:0.1",
+		Seed:      5,
+		MaxInputs: 120,
+		EvalEvery: 25,
+		Cache:     cache,
+	}
+}
+
+func TestSessionEditOnePart(t *testing.T) {
+	task, groups := wikiFixture(t, 400, 31)
+	cache, err := featcache.Open(featcache.Config{}, featurepipe.ResultCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession("edit", task, groups, Config{Engine: testEngineConfig(cache), Decay: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1r, err := New("rec", wikiParts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.Submit(context.Background(), v1r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Index != 1 || v1.WarmStart.Applied {
+		t.Fatalf("v1 = index %d applied %v, want 1/false", v1.Index, v1.WarmStart.Applied)
+	}
+	edited := wikiParts()
+	edited[2].Version = 6
+	v2r, err := New("rec", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := s.Submit(context.Background(), v2r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v2.WarmStart.Applied || v2.WarmStart.SeededPulls == 0 {
+		t.Fatalf("v2 warm start = %+v, want applied with pulls", v2.WarmStart)
+	}
+	if v2.Run.WarmStartPulls != v2.WarmStart.SeededPulls {
+		t.Fatal("session warm-start stats disagree with the run result")
+	}
+	if got := v2.Diff.Changed; !reflect.DeepEqual(got, []string{"top"}) {
+		t.Fatalf("v2 diff changed = %v, want [top]", got)
+	}
+	if v2.Diff.SharedParts != 2 {
+		t.Fatalf("v2 shared parts = %d, want 2", v2.Diff.SharedParts)
+	}
+	// The two unchanged parts were extracted under v1, so v2's run must
+	// hit the part-level cache.
+	if v2.Run.CacheHits == 0 {
+		t.Fatal("v2 run saw no cache hits despite two unchanged parts")
+	}
+}
+
+// TestSessionUnchangedRecipeFullReuse pins the acceptance contract: an
+// unchanged recipe version gets every part extraction from the cache —
+// zero misses.
+func TestSessionUnchangedRecipeFullReuse(t *testing.T) {
+	task, groups := wikiFixture(t, 400, 31)
+	cache, err := featcache.Open(featcache.Config{}, featurepipe.ResultCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession("same", task, groups, Config{Engine: testEngineConfig(cache), Decay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := New("rec", wikiParts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := s.Submit(context.Background(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1.Run.CacheMisses == 0 {
+		t.Fatal("cold v1 should miss the cache")
+	}
+	v2, err := s.Submit(context.Background(), rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2.Run.CacheMisses != 0 {
+		t.Fatalf("unchanged recipe re-run missed the cache %d times, want 0", v2.Run.CacheMisses)
+	}
+	if v2.Run.CacheHits == 0 {
+		t.Fatal("unchanged recipe re-run recorded no cache hits")
+	}
+	if v2.Diff.SharedParts != v2.Diff.TotalParts {
+		t.Fatalf("unchanged recipe shared %d/%d parts", v2.Diff.SharedParts, v2.Diff.TotalParts)
+	}
+}
+
+// TestSessionZeroDecayIdentity pins the session-level identity contract:
+// with decay 0 a later version's run is byte-identical to running the
+// same recipe cold, snapshots or not.
+func TestSessionZeroDecayIdentity(t *testing.T) {
+	task, groups := wikiFixture(t, 400, 31)
+	edited := wikiParts()
+	edited[2].Version = 6
+	v2r, err := New("rec", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cold: a fresh session running only v2.
+	coldSess, err := NewSession("cold", task, groups, Config{Engine: testEngineConfig(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := coldSess.Submit(context.Background(), v2r)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Decay 0: v1 then v2 in one session; v2 must match cold exactly.
+	zeroSess, err := NewSession("zero", task, groups, Config{Engine: testEngineConfig(nil), Decay: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1r, err := New("rec", wikiParts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := zeroSess.Submit(context.Background(), v1r); err != nil {
+		t.Fatal(err)
+	}
+	warm0, err := zeroSess.Submit(context.Background(), v2r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := *cold.Run, *warm0.Run
+	a.WallTime, b.WallTime = 0, 0
+	a.Phases, b.Phases = core.PhaseBreakdown{}, core.PhaseBreakdown{}
+	if !reflect.DeepEqual(&a, &b) {
+		t.Fatal("decay=0 session v2 differs from cold run of the same recipe")
+	}
+}
+
+func TestSessionRejectsClassMismatch(t *testing.T) {
+	task, groups := wikiFixture(t, 400, 31)
+	s, err := NewSession("mismatch", task, groups, Config{Engine: testEngineConfig(nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	songRec, err := New("songs", []Part{{Name: "a", Kind: "song"}, {Name: "b", Kind: "song", Version: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(context.Background(), songRec); err == nil {
+		t.Fatal("song recipe against wiki task: want class-mismatch error")
+	}
+}
+
+func TestSelectParts(t *testing.T) {
+	task, groups := wikiFixture(t, 400, 31)
+	cache, err := featcache.Open(featcache.Config{}, featurepipe.ResultCodec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := testEngineConfig(cache)
+	cfg.MaxInputs = 80
+	s, err := NewSession("select", task, groups, Config{Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidate, err := New("cand", []Part{
+		{Name: "base", Kind: "wiki", Version: 2},
+		{Name: "mid", Kind: "wiki", Version: 4},
+		{Name: "top", Kind: "wiki", Version: 6, Deps: []string{"mid"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.SelectParts(context.Background(), candidate, SelectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Selected) == 0 || res.Recipe == nil {
+		t.Fatalf("SelectParts selected nothing: %+v", res)
+	}
+	// Dependency structure respected: "top" can only appear after "mid".
+	pos := map[string]int{}
+	for i, n := range res.Selected {
+		pos[n] = i
+	}
+	if pt, ok := pos["top"]; ok {
+		if pm, ok := pos["mid"]; !ok || pm > pt {
+			t.Fatalf("top selected before its dependency mid: %v", res.Selected)
+		}
+	}
+	// Round 1 must have evaluated only the dep-free parts.
+	if len(res.Rounds) == 0 || len(res.Rounds[0].Candidates) != 2 {
+		t.Fatalf("round 1 candidates = %+v, want base and mid only", res.Rounds)
+	}
+	// Determinism: same inputs → same selection.
+	s2, err := NewSession("select2", task, groups, Config{Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := s2.SelectParts(context.Background(), candidate, SelectConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Selected, res2.Selected) || !reflect.DeepEqual(res.Rounds, res2.Rounds) {
+		t.Fatal("SelectParts is not deterministic")
+	}
+	// MaxParts caps growth.
+	s3, err := NewSession("select3", task, groups, Config{Engine: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped, err := s3.SelectParts(context.Background(), candidate, SelectConfig{MaxParts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped.Selected) != 1 {
+		t.Fatalf("MaxParts=1 selected %v", capped.Selected)
+	}
+}

@@ -1,0 +1,56 @@
+package recipe
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Spec is the JSON wire form of a recipe — what POST /sessions/{id}/runs
+// accepts and what `zombie -recipe file.json` reads:
+//
+//	{
+//	  "name": "wiki-rich",
+//	  "parts": [
+//	    {"name": "base", "kind": "wiki", "version": 2},
+//	    {"name": "wide", "kind": "wiki", "version": 4, "deps": ["base"]}
+//	  ]
+//	}
+type Spec struct {
+	Name  string `json:"name"`
+	Parts []Part `json:"parts"`
+}
+
+// ParseSpec decodes a recipe spec strictly: unknown JSON fields are
+// rejected, so a typoed knob fails loudly instead of silently changing
+// nothing.
+func ParseSpec(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("recipe: bad spec: %w", err)
+	}
+	// A trailing second document is as much a mistake as an unknown field.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("recipe: bad spec: trailing data after recipe object")
+	}
+	return &s, nil
+}
+
+// ParseSpecBytes is ParseSpec over a byte slice.
+func ParseSpecBytes(b []byte) (*Spec, error) { return ParseSpec(bytes.NewReader(b)) }
+
+// ParseSpecFile reads and decodes a recipe spec from disk.
+func ParseSpecFile(path string) (*Spec, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("recipe: read spec: %w", err)
+	}
+	return ParseSpecBytes(b)
+}
+
+// Recipe validates and compiles the spec.
+func (s *Spec) Recipe() (*Recipe, error) { return New(s.Name, s.Parts) }

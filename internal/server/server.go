@@ -17,6 +17,14 @@
 //	                             ("point" + "trace" frames, then "status")
 //	GET    /runs/{id}/events     step-level trace as CSV (spec.trace runs)
 //	GET    /runs/{id}/trace      trace-ring snapshot as JSON, live mid-run
+//	POST   /sessions             open a recipe workspace (SessionSpec)
+//	GET    /sessions             list sessions
+//	GET    /sessions/{id}        session detail: version history with
+//	                             per-version curves, diffs, cache-reuse
+//	                             and warm-start stats
+//	POST   /sessions/{id}/runs   submit a recipe version (recipe.Spec
+//	                             JSON) -> 202; versions run sequentially,
+//	                             each warm-starting from the previous
 //	POST   /dist/{init,holdout,step,finish}
 //	                             distributed-run worker endpoints: a
 //	                             coordinator drives this server's corpus
@@ -98,6 +106,7 @@ type Server struct {
 	cache      *IndexCache
 	featCache  *featcache.Cache
 	manager    *Manager
+	sessions   *SessionHub
 	distWorker *dist.Worker
 	metrics    *Metrics
 	obs        *obs.Registry
@@ -149,6 +158,10 @@ func New(cfg Config) (*Server, error) {
 		cache:     cache,
 		featCache: featCache,
 		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap, defaults),
+		// The session hub shares the manager's corpus registry, index cache
+		// and extraction cache: a session's whole point is reusing what
+		// earlier versions computed.
+		sessions: NewSessionHub(registry, cache, featCache, reg, cfg.Workers, cfg.QueueCap, defaults),
 		// The dist worker shares the server's corpus registry, extraction
 		// cache, and telemetry registry: serving a coordinator's steps is
 		// just another way of running the inner loop over this process's
@@ -164,6 +177,7 @@ func New(cfg Config) (*Server, error) {
 		start: time.Now(),
 	}
 	s.manager.SetLogger(cfg.Logger)
+	s.sessions.SetLogger(cfg.Logger)
 	// Gauges owned by other structures, sampled at exposition time.
 	reg.GaugeFunc("queue_depth", "Runs queued but not yet running.",
 		func() int64 { return int64(s.manager.QueueDepth()) })
@@ -183,6 +197,10 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /runs/{id}/curve", s.handleRunCurve)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
 	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("POST /sessions", s.handleSessionCreate)
+	s.mux.HandleFunc("GET /sessions", s.handleSessionList)
+	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionGet)
+	s.mux.HandleFunc("POST /sessions/{id}/runs", s.handleSessionRun)
 	s.mux.HandleFunc("DELETE /cache", s.handleCacheInvalidate)
 	s.mux.HandleFunc("POST /dist/init", s.handleDistInit)
 	s.mux.HandleFunc("POST /dist/holdout", s.handleDistHoldout)
@@ -218,6 +236,9 @@ func (s *Server) Manager() *Manager { return s.manager }
 // The HTTP listener should already be stopped.
 func (s *Server) Shutdown(ctx context.Context) error {
 	err := s.manager.Shutdown(ctx)
+	if serr := s.sessions.Shutdown(ctx); err == nil {
+		err = serr
+	}
 	if cerr := s.registry.Close(); err == nil {
 		err = cerr
 	}

@@ -1,0 +1,535 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"zombie/internal/bandit"
+	"zombie/internal/core"
+	"zombie/internal/featcache"
+	"zombie/internal/index"
+	"zombie/internal/obs"
+	"zombie/internal/parallel"
+	"zombie/internal/recipe"
+	"zombie/internal/rng"
+	"zombie/internal/workload"
+)
+
+// defaultSessionDecay is the warm-start decay a session spec inherits when
+// it does not set its own. Half trust is the conservative middle: enough
+// seeded pulls to skip most of the re-explore cost, small enough that a
+// genuinely different edit can overturn the prior quickly.
+const defaultSessionDecay = 0.5
+
+// SessionSpec is the POST /sessions request body: the fixed context every
+// recipe version in the workspace runs against.
+type SessionSpec struct {
+	// Name labels the session (defaults to its ID).
+	Name string `json:"name,omitempty"`
+	// Corpus and Task fix what the session's runs evaluate against.
+	Corpus string `json:"corpus"`
+	Task   string `json:"task"`
+	// Policy is the bandit policy spec (default eps-greedy:0.1).
+	Policy string `json:"policy,omitempty"`
+	// K is the index group count (default 32).
+	K int `json:"k,omitempty"`
+	// Seed drives every run in the session (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Decay is the warm-start decay in [0,1]; omitted means 0.5, explicit
+	// 0 disables warm-starting (every version runs cold).
+	Decay *float64 `json:"decay,omitempty"`
+	// MaxInputs / EvalEvery / EarlyStop / Batch mirror RunSpec.
+	MaxInputs int  `json:"max_inputs,omitempty"`
+	EvalEvery int  `json:"eval_every,omitempty"`
+	EarlyStop bool `json:"early_stop,omitempty"`
+	Batch     int  `json:"batch,omitempty"`
+}
+
+func (spec *SessionSpec) normalize() {
+	if spec.Policy == "" {
+		spec.Policy = "eps-greedy:0.1"
+	}
+	if spec.K == 0 {
+		spec.K = 32
+	}
+	if spec.Seed == 0 {
+		spec.Seed = 1
+	}
+	if spec.Decay == nil {
+		d := defaultSessionDecay
+		spec.Decay = &d
+	}
+}
+
+// sessionVersion is one submitted recipe version's lifecycle record.
+type sessionVersion struct {
+	index    int
+	state    RunState
+	err      string
+	spec     *recipe.Spec
+	rec      *recipe.Recipe
+	result   *recipe.Version // set when done
+	started  time.Time
+	finished time.Time
+}
+
+// Session is a server-side recipe workspace: a fixed (corpus, task,
+// policy, k, seed) context plus an ordered history of recipe versions.
+// Versions run sequentially — each warm-starts from the previous
+// successful one — so the session serializes its own executions while
+// different sessions run concurrently on the hub's pool.
+type Session struct {
+	ID      string
+	spec    SessionSpec
+	created time.Time
+
+	execMu sync.Mutex // serializes version runs
+
+	mu        sync.Mutex
+	workspace *recipe.Session // built lazily by the first run
+	versions  []*sessionVersion
+}
+
+// SessionInfo is the wire form of a session.
+type SessionInfo struct {
+	ID          string               `json:"id"`
+	Name        string               `json:"name"`
+	Corpus      string               `json:"corpus"`
+	Task        string               `json:"task"`
+	Policy      string               `json:"policy"`
+	K           int                  `json:"k"`
+	Seed        int64                `json:"seed"`
+	Decay       float64              `json:"decay"`
+	CreatedUnix int64                `json:"created_unix"`
+	Versions    []sessionVersionInfo `json:"versions"`
+}
+
+// sessionPartInfo is the wire form of one compiled recipe part.
+type sessionPartInfo struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"`
+	Version     int    `json:"version"`
+	Fingerprint string `json:"fingerprint"`
+}
+
+// sessionVersionInfo is the wire form of one recipe version: state, the
+// compiled recipe, the diff against the previous version, the learning
+// curve, and the cache-reuse + warm-start stats the workspace exists to
+// surface.
+type sessionVersionInfo struct {
+	Version     int                   `json:"version"`
+	State       RunState              `json:"state"`
+	Error       string                `json:"error,omitempty"`
+	Recipe      string                `json:"recipe"`
+	Fingerprint string                `json:"fingerprint,omitempty"`
+	Parts       []sessionPartInfo     `json:"parts"`
+	Diff        *recipe.Diff          `json:"diff,omitempty"`
+	Curve       []curvePointJSON      `json:"curve,omitempty"`
+	Final       float64               `json:"final_quality"`
+	Inputs      int                   `json:"inputs_processed"`
+	Stop        string                `json:"stop,omitempty"`
+	CacheHits   int64                 `json:"cache_hits"`
+	CacheMisses int64                 `json:"cache_misses"`
+	SharedParts int                   `json:"shared_parts"`
+	TotalParts  int                   `json:"total_parts"`
+	WarmStart   recipe.WarmStartStats `json:"warm_start"`
+	WallMillis  int64                 `json:"wall_ms,omitempty"`
+}
+
+// SessionHub owns the server's session workspaces and the pool their
+// version runs execute on. It shares the manager's corpus registry, index
+// cache and extraction cache — the cache sharing is what makes "edit one
+// part, pay for one part" hold across a session's versions.
+type SessionHub struct {
+	registry  *Registry
+	idxCache  *IndexCache
+	featCache *featcache.Cache
+	obsReg    *obs.Registry
+	defaults  RunDefaults
+	log       *slog.Logger
+
+	pool       *parallel.Pool
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	sessions map[string]*Session
+	order    []string
+	nextID   int
+	closed   bool
+}
+
+// NewSessionHub starts a hub whose version runs execute on workers
+// goroutines over a queue of queueCap pending runs.
+func NewSessionHub(registry *Registry, idxCache *IndexCache, featCache *featcache.Cache, obsReg *obs.Registry, workers, queueCap int, defaults RunDefaults) *SessionHub {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &SessionHub{
+		registry:   registry,
+		idxCache:   idxCache,
+		featCache:  featCache,
+		obsReg:     obsReg,
+		defaults:   defaults,
+		log:        obs.NopLogger(),
+		pool:       parallel.NewPool(workers, queueCap),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		sessions:   map[string]*Session{},
+	}
+}
+
+// SetLogger replaces the hub's lifecycle logger.
+func (h *SessionHub) SetLogger(l *slog.Logger) {
+	if l != nil {
+		h.log = l
+	}
+}
+
+// engineConfig translates a session spec into the template engine config
+// its versions run with (cache and telemetry attached at run time).
+func (h *SessionHub) engineConfig(spec SessionSpec) core.Config {
+	cfg := core.Config{
+		Policy:         bandit.Spec(spec.Policy),
+		Seed:           spec.Seed,
+		MaxInputs:      spec.MaxInputs,
+		EvalEvery:      spec.EvalEvery,
+		BatchSize:      spec.Batch,
+		MaxFailureFrac: h.defaults.MaxFailureFrac,
+		Faults:         h.defaults.Faults,
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = h.defaults.Batch
+	}
+	if spec.EarlyStop {
+		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
+	}
+	return cfg
+}
+
+// Create validates the spec and registers an empty session.
+func (h *SessionHub) Create(spec SessionSpec) (*Session, error) {
+	spec.normalize()
+	if _, err := h.registry.Get(spec.Corpus); err != nil {
+		return nil, err
+	}
+	validTask := false
+	for _, n := range workload.Names() {
+		if spec.Task == n {
+			validTask = true
+		}
+	}
+	if !validTask {
+		return nil, fmt.Errorf("server: unknown task %q (want one of %v)", spec.Task, workload.Names())
+	}
+	if spec.K < 1 {
+		return nil, fmt.Errorf("server: k must be >= 1, got %d", spec.K)
+	}
+	if d := *spec.Decay; d != d || d < 0 || d > 1 {
+		return nil, fmt.Errorf("server: decay must be in [0,1], got %v", d)
+	}
+	// Validate the engine template (policy spec included) eagerly so a bad
+	// session is a 400 at create time, not a failed first run.
+	if _, err := core.New(h.engineConfig(spec)); err != nil {
+		return nil, err
+	}
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, ErrShuttingDown
+	}
+	h.nextID++
+	s := &Session{ID: "s" + strconv.Itoa(h.nextID), spec: spec, created: time.Now()}
+	if s.spec.Name == "" {
+		s.spec.Name = s.ID
+	}
+	h.sessions[s.ID] = s
+	h.order = append(h.order, s.ID)
+	h.log.Info("session created", "session", s.ID, "corpus", spec.Corpus, "task", spec.Task)
+	return s, nil
+}
+
+// Get returns the session by ID.
+func (h *SessionHub) Get(id string) (*Session, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	s, ok := h.sessions[id]
+	return s, ok
+}
+
+// List returns session snapshots in creation order.
+func (h *SessionHub) List() []SessionInfo {
+	h.mu.Lock()
+	ids := make([]string, len(h.order))
+	copy(ids, h.order)
+	sessions := make([]*Session, 0, len(ids))
+	for _, id := range ids {
+		sessions = append(sessions, h.sessions[id])
+	}
+	h.mu.Unlock()
+	out := make([]SessionInfo, 0, len(sessions))
+	for _, s := range sessions {
+		out = append(out, s.Info())
+	}
+	return out
+}
+
+// Submit validates and compiles the recipe spec, then enqueues it as the
+// session's next version.
+func (h *SessionHub) Submit(s *Session, spec *recipe.Spec) (int, error) {
+	rec, err := spec.Recipe()
+	if err != nil {
+		return 0, err
+	}
+	s.mu.Lock()
+	v := &sessionVersion{index: len(s.versions) + 1, state: StateQueued, spec: spec, rec: rec}
+	s.versions = append(s.versions, v)
+	s.mu.Unlock()
+
+	h.mu.Lock()
+	closed := h.closed
+	h.mu.Unlock()
+	if closed {
+		return 0, ErrShuttingDown
+	}
+	if !h.pool.TrySubmit(func() { h.execute(s, v) }) {
+		s.mu.Lock()
+		v.state = StateFailed
+		v.err = ErrQueueFull.Error()
+		s.mu.Unlock()
+		return 0, fmt.Errorf("%w (%d pending)", ErrQueueFull, h.pool.Cap())
+	}
+	return v.index, nil
+}
+
+// execute runs one queued version to a terminal state. The session's
+// execMu guarantees versions run one at a time in submission order (the
+// hub pool is FIFO), which the warm-start chain depends on.
+func (h *SessionHub) execute(s *Session, v *sessionVersion) {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if h.defaults.Timeout > 0 {
+		ctx, cancel = context.WithTimeout(h.baseCtx, h.defaults.Timeout)
+	} else {
+		ctx, cancel = context.WithCancel(h.baseCtx)
+	}
+	defer cancel()
+
+	s.mu.Lock()
+	v.state = StateRunning
+	v.started = time.Now()
+	ws := s.workspace
+	s.mu.Unlock()
+
+	if ws == nil {
+		built, err := h.buildWorkspace(ctx, s)
+		if err != nil {
+			h.finishVersion(s, v, nil, err)
+			return
+		}
+		s.mu.Lock()
+		s.workspace = built
+		ws = built
+		s.mu.Unlock()
+	}
+
+	res, err := ws.Submit(ctx, v.rec)
+	h.finishVersion(s, v, res, err)
+}
+
+// finishVersion records a version's terminal state.
+func (h *SessionHub) finishVersion(s *Session, v *sessionVersion, res *recipe.Version, err error) {
+	s.mu.Lock()
+	v.finished = time.Now()
+	if err != nil {
+		v.state = StateFailed
+		v.err = err.Error()
+	} else {
+		v.state = StateDone
+		v.result = res
+	}
+	s.mu.Unlock()
+	if err != nil {
+		h.log.Error("session version finished", "session", s.ID, "version", v.index, "error", err.Error())
+		return
+	}
+	h.log.Info("session version finished", "session", s.ID, "version", v.index,
+		"quality", res.Run.FinalQuality, "inputs", res.Run.InputsProcessed,
+		"cache_hits", res.Run.CacheHits, "warm_start", res.WarmStart.Applied)
+}
+
+// buildWorkspace assembles the session's task, index groups (through the
+// shared singleflight cache) and recipe workspace. It runs once, under the
+// session's execMu, when the first version executes.
+func (h *SessionHub) buildWorkspace(ctx context.Context, s *Session) (*recipe.Session, error) {
+	spec := s.spec
+	store, err := h.registry.Get(spec.Corpus)
+	if err != nil {
+		return nil, err
+	}
+	task, grouper, err := workload.Build(spec.Task, store, 0, rng.New(spec.Seed).Split("task"))
+	if err != nil {
+		return nil, err
+	}
+	key := IndexKey{Corpus: spec.Corpus, Strategy: grouper.Name(), K: spec.K, Seed: spec.Seed}
+	groups, err := h.idxCache.Get(ctx, key, func() (*index.Groups, error) {
+		return grouper.Group(store, spec.K, rng.New(spec.Seed).Split("index"))
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := h.engineConfig(spec)
+	cfg.Cache = h.featCache
+	cfg.Obs = h.obsReg
+	return recipe.NewSession(spec.Name, task, groups, recipe.Config{Engine: cfg, Decay: *spec.Decay})
+}
+
+// Info snapshots the session for the wire.
+func (s *Session) Info() SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := SessionInfo{
+		ID:          s.ID,
+		Name:        s.spec.Name,
+		Corpus:      s.spec.Corpus,
+		Task:        s.spec.Task,
+		Policy:      s.spec.Policy,
+		K:           s.spec.K,
+		Seed:        s.spec.Seed,
+		Decay:       *s.spec.Decay,
+		CreatedUnix: s.created.Unix(),
+		Versions:    make([]sessionVersionInfo, 0, len(s.versions)),
+	}
+	for _, v := range s.versions {
+		vi := sessionVersionInfo{
+			Version: v.index,
+			State:   v.state,
+			Error:   v.err,
+			Recipe:  v.rec.Name(),
+		}
+		for _, p := range v.rec.Parts() {
+			ver := p.Version
+			if ver == 0 {
+				ver = 1
+			}
+			vi.Parts = append(vi.Parts, sessionPartInfo{
+				Name: p.Name, Kind: p.Kind, Version: ver,
+				Fingerprint: v.rec.PartFingerprints()[p.Name],
+			})
+		}
+		if v.result != nil {
+			run := v.result.Run
+			vi.Fingerprint = v.rec.Fingerprint()
+			d := v.result.Diff
+			vi.Diff = &d
+			vi.Curve = make([]curvePointJSON, len(run.Curve))
+			for i, p := range run.Curve {
+				vi.Curve[i] = toCurveJSON(p)
+			}
+			vi.Final = run.FinalQuality
+			vi.Inputs = run.InputsProcessed
+			vi.Stop = run.Stop.String()
+			vi.CacheHits = run.CacheHits
+			vi.CacheMisses = run.CacheMisses
+			vi.SharedParts = d.SharedParts
+			vi.TotalParts = d.TotalParts
+			vi.WarmStart = v.result.WarmStart
+			if !v.finished.IsZero() && !v.started.IsZero() {
+				vi.WallMillis = v.finished.Sub(v.started).Milliseconds()
+			}
+		}
+		info.Versions = append(info.Versions, vi)
+	}
+	return info
+}
+
+// Shutdown stops intake and drains in-flight version runs (see
+// Manager.Shutdown for the contract).
+func (h *SessionHub) Shutdown(ctx context.Context) error {
+	h.mu.Lock()
+	if !h.closed {
+		h.closed = true
+		h.pool.Close()
+	}
+	h.mu.Unlock()
+	drained := make(chan struct{})
+	go func() {
+		h.pool.Wait()
+		close(drained)
+	}()
+	select {
+	case <-drained:
+		return nil
+	case <-ctx.Done():
+		h.baseCancel()
+		<-drained
+		return ctx.Err()
+	}
+}
+
+// --- HTTP handlers ---
+
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	var spec SessionSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	sess, err := s.sessions.Create(spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	w.Header().Set("Location", "/sessions/"+sess.ID)
+	writeJSON(w, http.StatusCreated, sess.Info())
+}
+
+func (s *Server) handleSessionList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sessions.List())
+}
+
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.Info())
+}
+
+func (s *Server) handleSessionRun(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.sessions.Get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown session %q", r.PathValue("id"))
+		return
+	}
+	var spec recipe.Spec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	version, err := s.sessions.Submit(sess, &spec)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrShuttingDown) {
+			status = http.StatusServiceUnavailable
+		}
+		writeError(w, status, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"session": sess.ID,
+		"version": version,
+		"state":   StateQueued,
+	})
+}

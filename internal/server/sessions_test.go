@@ -1,0 +1,218 @@
+package server
+
+import (
+	"net/http"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// pollSession fetches the session until version (1-based) reaches a
+// terminal state, failing the test if it ends anything but done.
+func pollSession(t *testing.T, url string, version int) SessionInfo {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		info := decodeBody[SessionInfo](t, mustGet(t, url), http.StatusOK)
+		if len(info.Versions) >= version {
+			v := info.Versions[version-1]
+			switch v.State {
+			case StateDone:
+				return info
+			case StateFailed, StateCancelled:
+				t.Fatalf("session version %d ended %s: %s", version, v.State, v.Error)
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("session version %d did not finish", version)
+	return SessionInfo{}
+}
+
+func imageRecipeSpec(midVersion int) map[string]any {
+	return map[string]any{
+		"name": "rec",
+		"parts": []map[string]any{
+			{"name": "base", "kind": "image", "version": 1},
+			{"name": "mid", "kind": "image", "version": midVersion, "deps": []string{"base"}},
+		},
+	}
+}
+
+// TestSessionEndToEnd is the workspace acceptance flow over HTTP: create
+// a session, run recipe v1, edit one part, run v2, and observe the
+// part-level cache reuse and bandit warm start in the session view.
+func TestSessionEndToEnd(t *testing.T) {
+	_, ts := newTestServer(t)
+	path := writeImageCorpus(t, 500, 21)
+	decodeBody[CorpusInfo](t, postJSON(t, ts.URL+"/corpora", corpusAddRequest{Name: "imgs", Path: path}), http.StatusCreated)
+
+	spec := SessionSpec{Name: "ws", Corpus: "imgs", Task: "image", K: 8, Seed: 3, MaxInputs: 120, EvalEvery: 25}
+	created := decodeBody[SessionInfo](t, postJSON(t, ts.URL+"/sessions", spec), http.StatusCreated)
+	if created.ID == "" || created.Name != "ws" || created.Decay != defaultSessionDecay {
+		t.Fatalf("created session: %+v", created)
+	}
+	list := decodeBody[[]SessionInfo](t, mustGet(t, ts.URL+"/sessions"), http.StatusOK)
+	if len(list) != 1 || list[0].ID != created.ID {
+		t.Fatalf("session list: %+v", list)
+	}
+	sessURL := ts.URL + "/sessions/" + created.ID
+
+	// Version 1: cold run of the two-part recipe.
+	sub := decodeBody[map[string]any](t, postJSON(t, sessURL+"/runs", imageRecipeSpec(2)), http.StatusAccepted)
+	if sub["version"] != float64(1) || sub["state"] != string(StateQueued) {
+		t.Fatalf("submit v1: %v", sub)
+	}
+	info := pollSession(t, sessURL, 1)
+	v1 := info.Versions[0]
+	if v1.WarmStart.Applied || v1.WarmStart.SeededPulls != 0 {
+		t.Fatalf("v1 warm start: %+v", v1.WarmStart)
+	}
+	if v1.CacheMisses == 0 {
+		t.Fatalf("cold v1 cache traffic: hits=%d misses=%d", v1.CacheHits, v1.CacheMisses)
+	}
+	if len(v1.Parts) != 2 || v1.Parts[0].Fingerprint == "" {
+		t.Fatalf("v1 parts: %+v", v1.Parts)
+	}
+	if len(v1.Curve) == 0 || v1.Inputs != 120 || v1.Stop != "budget" {
+		t.Fatalf("v1 run summary: %+v", v1)
+	}
+
+	// Version 2: edit one part. The unchanged part replays from the cache
+	// and the bandit warm-starts from v1's arm statistics.
+	decodeBody[map[string]any](t, postJSON(t, sessURL+"/runs", imageRecipeSpec(3)), http.StatusAccepted)
+	info = pollSession(t, sessURL, 2)
+	v2 := info.Versions[1]
+	if !v2.WarmStart.Applied || v2.WarmStart.SeededPulls == 0 || v2.WarmStart.Decay != defaultSessionDecay {
+		t.Fatalf("v2 warm start: %+v", v2.WarmStart)
+	}
+	if v2.CacheHits == 0 {
+		t.Fatalf("v2 saw no cache hits despite one unchanged part: %+v", v2)
+	}
+	if v2.Diff == nil || !reflect.DeepEqual(v2.Diff.Changed, []string{"mid"}) {
+		t.Fatalf("v2 diff: %+v", v2.Diff)
+	}
+	if v2.SharedParts != 1 || v2.TotalParts != 2 {
+		t.Fatalf("v2 shared parts %d/%d, want 1/2", v2.SharedParts, v2.TotalParts)
+	}
+	if v2.Fingerprint == v1.Fingerprint {
+		t.Fatal("edited recipe kept the same fingerprint")
+	}
+}
+
+// TestSessionZeroDecayRunsCold pins the wire-level decay contract: an
+// explicit decay of 0 disables warm-starting even with prior versions.
+func TestSessionZeroDecayRunsCold(t *testing.T) {
+	_, ts := newTestServer(t)
+	path := writeImageCorpus(t, 400, 22)
+	decodeBody[CorpusInfo](t, postJSON(t, ts.URL+"/corpora", corpusAddRequest{Name: "imgs", Path: path}), http.StatusCreated)
+
+	zero := 0.0
+	spec := SessionSpec{Corpus: "imgs", Task: "image", K: 8, Seed: 3, MaxInputs: 60, EvalEvery: 20, Decay: &zero}
+	created := decodeBody[SessionInfo](t, postJSON(t, ts.URL+"/sessions", spec), http.StatusCreated)
+	if created.Decay != 0 {
+		t.Fatalf("decay = %v, want explicit 0", created.Decay)
+	}
+	sessURL := ts.URL + "/sessions/" + created.ID
+	decodeBody[map[string]any](t, postJSON(t, sessURL+"/runs", imageRecipeSpec(2)), http.StatusAccepted)
+	pollSession(t, sessURL, 1)
+	decodeBody[map[string]any](t, postJSON(t, sessURL+"/runs", imageRecipeSpec(3)), http.StatusAccepted)
+	info := pollSession(t, sessURL, 2)
+	if ws := info.Versions[1].WarmStart; ws.Applied || ws.SeededPulls != 0 {
+		t.Fatalf("decay=0 v2 warm start: %+v", ws)
+	}
+}
+
+func TestSessionEndpointValidation(t *testing.T) {
+	_, ts := newTestServer(t)
+	path := writeImageCorpus(t, 200, 23)
+	decodeBody[CorpusInfo](t, postJSON(t, ts.URL+"/corpora", corpusAddRequest{Name: "imgs", Path: path}), http.StatusCreated)
+
+	// Bad session specs are 400s with a reason.
+	bad := 1.5
+	cases := []SessionSpec{
+		{Corpus: "ghost", Task: "image"},
+		{Corpus: "imgs", Task: "video"},
+		{Corpus: "imgs", Task: "image", K: -1},
+		{Corpus: "imgs", Task: "image", Decay: &bad},
+		{Corpus: "imgs", Task: "image", Policy: "bogus"},
+	}
+	for i, spec := range cases {
+		body := decodeBody[errorBody](t, postJSON(t, ts.URL+"/sessions", spec), http.StatusBadRequest)
+		if body.Error == "" {
+			t.Fatalf("case %d: empty error body", i)
+		}
+	}
+
+	// Unknown sessions are 404s for both GET and run submission.
+	decodeBody[errorBody](t, mustGet(t, ts.URL+"/sessions/s999"), http.StatusNotFound)
+	decodeBody[errorBody](t, postJSON(t, ts.URL+"/sessions/s999/runs", imageRecipeSpec(2)), http.StatusNotFound)
+
+	// An invalid recipe (cycle) is rejected at submission time.
+	created := decodeBody[SessionInfo](t, postJSON(t, ts.URL+"/sessions",
+		SessionSpec{Corpus: "imgs", Task: "image", K: 8, MaxInputs: 40, EvalEvery: 20}), http.StatusCreated)
+	cyclic := map[string]any{"name": "rec", "parts": []map[string]any{
+		{"name": "a", "kind": "image", "deps": []string{"b"}},
+		{"name": "b", "kind": "image", "version": 2, "deps": []string{"a"}},
+	}}
+	body := decodeBody[errorBody](t, postJSON(t, ts.URL+"/sessions/"+created.ID+"/runs", cyclic), http.StatusBadRequest)
+	if body.Error == "" {
+		t.Fatal("cycle rejection carried no reason")
+	}
+}
+
+// TestStrictSpecDecoding pins the request-body contract on every POST
+// endpoint: a fully-populated spec with only known fields is accepted,
+// and any unknown field — typo or stale client — is a 400 naming the
+// problem instead of a silent drop.
+func TestStrictSpecDecoding(t *testing.T) {
+	_, ts := newTestServer(t)
+	path := writeImageCorpus(t, 300, 24)
+	decodeBody[CorpusInfo](t, postJSON(t, ts.URL+"/corpora", corpusAddRequest{Name: "imgs", Path: path}), http.StatusCreated)
+
+	// Every documented RunSpec field decodes.
+	full := map[string]any{
+		"corpus": "imgs", "task": "image", "mode": "zombie",
+		"policy": "ucb1:1.0", "k": 8, "seed": 5, "feature_version": 2,
+		"max_inputs": 30, "eval_every": 10, "early_stop": false,
+		"batch": 1, "trace": true, "timeout_ms": 60000,
+		"max_failures": 0.5, "faults": "", "fault_seed": 7,
+		"shards": 2, "dist_workers": []string{},
+	}
+	decodeBody[RunInfo](t, postJSON(t, ts.URL+"/runs", full), http.StatusAccepted)
+
+	// Every documented SessionSpec field decodes.
+	fullSession := map[string]any{
+		"name": "ws", "corpus": "imgs", "task": "image",
+		"policy": "ucb1:1.0", "k": 8, "seed": 5, "decay": 0.25,
+		"max_inputs": 30, "eval_every": 10, "early_stop": false, "batch": 1,
+	}
+	created := decodeBody[SessionInfo](t, postJSON(t, ts.URL+"/sessions", fullSession), http.StatusCreated)
+
+	// Unknown fields are 400s that say what went wrong, everywhere.
+	badBodies := []struct {
+		url  string
+		body map[string]any
+	}{
+		{ts.URL + "/runs", map[string]any{"corpus": "imgs", "task": "image", "polcy": "typo"}},
+		{ts.URL + "/sessions", map[string]any{"corpus": "imgs", "task": "image", "decae": 0.5}},
+		{ts.URL + "/sessions/" + created.ID + "/runs", map[string]any{
+			"name": "rec", "parts": []map[string]any{{"name": "a", "kind": "image", "verison": 2}},
+		}},
+		{ts.URL + "/corpora", map[string]any{"name": "x", "path": path, "strem": true}},
+	}
+	for _, c := range badBodies {
+		body := decodeBody[errorBody](t, postJSON(t, c.url, c.body), http.StatusBadRequest)
+		if body.Error == "" {
+			t.Fatalf("%s: unknown-field rejection carried no reason", c.url)
+		}
+	}
+
+	// Malformed bodies are also 400s, not decode surprises.
+	resp, err := http.Post(ts.URL+"/sessions", "application/json", strings.NewReader(`{"corpus": `))
+	if err != nil {
+		t.Fatal(err)
+	}
+	decodeBody[errorBody](t, resp, http.StatusBadRequest)
+}
