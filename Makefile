@@ -1,7 +1,9 @@
 # Development workflow for the zombie repo. `make ci` is the full gate the
 # first goroutines in internal/server made meaningful: the race detector
 # runs over every package, and the smoke targets prove the determinism
-# contracts (cache, parallelism, fault injection) end to end.
+# contracts (cache, parallelism, fault injection, crash-resume) end to
+# end — crash-smoke kills a -state-dir server mid-run and requires the
+# restarted process to finish the run with an identical curve.
 
 # The smoke recipes use bash-isms (trap on EXIT inside a one-liner,
 # $(( )) arithmetic); pin the shell so they behave the same under any
@@ -24,11 +26,29 @@ STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1.1
 
 # Packages under the coverage floor gate, and the floor itself. These are
 # the robustness-critical packages: the fault injector, the engine that
-# quarantines around it, and the cache that degrades under it.
-COVER_PKGS := ./internal/core ./internal/featcache ./internal/fault
+# quarantines around it, the cache that degrades under it, and the journal
+# the control plane's crash-resume rides on.
+COVER_PKGS := ./internal/core ./internal/featcache ./internal/fault ./internal/runstore
 COVER_FLOOR := 70
 
-.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke bench-gate dist-smoke batch-smoke ci
+# Smoke targets bind loopback ports derived from SMOKE_PORT_BASE (each
+# target uses a fixed offset below 40) so two checkouts or CI matrix
+# entries can run side by side by exporting different bases.
+SMOKE_PORT_BASE ?= 18800
+
+# When SMOKE_DIR is set, smoke targets put their work directories (logs,
+# corpora, state dirs) under it and keep them after the run — CI points
+# it at a scratch path and uploads it as the failure artifact. Unset,
+# each target uses a private mktemp dir removed on exit.
+SMOKE_DIR ?=
+
+# smoke_tmp initializes $$tmp (and $$keep) for a smoke recipe: a kept
+# directory under SMOKE_DIR when set, else a throwaway mktemp dir.
+define smoke_tmp
+if [ -n "$(SMOKE_DIR)" ]; then tmp="$(SMOKE_DIR)/$(1)"; rm -rf "$$tmp"; mkdir -p "$$tmp"; keep=1; else tmp=$$(mktemp -d); keep=; fi
+endef
+
+.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke bench-gate dist-smoke batch-smoke crash-smoke ci
 
 all: build
 
@@ -96,7 +116,7 @@ bench-smoke:
 # byte-identical output (the cache: counter line aside) and the warm run
 # must actually serve hits.
 cache-smoke:
-	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	@$(call smoke_tmp,cache-smoke); trap '[ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 800 -out $$tmp/wiki.jsonl >/dev/null && \
 	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -mode scan-sequential -max 400 -cache-dir $$tmp/cache > $$tmp/cold.out && \
 	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -mode scan-sequential -max 400 -cache-dir $$tmp/cache > $$tmp/warm.out && \
@@ -119,7 +139,7 @@ cache-smoke:
 #   2. a run whose disk cache always fails demotes to memory-only
 #      (demoted=true) and still emits the exact cache-off output.
 chaos-smoke:
-	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	@$(call smoke_tmp,chaos-smoke); trap '[ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
 	spec='extract:err=0.04,panic=0.04;corpus.read:err=0.03'; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 800 -out $$tmp/wiki.jsonl >/dev/null && \
 	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -mode scan-sequential -max 400 \
@@ -161,11 +181,11 @@ chaos-smoke:
 # a non-zero phase breakdown. Needs curl + jq (standard on CI images).
 obs-smoke:
 	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "obs-smoke: needs curl and jq"; exit 1; }; \
-	tmp=$$(mktemp -d); pid=; trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
-	base=http://127.0.0.1:18808; \
+	$(call smoke_tmp,obs-smoke); pid=; trap 'kill $$pid 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	port=$$(( $(SMOKE_PORT_BASE) + 8 )); base=http://127.0.0.1:$$port; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
 	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
-	{ $$tmp/zombie-serve -addr 127.0.0.1:18808 -corpus wiki=$$tmp/wiki.jsonl -log-format json >$$tmp/serve.log 2>&1 & pid=$$!; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$port -corpus wiki=$$tmp/wiki.jsonl -log-format json >$$tmp/serve.log 2>&1 & pid=$$!; }; \
 	up=0; for i in $$(seq 1 50); do curl -sf $$base/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
 	[ $$up = 1 ] || { echo "obs-smoke: server never came up"; cat $$tmp/serve.log; exit 1; }; \
 	commit=$$(curl -sf $$base/healthz | jq -r '.commit // empty'); \
@@ -204,11 +224,11 @@ obs-smoke:
 # Needs curl + jq (standard on CI images).
 session-smoke:
 	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "session-smoke: needs curl and jq"; exit 1; }; \
-	tmp=$$(mktemp -d); pid=; trap 'kill $$pid 2>/dev/null; rm -rf "$$tmp"' EXIT; \
-	base=http://127.0.0.1:18828; \
+	$(call smoke_tmp,session-smoke); pid=; trap 'kill $$pid 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	port=$$(( $(SMOKE_PORT_BASE) + 28 )); base=http://127.0.0.1:$$port; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
 	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
-	{ $$tmp/zombie-serve -addr 127.0.0.1:18828 -corpus wiki=$$tmp/wiki.jsonl -log-format json >$$tmp/serve.log 2>&1 & pid=$$!; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$port -corpus wiki=$$tmp/wiki.jsonl -log-format json >$$tmp/serve.log 2>&1 & pid=$$!; }; \
 	up=0; for i in $$(seq 1 50); do curl -sf $$base/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
 	[ $$up = 1 ] || { echo "session-smoke: server never came up"; cat $$tmp/serve.log; exit 1; }; \
 	sid=$$(curl -sf -X POST $$base/sessions \
@@ -254,7 +274,7 @@ session-smoke:
 #      aside.
 bench-gate:
 	@command -v jq >/dev/null || { echo "bench-gate: needs jq"; exit 1; }; \
-	tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	$(call smoke_tmp,bench-gate); trap '[ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/zombie-bench -exp T2,F1,D1 -scale 0.05 -parallel 2 \
 		-emit-bench $$tmp/bench.json >/dev/null || exit 1; \
 	bad=$$(jq -r '.experiments[] | select(.byte_identical != true) | .id' $$tmp/bench.json); \
@@ -295,13 +315,14 @@ bench-gate:
 # workers executing. Needs curl + jq (standard on CI images).
 dist-smoke:
 	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "dist-smoke: needs curl and jq"; exit 1; }; \
-	tmp=$$(mktemp -d); pids=; trap 'kill $$pids 2>/dev/null; rm -rf "$$tmp"' EXIT; \
-	base=http://127.0.0.1:18818; w1=http://127.0.0.1:18819; w2=http://127.0.0.1:18820; \
+	$(call smoke_tmp,dist-smoke); pids=; trap 'kill $$pids 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	cport=$$(( $(SMOKE_PORT_BASE) + 18 )); wport1=$$(( $(SMOKE_PORT_BASE) + 19 )); wport2=$$(( $(SMOKE_PORT_BASE) + 20 )); \
+	base=http://127.0.0.1:$$cport; w1=http://127.0.0.1:$$wport1; w2=http://127.0.0.1:$$wport2; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
 	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
-	{ $$tmp/zombie-serve -addr 127.0.0.1:18819 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w1.log 2>&1 & pids="$$pids $$!"; }; \
-	{ $$tmp/zombie-serve -addr 127.0.0.1:18820 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w2.log 2>&1 & pids="$$pids $$!"; }; \
-	{ $$tmp/zombie-serve -addr 127.0.0.1:18818 -corpus wiki=$$tmp/wiki.jsonl \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$wport1 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w1.log 2>&1 & pids="$$pids $$!"; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$wport2 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w2.log 2>&1 & pids="$$pids $$!"; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$cport -corpus wiki=$$tmp/wiki.jsonl \
 		-dist-workers $$w1,$$w2 >$$tmp/coord.log 2>&1 & pids="$$pids $$!"; }; \
 	for b in $$base $$w1 $$w2; do \
 		up=0; for i in $$(seq 1 50); do curl -sf $$b/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
@@ -344,7 +365,7 @@ dist-smoke:
 # single-process K=8 run — the wall-clock (built:), per-worker (dist:),
 # and cache counter lines aside.
 batch-smoke:
-	@tmp=$$(mktemp -d); trap 'rm -rf "$$tmp"' EXIT; \
+	@$(call smoke_tmp,batch-smoke); trap '[ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
 	$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 2>/dev/null \
 		| grep -v '^built \|^dist:\|^cache:' > $$tmp/default.out && \
@@ -370,4 +391,59 @@ batch-smoke:
 	fi && \
 	echo "batch-smoke OK: K=1 == default, K=8 deterministic, K=8 over 2 shards == single-process"
 
-ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke dist-smoke batch-smoke
+# crash-smoke proves the durable control plane's resume contract against
+# a real process and a real kill -9: a zombie-serve run with -state-dir
+# is killed mid-curve, the restarted process re-queues the interrupted
+# run from its journal (runs_recovered >= 1 in /metrics, recovered on the
+# run itself) and finishes it, and the resumed curve is byte-identical to
+# a fresh run of the same spec. The extract:lat fault stretches the run
+# so the kill lands mid-flight deterministically; latency faults never
+# change results. Needs curl + jq (standard on CI images).
+crash-smoke:
+	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "crash-smoke: needs curl and jq"; exit 1; }; \
+	$(call smoke_tmp,crash-smoke); pid=; trap 'kill -9 $$pid 2>/dev/null; wait $$pid 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	port=$$(( $(SMOKE_PORT_BASE) + 38 )); base=http://127.0.0.1:$$port; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$port -corpus wiki=$$tmp/wiki.jsonl -state-dir $$tmp/state -log-format json >$$tmp/serve1.log 2>&1 & pid=$$!; }; \
+	up=0; for i in $$(seq 1 50); do curl -sf $$base/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
+	[ $$up = 1 ] || { echo "crash-smoke: server never came up"; cat $$tmp/serve1.log; exit 1; }; \
+	spec='{"corpus":"wiki","task":"wiki","max_inputs":400,"eval_every":10,"faults":"extract:lat=5ms","fault_seed":7}'; \
+	id=$$(curl -sf -X POST $$base/runs -d "$$spec" | jq -r '.id // empty'); \
+	[ -n "$$id" ] || { echo "crash-smoke: run submission failed"; cat $$tmp/serve1.log; exit 1; }; \
+	mid=0; state=; pts=0; for i in $$(seq 1 400); do \
+		info=$$(curl -sf $$base/runs/$$id); \
+		state=$$(echo "$$info" | jq -r .state); pts=$$(echo "$$info" | jq -r '.curve_points // 0'); \
+		if [ "$$state" = running ] && [ "$$pts" -ge 2 ]; then mid=1; break; fi; \
+		case $$state in done|failed|cancelled) break;; esac; sleep 0.05; \
+	done; \
+	[ $$mid = 1 ] || { echo "crash-smoke: never caught the run mid-curve (state=$$state points=$$pts)"; cat $$tmp/serve1.log; exit 1; }; \
+	kill -9 $$pid; wait $$pid 2>/dev/null; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$port -corpus wiki=$$tmp/wiki.jsonl -state-dir $$tmp/state -log-format json >$$tmp/serve2.log 2>&1 & pid=$$!; }; \
+	up=0; for i in $$(seq 1 50); do curl -sf $$base/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
+	[ $$up = 1 ] || { echo "crash-smoke: restarted server never came up"; cat $$tmp/serve2.log; exit 1; }; \
+	state=; for i in $$(seq 1 600); do \
+		state=$$(curl -sf $$base/runs/$$id | jq -r .state); \
+		case $$state in done|failed|cancelled) break;; esac; sleep 0.05; \
+	done; \
+	[ "$$state" = done ] || { echo "crash-smoke: resumed run ended in state $$state"; curl -s $$base/runs/$$id; cat $$tmp/serve2.log; exit 1; }; \
+	recov=$$(curl -sf $$base/runs/$$id | jq -r '.recovered // 0'); \
+	[ "$$recov" -ge 1 ] || { echo "crash-smoke: resumed run reports recovered=$$recov, want >= 1"; curl -s $$base/runs/$$id; exit 1; }; \
+	metric=$$(curl -sf $$base/metrics | jq -r '.runs_recovered // 0'); \
+	[ "$$metric" -ge 1 ] || { echo "crash-smoke: /metrics runs_recovered = $$metric, want >= 1"; curl -s $$base/metrics; exit 1; }; \
+	ref=$$(curl -sf -X POST $$base/runs -d "$$spec" | jq -r '.id // empty'); \
+	[ -n "$$ref" ] || { echo "crash-smoke: reference submission failed"; cat $$tmp/serve2.log; exit 1; }; \
+	state=; for i in $$(seq 1 600); do \
+		state=$$(curl -sf $$base/runs/$$ref | jq -r .state); \
+		case $$state in done|failed|cancelled) break;; esac; sleep 0.05; \
+	done; \
+	[ "$$state" = done ] || { echo "crash-smoke: reference run ended in state $$state"; curl -s $$base/runs/$$ref; exit 1; }; \
+	curl -sf $$base/runs/$$id/curve | jq .curve > $$tmp/resumed.curve && \
+	curl -sf $$base/runs/$$ref/curve | jq .curve > $$tmp/reference.curve && \
+	if ! cmp -s $$tmp/resumed.curve $$tmp/reference.curve; then \
+		echo "crash-smoke: resumed curve diverged from a fresh run of the same spec"; \
+		diff $$tmp/resumed.curve $$tmp/reference.curve; exit 1; \
+	fi; \
+	echo "crash-smoke OK: killed mid-run at $$pts curve points, $$metric run(s) recovered, resumed curve byte-identical to a fresh run"
+
+ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke dist-smoke batch-smoke crash-smoke

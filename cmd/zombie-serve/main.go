@@ -64,6 +64,7 @@ func run() error {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-shutdown drain budget for in-flight runs")
 	stream := flag.Bool("stream", false, "open preregistered corpora as streamed DiskStores")
 	cacheDir := flag.String("cache-dir", "", "persist the extraction cache to this directory (survives restarts)")
+	stateDir := flag.String("state-dir", "", "journal run and session state to this directory; on restart, interrupted runs resume automatically")
 	cacheMemMB := flag.Int("cache-mem-mb", 64, "extraction cache in-memory budget in MiB")
 	runTimeout := flag.Duration("run-timeout", 0, "default per-run wall-clock deadline, e.g. 10m (0 = none; a run's timeout_ms overrides)")
 	maxFailures := flag.Float64("max-failures", 0, "default failure budget: fraction of a run's inputs that may be quarantined before it degrades (0 = engine default 0.5)")
@@ -100,6 +101,7 @@ func run() error {
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		CacheDir:       *cacheDir,
+		StateDir:       *stateDir,
 		CacheMemMB:     *cacheMemMB,
 		RunTimeout:     *runTimeout,
 		MaxFailureFrac: *maxFailures,
@@ -139,6 +141,12 @@ func run() error {
 		}
 		fmt.Printf("registered corpus %q: %d inputs from %s (stream=%t)\n",
 			info.Name, info.Inputs, info.Path, info.Stream)
+	}
+	// Recovery waits until here: interrupted runs name corpora that only
+	// now exist, and re-queuing them earlier would fail each one.
+	if runs, versions := srv.Recover(); runs > 0 || versions > 0 {
+		fmt.Printf("recovered state from %s: re-queued %d runs, %d session versions\n",
+			*stateDir, runs, versions)
 	}
 
 	httpSrv := &http.Server{

@@ -47,8 +47,11 @@ type BenchReport struct {
 	BatchSweep *BatchBenchEntry `json:"batch_sweep,omitempty"`
 	// Alloc records allocs/op for the hottest leaf operations, the
 	// regression guard for the allocation-free inner loop.
-	Alloc        *AllocBenchEntry `json:"alloc,omitempty"`
-	TotalSeconds float64          `json:"total_seconds"`
+	Alloc *AllocBenchEntry `json:"alloc,omitempty"`
+	// Durability times the control plane's write-ahead journal: append
+	// latency on the submit path and cold-recovery replay wall time.
+	Durability   *DurabilityBenchEntry `json:"durability,omitempty"`
+	TotalSeconds float64               `json:"total_seconds"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -151,6 +154,11 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 		return nil, fmt.Errorf("experiments: alloc bench: %w", err)
 	}
 	report.Alloc = allocEntry
+	durabilityEntry, err := DurabilityBench(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: durability bench: %w", err)
+	}
+	report.Durability = durabilityEntry
 	report.TotalSeconds = time.Since(total).Seconds()
 	return report, nil
 }

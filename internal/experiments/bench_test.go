@@ -125,4 +125,14 @@ func TestRunBenchBatchAndAllocBlocks(t *testing.T) {
 	if a == nil || a.WikiExtractAllocsPerOp <= 0 || a.HoldoutQualityAllocsPerOp < 0 {
 		t.Fatalf("alloc block malformed: %+v", a)
 	}
+	d := report.Durability
+	if d == nil || d.Records <= 0 || d.JournalBytes <= 0 {
+		t.Fatalf("durability block malformed: %+v", d)
+	}
+	if d.AppendMicros <= 0 || d.RecoveryMillis <= 0 || d.SnapshotMillis <= 0 {
+		t.Fatalf("durability timings malformed: %+v", d)
+	}
+	if d.RecoveredRecords != d.Records {
+		t.Fatalf("durability recovery replayed %d of %d records", d.RecoveredRecords, d.Records)
+	}
 }

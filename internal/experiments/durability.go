@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"time"
+
+	"zombie/internal/runstore"
+)
+
+// DurabilityBenchEntry is the durable-control-plane block zombie-bench
+// writes to its JSON report: what one journaled lifecycle transition
+// costs on the submit path (append latency) and how long a restarted
+// process spends replaying the journal back into memory (recovery wall
+// time). CI diffs it between commits so a durability regression names
+// itself instead of hiding inside total server latency.
+type DurabilityBenchEntry struct {
+	Records     int `json:"records"`
+	RecordBytes int `json:"record_bytes"`
+	// AppendMicros is the mean latency of one journal append, the cost a
+	// run submission or progress tick pays before the caller continues.
+	AppendMicros float64 `json:"append_us"`
+	JournalBytes int64   `json:"journal_bytes"`
+	// SnapshotMillis times one snapshot write + journal reset over the
+	// fully accumulated journal.
+	SnapshotMillis float64 `json:"snapshot_ms"`
+	// RecoveryMillis times a cold Open over the accumulated journal — the
+	// startup tax a crashed server pays before it can serve again.
+	RecoveryMillis   float64 `json:"recovery_ms"`
+	RecoveredRecords int     `json:"recovered_records"`
+}
+
+// DurabilityBench measures the write-ahead journal under a synthetic
+// run-lifecycle load: records sized like the server's summary entries,
+// appended one at a time the way lifecycle transitions arrive, then
+// recovered by a cold re-open. The record count scales with cfg.Scale so
+// the full bench and the CI smoke exercise the same code at different
+// depths.
+func DurabilityBench(cfg Config) (*DurabilityBenchEntry, error) {
+	cfg = cfg.withDefaults()
+	records := int(20000 * cfg.Scale)
+	if records < 1000 {
+		records = 1000
+	}
+	// A run-summary journal entry (spec + state + counters as JSON) lands
+	// around a quarter KiB; the payload content itself is irrelevant to
+	// the I/O path being timed.
+	const recordBytes = 256
+	dir, err := os.MkdirTemp("", "zombie-durability-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	store, err := runstore.Open(dir, nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, recordBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	start := time.Now()
+	for i := 0; i < records; i++ {
+		binary.LittleEndian.PutUint64(payload, uint64(i))
+		if err := store.Append(payload); err != nil {
+			store.Close() //nolint:errcheck
+			return nil, err
+		}
+	}
+	appendWall := time.Since(start)
+	journalBytes := store.JournalBytes()
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	// Cold recovery: re-open the directory and replay every record, the
+	// exact path a restarted zombie-serve walks before listening.
+	replayed := 0
+	start = time.Now()
+	store, err = runstore.Open(dir, nil, func([]byte) error {
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	recoveryWall := time.Since(start)
+	if replayed != records {
+		store.Close() //nolint:errcheck
+		return nil, fmt.Errorf("experiments: durability bench replayed %d of %d records", replayed, records)
+	}
+
+	// Snapshot over the full journal: the compaction a long-lived server
+	// runs periodically and on graceful shutdown.
+	start = time.Now()
+	if err := store.Snapshot(payload); err != nil {
+		store.Close() //nolint:errcheck
+		return nil, err
+	}
+	snapshotWall := time.Since(start)
+	if err := store.Close(); err != nil {
+		return nil, err
+	}
+
+	return &DurabilityBenchEntry{
+		Records:          records,
+		RecordBytes:      recordBytes,
+		AppendMicros:     appendWall.Seconds() * 1e6 / float64(records),
+		JournalBytes:     journalBytes,
+		SnapshotMillis:   snapshotWall.Seconds() * 1e3,
+		RecoveryMillis:   recoveryWall.Seconds() * 1e3,
+		RecoveredRecords: replayed,
+	}, nil
+}

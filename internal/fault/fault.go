@@ -56,6 +56,12 @@ const (
 	// fired worker-side so the local and http transports fail with
 	// byte-identical messages.
 	SiteDistStep Site = "dist.step"
+	// SiteJournalWrite faults fire when the durable run store appends a
+	// lifecycle record to its write-ahead journal, keyed by
+	// "recordtype#n" — a dying disk under the state directory. Journal
+	// failures must never fail a run: the store absorbs them and demotes
+	// itself to memory-only after a few.
+	SiteJournalWrite Site = "journal.write"
 )
 
 // Kind classifies what a fired fault does to the faulted operation.

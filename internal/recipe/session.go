@@ -130,6 +130,28 @@ func (s *Session) Submit(ctx context.Context, r *Recipe) (*Version, error) {
 	return v, nil
 }
 
+// Restore appends a version that ran before this workspace existed — a
+// restarted server recovering persisted session history. The version is
+// recorded exactly as if Submit had just run it, so the next Submit
+// diffs against its recipe and warm-starts from its arm snapshots, but
+// nothing executes: run is the persisted result, trusted as-is. Restore
+// versions before the first Submit; interleaving them afterwards would
+// rewrite history the live versions already diffed against.
+func (s *Session) Restore(r *Recipe, run *core.RunResult, ws WarmStartStats) (*Version, error) {
+	if r == nil || run == nil {
+		return nil, fmt.Errorf("recipe: session %s: Restore requires a recipe and a result", s.name)
+	}
+	v := &Version{
+		Index:     len(s.versions) + 1,
+		Recipe:    r,
+		Diff:      r.DiffFrom(s.prevRecipe()),
+		Run:       run,
+		WarmStart: ws,
+	}
+	s.versions = append(s.versions, v)
+	return v, nil
+}
+
 func (s *Session) last() *Version {
 	if len(s.versions) == 0 {
 		return nil

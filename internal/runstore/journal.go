@@ -1,0 +1,189 @@
+// Package runstore is the durable half of the control plane: a
+// write-ahead journal plus point-in-time snapshots that let the serving
+// layer's run and session state survive a crash. The package is
+// deliberately payload-agnostic — callers journal opaque byte records
+// and interpret them at recovery — so the same store serves run
+// lifecycle transitions and session version history alike.
+//
+// The on-disk framing reuses the codec proven by internal/featcache's
+// disk segments: length-prefixed records, each closed by a CRC32 of its
+// payload, appended at the validated end of the file. Records are never
+// rewritten, so a crash can only damage the tail, and Open detects a
+// torn or garbage tail by checksum and truncates back to the last
+// complete record.
+package runstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sync"
+)
+
+// walMagic brands the journal file so a path pointed at something else
+// fails loudly instead of being silently truncated to nothing.
+var walMagic = []byte("ZWJ1")
+
+// maxRecordBytes bounds a single journal record. Lifecycle records are
+// hundreds of bytes; anything past this is corruption, not data.
+const maxRecordBytes = 1 << 26
+
+// Journal is an append-only write-ahead log of opaque records.
+//
+// Frame layout (all little-endian), after the 4-byte file magic:
+//
+//	per record: plen u32 | payload | crc32(payload) u32
+//
+// Append builds the frame in one buffer and writes it with a single
+// WriteAt at the validated end of the file, so a crash mid-write leaves
+// at most one torn record — exactly what the recovery scan truncates.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	size    int64 // bytes of validated data (including magic)
+	records int
+}
+
+// OpenJournal opens (creating if needed) the journal at path and replays
+// every complete record through replay in append order. A torn or
+// corrupt tail — the only damage a process crash can inflict on an
+// append-only file — is truncated after the last checksum-valid record.
+// A replay error aborts the open: the caller's state machine could not
+// apply history, and appending past the failure would corrupt it further.
+func OpenJournal(path string, replay func(payload []byte) error) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("runstore: open journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	if err := j.load(replay); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// load validates the header and scans the record stream, truncating a
+// torn tail back to the last complete record.
+func (j *Journal) load(replay func([]byte) error) error {
+	st, err := j.f.Stat()
+	if err != nil {
+		return fmt.Errorf("runstore: stat journal: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := j.f.Write(walMagic); err != nil {
+			return fmt.Errorf("runstore: write journal header: %w", err)
+		}
+		j.size = int64(len(walMagic))
+		return nil
+	}
+	header := make([]byte, len(walMagic))
+	if _, err := j.f.ReadAt(header, 0); err != nil || string(header) != string(walMagic) {
+		return fmt.Errorf("runstore: %s is not a run journal", j.path)
+	}
+	r := io.NewSectionReader(j.f, int64(len(walMagic)), st.Size()-int64(len(walMagic)))
+	good := int64(len(walMagic))
+	var lenBuf [4]byte
+	for {
+		if _, err := io.ReadFull(r, lenBuf[:]); err != nil {
+			break
+		}
+		plen := binary.LittleEndian.Uint32(lenBuf[:])
+		if plen == 0 || plen > maxRecordBytes {
+			break
+		}
+		body := make([]byte, int64(plen)+4)
+		if _, err := io.ReadFull(r, body); err != nil {
+			break
+		}
+		payload := body[:plen]
+		sum := binary.LittleEndian.Uint32(body[plen:])
+		if crc32.ChecksumIEEE(payload) != sum {
+			break
+		}
+		if replay != nil {
+			if err := replay(payload); err != nil {
+				return fmt.Errorf("runstore: replay journal record %d: %w", j.records, err)
+			}
+		}
+		j.records++
+		good += 4 + int64(plen) + 4
+	}
+	j.size = good
+	if good < st.Size() {
+		if err := j.f.Truncate(good); err != nil {
+			return fmt.Errorf("runstore: truncate torn tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// Append durably records one payload. Durability here means "survives a
+// process crash": the write lands in the kernel before Append returns,
+// so only power loss — out of scope for this store — can lose it.
+func (j *Journal) Append(payload []byte) error {
+	if len(payload) == 0 || len(payload) > maxRecordBytes {
+		return fmt.Errorf("runstore: journal payload length %d out of range", len(payload))
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runstore: journal is closed")
+	}
+	buf := make([]byte, 0, 4+len(payload)+4)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(payload)))
+	buf = append(buf, payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(payload))
+	if _, err := j.f.WriteAt(buf, j.size); err != nil {
+		return fmt.Errorf("runstore: append journal record: %w", err)
+	}
+	j.size += int64(len(buf))
+	j.records++
+	return nil
+}
+
+// Reset discards every record, truncating the file back to its header.
+// The store calls it after a snapshot has captured the journaled state.
+func (j *Journal) Reset() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("runstore: journal is closed")
+	}
+	if err := j.f.Truncate(int64(len(walMagic))); err != nil {
+		return fmt.Errorf("runstore: reset journal: %w", err)
+	}
+	j.size = int64(len(walMagic))
+	j.records = 0
+	return nil
+}
+
+// Size returns the journal file's validated size in bytes.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.size
+}
+
+// Records returns the number of records currently in the journal.
+func (j *Journal) Records() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.records
+}
+
+// Close closes the journal file. The journal needs no close-time flush:
+// every Append is already on disk.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

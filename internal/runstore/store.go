@@ -1,0 +1,169 @@
+package runstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Store file names inside the state directory.
+const (
+	journalFile  = "runs.wal"
+	snapshotFile = "state.snap"
+	snapshotTmp  = "state.snap.tmp"
+)
+
+// snapMagic brands the snapshot file.
+var snapMagic = []byte("ZRS1")
+
+// Store combines the write-ahead journal with point-in-time snapshots.
+// Every journaled entry carries a monotonically increasing sequence
+// number and the snapshot records the last sequence it covers, so
+// recovery applies the snapshot and then only the entries journaled
+// after it — a crash between the snapshot rename and the journal reset
+// replays already-captured entries harmlessly (they are skipped by
+// sequence), never twice.
+//
+// Snapshot layout: magic [4] | body | crc32(body) u32, where body is
+// lastSeq u64 | state. The snapshot is written to a temp file and
+// renamed into place, so a crash mid-snapshot leaves the previous one
+// intact.
+type Store struct {
+	mu      sync.Mutex
+	dir     string
+	j       *Journal
+	seq     uint64 // last sequence assigned
+	snapSeq uint64 // sequence covered by the on-disk snapshot
+}
+
+// Open opens (creating if needed) the store in dir and replays state:
+// snapshot, if present and valid, receives the most recent snapshot's
+// payload; then entry receives every journal record appended after that
+// snapshot, in order. Either callback may be nil. A corrupt snapshot is
+// an error — recovering from the journal alone would silently resurrect
+// pre-snapshot state the journal no longer holds.
+func Open(dir string, snapshot func(state []byte) error, entry func(payload []byte) error) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("runstore: create state dir: %w", err)
+	}
+	s := &Store{dir: dir}
+	state, snapSeq, ok, err := readSnapshot(filepath.Join(dir, snapshotFile))
+	if err != nil {
+		return nil, err
+	}
+	if ok {
+		s.snapSeq = snapSeq
+		s.seq = snapSeq
+		if snapshot != nil {
+			if err := snapshot(state); err != nil {
+				return nil, fmt.Errorf("runstore: apply snapshot: %w", err)
+			}
+		}
+	}
+	j, err := OpenJournal(filepath.Join(dir, journalFile), func(payload []byte) error {
+		if len(payload) < 8 {
+			return fmt.Errorf("runstore: journal entry shorter than its sequence number")
+		}
+		seq := binary.LittleEndian.Uint64(payload)
+		if seq > s.seq {
+			s.seq = seq
+		}
+		if seq <= s.snapSeq {
+			return nil // already captured by the snapshot
+		}
+		if entry == nil {
+			return nil
+		}
+		return entry(payload[8:])
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.j = j
+	return s, nil
+}
+
+// readSnapshot loads and validates the snapshot file. ok is false when
+// the file does not exist; a present-but-corrupt snapshot is an error.
+func readSnapshot(path string) (state []byte, lastSeq uint64, ok bool, err error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, fmt.Errorf("runstore: read snapshot: %w", err)
+	}
+	if len(b) < len(snapMagic)+8+4 || string(b[:len(snapMagic)]) != string(snapMagic) {
+		return nil, 0, false, fmt.Errorf("runstore: %s is not a state snapshot", path)
+	}
+	body := b[len(snapMagic) : len(b)-4]
+	sum := binary.LittleEndian.Uint32(b[len(b)-4:])
+	if crc32.ChecksumIEEE(body) != sum {
+		return nil, 0, false, fmt.Errorf("runstore: snapshot %s fails its checksum", path)
+	}
+	return body[8:], binary.LittleEndian.Uint64(body), true, nil
+}
+
+// Append journals one entry, assigning it the next sequence number.
+func (s *Store) Append(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.seq++
+	buf := make([]byte, 0, 8+len(payload))
+	buf = binary.LittleEndian.AppendUint64(buf, s.seq)
+	buf = append(buf, payload...)
+	if err := s.j.Append(buf); err != nil {
+		s.seq-- // the entry never existed
+		return err
+	}
+	return nil
+}
+
+// Snapshot atomically captures state as covering everything journaled so
+// far, then resets the journal. A crash at any point leaves a recoverable
+// pair: before the rename the old snapshot + full journal, after it the
+// new snapshot + a journal whose entries recovery skips by sequence.
+func (s *Store) Snapshot(state []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	body := make([]byte, 0, 8+len(state))
+	body = binary.LittleEndian.AppendUint64(body, s.seq)
+	body = append(body, state...)
+	out := make([]byte, 0, len(snapMagic)+len(body)+4)
+	out = append(out, snapMagic...)
+	out = append(out, body...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(body))
+	tmp := filepath.Join(s.dir, snapshotTmp)
+	if err := os.WriteFile(tmp, out, 0o644); err != nil {
+		return fmt.Errorf("runstore: write snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, snapshotFile)); err != nil {
+		return fmt.Errorf("runstore: install snapshot: %w", err)
+	}
+	s.snapSeq = s.seq
+	return s.j.Reset()
+}
+
+// JournalBytes returns the journal file's current size.
+func (s *Store) JournalBytes() int64 { return s.j.Size() }
+
+// JournalRecords returns the number of entries in the journal (since the
+// last snapshot).
+func (s *Store) JournalRecords() int { return s.j.Records() }
+
+// Seq returns the last assigned sequence number.
+func (s *Store) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seq
+}
+
+// Close closes the journal. Callers snapshot first when they want the
+// fast recovery path; a skipped snapshot only costs the next Open a
+// journal replay, never data.
+func (s *Store) Close() error {
+	return s.j.Close()
+}

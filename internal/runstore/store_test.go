@@ -1,0 +1,237 @@
+package runstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// stateMachine is a toy reducer: snapshot = comma-joined history, entry =
+// one item appended. It stands in for the server's persistState.
+type stateMachine struct {
+	items []string
+}
+
+func (m *stateMachine) snapshot(state []byte) error {
+	if len(state) == 0 {
+		return nil
+	}
+	m.items = strings.Split(string(state), ",")
+	return nil
+}
+
+func (m *stateMachine) entry(payload []byte) error {
+	m.items = append(m.items, string(payload))
+	return nil
+}
+
+func (m *stateMachine) encode() []byte { return []byte(strings.Join(m.items, ",")) }
+
+func openMachine(t *testing.T, dir string) (*stateMachine, *Store) {
+	t.Helper()
+	m := &stateMachine{}
+	s, err := Open(dir, m.snapshot, m.entry)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return m, s
+}
+
+func TestStoreJournalOnlyRecovery(t *testing.T) {
+	dir := t.TempDir()
+	_, s := openMachine(t, dir)
+	for _, v := range []string{"a", "b", "c"} {
+		if err := s.Append([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	m2, s2 := openMachine(t, dir)
+	defer s2.Close()
+	if got := strings.Join(m2.items, ","); got != "a,b,c" {
+		t.Fatalf("recovered %q, want a,b,c", got)
+	}
+	if s2.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", s2.Seq())
+	}
+}
+
+func TestStoreSnapshotPlusJournalRecovery(t *testing.T) {
+	dir := t.TempDir()
+	m, s := openMachine(t, dir)
+	for _, v := range []string{"a", "b"} {
+		if err := s.Append([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		m.entry([]byte(v))
+	}
+	if err := s.Snapshot(m.encode()); err != nil {
+		t.Fatal(err)
+	}
+	if s.JournalRecords() != 0 {
+		t.Fatalf("journal holds %d records after snapshot, want 0", s.JournalRecords())
+	}
+	if err := s.Append([]byte("c")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	m2, s2 := openMachine(t, dir)
+	defer s2.Close()
+	if got := strings.Join(m2.items, ","); got != "a,b,c" {
+		t.Fatalf("recovered %q, want a,b,c", got)
+	}
+	// Sequence numbers continue past the snapshot across restarts.
+	if s2.Seq() != 3 {
+		t.Fatalf("Seq = %d, want 3", s2.Seq())
+	}
+	if err := s2.Append([]byte("d")); err != nil {
+		t.Fatal(err)
+	}
+	if s2.Seq() != 4 {
+		t.Fatalf("Seq after append = %d, want 4", s2.Seq())
+	}
+}
+
+// TestStoreCrashBetweenRenameAndReset simulates the one window where
+// snapshot and journal can disagree: the new snapshot is installed but
+// the process dies before the journal reset. Recovery must skip the
+// journal entries the snapshot already covers — applying them twice
+// would double history.
+func TestStoreCrashBetweenRenameAndReset(t *testing.T) {
+	dir := t.TempDir()
+	m, s := openMachine(t, dir)
+	for _, v := range []string{"a", "b"} {
+		if err := s.Append([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		m.entry([]byte(v))
+	}
+	// Capture the journal as it stands, snapshot (which resets it), then
+	// put the old journal back — exactly the disk state of a crash between
+	// the rename and the reset.
+	walPath := filepath.Join(dir, journalFile)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(m.encode()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := os.WriteFile(walPath, wal, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m2, s2 := openMachine(t, dir)
+	defer s2.Close()
+	if got := strings.Join(m2.items, ","); got != "a,b" {
+		t.Fatalf("recovered %q, want a,b (no double-apply)", got)
+	}
+	if s2.Seq() != 2 {
+		t.Fatalf("Seq = %d, want 2", s2.Seq())
+	}
+}
+
+// TestStoreReplayEquivalence drives the same entry sequence through two
+// stores — one snapshotting mid-stream, one never — and asserts both
+// recover to identical state.
+func TestStoreReplayEquivalence(t *testing.T) {
+	entries := []string{"s1", "s2", "s3", "s4", "s5", "s6", "s7"}
+	snapAt := 4
+
+	dirSnap, dirPlain := t.TempDir(), t.TempDir()
+	mSnap, sSnap := openMachine(t, dirSnap)
+	_, sPlain := openMachine(t, dirPlain)
+	for i, v := range entries {
+		if err := sSnap.Append([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		mSnap.entry([]byte(v))
+		if err := sPlain.Append([]byte(v)); err != nil {
+			t.Fatal(err)
+		}
+		if i == snapAt {
+			if err := sSnap.Snapshot(mSnap.encode()); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	sSnap.Close()
+	sPlain.Close()
+
+	m1, s1 := openMachine(t, dirSnap)
+	defer s1.Close()
+	m2, s2 := openMachine(t, dirPlain)
+	defer s2.Close()
+	if a, b := strings.Join(m1.items, ","), strings.Join(m2.items, ","); a != b {
+		t.Fatalf("snapshot+journal state %q != journal-only state %q", a, b)
+	}
+	if s1.Seq() != s2.Seq() {
+		t.Fatalf("Seq diverged: %d vs %d", s1.Seq(), s2.Seq())
+	}
+}
+
+func TestStoreCorruptSnapshotIsFatal(t *testing.T) {
+	dir := t.TempDir()
+	m, s := openMachine(t, dir)
+	if err := s.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	m.entry([]byte("a"))
+	if err := s.Snapshot(m.encode()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	path := filepath.Join(dir, snapshotFile)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-1] ^= 0xff
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, nil, nil); err == nil {
+		t.Fatal("Open accepted a corrupt snapshot")
+	}
+}
+
+func TestStoreSnapshotCrashMidWriteKeepsOld(t *testing.T) {
+	dir := t.TempDir()
+	m, s := openMachine(t, dir)
+	if err := s.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	m.entry([]byte("a"))
+	if err := s.Snapshot(m.encode()); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A crash mid-write leaves a stray temp file; it must be ignored.
+	if err := os.WriteFile(filepath.Join(dir, snapshotTmp), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m2, s2 := openMachine(t, dir)
+	defer s2.Close()
+	if got := strings.Join(m2.items, ","); got != "a" {
+		t.Fatalf("recovered %q, want a", got)
+	}
+}
+
+func TestStoreEntryErrorAbortsOpen(t *testing.T) {
+	dir := t.TempDir()
+	_, s := openMachine(t, dir)
+	if err := s.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	_, err := Open(dir, nil, func([]byte) error { return fmt.Errorf("boom") })
+	if err == nil {
+		t.Fatal("Open ignored an entry replay error")
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"zombie/internal/obs"
 	"zombie/internal/parallel"
 	"zombie/internal/rng"
+	"zombie/internal/trace"
 	"zombie/internal/workload"
 )
 
@@ -43,6 +44,7 @@ type Manager struct {
 	cache     *IndexCache
 	featCache *featcache.Cache
 	metrics   *Metrics
+	store     RunStore
 	defaults  RunDefaults
 	log       *slog.Logger
 
@@ -57,6 +59,10 @@ type Manager struct {
 	order  []string // submission order, for List
 	nextID int
 	closed bool
+	// pending holds restored interrupted runs awaiting recoverPending —
+	// re-queueing is deferred until the embedder has registered the
+	// corpora the runs reference.
+	pending []*Run
 }
 
 // RunDefaults are the server-wide robustness settings a RunSpec inherits
@@ -81,14 +87,20 @@ type RunDefaults struct {
 }
 
 // NewManager starts a pool of workers goroutines over a queue of queueCap
-// pending runs (both floored at 1) and returns the manager.
-func NewManager(registry *Registry, cache *IndexCache, featCache *featcache.Cache, metrics *Metrics, workers, queueCap int, defaults RunDefaults) *Manager {
+// pending runs (both floored at 1) and returns the manager. store
+// receives every run lifecycle transition; nil means the in-memory
+// no-op store (state dies with the process).
+func NewManager(registry *Registry, cache *IndexCache, featCache *featcache.Cache, metrics *Metrics, store RunStore, workers, queueCap int, defaults RunDefaults) *Manager {
+	if store == nil {
+		store = NewMemStore()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Manager{
 		registry:   registry,
 		cache:      cache,
 		featCache:  featCache,
 		metrics:    metrics,
+		store:      store,
 		defaults:   defaults,
 		log:        obs.NopLogger(),
 		pool:       parallel.NewPool(workers, queueCap),
@@ -233,8 +245,13 @@ func (m *Manager) Submit(spec RunSpec) (*Run, error) {
 	}
 	m.nextID++
 	run := newRun("r"+strconv.Itoa(m.nextID), spec, time.Now())
+	// Journal the submission before the enqueue: a worker may pick the run
+	// up (and journal its start) the instant TrySubmit returns. A failed
+	// enqueue is compensated with a discard record — the run never existed.
+	m.store.RunSubmitted(run.ID, m.nextID, run.spec, run.created)
 	if !m.pool.TrySubmit(func() { m.execute(run) }) {
 		m.nextID-- // ID was never exposed
+		m.store.RunDiscarded(run.ID)
 		return nil, fmt.Errorf("%w (%d pending)", ErrQueueFull, m.pool.Cap())
 	}
 	m.runs[run.ID] = run
@@ -278,9 +295,15 @@ func (m *Manager) Cancel(id string) (RunInfo, error) {
 	if !ok {
 		return RunInfo{}, fmt.Errorf("server: unknown run %q", id)
 	}
-	_, cancelledNow := run.requestCancel(time.Now())
-	if cancelledNow && m.metrics != nil {
-		m.metrics.RunsCancelled.Add(1)
+	now := time.Now()
+	_, cancelledNow := run.requestCancel(now)
+	if cancelledNow {
+		if m.metrics != nil {
+			m.metrics.RunsCancelled.Add(1)
+		}
+		// The cancel itself finished a queued run; no worker will ever own
+		// it, so the terminal record is journaled here.
+		m.store.RunFinished(run.ID, now, run.Info())
 	}
 	return run.Info(), nil
 }
@@ -305,6 +328,7 @@ func (m *Manager) execute(run *Run) {
 	if !run.start(cancel, started) {
 		return // cancelled while queued
 	}
+	m.store.RunStarted(run.ID, started)
 	m.running.Add(1)
 	defer m.running.Add(-1)
 	m.log.Info("run started", "run", run.ID, "corpus", run.spec.Corpus,
@@ -364,6 +388,7 @@ func (m *Manager) execute(run *Run) {
 		}
 	}
 	info := run.Info()
+	m.store.RunFinished(run.ID, finished, info)
 	if info.Error != "" {
 		m.log.Error("run finished", "run", run.ID, "state", info.State,
 			"wall_ms", info.WallMillis, "error", info.Error)
@@ -391,12 +416,23 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 	if err != nil {
 		return nil, err
 	}
-	cfg.Progress = run.appendPoint
+	cfg.Progress = func(p core.CurvePoint) {
+		run.appendPoint(p)
+		m.store.RunProgressed(run.ID, p)
+	}
 	cfg.Obs = m.obsRegistry()
-	if spec.Trace {
-		// Bridge step events into the run's trace ring (and its SSE
-		// subscribers) as they happen, not just into the terminal result.
-		cfg.Event = run.appendEvent
+	// The event hook is wired for every run now, not just traced ones: it
+	// bridges step events into the trace ring/SSE stream (traced runs) and
+	// journals quarantine transitions (all runs). Config.Event is
+	// observational by contract, so this changes no run output.
+	traced := spec.Trace
+	cfg.Event = func(ev trace.Event) {
+		if traced {
+			run.appendEvent(ev)
+		}
+		if ev.Quarantined {
+			m.store.RunQuarantined(run.ID)
+		}
 	}
 	// Every run shares the server's extraction cache; results are
 	// byte-identical either way (see core.Config.Cache), so this is purely
@@ -550,6 +586,70 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 		<-drained
 		return ctx.Err()
 	}
+}
+
+// restore rebuilds the manager's run table from recovered state:
+// terminal runs come back with their full history, interrupted (queued
+// or running at crash time) runs are reset to queued and parked until
+// recoverPending re-queues them. It must run before the server starts
+// accepting requests — it assumes an empty run table.
+func (m *Manager) restore(st *persistState) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st.NextRunID > m.nextID {
+		m.nextID = st.NextRunID
+	}
+	for _, id := range st.RunOrder {
+		pr := st.Runs[id]
+		if pr == nil {
+			continue
+		}
+		run := restoreRun(pr)
+		m.runs[id] = run
+		m.order = append(m.order, id)
+		if !pr.State.terminal() {
+			run.prepareRequeue()
+			m.pending = append(m.pending, run)
+		}
+	}
+}
+
+// recoverPending re-queues every restored interrupted run for
+// deterministic re-execution: the engine is a pure function of the spec,
+// so the re-run's curve is byte-identical to what an uninterrupted run
+// would have produced. It is separate from restore because the runs'
+// corpora are registered by the embedder after the server is built;
+// call it once registration is done. Returns the number re-queued.
+func (m *Manager) recoverPending() int {
+	m.mu.Lock()
+	pending := m.pending
+	m.pending = nil
+	m.mu.Unlock()
+
+	recovered := 0
+	for _, run := range pending {
+		run := run
+		m.store.RunRequeued(run.ID)
+		if !m.pool.TrySubmit(func() { m.execute(run) }) {
+			// A recovery flood larger than the queue: fail the overflow runs
+			// loudly rather than dropping them silently. Clients see why.
+			now := time.Now()
+			run.finish(StateFailed, nil, "recovery re-queue failed: run queue full", now)
+			m.store.RunFinished(run.ID, now, run.Info())
+			if m.metrics != nil {
+				m.metrics.RunsFailed.Add(1)
+			}
+			m.log.Error("run recovery failed", "run", run.ID, "error", "queue full")
+			continue
+		}
+		recovered++
+		if m.metrics != nil {
+			m.metrics.RunsRecovered.Add(1)
+		}
+		m.log.Info("run recovered", "run", run.ID, "corpus", run.spec.Corpus,
+			"task", run.spec.Task, "requeues", run.Info().Recovered)
+	}
+	return recovered
 }
 
 // stateCounts summarizes run states (for /healthz).

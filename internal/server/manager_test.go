@@ -43,7 +43,7 @@ func newTestManager(t *testing.T, corpusName string, n int, workers, queueCap in
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := NewManager(registry, NewIndexCache(metrics), featCache, metrics, workers, queueCap, RunDefaults{})
+	m := NewManager(registry, NewIndexCache(metrics), featCache, metrics, nil, workers, queueCap, RunDefaults{})
 	t.Cleanup(func() {
 		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()

@@ -35,6 +35,15 @@ type Metrics struct {
 	IndexBuilds       *obs.Counter
 	IndexCacheHits    *obs.Counter
 	IndexBuildRetries *obs.Counter
+	// Durability counters. RunsRecovered / VersionsRecovered count
+	// interrupted runs and session versions re-queued from the state
+	// directory at startup; JournalErrors counts absorbed journal write
+	// failures; SnapshotMillis sums time spent writing state snapshots
+	// (exposed as the truncated snapshot_seconds too).
+	RunsRecovered     *obs.Counter
+	VersionsRecovered *obs.Counter
+	JournalErrors     *obs.Counter
+	SnapshotMillis    *obs.Counter
 }
 
 // NewMetrics declares the server's counters against reg (a fresh registry
@@ -57,9 +66,15 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		IndexBuilds:       reg.Counter("index_builds", "Index builds actually executed."),
 		IndexCacheHits:    reg.Counter("index_cache_hits", "Index requests served from (or coalesced onto) a cached build."),
 		IndexBuildRetries: reg.Counter("index_build_retries", "Index build attempts after a failed first try."),
+		RunsRecovered:     reg.Counter("runs_recovered", "Interrupted runs re-queued from the state directory at startup."),
+		VersionsRecovered: reg.Counter("versions_recovered", "Interrupted session versions re-queued from the state directory at startup."),
+		JournalErrors:     reg.Counter("journal_errors", "Run-journal write failures absorbed by the durable store."),
+		SnapshotMillis:    reg.Counter("snapshot_ms", "Cumulative state-snapshot write time in milliseconds."),
 	}
 	reg.CounterFunc("run_seconds", "Cumulative run wall-clock time in whole seconds.",
 		func() int64 { return m.RunWallMillis.Load() / 1000 })
+	reg.CounterFunc("snapshot_seconds", "Cumulative state-snapshot write time in whole seconds.",
+		func() int64 { return m.SnapshotMillis.Load() / 1000 })
 	return m
 }
 

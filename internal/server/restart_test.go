@@ -1,0 +1,307 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+
+	"zombie/internal/fault"
+)
+
+// newDurableServer mirrors the zombie-serve startup sequence over a state
+// directory: New (which replays the directory), register the corpus, then
+// Recover to re-queue interrupted work. It returns the server plus what
+// Recover re-queued.
+func newDurableServer(t *testing.T, stateDir, corpusPath string, cfg Config) (*Server, int, int) {
+	t.Helper()
+	cfg.StateDir = stateDir
+	if cfg.Workers == 0 {
+		cfg.Workers = 1
+	}
+	if cfg.QueueCap == 0 {
+		cfg.QueueCap = 16
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Registry().Add("imgs", corpusPath, false); err != nil {
+		t.Fatal(err)
+	}
+	runs, versions := s.Recover()
+	return s, runs, versions
+}
+
+func shutdown(t *testing.T, s *Server, wait time.Duration) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), wait)
+	defer cancel()
+	s.Shutdown(ctx) //nolint:errcheck // crash tests cut the drain short on purpose
+}
+
+// awaitRun blocks until the run is terminal and asserts it ended done.
+func awaitRun(t *testing.T, s *Server, id string) RunInfo {
+	t.Helper()
+	run, ok := s.Manager().Get(id)
+	if !ok {
+		t.Fatalf("run %s missing", id)
+	}
+	select {
+	case <-run.Done():
+	case <-time.After(60 * time.Second):
+		t.Fatalf("run %s did not finish", id)
+	}
+	info := run.Info()
+	if info.State != StateDone {
+		t.Fatalf("run %s state = %s (%s)", id, info.State, info.Error)
+	}
+	return info
+}
+
+// TestRestartAfterKillResumesRun is the chaos-kill resume contract: a
+// server dies (simulated via the store's freeze hook, which drops every
+// journal write from that moment — including Close's final snapshot —
+// exactly as kill -9 would) while a run is mid-curve; a second server
+// over the same state directory re-queues the run, re-executes it, and
+// the recovered curve is byte-identical to an uninterrupted run of the
+// same spec.
+func TestRestartAfterKillResumesRun(t *testing.T) {
+	state := t.TempDir()
+	corpus := writeImageCorpus(t, 500, 31)
+
+	// Per-extraction latency stretches the run so the "crash" reliably
+	// lands mid-curve. Latency faults never alter results.
+	spec := RunSpec{Corpus: "imgs", Task: "image", Mode: "zombie", K: 8, Seed: 3,
+		MaxInputs: 400, EvalEvery: 10, Faults: "extract:lat=3ms", FaultSeed: 7}
+
+	s1, runs, versions := newDurableServer(t, state, corpus, Config{})
+	if runs != 0 || versions != 0 {
+		t.Fatalf("fresh state dir recovered %d runs, %d versions", runs, versions)
+	}
+	victim, err := s1.Manager().Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for len(victim.Curve()) < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("run never produced two curve points (state %s)", victim.State())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	s1.store.(*DurableStore).freeze() // the "kill -9"
+	shutdown(t, s1, 50*time.Millisecond)
+
+	// Restart: the run must come back, re-queue, and resume to done.
+	s2, runs, versions := newDurableServer(t, state, corpus, Config{})
+	defer shutdown(t, s2, 10*time.Second)
+	if runs != 1 || versions != 0 {
+		t.Fatalf("recovered %d runs, %d versions, want 1 run", runs, versions)
+	}
+	recovered := awaitRun(t, s2, victim.ID)
+	if recovered.Recovered != 1 {
+		t.Fatalf("recovered count = %d, want 1", recovered.Recovered)
+	}
+	if got := s2.Obs().FlatSnapshot()["runs_recovered"]; got != 1 {
+		t.Fatalf("runs_recovered metric = %d, want 1", got)
+	}
+
+	// The recovered curve is byte-identical to an uninterrupted run.
+	reference, err := s2.Manager().Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refInfo := awaitRun(t, s2, reference.ID)
+	recoveredRun, _ := s2.Manager().Get(victim.ID)
+	if !reflect.DeepEqual(recoveredRun.Curve(), reference.Curve()) {
+		t.Fatalf("recovered curve diverged from uninterrupted run:\n%v\nvs\n%v",
+			recoveredRun.Curve(), reference.Curve())
+	}
+	if recovered2 := recoveredRun.Info(); recovered2.FinalQuality != refInfo.FinalQuality {
+		t.Fatalf("recovered quality %v != reference %v", recovered2.FinalQuality, refInfo.FinalQuality)
+	}
+}
+
+// TestGracefulRestartPreservesHistory: a cleanly shut down server's runs
+// come back terminal with their curves and summaries (via the final
+// snapshot), IDs stay monotonic, and the step-trace endpoint says Gone
+// rather than pretending the unjournaled trace exists.
+func TestGracefulRestartPreservesHistory(t *testing.T) {
+	state := t.TempDir()
+	corpus := writeImageCorpus(t, 400, 32)
+	spec := RunSpec{Corpus: "imgs", Task: "image", Mode: "zombie", K: 8, Seed: 3,
+		MaxInputs: 60, EvalEvery: 20, Trace: true}
+
+	s1, _, _ := newDurableServer(t, state, corpus, Config{})
+	first, err := s1.Manager().Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitRun(t, s1, first.ID)
+	shutdown(t, s1, 10*time.Second)
+
+	s2, runs, versions := newDurableServer(t, state, corpus, Config{})
+	defer shutdown(t, s2, 10*time.Second)
+	if runs != 0 || versions != 0 {
+		t.Fatalf("graceful restart re-queued %d runs, %d versions, want none", runs, versions)
+	}
+	restored, ok := s2.Manager().Get(first.ID)
+	if !ok {
+		t.Fatalf("run %s lost across restart", first.ID)
+	}
+	info := restored.Info()
+	if info.State != StateDone || info.Recovered != 0 {
+		t.Fatalf("restored run: %+v", info)
+	}
+	if info.FinalQuality != done.FinalQuality || info.InputsProcessed != done.InputsProcessed ||
+		info.Stop != done.Stop || info.CurvePoints != done.CurvePoints {
+		t.Fatalf("restored summary diverged:\n%+v\nvs\n%+v", info, done)
+	}
+	select {
+	case <-restored.Done():
+	default:
+		t.Fatal("restored terminal run's Done channel is open")
+	}
+
+	// IDs continue after the highest persisted one instead of colliding.
+	second, err := s2.Manager().Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.ID != "r2" {
+		t.Fatalf("post-restart run ID = %s, want r2", second.ID)
+	}
+	awaitRun(t, s2, second.ID)
+
+	// The step trace was deliberately not journaled: Gone, not a 409/500.
+	ts := httptest.NewServer(s2.Handler())
+	defer ts.Close()
+	resp := mustGet(t, ts.URL+"/runs/"+first.ID+"/events")
+	decodeBody[errorBody](t, resp, http.StatusGone)
+	// The re-executed second run served its trace normally.
+	resp = mustGet(t, ts.URL+"/runs/"+second.ID+"/events")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fresh run events status = %d", resp.StatusCode)
+	}
+}
+
+// TestSessionRestartWarmStartsFromPersistedArms: session history survives
+// a restart, and the first post-restart version diffs against — and
+// warm-starts from the persisted arm snapshots of — the pre-restart
+// history. A version interrupted by a crash is re-queued and completes.
+func TestSessionRestartWarmStartsFromPersistedArms(t *testing.T) {
+	state := t.TempDir()
+	corpus := writeImageCorpus(t, 500, 33)
+	sessionSpec := SessionSpec{Name: "ws", Corpus: "imgs", Task: "image", K: 8, Seed: 3,
+		MaxInputs: 120, EvalEvery: 25}
+
+	s1, _, _ := newDurableServer(t, state, corpus, Config{})
+	ts1 := httptest.NewServer(s1.Handler())
+	created := decodeBody[SessionInfo](t, postJSON(t, ts1.URL+"/sessions", sessionSpec), http.StatusCreated)
+	decodeBody[map[string]any](t, postJSON(t, ts1.URL+"/sessions/"+created.ID+"/runs", imageRecipeSpec(2)), http.StatusAccepted)
+	pollSession(t, ts1.URL+"/sessions/"+created.ID, 1)
+	ts1.Close()
+	shutdown(t, s1, 10*time.Second)
+
+	// Restart: v1 is visible with its curve; v2 submitted now diffs
+	// against v1's recipe and warm-starts from its persisted arms. The
+	// extraction latency stretches version runs so the crash below
+	// reliably lands while v3 is still in flight (latency faults never
+	// alter results).
+	slow, err := fault.Parse("extract:lat=3ms", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, _ := newDurableServer(t, state, corpus, Config{Faults: slow})
+	ts2 := httptest.NewServer(s2.Handler())
+	info := decodeBody[SessionInfo](t, mustGet(t, ts2.URL+"/sessions/"+created.ID), http.StatusOK)
+	if len(info.Versions) != 1 || info.Versions[0].State != StateDone || len(info.Versions[0].Curve) == 0 {
+		t.Fatalf("restored session: %+v", info)
+	}
+	decodeBody[map[string]any](t, postJSON(t, ts2.URL+"/sessions/"+created.ID+"/runs", imageRecipeSpec(3)), http.StatusAccepted)
+	info = pollSession(t, ts2.URL+"/sessions/"+created.ID, 2)
+	v2 := info.Versions[1]
+	if !v2.WarmStart.Applied || v2.WarmStart.SeededPulls == 0 {
+		t.Fatalf("post-restart v2 warm start: %+v", v2.WarmStart)
+	}
+	if v2.Diff == nil || !reflect.DeepEqual(v2.Diff.Changed, []string{"mid"}) {
+		t.Fatalf("post-restart v2 diff: %+v", v2.Diff)
+	}
+
+	// Crash with v3 in flight: the next server re-queues and finishes it.
+	// (v3 edits the base part; image feature versions only go up to 3.)
+	v3spec := map[string]any{
+		"name": "rec",
+		"parts": []map[string]any{
+			{"name": "base", "kind": "image", "version": 2},
+			{"name": "mid", "kind": "image", "version": 3, "deps": []string{"base"}},
+		},
+	}
+	decodeBody[map[string]any](t, postJSON(t, ts2.URL+"/sessions/"+created.ID+"/runs", v3spec), http.StatusAccepted)
+	s2.store.(*DurableStore).freeze()
+	ts2.Close()
+	shutdown(t, s2, 50*time.Millisecond)
+
+	s3, _, versions := newDurableServer(t, state, corpus, Config{})
+	defer shutdown(t, s3, 10*time.Second)
+	if versions != 1 {
+		t.Fatalf("recovered %d versions, want 1", versions)
+	}
+	if got := s3.Obs().FlatSnapshot()["versions_recovered"]; got != 1 {
+		t.Fatalf("versions_recovered metric = %d, want 1", got)
+	}
+	ts3 := httptest.NewServer(s3.Handler())
+	defer ts3.Close()
+	info = pollSession(t, ts3.URL+"/sessions/"+created.ID, 3)
+	v3 := info.Versions[2]
+	if !v3.WarmStart.Applied || v3.WarmStart.SeededPulls == 0 {
+		t.Fatalf("recovered v3 warm start: %+v", v3.WarmStart)
+	}
+}
+
+// TestJournalErrorsDemoteToMemory: a dying disk under the state directory
+// (every journal append failing, injected at the journal.write site)
+// never fails a run — the store absorbs the errors, demotes itself to
+// memory-only after the limit, and the next startup simply finds nothing.
+func TestJournalErrorsDemoteToMemory(t *testing.T) {
+	state := t.TempDir()
+	corpus := writeImageCorpus(t, 300, 34)
+	inj, err := fault.Parse("journal.write:err=1", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1, _, _ := newDurableServer(t, state, corpus, Config{Faults: inj})
+	run, err := s1.Manager().Submit(RunSpec{Corpus: "imgs", Task: "image", Mode: "zombie",
+		K: 8, Seed: 3, MaxInputs: 40, EvalEvery: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitRun(t, s1, run.ID) // journal failures must not touch the run
+	ds := s1.store.(*DurableStore)
+	if !ds.Demoted() {
+		t.Fatal("store not demoted after persistent journal failures")
+	}
+	snap := s1.Obs().FlatSnapshot()
+	if snap["journal_errors"] < journalErrorLimit {
+		t.Fatalf("journal_errors = %d, want >= %d", snap["journal_errors"], journalErrorLimit)
+	}
+	if snap["journal_demoted"] != 1 {
+		t.Fatalf("journal_demoted gauge = %d, want 1", snap["journal_demoted"])
+	}
+	shutdown(t, s1, 10*time.Second)
+
+	// The demoted store persisted nothing: a restart starts clean.
+	s2, runs, versions := newDurableServer(t, state, corpus, Config{})
+	defer shutdown(t, s2, 10*time.Second)
+	if runs != 0 || versions != 0 {
+		t.Fatalf("demoted store left recoverable state: %d runs, %d versions", runs, versions)
+	}
+	if _, ok := s2.Manager().Get(run.ID); ok {
+		t.Fatal("demoted store persisted the run anyway")
+	}
+}

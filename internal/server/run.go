@@ -121,6 +121,12 @@ type Run struct {
 	errMsg   string
 	cancel   context.CancelFunc
 	timedOut bool
+	// summary carries a restored terminal run's persisted digest; Info
+	// falls back to it when result is nil because the engine result
+	// belonged to a previous process. recovered counts how many times
+	// recovery re-queued this run after a crash.
+	summary   *runSummary
+	recovered int
 	// distTransport / distWorkers record the distribution summary for
 	// sharded runs, set by the manager before the run finishes.
 	distTransport string
@@ -147,6 +153,56 @@ func newRun(id string, spec RunSpec, now time.Time) *Run {
 		r.ring = trace.NewRing(traceRingCap)
 	}
 	return r
+}
+
+// restoreRun rebuilds a Run from its persisted record. Terminal runs
+// come back with their history — curve, summary, error, timings — and a
+// closed Done channel; interrupted (queued/running) runs come back as
+// the crash left them, for the manager to re-queue via prepareRequeue.
+func restoreRun(pr *persistRun) *Run {
+	r := &Run{
+		ID:        pr.ID,
+		spec:      pr.Spec,
+		state:     pr.State,
+		created:   time.Unix(0, pr.Created),
+		subs:      map[int]chan streamMsg{},
+		done:      make(chan struct{}),
+		errMsg:    pr.Err,
+		summary:   pr.Summary,
+		timedOut:  pr.TimedOut,
+		recovered: pr.Recovered,
+	}
+	if pr.Started != 0 {
+		r.started = time.Unix(0, pr.Started)
+	}
+	if pr.Finished != 0 {
+		r.finished = time.Unix(0, pr.Finished)
+	}
+	r.curve = append(r.curve, pr.Curve...)
+	if pr.Spec.Trace {
+		// The ring starts empty: step events are not journaled (far too
+		// dense); a re-executed run refills it, a restored terminal run
+		// reports zero retained events.
+		r.ring = trace.NewRing(traceRingCap)
+	}
+	if r.state.terminal() {
+		close(r.done)
+	}
+	return r
+}
+
+// prepareRequeue resets an interrupted restored run to queued for
+// deterministic re-execution. The stale partial curve is dropped: the
+// engine re-emits the complete curve from scratch, byte-identical to an
+// uninterrupted run of the same spec.
+func (r *Run) prepareRequeue() {
+	r.mu.Lock()
+	r.state = StateQueued
+	r.started = time.Time{}
+	r.curve = nil
+	r.errMsg = ""
+	r.recovered++
+	r.mu.Unlock()
 }
 
 // RunInfo is the externally visible run snapshot.
@@ -190,6 +246,11 @@ type RunInfo struct {
 	// share. Absent for single-process runs.
 	Transport string             `json:"transport,omitempty"`
 	Workers   []dist.WorkerStats `json:"workers,omitempty"`
+	// Recovered counts how many times this run was interrupted by a server
+	// crash and re-queued from the state directory. The curve of a
+	// recovered run is byte-identical to an uninterrupted one — recovery
+	// re-executes the deterministic engine, it does not splice state.
+	Recovered int `json:"recovered,omitempty"`
 }
 
 // Info snapshots the run.
@@ -222,11 +283,21 @@ func (r *Run) Info() RunInfo {
 		info.CacheMisses = r.result.CacheMisses
 		info.Quarantined = len(r.result.Quarantined)
 		info.PhaseMillis = r.result.Phases.Millis()
+	} else if r.summary != nil {
+		info.InputsProcessed = r.summary.InputsProcessed
+		info.FinalQuality = r.summary.FinalQuality
+		info.Stop = r.summary.Stop
+		info.Strategy = r.summary.Strategy
+		info.CacheHits = r.summary.CacheHits
+		info.CacheMisses = r.summary.CacheMisses
+		info.Quarantined = r.summary.Quarantined
+		info.PhaseMillis = r.summary.PhaseMillis
 	}
 	if r.ring != nil {
 		info.TraceEvents = r.ring.Len()
 	}
 	info.TimedOut = r.timedOut
+	info.Recovered = r.recovered
 	info.Transport = r.distTransport
 	info.Workers = r.distWorkers
 	return info

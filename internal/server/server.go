@@ -68,6 +68,15 @@ type Config struct {
 	// disk segment store in that directory, so cached extractions survive
 	// server restarts. Empty keeps the cache memory-only.
 	CacheDir string
+	// StateDir, when non-empty, makes the control plane durable: every
+	// run and session lifecycle transition is journaled there
+	// (write-ahead log + periodic snapshots), and a restarted server
+	// replays the directory, restores run/session history, and re-queues
+	// interrupted runs for deterministic re-execution — their curves come
+	// out byte-identical to uninterrupted runs. Empty keeps run state
+	// in-memory only (lost on restart). Embedders must call Recover once
+	// the runs' corpora are registered.
+	StateDir string
 	// CacheMemMB is the extraction cache's in-memory budget in MiB
 	// (default 64).
 	CacheMemMB int
@@ -108,6 +117,7 @@ type Server struct {
 	manager    *Manager
 	sessions   *SessionHub
 	distWorker *dist.Worker
+	store      RunStore
 	metrics    *Metrics
 	obs        *obs.Registry
 	log        *slog.Logger
@@ -146,6 +156,30 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	registerFeatCacheMetrics(reg, featCache)
+	// The durable store opens (and replays) before the manager and hub
+	// exist, so their tables can be restored as part of construction.
+	var store RunStore = NewMemStore()
+	var recovered *persistState
+	if cfg.StateDir != "" {
+		ds, rec, err := OpenDurableStore(cfg.StateDir, metrics, cfg.Faults, cfg.Logger)
+		if err != nil {
+			featCache.Close() //nolint:errcheck // already failing
+			return nil, err
+		}
+		store = ds
+		recovered = rec
+		reg.GaugeFunc("journal_bytes", "Run journal size in bytes (since the last snapshot).",
+			func() int64 { return ds.JournalBytes() })
+		reg.GaugeFunc("journal_records", "Run journal records since the last snapshot.",
+			func() int64 { return int64(ds.JournalRecords()) })
+		reg.GaugeFunc("journal_demoted", "1 when the durable run store has been demoted to memory-only after journal errors.",
+			func() int64 {
+				if ds.Demoted() {
+					return 1
+				}
+				return 0
+			})
+	}
 	defaults := RunDefaults{
 		Timeout:        cfg.RunTimeout,
 		Faults:         cfg.Faults,
@@ -157,11 +191,12 @@ func New(cfg Config) (*Server, error) {
 		registry:  registry,
 		cache:     cache,
 		featCache: featCache,
-		manager:   NewManager(registry, cache, featCache, metrics, cfg.Workers, cfg.QueueCap, defaults),
+		manager:   NewManager(registry, cache, featCache, metrics, store, cfg.Workers, cfg.QueueCap, defaults),
 		// The session hub shares the manager's corpus registry, index cache
 		// and extraction cache: a session's whole point is reusing what
 		// earlier versions computed.
-		sessions: NewSessionHub(registry, cache, featCache, reg, cfg.Workers, cfg.QueueCap, defaults),
+		sessions: NewSessionHub(registry, cache, featCache, reg, store, cfg.Workers, cfg.QueueCap, defaults),
+		store:    store,
 		// The dist worker shares the server's corpus registry, extraction
 		// cache, and telemetry registry: serving a coordinator's steps is
 		// just another way of running the inner loop over this process's
@@ -178,6 +213,13 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.manager.SetLogger(cfg.Logger)
 	s.sessions.SetLogger(cfg.Logger)
+	if recovered != nil {
+		// History is visible immediately; interrupted work stays parked
+		// until Recover re-queues it (the corpora it references are
+		// registered by the embedder after New returns).
+		s.manager.restore(recovered)
+		s.sessions.restore(recovered)
+	}
 	// Gauges owned by other structures, sampled at exposition time.
 	reg.GaugeFunc("queue_depth", "Runs queued but not yet running.",
 		func() int64 { return int64(s.manager.QueueDepth()) })
@@ -231,6 +273,26 @@ func (s *Server) Registry() *Registry { return s.registry }
 // Manager exposes the run manager (tests and embedders).
 func (s *Server) Manager() *Manager { return s.manager }
 
+// Recover re-queues runs and session versions that the state directory
+// shows were interrupted (queued or running) when the previous process
+// died. They re-execute from scratch through the normal worker pool; the
+// engine's determinism makes the recovered curves byte-identical to
+// uninterrupted runs. Call it once after registering the corpora the
+// restored state references — recovering earlier would fail every run
+// with "unknown corpus". A server without a StateDir recovers nothing.
+func (s *Server) Recover() (runs, versions int) {
+	runs = s.manager.recoverPending()
+	versions = s.sessions.recoverPending()
+	if versions > 0 && s.metrics != nil {
+		s.metrics.VersionsRecovered.Add(int64(versions))
+	}
+	if runs > 0 || versions > 0 {
+		s.log.Info("control-plane state recovered", "runs_requeued", runs,
+			"versions_requeued", versions)
+	}
+	return runs, versions
+}
+
 // Shutdown drains the run manager (see Manager.Shutdown), then closes any
 // streamed corpora and the extraction cache (flushing its disk index).
 // The HTTP listener should already be stopped.
@@ -243,6 +305,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		err = cerr
 	}
 	if cerr := s.featCache.Close(); err == nil {
+		err = cerr
+	}
+	// The store closes last, after the drained runs have journaled their
+	// terminal records; its close takes a final snapshot so the next
+	// startup replays nothing.
+	if cerr := s.store.Close(); err == nil {
 		err = cerr
 	}
 	return err
@@ -590,6 +658,12 @@ func (s *Server) handleRunEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	res := run.Result()
 	if res == nil {
+		if run.State().terminal() {
+			// A restored run: its summary and curve survived the restart,
+			// but the step-level event log is deliberately not journaled.
+			writeError(w, http.StatusGone, "run %s predates this server process; its step trace was not persisted", run.ID)
+			return
+		}
 		writeError(w, http.StatusConflict, "run %s has no result yet (state %s)", run.ID, run.State())
 		return
 	}

@@ -151,6 +151,7 @@ type SessionHub struct {
 	idxCache  *IndexCache
 	featCache *featcache.Cache
 	obsReg    *obs.Registry
+	store     RunStore
 	defaults  RunDefaults
 	log       *slog.Logger
 
@@ -163,17 +164,31 @@ type SessionHub struct {
 	order    []string
 	nextID   int
 	closed   bool
+	// pending holds restored interrupted versions awaiting
+	// recoverPending (see Manager.pending).
+	pending []pendingVersion
+}
+
+// pendingVersion is one restored interrupted version awaiting re-queue.
+type pendingVersion struct {
+	s *Session
+	v *sessionVersion
 }
 
 // NewSessionHub starts a hub whose version runs execute on workers
-// goroutines over a queue of queueCap pending runs.
-func NewSessionHub(registry *Registry, idxCache *IndexCache, featCache *featcache.Cache, obsReg *obs.Registry, workers, queueCap int, defaults RunDefaults) *SessionHub {
+// goroutines over a queue of queueCap pending runs. store receives every
+// session lifecycle transition; nil means the in-memory no-op store.
+func NewSessionHub(registry *Registry, idxCache *IndexCache, featCache *featcache.Cache, obsReg *obs.Registry, store RunStore, workers, queueCap int, defaults RunDefaults) *SessionHub {
+	if store == nil {
+		store = NewMemStore()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &SessionHub{
 		registry:   registry,
 		idxCache:   idxCache,
 		featCache:  featCache,
 		obsReg:     obsReg,
+		store:      store,
 		defaults:   defaults,
 		log:        obs.NopLogger(),
 		pool:       parallel.NewPool(workers, queueCap),
@@ -250,6 +265,7 @@ func (h *SessionHub) Create(spec SessionSpec) (*Session, error) {
 	}
 	h.sessions[s.ID] = s
 	h.order = append(h.order, s.ID)
+	h.store.SessionCreated(s.ID, h.nextID, s.spec, s.created)
 	h.log.Info("session created", "session", s.ID, "corpus", spec.Corpus, "task", spec.Task)
 	return s, nil
 }
@@ -290,6 +306,10 @@ func (h *SessionHub) Submit(s *Session, spec *recipe.Spec) (int, error) {
 	v := &sessionVersion{index: len(s.versions) + 1, state: StateQueued, spec: spec, rec: rec}
 	s.versions = append(s.versions, v)
 	s.mu.Unlock()
+	// Journal the submission before the enqueue (a worker may start the
+	// version immediately); a failed enqueue journals the failure so the
+	// version's terminal state survives a restart like any other.
+	h.store.VersionSubmitted(s.ID, v.index, spec)
 
 	h.mu.Lock()
 	closed := h.closed
@@ -301,7 +321,10 @@ func (h *SessionHub) Submit(s *Session, spec *recipe.Spec) (int, error) {
 		s.mu.Lock()
 		v.state = StateFailed
 		v.err = ErrQueueFull.Error()
+		v.finished = time.Now()
+		at := v.finished
 		s.mu.Unlock()
+		h.store.VersionFinished(s.ID, v.index, StateFailed, ErrQueueFull.Error(), at, nil)
 		return 0, fmt.Errorf("%w (%d pending)", ErrQueueFull, h.pool.Cap())
 	}
 	return v.index, nil
@@ -326,8 +349,10 @@ func (h *SessionHub) execute(s *Session, v *sessionVersion) {
 	s.mu.Lock()
 	v.state = StateRunning
 	v.started = time.Now()
+	started := v.started
 	ws := s.workspace
 	s.mu.Unlock()
+	h.store.VersionStarted(s.ID, v.index, started)
 
 	if ws == nil {
 		built, err := h.buildWorkspace(ctx, s)
@@ -356,7 +381,13 @@ func (h *SessionHub) finishVersion(s *Session, v *sessionVersion, res *recipe.Ve
 		v.state = StateDone
 		v.result = res
 	}
+	state, errMsg, at := v.state, v.err, v.finished
 	s.mu.Unlock()
+	var rec *versionResult
+	if state == StateDone {
+		rec = versionRecord(res)
+	}
+	h.store.VersionFinished(s.ID, v.index, state, errMsg, at, rec)
 	if err != nil {
 		h.log.Error("session version finished", "session", s.ID, "version", v.index, "error", err.Error())
 		return
@@ -389,7 +420,29 @@ func (h *SessionHub) buildWorkspace(ctx context.Context, s *Session) (*recipe.Se
 	cfg := h.engineConfig(spec)
 	cfg.Cache = h.featCache
 	cfg.Obs = h.obsReg
-	return recipe.NewSession(spec.Name, task, groups, recipe.Config{Engine: cfg, Decay: *spec.Decay})
+	ws, err := recipe.NewSession(spec.Name, task, groups, recipe.Config{Engine: cfg, Decay: *spec.Decay})
+	if err != nil {
+		return nil, err
+	}
+	// Re-seed the workspace with the session's restored done versions so
+	// the next submission diffs against — and warm-starts from the
+	// persisted arm snapshots of — pre-restart history, exactly as if the
+	// process had never died.
+	s.mu.Lock()
+	var done []*sessionVersion
+	for _, v := range s.versions {
+		if v.state == StateDone && v.result != nil {
+			done = append(done, v)
+		}
+	}
+	s.mu.Unlock()
+	for _, v := range done {
+		if _, err := ws.Restore(v.result.Recipe, v.result.Run, v.result.WarmStart); err != nil {
+			h.log.Warn("session version restore skipped", "session", s.ID,
+				"version", v.index, "error", err.Error())
+		}
+	}
+	return ws, nil
 }
 
 // Info snapshots the session for the wire.
@@ -449,6 +502,121 @@ func (s *Session) Info() SessionInfo {
 		info.Versions = append(info.Versions, vi)
 	}
 	return info
+}
+
+// restore rebuilds the hub's session table from recovered state:
+// terminal versions come back with their curves, diffs, and warm-start
+// arms; interrupted versions are reset to queued and parked until
+// recoverPending re-queues them. Must run before the server accepts
+// requests — it assumes an empty session table.
+func (h *SessionHub) restore(st *persistState) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if st.NextSessionID > h.nextID {
+		h.nextID = st.NextSessionID
+	}
+	for _, id := range st.SessionOrder {
+		ps := st.Sessions[id]
+		if ps == nil {
+			continue
+		}
+		s := &Session{ID: id, spec: ps.Spec, created: time.Unix(0, ps.Created)}
+		if s.spec.Decay == nil {
+			d := defaultSessionDecay
+			s.spec.Decay = &d
+		}
+		for _, pv := range ps.Versions {
+			v := restoreVersion(pv)
+			if v == nil {
+				h.log.Warn("session version dropped on restore: recipe no longer compiles",
+					"session", id, "version", pv.Index)
+				continue
+			}
+			s.versions = append(s.versions, v)
+			if !v.state.terminal() {
+				v.state = StateQueued
+				v.started = time.Time{}
+				h.pending = append(h.pending, pendingVersion{s: s, v: v})
+			}
+		}
+		h.sessions[id] = s
+		h.order = append(h.order, id)
+	}
+}
+
+// restoreVersion rebuilds one version from its persisted record,
+// recompiling the recipe from its spec. nil when the recipe cannot be
+// recompiled (it compiled when journaled, so this means a code change
+// between processes — the version is dropped rather than served broken).
+func restoreVersion(pv *persistVersion) *sessionVersion {
+	if pv.Recipe == nil {
+		return nil
+	}
+	rec, err := pv.Recipe.Recipe()
+	if err != nil {
+		return nil
+	}
+	v := &sessionVersion{index: pv.Index, state: pv.State, err: pv.Err, spec: pv.Recipe, rec: rec}
+	if pv.Started != 0 {
+		v.started = time.Unix(0, pv.Started)
+	}
+	if pv.Finished != 0 {
+		v.finished = time.Unix(0, pv.Finished)
+	}
+	if pv.Result != nil {
+		res := pv.Result
+		var d recipe.Diff
+		if res.Diff != nil {
+			d = *res.Diff
+		}
+		v.result = &recipe.Version{
+			Index:  pv.Index,
+			Recipe: rec,
+			Diff:   d,
+			Run: &core.RunResult{
+				Curve:           append([]core.CurvePoint(nil), res.Curve...),
+				FinalQuality:    res.Final,
+				InputsProcessed: res.Inputs,
+				Stop:            core.StopReason(res.Stop),
+				CacheHits:       res.CacheHits,
+				CacheMisses:     res.CacheMisses,
+				Arms:            append([]bandit.ArmSnapshot(nil), res.Arms...),
+			},
+			WarmStart: res.WarmStart,
+		}
+	}
+	return v
+}
+
+// recoverPending re-queues every restored interrupted version for
+// deterministic re-execution through the normal execute path (execMu
+// keeps per-session ordering). Call after corpora are registered.
+// Returns the number re-queued.
+func (h *SessionHub) recoverPending() int {
+	h.mu.Lock()
+	pending := h.pending
+	h.pending = nil
+	h.mu.Unlock()
+
+	recovered := 0
+	for _, p := range pending {
+		p := p
+		if !h.pool.TrySubmit(func() { h.execute(p.s, p.v) }) {
+			now := time.Now()
+			p.s.mu.Lock()
+			p.v.state = StateFailed
+			p.v.err = "recovery re-queue failed: queue full"
+			p.v.finished = now
+			p.s.mu.Unlock()
+			h.store.VersionFinished(p.s.ID, p.v.index, StateFailed, p.v.err, now, nil)
+			h.log.Error("session version recovery failed", "session", p.s.ID,
+				"version", p.v.index, "error", "queue full")
+			continue
+		}
+		recovered++
+		h.log.Info("session version recovered", "session", p.s.ID, "version", p.v.index)
+	}
+	return recovered
 }
 
 // Shutdown stops intake and drains in-flight version runs (see

@@ -1,0 +1,626 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"sync"
+	"time"
+
+	"zombie/internal/bandit"
+	"zombie/internal/core"
+	"zombie/internal/fault"
+	"zombie/internal/obs"
+	"zombie/internal/recipe"
+	"zombie/internal/runstore"
+)
+
+// RunStore receives every control-plane lifecycle transition: run
+// submission through terminal state, session creation, and recipe-version
+// history. Implementations must be safe for concurrent use and must never
+// fail the caller — durability problems are absorbed (and eventually
+// demote the store to memory-only), because losing a journal must never
+// lose a run.
+//
+// The memory implementation (NewMemStore) discards everything, matching
+// the pre-durability server exactly. The durable implementation
+// (OpenDurableStore) journals each transition through an
+// internal/runstore write-ahead log with periodic snapshots, so a restart
+// replays the control plane back into existence.
+type RunStore interface {
+	// RunSubmitted records a validated, enqueued run. num is the numeric
+	// suffix of the run's ID, persisted so IDs stay monotonic across
+	// restarts.
+	RunSubmitted(id string, num int, spec RunSpec, created time.Time)
+	// RunDiscarded compensates a RunSubmitted whose enqueue failed (queue
+	// full): the run never existed.
+	RunDiscarded(id string)
+	// RunStarted records the queued → running transition. Recovery treats
+	// it as the start of a fresh curve: every engine start emits the
+	// complete curve, so any previously journaled points are stale.
+	RunStarted(id string, at time.Time)
+	// RunProgressed records one live learning-curve point.
+	RunProgressed(id string, p core.CurvePoint)
+	// RunQuarantined records one input quarantined by the run.
+	RunQuarantined(id string)
+	// RunRequeued records that recovery re-queued an interrupted run for
+	// deterministic re-execution.
+	RunRequeued(id string)
+	// RunFinished records a terminal transition with the run's summary.
+	RunFinished(id string, at time.Time, info RunInfo)
+
+	// SessionCreated records a new session workspace (num as for runs).
+	SessionCreated(id string, num int, spec SessionSpec, created time.Time)
+	// VersionSubmitted records a compiled recipe version entering the
+	// session's history.
+	VersionSubmitted(sessionID string, index int, spec *recipe.Spec)
+	// VersionStarted records a version's queued → running transition.
+	VersionStarted(sessionID string, index int, at time.Time)
+	// VersionFinished records a version's terminal state; res carries the
+	// curve and warm-start arms for done versions, nil for failed ones.
+	VersionFinished(sessionID string, index int, state RunState, errMsg string, at time.Time, res *versionResult)
+
+	// Close flushes and releases the store.
+	Close() error
+}
+
+// memStore is the non-durable RunStore: every record is dropped.
+type memStore struct{}
+
+// NewMemStore returns the in-memory RunStore, for servers without a
+// state directory. It keeps nothing: the Manager's own run map remains
+// the only copy, exactly the pre-durability behavior.
+func NewMemStore() RunStore { return memStore{} }
+
+func (memStore) RunSubmitted(string, int, RunSpec, time.Time)       {}
+func (memStore) RunDiscarded(string)                                {}
+func (memStore) RunStarted(string, time.Time)                       {}
+func (memStore) RunProgressed(string, core.CurvePoint)              {}
+func (memStore) RunQuarantined(string)                              {}
+func (memStore) RunRequeued(string)                                 {}
+func (memStore) RunFinished(string, time.Time, RunInfo)             {}
+func (memStore) SessionCreated(string, int, SessionSpec, time.Time) {}
+func (memStore) VersionSubmitted(string, int, *recipe.Spec)         {}
+func (memStore) VersionStarted(string, int, time.Time)              {}
+func (memStore) VersionFinished(string, int, RunState, string, time.Time, *versionResult) {
+}
+func (memStore) Close() error { return nil }
+
+// --- journal record model ---
+
+// Journal record types, one per lifecycle transition.
+const (
+	recRunSubmit  = "run-submit"
+	recRunDiscard = "run-discard"
+	recRunStart   = "run-start"
+	recRunPoint   = "run-point"
+	recRunQuar    = "run-quarantine"
+	recRunRequeue = "run-requeue"
+	recRunFinish  = "run-finish"
+	recSessCreate = "session-create"
+	recVerSubmit  = "version-submit"
+	recVerStart   = "version-start"
+	recVerFinish  = "version-finish"
+)
+
+// walRecord is one journaled lifecycle transition. A single shape covers
+// every record type; unused fields are omitted from the JSON.
+type walRecord struct {
+	Type string `json:"t"`
+	// ID is the run ID for run-* records, the session ID for the rest.
+	ID string `json:"id,omitempty"`
+	// Num is the ID's numeric suffix (submit/create records), feeding
+	// next-ID recovery.
+	Num int `json:"num,omitempty"`
+	// At is the transition's wall-clock time in unix nanoseconds.
+	At int64 `json:"at,omitempty"`
+
+	Spec     *RunSpec         `json:"spec,omitempty"`
+	Point    *core.CurvePoint `json:"point,omitempty"`
+	State    RunState         `json:"state,omitempty"`
+	Err      string           `json:"err,omitempty"`
+	Summary  *runSummary      `json:"summary,omitempty"`
+	TimedOut bool             `json:"timed_out,omitempty"`
+
+	Session *SessionSpec   `json:"session,omitempty"`
+	Ver     int            `json:"ver,omitempty"`
+	Recipe  *recipe.Spec   `json:"recipe,omitempty"`
+	Result  *versionResult `json:"result,omitempty"`
+}
+
+// runSummary is the persisted digest of a terminal run's result — what
+// RunInfo needs when the engine result itself is gone (a restored run in
+// a new process).
+type runSummary struct {
+	InputsProcessed int                `json:"inputs"`
+	FinalQuality    float64            `json:"quality"`
+	Stop            string             `json:"stop,omitempty"`
+	Strategy        string             `json:"strategy,omitempty"`
+	CacheHits       int64              `json:"cache_hits,omitempty"`
+	CacheMisses     int64              `json:"cache_misses,omitempty"`
+	Quarantined     int                `json:"quarantined,omitempty"`
+	PhaseMillis     map[string]float64 `json:"phase_ms,omitempty"`
+}
+
+// summaryFromInfo extracts the persistable digest from a terminal run's
+// info, nil when the run finished without a result (failed before the
+// engine produced one, or cancelled while queued).
+func summaryFromInfo(info RunInfo) *runSummary {
+	if info.Stop == "" {
+		return nil
+	}
+	return &runSummary{
+		InputsProcessed: info.InputsProcessed,
+		FinalQuality:    info.FinalQuality,
+		Stop:            info.Stop,
+		Strategy:        info.Strategy,
+		CacheHits:       info.CacheHits,
+		CacheMisses:     info.CacheMisses,
+		Quarantined:     info.Quarantined,
+		PhaseMillis:     info.PhaseMillis,
+	}
+}
+
+// versionResult is the persisted digest of one done recipe version: the
+// curve and stats its Info needs, plus the arm snapshots the next
+// version's warm-start needs.
+type versionResult struct {
+	Curve       []core.CurvePoint     `json:"curve,omitempty"`
+	Final       float64               `json:"final"`
+	Inputs      int                   `json:"inputs"`
+	Stop        int                   `json:"stop"`
+	CacheHits   int64                 `json:"cache_hits,omitempty"`
+	CacheMisses int64                 `json:"cache_misses,omitempty"`
+	Diff        *recipe.Diff          `json:"diff,omitempty"`
+	WarmStart   recipe.WarmStartStats `json:"warm_start"`
+	Arms        []bandit.ArmSnapshot  `json:"arms,omitempty"`
+}
+
+// versionRecord builds the persisted digest from a finished version's
+// result (nil for failed versions).
+func versionRecord(res *recipe.Version) *versionResult {
+	if res == nil || res.Run == nil {
+		return nil
+	}
+	run := res.Run
+	d := res.Diff
+	return &versionResult{
+		Curve:       append([]core.CurvePoint(nil), run.Curve...),
+		Final:       run.FinalQuality,
+		Inputs:      run.InputsProcessed,
+		Stop:        int(run.Stop),
+		CacheHits:   run.CacheHits,
+		CacheMisses: run.CacheMisses,
+		Diff:        &d,
+		WarmStart:   res.WarmStart,
+		Arms:        append([]bandit.ArmSnapshot(nil), run.Arms...),
+	}
+}
+
+// --- recovered state ---
+
+// persistState is the control plane's durable state: the reduction of
+// every journaled transition. The durable store applies each record to
+// its own copy as it journals, and recovery applies snapshot + journal
+// through the same apply method — replay equivalence by construction.
+type persistState struct {
+	NextRunID     int                        `json:"next_run_id,omitempty"`
+	NextSessionID int                        `json:"next_session_id,omitempty"`
+	Runs          map[string]*persistRun     `json:"runs,omitempty"`
+	RunOrder      []string                   `json:"run_order,omitempty"`
+	Sessions      map[string]*persistSession `json:"sessions,omitempty"`
+	SessionOrder  []string                   `json:"session_order,omitempty"`
+}
+
+type persistRun struct {
+	ID          string            `json:"id"`
+	Spec        RunSpec           `json:"spec"`
+	State       RunState          `json:"state"`
+	Created     int64             `json:"created"`
+	Started     int64             `json:"started,omitempty"`
+	Finished    int64             `json:"finished,omitempty"`
+	Curve       []core.CurvePoint `json:"curve,omitempty"`
+	Quarantined int               `json:"quarantined,omitempty"`
+	Err         string            `json:"err,omitempty"`
+	Summary     *runSummary       `json:"summary,omitempty"`
+	TimedOut    bool              `json:"timed_out,omitempty"`
+	Recovered   int               `json:"recovered,omitempty"`
+}
+
+type persistSession struct {
+	ID       string            `json:"id"`
+	Spec     SessionSpec       `json:"spec"`
+	Created  int64             `json:"created"`
+	Versions []*persistVersion `json:"versions,omitempty"`
+}
+
+type persistVersion struct {
+	Index    int            `json:"index"`
+	State    RunState       `json:"state"`
+	Err      string         `json:"err,omitempty"`
+	Recipe   *recipe.Spec   `json:"recipe,omitempty"`
+	Started  int64          `json:"started,omitempty"`
+	Finished int64          `json:"finished,omitempty"`
+	Result   *versionResult `json:"result,omitempty"`
+}
+
+func newPersistState() *persistState {
+	return &persistState{
+		Runs:     map[string]*persistRun{},
+		Sessions: map[string]*persistSession{},
+	}
+}
+
+// apply advances the state machine by one record. Records referencing
+// unknown IDs are skipped, not errors: a snapshot taken after a discard,
+// or a journal from a newer server version, must not brick recovery.
+func (st *persistState) apply(rec *walRecord) {
+	switch rec.Type {
+	case recRunSubmit:
+		if rec.Spec == nil {
+			return
+		}
+		st.Runs[rec.ID] = &persistRun{ID: rec.ID, Spec: *rec.Spec, State: StateQueued, Created: rec.At}
+		st.RunOrder = append(st.RunOrder, rec.ID)
+		if rec.Num > st.NextRunID {
+			st.NextRunID = rec.Num
+		}
+	case recRunDiscard:
+		delete(st.Runs, rec.ID)
+		for i := len(st.RunOrder) - 1; i >= 0; i-- {
+			if st.RunOrder[i] == rec.ID {
+				st.RunOrder = append(st.RunOrder[:i], st.RunOrder[i+1:]...)
+				break
+			}
+		}
+	case recRunStart:
+		if r := st.Runs[rec.ID]; r != nil {
+			r.State = StateRunning
+			r.Started = rec.At
+			// Every engine start emits the complete curve from scratch, so a
+			// requeued run's stale partial points must not survive the
+			// transition (a crash → requeue → re-execute journal sequence
+			// replays through here).
+			r.Curve = nil
+			r.Quarantined = 0
+		}
+	case recRunPoint:
+		if r := st.Runs[rec.ID]; r != nil && rec.Point != nil {
+			r.Curve = append(r.Curve, *rec.Point)
+		}
+	case recRunQuar:
+		if r := st.Runs[rec.ID]; r != nil {
+			r.Quarantined++
+		}
+	case recRunRequeue:
+		if r := st.Runs[rec.ID]; r != nil {
+			r.State = StateQueued
+			r.Started, r.Finished = 0, 0
+			r.Curve = nil
+			r.Quarantined = 0
+			r.Err = ""
+			r.Recovered++
+		}
+	case recRunFinish:
+		if r := st.Runs[rec.ID]; r != nil {
+			r.State = rec.State
+			r.Err = rec.Err
+			r.Finished = rec.At
+			r.Summary = rec.Summary
+			r.TimedOut = rec.TimedOut
+		}
+	case recSessCreate:
+		if rec.Session == nil {
+			return
+		}
+		st.Sessions[rec.ID] = &persistSession{ID: rec.ID, Spec: *rec.Session, Created: rec.At}
+		st.SessionOrder = append(st.SessionOrder, rec.ID)
+		if rec.Num > st.NextSessionID {
+			st.NextSessionID = rec.Num
+		}
+	case recVerSubmit:
+		if s := st.Sessions[rec.ID]; s != nil {
+			s.Versions = append(s.Versions, &persistVersion{Index: rec.Ver, State: StateQueued, Recipe: rec.Recipe})
+		}
+	case recVerStart:
+		if v := st.version(rec.ID, rec.Ver); v != nil {
+			v.State = StateRunning
+			v.Started = rec.At
+		}
+	case recVerFinish:
+		if v := st.version(rec.ID, rec.Ver); v != nil {
+			v.State = rec.State
+			v.Err = rec.Err
+			v.Finished = rec.At
+			v.Result = rec.Result
+		}
+	}
+}
+
+func (st *persistState) version(sessionID string, index int) *persistVersion {
+	s := st.Sessions[sessionID]
+	if s == nil {
+		return nil
+	}
+	for _, v := range s.Versions {
+		if v.Index == index {
+			return v
+		}
+	}
+	return nil
+}
+
+// clone deep-copies the state via its own JSON form, giving recovery an
+// immutable view while the live store keeps mutating its copy.
+func (st *persistState) clone() *persistState {
+	out := newPersistState()
+	b, err := json.Marshal(st)
+	if err != nil {
+		return out
+	}
+	json.Unmarshal(b, out) //nolint:errcheck // round-trip of our own encoding
+	return out
+}
+
+// --- durable store ---
+
+const (
+	// journalErrorLimit is how many journal write failures the store
+	// absorbs before demoting itself to memory-only — the same one-way
+	// ladder the extraction cache's disk store uses. A demoted store keeps
+	// the control plane running; it just stops surviving restarts.
+	journalErrorLimit = 3
+	// journalSnapshotBytes triggers an inline snapshot once the journal
+	// grows past it, bounding replay work at the next startup.
+	journalSnapshotBytes = 4 << 20
+	// snapshotInterval is the background snapshot cadence for quiet
+	// journals that never hit the size trigger.
+	snapshotInterval = 30 * time.Second
+)
+
+// DurableStore is the storage-backed RunStore: every lifecycle transition
+// is applied to an in-memory persistState and appended to a write-ahead
+// journal, with periodic snapshots capping replay time. Journal failures
+// never propagate to runs; after journalErrorLimit of them the store
+// demotes itself to memory-only for the rest of the process.
+type DurableStore struct {
+	store   *runstore.Store
+	metrics *Metrics
+	faults  *fault.Injector
+	log     *slog.Logger
+
+	mu      sync.Mutex
+	state   *persistState
+	errors  int
+	demoted bool
+	frozen  bool
+	appends uint64 // fault-site keying
+
+	stopOnce sync.Once
+	snapStop chan struct{}
+	snapDone chan struct{}
+}
+
+// OpenDurableStore opens (creating if needed) the journal + snapshot pair
+// in dir, replays it, and returns the store plus an immutable copy of the
+// recovered state for the Manager and SessionHub to restore from. A
+// corrupt snapshot or unreadable journal is an error: silently starting
+// empty would orphan the very state the flag exists to keep.
+func OpenDurableStore(dir string, metrics *Metrics, faults *fault.Injector, log *slog.Logger) (*DurableStore, *persistState, error) {
+	if log == nil {
+		log = obs.NopLogger()
+	}
+	ds := &DurableStore{
+		state:    newPersistState(),
+		metrics:  metrics,
+		faults:   faults,
+		log:      log,
+		snapStop: make(chan struct{}),
+		snapDone: make(chan struct{}),
+	}
+	st, err := runstore.Open(dir,
+		func(state []byte) error { return json.Unmarshal(state, ds.state) },
+		func(payload []byte) error {
+			var rec walRecord
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				return fmt.Errorf("server: decode journal record: %w", err)
+			}
+			ds.state.apply(&rec)
+			return nil
+		})
+	if err != nil {
+		return nil, nil, err
+	}
+	ds.store = st
+	recovered := ds.state.clone()
+	go ds.snapshotLoop()
+	return ds, recovered, nil
+}
+
+// record applies one transition to the in-memory state and journals it.
+// The state machine always advances — a demoted (or frozen) store still
+// serves the process, it just stops persisting.
+func (ds *DurableStore) record(rec *walRecord) {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	ds.state.apply(rec)
+	if ds.demoted || ds.frozen {
+		return
+	}
+	payload, err := json.Marshal(rec)
+	if err == nil {
+		ds.appends++
+		id := fmt.Sprintf("%s#%d", rec.Type, ds.appends)
+		if ferr := ds.faults.Fire(fault.SiteJournalWrite, id); ferr != nil {
+			err = ferr
+		} else {
+			err = ds.store.Append(payload)
+		}
+	}
+	if err != nil {
+		ds.journalErrorLocked(err)
+		return
+	}
+	if ds.store.JournalBytes() >= journalSnapshotBytes {
+		if serr := ds.snapshotLocked(); serr != nil {
+			ds.journalErrorLocked(serr)
+		}
+	}
+}
+
+// journalErrorLocked tallies one journal failure and demotes the store —
+// one way, for the rest of the process — once the limit is hit.
+func (ds *DurableStore) journalErrorLocked(err error) {
+	ds.errors++
+	if ds.metrics != nil {
+		ds.metrics.JournalErrors.Add(1)
+	}
+	ds.log.Warn("run journal write failed", "error", err.Error(), "errors", ds.errors)
+	if ds.errors >= journalErrorLimit && !ds.demoted {
+		ds.demoted = true
+		ds.log.Error("run journal demoted to memory-only; state will not survive a restart",
+			"errors", ds.errors)
+	}
+}
+
+// snapshotLocked captures the current state atomically and resets the
+// journal. Called with ds.mu held.
+func (ds *DurableStore) snapshotLocked() error {
+	start := time.Now()
+	state, err := json.Marshal(ds.state)
+	if err != nil {
+		return err
+	}
+	if err := ds.store.Snapshot(state); err != nil {
+		return err
+	}
+	if ds.metrics != nil {
+		ds.metrics.SnapshotMillis.Add(time.Since(start).Milliseconds())
+	}
+	return nil
+}
+
+// snapshotLoop snapshots quiet journals on a timer so a mostly-idle
+// server still recovers fast.
+func (ds *DurableStore) snapshotLoop() {
+	defer close(ds.snapDone)
+	t := time.NewTicker(snapshotInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			ds.mu.Lock()
+			if !ds.demoted && !ds.frozen && ds.store.JournalRecords() > 0 {
+				if err := ds.snapshotLocked(); err != nil {
+					ds.journalErrorLocked(err)
+				}
+			}
+			ds.mu.Unlock()
+		case <-ds.snapStop:
+			return
+		}
+	}
+}
+
+// freeze is a test hook simulating a hard kill (kill -9) from this
+// process's point of view: every subsequent journal append and snapshot —
+// Close's final one included — is dropped, leaving the on-disk state
+// exactly as the "crash" found it. Tests then open a second store over
+// the same directory, which is precisely what a restarted process does.
+func (ds *DurableStore) freeze() {
+	ds.mu.Lock()
+	ds.frozen = true
+	ds.mu.Unlock()
+}
+
+// JournalBytes / JournalRecords / Demoted expose the journal's state for
+// metrics gauges.
+func (ds *DurableStore) JournalBytes() int64 { return ds.store.JournalBytes() }
+
+func (ds *DurableStore) JournalRecords() int { return ds.store.JournalRecords() }
+
+func (ds *DurableStore) Demoted() bool {
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	return ds.demoted
+}
+
+// Close stops the snapshot loop, takes a final snapshot (so the next
+// startup replays nothing), and closes the journal.
+func (ds *DurableStore) Close() error {
+	ds.stopOnce.Do(func() { close(ds.snapStop) })
+	<-ds.snapDone
+	ds.mu.Lock()
+	defer ds.mu.Unlock()
+	if ds.frozen {
+		return nil // simulated crash: leave the disk exactly as-is
+	}
+	if !ds.demoted {
+		if err := ds.snapshotLocked(); err != nil {
+			ds.journalErrorLocked(err)
+		}
+	}
+	return ds.store.Close()
+}
+
+// --- RunStore implementation ---
+
+func (ds *DurableStore) RunSubmitted(id string, num int, spec RunSpec, created time.Time) {
+	ds.record(&walRecord{Type: recRunSubmit, ID: id, Num: num, Spec: &spec, At: created.UnixNano()})
+}
+
+func (ds *DurableStore) RunDiscarded(id string) {
+	ds.record(&walRecord{Type: recRunDiscard, ID: id})
+}
+
+func (ds *DurableStore) RunStarted(id string, at time.Time) {
+	ds.record(&walRecord{Type: recRunStart, ID: id, At: at.UnixNano()})
+}
+
+func (ds *DurableStore) RunProgressed(id string, p core.CurvePoint) {
+	ds.record(&walRecord{Type: recRunPoint, ID: id, Point: &p})
+}
+
+func (ds *DurableStore) RunQuarantined(id string) {
+	ds.record(&walRecord{Type: recRunQuar, ID: id})
+}
+
+func (ds *DurableStore) RunRequeued(id string) {
+	ds.record(&walRecord{Type: recRunRequeue, ID: id})
+}
+
+func (ds *DurableStore) RunFinished(id string, at time.Time, info RunInfo) {
+	ds.record(&walRecord{
+		Type:     recRunFinish,
+		ID:       id,
+		At:       at.UnixNano(),
+		State:    info.State,
+		Err:      info.Error,
+		Summary:  summaryFromInfo(info),
+		TimedOut: info.TimedOut,
+	})
+}
+
+func (ds *DurableStore) SessionCreated(id string, num int, spec SessionSpec, created time.Time) {
+	ds.record(&walRecord{Type: recSessCreate, ID: id, Num: num, Session: &spec, At: created.UnixNano()})
+}
+
+func (ds *DurableStore) VersionSubmitted(sessionID string, index int, spec *recipe.Spec) {
+	ds.record(&walRecord{Type: recVerSubmit, ID: sessionID, Ver: index, Recipe: spec})
+}
+
+func (ds *DurableStore) VersionStarted(sessionID string, index int, at time.Time) {
+	ds.record(&walRecord{Type: recVerStart, ID: sessionID, Ver: index, At: at.UnixNano()})
+}
+
+func (ds *DurableStore) VersionFinished(sessionID string, index int, state RunState, errMsg string, at time.Time, res *versionResult) {
+	ds.record(&walRecord{
+		Type:   recVerFinish,
+		ID:     sessionID,
+		Ver:    index,
+		State:  state,
+		Err:    errMsg,
+		At:     at.UnixNano(),
+		Result: res,
+	})
+}
