@@ -48,7 +48,7 @@ define smoke_tmp
 if [ -n "$(SMOKE_DIR)" ]; then tmp="$(SMOKE_DIR)/$(1)"; rm -rf "$$tmp"; mkdir -p "$$tmp"; keep=1; else tmp=$$(mktemp -d); keep=; fi
 endef
 
-.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke bench-gate dist-smoke batch-smoke crash-smoke ci
+.PHONY: all build bin test race vet fmt-check lint cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke bench-gate dist-smoke batch-smoke crash-smoke trace-smoke ci
 
 all: build
 
@@ -268,7 +268,12 @@ session-smoke:
 #      grow more than 10% (plus a 3-point absolute floor, so the
 #      sub-millisecond phases don't flap on timer jitter) over the
 #      committed BENCH_baseline.json;
-#   3. the zombie CLI sharded over 1 and 4 in-process dist workers must
+#   3. the span tracer must be free and invisible: the traced reference
+#      run's results byte-identical to the untraced run's, with best-of-N
+#      wall overhead under 5% (the report's tracing block). A breach gets
+#      one re-measure before failing — the reference run is milliseconds,
+#      so a busy box can push a single measurement past the margin;
+#   4. the zombie CLI sharded over 1 and 4 in-process dist workers must
 #      emit output byte-identical to the single-process run, the
 #      wall-clock (built:), per-worker (dist:), and cache counter lines
 #      aside.
@@ -294,6 +299,22 @@ bench-gate:
 		echo "bench-gate: phase share regressed >10% vs BENCH_baseline.json:"; \
 		echo "$$regressed"; exit 1; \
 	fi; \
+	identical=$$(jq -r '.tracing.byte_identical' $$tmp/bench.json); \
+	overhead=$$(jq -r '.tracing.overhead // 0' $$tmp/bench.json); \
+	[ "$$identical" = true ] || { echo "bench-gate: traced reference run diverged from untraced"; \
+		jq .tracing $$tmp/bench.json; exit 1; }; \
+	if ! awk -v o="$$overhead" 'BEGIN{exit !(o > 0 && o < 1.05)}'; then \
+		echo "bench-gate: tracer overhead $$overhead over threshold, re-measuring once"; \
+		$(GO) run ./cmd/zombie-bench -exp T1 -scale 0.05 -parallel 2 \
+			-emit-bench $$tmp/bench-retry.json >/dev/null || exit 1; \
+		identical=$$(jq -r '.tracing.byte_identical' $$tmp/bench-retry.json); \
+		overhead=$$(jq -r '.tracing.overhead // 0' $$tmp/bench-retry.json); \
+		[ "$$identical" = true ] || { echo "bench-gate: traced reference run diverged from untraced"; \
+			jq .tracing $$tmp/bench-retry.json; exit 1; }; \
+	fi; \
+	awk -v o="$$overhead" 'BEGIN{exit !(o > 0 && o < 1.05)}' || \
+		{ echo "bench-gate: span tracer wall overhead $$overhead breaches the <5% contract"; \
+		exit 1; }; \
 	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
 	for s in 0 1 4; do \
 		$(GO) run ./cmd/zombie -corpus $$tmp/wiki.jsonl -task wiki -max 200 -shards $$s 2>/dev/null \
@@ -305,7 +326,7 @@ bench-gate:
 			diff $$tmp/shards0.out $$tmp/shards$$s.out; exit 1; \
 		fi; \
 	done; \
-	echo "bench-gate OK: T2/F1/D1 byte-identical at parallel=2, phase shares within 10% of baseline, shards {1,4} == single-process"
+	echo "bench-gate OK: T2/F1/D1 byte-identical at parallel=2, phase shares within 10% of baseline, tracer overhead $$overhead, shards {1,4} == single-process"
 
 # dist-smoke proves the distributed determinism contract against real
 # processes and real sockets: a coordinator zombie-serve fronting two
@@ -446,4 +467,55 @@ crash-smoke:
 	fi; \
 	echo "crash-smoke OK: killed mid-run at $$pts curve points, $$metric run(s) recovered, resumed curve byte-identical to a fresh run"
 
-ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke dist-smoke batch-smoke crash-smoke
+# trace-smoke proves cross-process span stitching end to end: a live
+# coordinator + 2 worker processes run a sharded traced run, and the
+# coordinator's /runs/{id}/spans tree must contain the workers' spans
+# (worker.step / worker.step_batch / worker.holdout, shipped back over
+# HTTP and re-parented via traceparent) strictly underneath the
+# coordinator's dist.* rpc spans, which in turn hang off the engine's
+# batch spans. Also checks per-shard cost cells and the chrome export.
+# Needs curl + jq (standard on CI images).
+trace-smoke:
+	@command -v curl >/dev/null && command -v jq >/dev/null || { echo "trace-smoke: needs curl and jq"; exit 1; }; \
+	$(call smoke_tmp,trace-smoke); pids=; trap 'kill $$pids 2>/dev/null; [ -n "$$keep" ] || rm -rf "$$tmp"' EXIT; \
+	cport=$$(( $(SMOKE_PORT_BASE) + 24 )); wport1=$$(( $(SMOKE_PORT_BASE) + 25 )); wport2=$$(( $(SMOKE_PORT_BASE) + 26 )); \
+	base=http://127.0.0.1:$$cport; w1=http://127.0.0.1:$$wport1; w2=http://127.0.0.1:$$wport2; \
+	$(GO) run ./cmd/zombie-datagen -task wiki -n 600 -out $$tmp/wiki.jsonl >/dev/null && \
+	$(GO) build -ldflags "$(LDFLAGS)" -o $$tmp/zombie-serve ./cmd/zombie-serve && \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$wport1 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w1.log 2>&1 & pids="$$pids $$!"; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$wport2 -corpus wiki=$$tmp/wiki.jsonl >$$tmp/w2.log 2>&1 & pids="$$pids $$!"; }; \
+	{ $$tmp/zombie-serve -addr 127.0.0.1:$$cport -corpus wiki=$$tmp/wiki.jsonl \
+		-dist-workers $$w1,$$w2 >$$tmp/coord.log 2>&1 & pids="$$pids $$!"; }; \
+	for b in $$base $$w1 $$w2; do \
+		up=0; for i in $$(seq 1 50); do curl -sf $$b/healthz >/dev/null && { up=1; break; }; sleep 0.1; done; \
+		[ $$up = 1 ] || { echo "trace-smoke: $$b never came up"; cat $$tmp/*.log; exit 1; }; \
+	done; \
+	spec='{"corpus":"wiki","task":"wiki","max_inputs":150,"eval_every":25,"seed":9,"shards":2,"spans":true}'; \
+	id=$$(curl -sf -X POST $$base/runs -d "$$spec" | jq -r '.id // empty'); \
+	[ -n "$$id" ] || { echo "trace-smoke: run submission failed"; cat $$tmp/coord.log; exit 1; }; \
+	state=; for i in $$(seq 1 300); do \
+		state=$$(curl -sf $$base/runs/$$id | jq -r .state); \
+		case $$state in done|failed|cancelled) break;; esac; sleep 0.1; \
+	done; \
+	[ "$$state" = done ] || { echo "trace-smoke: run $$id ended in state $$state"; \
+		curl -s $$base/runs/$$id; cat $$tmp/coord.log; exit 1; }; \
+	curl -sf $$base/runs/$$id/spans > $$tmp/spans.json || { echo "trace-smoke: spans fetch failed"; cat $$tmp/coord.log; exit 1; }; \
+	nspans=$$(jq -r .spans $$tmp/spans.json); \
+	[ "$$nspans" -gt 0 ] || { echo "trace-smoke: traced run recorded $$nspans spans"; cat $$tmp/spans.json; exit 1; }; \
+	wtotal=$$(jq '[.tree[] | .. | objects | select(.name? // "" | startswith("worker."))] | length' $$tmp/spans.json); \
+	wstitched=$$(jq '[.tree[] | .. | objects | select(.name? // "" | startswith("dist.")) | .children[]? | select(.name | startswith("worker."))] | length' $$tmp/spans.json); \
+	if [ "$$wtotal" -lt 1 ] || [ "$$wstitched" != "$$wtotal" ]; then \
+		echo "trace-smoke: $$wstitched of $$wtotal worker spans sit under dist.* rpc spans, want all and >= 1"; \
+		jq '.tree[0]' $$tmp/spans.json; exit 1; \
+	fi; \
+	underbatch=$$(jq '[.tree[] | .. | objects | select(.name? == "batch") | .children[]? | select(.name | startswith("dist."))] | length' $$tmp/spans.json); \
+	[ "$$underbatch" -ge 1 ] || { echo "trace-smoke: no dist.* rpc spans under the engine's batch spans"; \
+		jq '.tree[0]' $$tmp/spans.json; exit 1; }; \
+	nshards=$$(jq '[.cost.cells[] | select(.shard >= 0) | .shard] | unique | length' $$tmp/spans.json); \
+	[ "$$nshards" = 2 ] || { echo "trace-smoke: cost cells cover $$nshards shards, want 2"; \
+		jq .cost $$tmp/spans.json; exit 1; }; \
+	curl -sf "$$base/runs/$$id/spans?format=chrome" | jq -e '.traceEvents | length > 0' >/dev/null \
+		|| { echo "trace-smoke: chrome trace export is empty or invalid"; exit 1; }; \
+	echo "trace-smoke OK: $$nspans spans, $$wstitched worker spans stitched under coordinator rpc spans, cost cells for 2 shards"
+
+ci: fmt-check vet lint build race cover bench-smoke cache-smoke chaos-smoke obs-smoke session-smoke dist-smoke batch-smoke crash-smoke trace-smoke

@@ -21,6 +21,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"time"
 
 	"zombie/internal/bandit"
@@ -33,6 +34,7 @@ import (
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/recipe"
 	"zombie/internal/rng"
 	"zombie/internal/workload"
@@ -69,6 +71,7 @@ func run() error {
 	faultSeed := flag.Int64("fault-seed", 1, "seed for -faults decisions")
 	maxFailures := flag.Float64("max-failures", 0, "failure budget: fraction of processed inputs that may be quarantined before the run degrades (0 = engine default 0.5, 1 = never degrade)")
 	shards := flag.Int("shards", 0, "run distributed over this many in-process corpus shards (zombie mode; 0 = single-process; the curve is byte-identical either way)")
+	traceOut := flag.String("trace-out", "", "record a span trace of the run and write Chrome trace-event JSON to this path (open in about://tracing); also prints trace: cost-attribution lines")
 	logFormat := flag.String("log-format", "text", "structured log format: text or json (stderr; stdout stays the diffable curve CSV)")
 	versionFlag := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -167,6 +170,11 @@ func run() error {
 	if *earlyStop {
 		cfg.EarlyStop = core.EarlyStopConfig{Enabled: true}
 	}
+	var tracer *otrace.Tracer
+	if *traceOut != "" {
+		tracer = otrace.New(fmt.Sprintf("cli-%s-%d", *taskName, *seed), 0)
+		cfg.Tracer = tracer
+	}
 	injector, err := fault.Parse(*faultSpec, *faultSeed)
 	if err != nil {
 		return err
@@ -195,6 +203,9 @@ func run() error {
 			return err
 		}
 		printCacheStats(fcache)
+		if tracer != nil {
+			return writeTrace(*traceOut, tracer)
+		}
 		return nil
 	}
 
@@ -220,6 +231,7 @@ func run() error {
 			Shards:         *shards,
 			FaultSpec:      *faultSpec,
 			FaultSeed:      *faultSeed,
+			Tracer:         tracer,
 		}, task, groups)
 		if err == nil {
 			res = dres.RunResult
@@ -281,6 +293,44 @@ func run() error {
 	}
 	printCacheStats(fcache)
 	printDistStats(dres)
+	if tracer != nil {
+		return writeTrace(*traceOut, tracer)
+	}
+	return nil
+}
+
+// writeTrace dumps the recorded spans as Chrome trace-event JSON and
+// prints the cost-attribution summary on "trace:"-prefixed stdout lines —
+// the same filterable-prefix convention as the cache: and dist: lines,
+// since tracing must never perturb the diffable curve output.
+func writeTrace(path string, tracer *otrace.Tracer) error {
+	spans, dropped := tracer.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := otrace.WriteChrome(f, spans); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	cost := otrace.BuildCost(spans, dropped)
+	fmt.Printf("trace: %d spans (%d dropped), wall %.3fs, cpu %.3fs, chrome trace written to %s\n",
+		len(spans), dropped, cost.WallSeconds, cost.CPUSeconds, path)
+	for _, c := range cost.Cells {
+		shard := "-"
+		if c.Shard >= 0 {
+			shard = strconv.Itoa(c.Shard)
+		}
+		part := c.Part
+		if part == "" {
+			part = "-"
+		}
+		fmt.Printf("trace: phase=%s shard=%s part=%s wall=%.3fs cpu=%.3fs\n",
+			c.Phase, shard, part, c.WallSeconds, c.CPUSeconds)
+	}
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/trace"
 )
 
@@ -235,6 +236,18 @@ type Config struct {
 	// Timing is observational only — RunResult.Phases is filled either way
 	// and curves are byte-identical with Obs set or nil.
 	Obs *obs.Registry
+	// Tracer, when non-nil, records the run's span tree: a root "run"
+	// span, a "holdout" span, one "batch" span per arm pull bracketing the
+	// six phases with per-phase wall attrs, "eval" spans for the
+	// out-of-batch holdout evaluations, and one "part" span per recipe
+	// part carrying the per-part cache/compute cost (cached runs only).
+	// The loop stamps each batch's span into the ctx it hands the
+	// Executor, so the distributed coordinator parents its rpc spans —
+	// and the worker spans it stitches back — under the right batch.
+	// Tracing is observational by construction: a traced run's curve,
+	// arms and quarantine list are byte-identical to an untraced one
+	// (test-asserted), and nil disables it with zero cost.
+	Tracer *otrace.Tracer
 }
 
 func (c Config) withDefaults() Config {

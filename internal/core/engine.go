@@ -10,6 +10,7 @@ import (
 	"zombie/internal/featurepipe"
 	"zombie/internal/index"
 	"zombie/internal/learner"
+	"zombie/internal/otrace"
 	"zombie/internal/rng"
 	"zombie/internal/stats"
 	"zombie/internal/trace"
@@ -119,20 +120,31 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 	var phases PhaseBreakdown
 	po := newPhaseObs(e.cfg.Obs)
 
+	// Span tracing follows the same observational contract as the phase
+	// clocks: a nil tracer records nothing and every Start/End below is a
+	// no-op, so the decision stream cannot depend on tracing state.
+	tracer := e.cfg.Tracer
+	runRef := tracer.Start(0, "run",
+		otrace.String("task", task.Name),
+		otrace.String("strategy", src.name()))
+
 	res := &RunResult{
 		Task:     task.Name,
 		Strategy: src.name(),
 	}
+	hRef := tracer.Start(runRef.ID(), "holdout")
 	tHoldout := time.Now()
-	holdout, skips, err := exec.BuildHoldout(ctx)
+	holdout, skips, err := exec.BuildHoldout(otrace.ContextWithSpan(ctx, tracer, hRef.ID()))
 	phases.Holdout = time.Since(tHoldout)
 	po.observe(phHoldout, phases.Holdout)
+	hRef.End(otrace.Dur("ns.holdout", phases.Holdout))
 	for _, s := range skips {
 		res.Quarantined = append(res.Quarantined, Quarantine{
 			InputID: s.InputID, Site: "holdout", Step: 0, Reason: s.Reason,
 		})
 	}
 	if err != nil {
+		runRef.End(otrace.String("error", err.Error()))
 		return nil, err
 	}
 	// The quality-delta reward evaluates a small fixed subsample before
@@ -217,7 +229,9 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 	}
 
 	var simTime time.Duration
+	eRef := tracer.Start(runRef.ID(), "eval", otrace.Int("inputs", 0))
 	record(CurvePoint{Inputs: 0, Quality: evaluate(), SimTime: 0})
+	eRef.End(otrace.Dur("ns.eval", phases.Eval))
 
 	// loopQuarantined counts inputs quarantined by the loop itself
 	// (holdout-phase quarantines predate the budget's denominator and are
@@ -251,6 +265,34 @@ func (e *Engine) loop(ctx context.Context, task *featurepipe.Task, src inputSour
 		errs = make([]error, 0, batchCap)
 	}
 
+	// endBatch closes a batch span with the arm and the per-phase wall
+	// deltas this batch contributed — the attrs the cost summary
+	// aggregates. Defined once: the loop must not allocate a closure (or,
+	// with tracing off, anything at all) per iteration.
+	endBatch := func(bRef *otrace.SpanRef, arm, n int, prev PhaseBreakdown) {
+		if bRef == nil {
+			return
+		}
+		bRef.End(
+			otrace.Int("arm", int64(arm)),
+			otrace.Int("steps", int64(n)),
+			otrace.Dur("ns.select", phases.Select-prev.Select),
+			otrace.Dur("ns.read", phases.Read-prev.Read),
+			otrace.Dur("ns.extract", phases.Extract-prev.Extract),
+			otrace.Dur("ns.train", phases.Train-prev.Train),
+			otrace.Dur("ns.eval", phases.Eval-prev.Eval),
+			otrace.Dur("ns.rpc", phases.RPC-prev.RPC),
+		)
+	}
+
+	// The batch span rides the ctx through a cursor stamped once here and
+	// repointed per batch — context.WithValue per iteration would cost two
+	// heap allocations. Safe because every consumer of a batch's position
+	// (local executor goroutines, shard RPCs) joins before the next batch.
+	cursor := tracer.Cursor()
+	cursorCtx := otrace.ContextWithCursor(ctx, cursor)
+	var batchSpan otrace.SpanRef // loop-owned; refilled by StartInto per batch
+
 	stop := StopExhausted
 	steps := 0
 loop:
@@ -274,12 +316,29 @@ loop:
 		if e.cfg.MaxInputs > 0 && steps+k > e.cfg.MaxInputs {
 			k = e.cfg.MaxInputs - steps
 		}
+		// One span per batch, bracketing the six phases; the batch's span
+		// rides the ctx so a distributed executor parents its rpc spans
+		// (and the stitched worker spans) under it.
+		var bRef *otrace.SpanRef
+		stepCtx := ctx
+		prevPhases := phases
 		tSelect := time.Now()
+		if tracer != nil {
+			// StartInto fills the loop-owned ref and shares tSelect's clock
+			// reading — the batch span must cost no allocations and no
+			// extra syscalls per iteration.
+			tracer.StartInto(&batchSpan, tSelect, runRef.ID(), "batch",
+				otrace.Int("step", int64(steps+1)))
+			bRef = &batchSpan
+			cursor.Move(batchSpan.ID())
+			stepCtx = cursorCtx
+		}
 		idxs, arm, ok := src.nextBatch(k)
 		dSelect := time.Since(tSelect)
 		phases.Select += dSelect
 		po.observe(phSelect, dSelect)
 		if !ok {
+			endBatch(bRef, -1, 0, prevPhases)
 			break // pool exhausted
 		}
 		// The selected arm may hold fewer than k inputs; the short batch
@@ -291,14 +350,14 @@ loop:
 			// Single-input batches dispatch through ExecuteStep so a K=1
 			// run issues exactly the calls (and, distributed, the RPCs)
 			// the pre-batching loop issued.
-			out1[0], err1[0] = exec.ExecuteStep(ctx, steps+1, idxs[0])
+			out1[0], err1[0] = exec.ExecuteStep(stepCtx, steps+1, idxs[0])
 			outs, errs = out1[:], err1[:]
 		case batchExec != nil:
-			outs, errs = batchExec.ExecuteBatch(ctx, steps+1, idxs)
+			outs, errs = batchExec.ExecuteBatch(stepCtx, steps+1, idxs)
 		default:
 			outs, errs = outs[:0], errs[:0]
 			for j, idx := range idxs {
-				out, err := exec.ExecuteStep(ctx, steps+1+j, idx)
+				out, err := exec.ExecuteStep(stepCtx, steps+1+j, idx)
 				outs = append(outs, out)
 				errs = append(errs, err)
 			}
@@ -448,6 +507,7 @@ loop:
 		}
 		if quarantined && overBudget(steps) {
 			stop = StopFailed
+			endBatch(bRef, arm, len(idxs), prevPhases)
 			break loop
 		}
 
@@ -462,9 +522,11 @@ loop:
 			plateau := detector.Observe(q)
 			if e.cfg.EarlyStop.Enabled && plateau && steps >= e.cfg.EarlyStop.MinInputs {
 				stop = StopEarly
+				endBatch(bRef, arm, len(idxs), prevPhases)
 				break loop
 			}
 		}
+		endBatch(bRef, arm, len(idxs), prevPhases)
 	}
 
 	// Reuse the last in-loop evaluation when it already covers the final
@@ -478,7 +540,10 @@ loop:
 	if n := len(res.Curve); n > 0 && (res.Curve[n-1].Inputs == steps || stop == StopCancelled) {
 		final = res.Curve[n-1].Quality
 	} else {
+		evalPrev := phases.Eval
+		fRef := tracer.Start(runRef.ID(), "eval", otrace.Int("inputs", int64(steps)))
 		final = evaluate()
+		fRef.End(otrace.Dur("ns.eval", phases.Eval-evalPrev))
 		record(CurvePoint{Inputs: steps, Quality: final, SimTime: simTime})
 	}
 	res.InputsProcessed = steps
@@ -494,6 +559,25 @@ loop:
 	phases.CacheLookup = time.Duration(st.CacheLookupNanos)
 	res.Phases = phases
 	po.observeRun(res.WallTime)
+	if tracer != nil {
+		// One zero-length "part" span per recipe part carries the run's
+		// per-part extraction cost (cached runs only; holdout extractions
+		// included) — pure data carriers the cost summary groups by part.
+		for _, pc := range st.Parts {
+			tracer.Start(runRef.ID(), "part",
+				otrace.String("part", pc.Part),
+				otrace.Int("hits", pc.Hits),
+				otrace.Int("misses", pc.Misses),
+				otrace.Dur("ns.cache_lookup", time.Duration(pc.LookupNanos)),
+				otrace.Dur("ns.extract", time.Duration(pc.ComputeNanos)),
+			).End()
+		}
+		runRef.End(
+			otrace.String("stop", stop.String()),
+			otrace.Int("inputs", int64(steps)),
+			otrace.Dur("ns.cache_lookup", time.Duration(st.CacheLookupNanos)),
+		)
+	}
 	return res, nil
 }
 

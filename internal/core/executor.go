@@ -90,6 +90,13 @@ type ExecutorStats struct {
 	CacheHits        int64
 	CacheMisses      int64
 	CacheLookupNanos int64
+	// Parts breaks the run's extraction cost down by recipe part (cached
+	// runs only — the cache wrapper is where per-part attribution is
+	// measured). The engine emits one "part" span per entry so the cost
+	// summary can group extraction time by part. The distributed
+	// coordinator reports these per shard through its own spans instead
+	// and leaves this empty.
+	Parts []featurepipe.PartCost
 }
 
 // LocalExecutor executes steps in-process over the task's own store: the
@@ -179,6 +186,7 @@ func (x *LocalExecutor) Stats() ExecutorStats {
 		CacheHits:        x.ctrs.Hits.Load(),
 		CacheMisses:      x.ctrs.Misses.Load(),
 		CacheLookupNanos: x.ctrs.LookupNanos.Load(),
+		Parts:            x.ctrs.Parts(),
 	}
 }
 

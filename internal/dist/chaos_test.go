@@ -8,6 +8,7 @@ import (
 
 	"zombie/internal/core"
 	"zombie/internal/fault"
+	"zombie/internal/obs"
 )
 
 // deadWorkerSeed scans fault seeds for one where, under the given spec,
@@ -45,10 +46,12 @@ func TestDeadWorkerTripsFailureBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	reg := obs.NewRegistry()
 	dspec := Spec{
 		RunID: "t-chaos", Task: "wiki", Seed: seed, Shards: shards,
 		FaultSpec: spec, FaultSeed: fseed,
 		Attempts: 2, Backoff: time.Millisecond,
+		Obs: reg,
 	}
 
 	local := NewLocalTransport(store, shards, nil, nil)
@@ -84,6 +87,22 @@ func TestDeadWorkerTripsFailureBudget(t *testing.T) {
 	}
 	if lres.Workers[0].FailedCalls != 0 {
 		t.Fatalf("healthy worker 0 stats %+v record failures", lres.Workers[0])
+	}
+	// The error counters carry both dimensions in the Prometheus
+	// exposition: the dead worker's step failures appear as one
+	// {method,worker} series, and the healthy worker exports none.
+	var prom strings.Builder
+	if err := reg.WritePrometheus(&prom); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prom.String(), `dist_rpc_errors{method="step",worker="1"}`) {
+		t.Fatalf("exposition missing labeled error counter:\n%s", prom.String())
+	}
+	if strings.Contains(prom.String(), `worker="0"`) {
+		t.Fatalf("healthy worker exported an error series:\n%s", prom.String())
+	}
+	if got := reg.FlatSnapshot()["dist_rpc_errors_step_1"]; got == 0 {
+		t.Fatal("flat exposition missing folded dist_rpc_errors_step_1 key")
 	}
 
 	httpT := newHTTPTestTransport(t, store, shards)

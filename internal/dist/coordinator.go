@@ -23,6 +23,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
 	"time"
 
@@ -31,6 +32,7 @@ import (
 	"zombie/internal/index"
 	"zombie/internal/learner"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/parallel"
 )
 
@@ -51,6 +53,14 @@ type Spec struct {
 	// Obs receives coordinator-side metrics (dist_rpc_seconds{method});
 	// nil for none.
 	Obs *obs.Registry
+	// Tracer receives the run's spans (nil for no tracing). The
+	// coordinator opens one "dist.<method>" rpc span per worker call —
+	// parented under the engine's batch/holdout span when the call context
+	// carries one — propagates it as a traceparent on the request, and
+	// stitches the worker's returned spans underneath it, so the span tree
+	// covers both sides of every RPC. Purely observational: the curve,
+	// arms, and quarantine lists are byte-identical with or without it.
+	Tracer *otrace.Tracer
 	// Attempts and Backoff tune the per-call retry loop (defaults 3 and
 	// 25ms; backoff doubles per attempt).
 	Attempts int
@@ -67,6 +77,9 @@ type WorkerStats struct {
 	CacheMisses  int64 `json:"cache_misses"`
 	FailedCalls  int64 `json:"failed_calls"`
 	RetriedCalls int64 `json:"retried_calls"`
+	// Parts is the shard's per-recipe-part extraction cost breakdown
+	// (cached workers only), reported at finish.
+	Parts []featurepipe.PartCost `json:"parts,omitempty"`
 }
 
 // Result is a distributed run's outcome: the engine result (byte-equal to
@@ -110,11 +123,9 @@ type coordinator struct {
 	sm      *ShardMap
 	workers []WorkerStats
 
-	rpcInit      *obs.Histogram
-	rpcHoldout   *obs.Histogram
-	rpcStep      *obs.Histogram
-	rpcStepBatch *obs.Histogram
-	rpcFinish    *obs.Histogram
+	// rpc holds the per-method latency histograms, keyed by the wire
+	// method name withRetry is called with; empty when Obs is nil.
+	rpc map[string]*obs.Histogram
 
 	finishOnce sync.Once
 	stats      core.ExecutorStats
@@ -141,23 +152,23 @@ func newCoordinator(tr Transport, spec Spec, task *featurepipe.Task) (*coordinat
 	if err != nil {
 		return nil, err
 	}
-	c := &coordinator{spec: spec, clients: clients, task: task, sm: sm}
+	c := &coordinator{spec: spec, clients: clients, task: task, sm: sm, rpc: map[string]*obs.Histogram{}}
 	if spec.Obs != nil {
 		const name, help = "dist_rpc_seconds", "Coordinator-side worker call latency by method."
-		c.rpcInit = spec.Obs.HistogramL(name, help, "method", "init", obs.LatencyBuckets)
-		c.rpcHoldout = spec.Obs.HistogramL(name, help, "method", "holdout", obs.LatencyBuckets)
-		c.rpcStep = spec.Obs.HistogramL(name, help, "method", "step", obs.LatencyBuckets)
-		c.rpcStepBatch = spec.Obs.HistogramL(name, help, "method", "step-batch", obs.LatencyBuckets)
-		c.rpcFinish = spec.Obs.HistogramL(name, help, "method", "finish", obs.LatencyBuckets)
+		for _, method := range []string{"init", "holdout", "step", "step-batch", "finish"} {
+			c.rpc[method] = spec.Obs.HistogramL(name, help, "method", method, obs.LatencyBuckets)
+		}
 	}
 	return c, nil
 }
 
 // withRetry runs call up to Attempts times with doubling backoff,
-// recording latency per attempt. It returns the last error unchanged —
+// recording latency per attempt and counting errored attempts under
+// dist_rpc_errors{method,worker}. It returns the last error unchanged —
 // deterministic worker errors must surface with identical text over any
 // transport.
-func (c *coordinator) withRetry(ctx context.Context, h *obs.Histogram, shard int, call func(context.Context) error) error {
+func (c *coordinator) withRetry(ctx context.Context, method string, shard int, call func(context.Context) error) error {
+	h := c.rpc[method]
 	backoff := c.spec.Backoff
 	var err error
 	for attempt := 0; attempt < c.spec.Attempts; attempt++ {
@@ -178,12 +189,44 @@ func (c *coordinator) withRetry(ctx context.Context, h *obs.Histogram, shard int
 		if err == nil {
 			return nil
 		}
+		c.noteRPCError(method, shard)
 		if ctx.Err() != nil {
 			return err
 		}
 	}
 	c.workers[shard].FailedCalls++
 	return err
+}
+
+// noteRPCError bumps the errored-attempt counter for one (method, worker)
+// pair. Series are declared on first error — declaration is idempotent
+// and this is far off the hot path — so a clean run exports no error
+// series at all.
+func (c *coordinator) noteRPCError(method string, shard int) {
+	if c.spec.Obs == nil {
+		return
+	}
+	c.spec.Obs.CounterL("dist_rpc_errors",
+		"Errored coordinator-side worker call attempts by method and worker.",
+		obs.Label{Key: "method", Value: method},
+		obs.Label{Key: "worker", Value: strconv.Itoa(shard)},
+	).Inc()
+}
+
+// startRPC opens one rpc span for a worker call, parented under the span
+// the call context carries (the engine stamps its batch and holdout spans
+// there) or at the root for out-of-loop calls (init, finish). Returns the
+// tracer to propagate/import with and the span handle; both nil when
+// tracing is off.
+func (c *coordinator) startRPC(ctx context.Context, name string, shard int) (*otrace.Tracer, *otrace.SpanRef) {
+	tr, parent := otrace.FromContext(ctx)
+	if tr == nil {
+		tr = c.spec.Tracer
+	}
+	if tr == nil {
+		return nil, nil
+	}
+	return tr, tr.Start(parent, name, otrace.Int("shard", int64(shard)))
 }
 
 // init computes the shard map, fans InitRequests out to every worker, and
@@ -210,13 +253,16 @@ func (c *coordinator) init(ctx context.Context) error {
 			FaultSpec:      c.spec.FaultSpec,
 			FaultSeed:      c.spec.FaultSeed,
 		}
-		errs[i] = c.withRetry(ctx, c.rpcInit, i, func(ctx context.Context) error {
+		tr, ref := c.startRPC(ctx, "dist.init", i)
+		req.Traceparent = tr.Traceparent(ref.ID())
+		errs[i] = c.withRetry(ctx, "init", i, func(ctx context.Context) error {
 			resp, err := c.clients[i].Init(ctx, req)
 			if err == nil {
 				resps[i] = resp
 			}
 			return err
 		})
+		ref.End()
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -240,13 +286,17 @@ func (c *coordinator) BuildHoldout(ctx context.Context) (*learner.Holdout, []fea
 	resps := make([]HoldoutResponse, c.spec.Shards)
 	errs := make([]error, c.spec.Shards)
 	parallel.ForEach(c.spec.Shards, c.spec.Shards, func(i int) {
-		errs[i] = c.withRetry(ctx, c.rpcHoldout, i, func(ctx context.Context) error {
-			resp, err := c.clients[i].Holdout(ctx, HoldoutRequest{RunID: c.spec.RunID})
+		tr, ref := c.startRPC(ctx, "dist.holdout", i)
+		req := HoldoutRequest{RunID: c.spec.RunID, Traceparent: tr.Traceparent(ref.ID())}
+		errs[i] = c.withRetry(ctx, "holdout", i, func(ctx context.Context) error {
+			resp, err := c.clients[i].Holdout(ctx, req)
 			if err == nil {
 				resps[i] = resp
 			}
 			return err
 		})
+		tr.Import(resps[i].Spans, ref.ID(), ref.ID())
+		ref.End()
 	})
 	for i, err := range errs {
 		if err != nil {
@@ -296,14 +346,18 @@ func (c *coordinator) ExecuteStep(ctx context.Context, step, idx int) (core.Step
 	if owner < 0 {
 		return core.StepOutcome{}, fmt.Errorf("dist: step %d: input %d outside the shard map", step, idx)
 	}
+	tr, ref := c.startRPC(ctx, "dist.step", owner)
+	req := StepRequest{RunID: c.spec.RunID, Step: step, Idx: idx, Traceparent: tr.Traceparent(ref.ID())}
 	var resp StepResponse
-	err := c.withRetry(ctx, c.rpcStep, owner, func(ctx context.Context) error {
-		r, err := c.clients[owner].Step(ctx, StepRequest{RunID: c.spec.RunID, Step: step, Idx: idx})
+	err := c.withRetry(ctx, "step", owner, func(ctx context.Context) error {
+		r, err := c.clients[owner].Step(ctx, req)
 		if err == nil {
 			resp = r
 		}
 		return err
 	})
+	tr.Import(resp.Spans, ref.ID(), ref.ID())
+	ref.End()
 	if err != nil {
 		return core.StepOutcome{}, fmt.Errorf("dist: worker %d failed step %d (input %d): %v", owner, step, idx, err)
 	}
@@ -359,14 +413,18 @@ func (c *coordinator) ExecuteBatch(ctx context.Context, firstStep int, idxs []in
 			req.Steps[j] = firstStep + p
 			req.Idxs[j] = idxs[p]
 		}
+		tr, ref := c.startRPC(ctx, "dist.step_batch", owner)
+		req.Traceparent = tr.Traceparent(ref.ID())
 		var resp StepBatchResponse
-		err := c.withRetry(ctx, c.rpcStepBatch, owner, func(ctx context.Context) error {
+		err := c.withRetry(ctx, "step-batch", owner, func(ctx context.Context) error {
 			r, err := c.clients[owner].StepBatch(ctx, req)
 			if err == nil {
 				resp = r
 			}
 			return err
 		})
+		tr.Import(resp.Spans, ref.ID(), ref.ID())
+		ref.End()
 		if err == nil && len(resp.Items) != len(ps) {
 			err = fmt.Errorf("dist: worker %d returned %d outcomes for %d batched steps", owner, len(resp.Items), len(ps))
 		}
@@ -414,8 +472,10 @@ func (c *coordinator) finish(ctx context.Context) {
 	c.finishOnce.Do(func() {
 		resps := make([]FinishResponse, c.spec.Shards)
 		parallel.ForEach(c.spec.Shards, c.spec.Shards, func(i int) {
-			err := c.withRetry(ctx, c.rpcFinish, i, func(ctx context.Context) error {
-				r, err := c.clients[i].Finish(ctx, FinishRequest{RunID: c.spec.RunID})
+			tr, ref := c.startRPC(ctx, "dist.finish", i)
+			req := FinishRequest{RunID: c.spec.RunID, Traceparent: tr.Traceparent(ref.ID())}
+			err := c.withRetry(ctx, "finish", i, func(ctx context.Context) error {
+				r, err := c.clients[i].Finish(ctx, req)
 				if err == nil {
 					resps[i] = r
 				}
@@ -424,10 +484,28 @@ func (c *coordinator) finish(ctx context.Context) {
 			if err != nil {
 				resps[i] = FinishResponse{}
 			}
+			// Per-shard cost attribution: one zero-length "part" span per
+			// recipe part the shard's cache saw, under this finish span —
+			// the dist counterpart of the engine's local part spans, with
+			// the shard attr marking where the compute actually ran.
+			if tr != nil {
+				for _, p := range resps[i].Parts {
+					tr.Start(ref.ID(), "part",
+						otrace.String("part", p.Part),
+						otrace.Int("shard", int64(i)),
+						otrace.Int("hits", p.Hits),
+						otrace.Int("misses", p.Misses),
+						otrace.Dur("ns.cache_lookup", time.Duration(p.LookupNanos)),
+						otrace.Dur("ns.extract", time.Duration(p.ComputeNanos)),
+					).End()
+				}
+			}
+			ref.End()
 		})
 		for i, r := range resps {
 			c.workers[i].CacheHits = r.CacheHits
 			c.workers[i].CacheMisses = r.CacheMisses
+			c.workers[i].Parts = r.Parts
 			c.stats.CacheHits += r.CacheHits
 			c.stats.CacheMisses += r.CacheMisses
 			c.stats.CacheLookupNanos += r.CacheLookupNanos

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"sync"
+
+	"zombie/internal/otrace"
 )
 
 // HTTPTransport talks JSON to dist worker endpoints served by
@@ -73,6 +75,14 @@ func (c *httpClient) post(ctx context.Context, path string, req, resp any) error
 		return fmt.Errorf("dist: build %s request: %w", path, err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// Mirror the propagated trace context into the standard W3C header so
+	// HTTP-level middleware (and the server handler's header fallback) see
+	// the same value the wire field carries.
+	if tc, ok := req.(traceCarrier); ok {
+		if tp := tc.traceparent(); tp != "" {
+			hreq.Header.Set(otrace.Header, tp)
+		}
+	}
 	hres, err := c.hc.Do(hreq)
 	if err != nil {
 		return fmt.Errorf("dist: %s %s: %w", c.base, path, err)

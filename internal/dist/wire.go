@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"zombie/internal/featurepipe"
+	"zombie/internal/otrace"
 )
 
 // Wire types shared by every transport. The local transport passes them
@@ -14,6 +15,15 @@ import (
 // extraction cache trusts on disk. The codec round-trips float bits
 // exactly, so a decoded result is byte-identical to the native one; the
 // transport-identity tests assert exactly that.
+//
+// Every request carries an optional Traceparent (W3C trace-context
+// format); the http transport mirrors it into the `traceparent` HTTP
+// header. Workers that find a parseable value open child spans under the
+// propagated parent and return them in the response's Spans field; the
+// coordinator stitches those into its own buffer, producing one run-wide
+// span tree across processes. Tracing is strictly observational: a worker
+// given no (or a malformed) traceparent executes identically and returns
+// no spans.
 
 // InitRequest asks a worker to set up one run's shard view: rebuild the
 // task from (corpus, task, feature version, seed) — the same triple every
@@ -30,6 +40,7 @@ type InitRequest struct {
 	Shard          int    `json:"shard"`
 	FaultSpec      string `json:"faults,omitempty"`
 	FaultSeed      int64  `json:"fault_seed,omitempty"`
+	Traceparent    string `json:"traceparent,omitempty"`
 }
 
 // InitResponse reports the worker's view of the shard. StoreLen is the
@@ -45,7 +56,8 @@ type InitResponse struct {
 // HoldoutRequest asks a worker to extract the holdout inputs its shard
 // owns.
 type HoldoutRequest struct {
-	RunID string `json:"run_id"`
+	RunID       string `json:"run_id"`
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // HoldoutItem is one owned holdout input's extraction: either a result
@@ -69,15 +81,17 @@ type HoldoutItem struct {
 // coordinator merges).
 type HoldoutResponse struct {
 	Items []HoldoutItem `json:"items"`
+	Spans []otrace.Span `json:"spans,omitempty"`
 }
 
 // StepRequest asks the owning worker to execute one bandit step: read
 // store index Idx and extract it. Step is the loop's step counter, for
 // tracing and fault keying symmetry with the engine.
 type StepRequest struct {
-	RunID string `json:"run_id"`
-	Step  int    `json:"step"`
-	Idx   int    `json:"idx"`
+	RunID       string `json:"run_id"`
+	Step        int    `json:"step"`
+	Idx         int    `json:"idx"`
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // StepResponse mirrors core.StepOutcome on the wire.
@@ -93,6 +107,11 @@ type StepResponse struct {
 
 	ResultB64 string             `json:"result,omitempty"`
 	Result    featurepipe.Result `json:"-"`
+
+	// Spans are the worker-side spans for this step (set only on the
+	// top-level Step response, never on batch items — a batch's spans ride
+	// on the StepBatchResponse).
+	Spans []otrace.Span `json:"spans,omitempty"`
 }
 
 // StepBatchRequest asks the owning worker to execute a whole batch of
@@ -103,9 +122,10 @@ type StepResponse struct {
 // Step call would carry; the slices are parallel and must have equal
 // length.
 type StepBatchRequest struct {
-	RunID string `json:"run_id"`
-	Steps []int  `json:"steps"`
-	Idxs  []int  `json:"idxs"`
+	RunID       string `json:"run_id"`
+	Steps       []int  `json:"steps"`
+	Idxs        []int  `json:"idxs"`
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
 // StepBatchItem is one input's outcome inside a batch: either a
@@ -123,21 +143,38 @@ type StepBatchItem struct {
 // belongs to request Idxs[j].
 type StepBatchResponse struct {
 	Items []StepBatchItem `json:"items"`
+	Spans []otrace.Span   `json:"spans,omitempty"`
 }
 
 // FinishRequest releases a run's state on the worker and collects its
 // execution-side tallies.
 type FinishRequest struct {
-	RunID string `json:"run_id"`
+	RunID       string `json:"run_id"`
+	Traceparent string `json:"traceparent,omitempty"`
 }
 
-// FinishResponse reports one worker's run totals.
+// FinishResponse reports one worker's run totals. Parts carries the
+// shard's per-recipe-part extraction cost tallies (cached workers only);
+// the coordinator turns them into per-shard "part" spans so the run's
+// cost summary can attribute extraction time by part × shard.
 type FinishResponse struct {
-	Steps            int   `json:"steps"`
-	CacheHits        int64 `json:"cache_hits"`
-	CacheMisses      int64 `json:"cache_misses"`
-	CacheLookupNanos int64 `json:"cache_lookup_ns"`
+	Steps            int                    `json:"steps"`
+	CacheHits        int64                  `json:"cache_hits"`
+	CacheMisses      int64                  `json:"cache_misses"`
+	CacheLookupNanos int64                  `json:"cache_lookup_ns"`
+	Parts            []featurepipe.PartCost `json:"parts,omitempty"`
 }
+
+// traceCarrier lets the http transport read a request's propagated trace
+// context without knowing the concrete request type, mirroring it into
+// the standard header so any HTTP-aware middleware sees it too.
+type traceCarrier interface{ traceparent() string }
+
+func (r InitRequest) traceparent() string      { return r.Traceparent }
+func (r HoldoutRequest) traceparent() string   { return r.Traceparent }
+func (r StepRequest) traceparent() string      { return r.Traceparent }
+func (r StepBatchRequest) traceparent() string { return r.Traceparent }
+func (r FinishRequest) traceparent() string    { return r.Traceparent }
 
 var resultCodec featurepipe.ResultCodec
 

@@ -6,12 +6,14 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"zombie/internal/core"
 	"zombie/internal/corpus"
 	"zombie/internal/fault"
 	"zombie/internal/featcache"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/rng"
 	"zombie/internal/workload"
 )
@@ -124,6 +126,28 @@ func (w *Worker) Init(req InitRequest) (InitResponse, error) {
 	return InitResponse{StoreLen: store.Len(), OwnedInputs: owned, OwnedHoldout: ownedHoldout}, nil
 }
 
+// requestSpanCap bounds a request-scoped tracer: work RPCs emit one span
+// per request, so anything above a handful is headroom.
+const requestSpanCap = 16
+
+// startRequestSpan opens a request-scoped tracer when the request carried
+// a parseable traceparent, with one span named name parented at the
+// propagated span ID. A missing or malformed traceparent returns nils —
+// the request runs untraced, never failed over telemetry. The caller ends
+// the span and ships tr.Snapshot() in the response; the coordinator's
+// Import remaps the worker-local IDs into its own buffer.
+func startRequestSpan(traceparent, name string, attrs ...otrace.Attr) (*otrace.Tracer, *otrace.SpanRef) {
+	if traceparent == "" {
+		return nil, nil
+	}
+	_, parent, ok := otrace.ParseTraceparent(traceparent)
+	if !ok {
+		return nil, nil
+	}
+	tr := otrace.New(traceparent, requestSpanCap)
+	return tr, tr.Start(parent, name, attrs...)
+}
+
 func (w *Worker) run(id string) (*workerRun, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -143,6 +167,9 @@ func (w *Worker) Holdout(req HoldoutRequest) (HoldoutResponse, error) {
 	if err != nil {
 		return HoldoutResponse{}, err
 	}
+	tr, ref := startRequestSpan(req.Traceparent, "worker.holdout",
+		otrace.Int("shard", int64(run.shard)))
+	t0 := time.Now()
 	task := run.exec.Task()
 	// HoldoutIdx is iterated sorted by global index (Owned order), not in
 	// the task's shuffled holdout order: the canonical order lets the
@@ -167,6 +194,11 @@ func (w *Worker) Holdout(req HoldoutRequest) (HoldoutResponse, error) {
 		}
 		resp.Items = append(resp.Items, item)
 	}
+	if tr != nil {
+		ref.End(otrace.Int("items", int64(len(resp.Items))),
+			otrace.Dur("ns.holdout", time.Since(t0)))
+		resp.Spans, _ = tr.Snapshot()
+	}
 	return resp, nil
 }
 
@@ -182,7 +214,15 @@ func (w *Worker) Step(req StepRequest) (StepResponse, error) {
 	if err != nil {
 		return StepResponse{}, err
 	}
-	return w.stepOne(run, req.Step, req.Idx)
+	tr, ref := startRequestSpan(req.Traceparent, "worker.step",
+		otrace.Int("shard", int64(run.shard)), otrace.Int("step", int64(req.Step)))
+	resp, err := w.stepOne(run, req.Step, req.Idx)
+	if tr != nil && err == nil {
+		ref.End(otrace.Dur("ns.read", time.Duration(resp.ReadNanos)),
+			otrace.Dur("ns.extract", time.Duration(resp.ExtractNanos)))
+		resp.Spans, _ = tr.Snapshot()
+	}
+	return resp, err
 }
 
 // stepOne executes one step for a looked-up run: the shared body of Step
@@ -236,6 +276,9 @@ func (w *Worker) StepBatch(req StepBatchRequest) (StepBatchResponse, error) {
 	if err != nil {
 		return StepBatchResponse{}, err
 	}
+	tr, ref := startRequestSpan(req.Traceparent, "worker.step_batch",
+		otrace.Int("shard", int64(run.shard)))
+	var readNs, extractNs int64
 	resp := StepBatchResponse{Items: make([]StepBatchItem, len(req.Idxs))}
 	for j, idx := range req.Idxs {
 		sr, err := w.stepOne(run, req.Steps[j], idx)
@@ -243,7 +286,15 @@ func (w *Worker) StepBatch(req StepBatchRequest) (StepBatchResponse, error) {
 			resp.Items[j].Err = err.Error()
 			continue
 		}
+		readNs += sr.ReadNanos
+		extractNs += sr.ExtractNanos
 		resp.Items[j].StepResponse = sr
+	}
+	if tr != nil {
+		ref.End(otrace.Int("steps", int64(len(req.Idxs))),
+			otrace.Dur("ns.read", time.Duration(readNs)),
+			otrace.Dur("ns.extract", time.Duration(extractNs)))
+		resp.Spans, _ = tr.Snapshot()
 	}
 	return resp, nil
 }
@@ -265,5 +316,6 @@ func (w *Worker) Finish(req FinishRequest) (FinishResponse, error) {
 		CacheHits:        st.CacheHits,
 		CacheMisses:      st.CacheMisses,
 		CacheLookupNanos: st.CacheLookupNanos,
+		Parts:            st.Parts,
 	}, nil
 }

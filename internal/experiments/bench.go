@@ -7,6 +7,8 @@ import (
 	"io"
 	"runtime"
 	"time"
+
+	"zombie/internal/buildinfo"
 )
 
 // BenchEntry records one experiment's timing inside a benchmark run.
@@ -28,6 +30,11 @@ type BenchEntry struct {
 // BenchReport is the machine-readable result of a zombie-bench timing run
 // — the regression artifact CI diffs between commits.
 type BenchReport struct {
+	// Version and Commit identify the build that produced the report
+	// (buildinfo.Resolve), so a committed BENCH_*.json is attributable to
+	// the exact commit it measured.
+	Version     string       `json:"version"`
+	Commit      string       `json:"commit"`
 	Scale       float64      `json:"scale"`
 	Seed        int64        `json:"seed"`
 	Parallel    int          `json:"parallel"`
@@ -50,8 +57,12 @@ type BenchReport struct {
 	Alloc *AllocBenchEntry `json:"alloc,omitempty"`
 	// Durability times the control plane's write-ahead journal: append
 	// latency on the submit path and cold-recovery replay wall time.
-	Durability   *DurabilityBenchEntry `json:"durability,omitempty"`
-	TotalSeconds float64               `json:"total_seconds"`
+	Durability *DurabilityBenchEntry `json:"durability,omitempty"`
+	// Tracing measures the span tracer's wall-time overhead on the
+	// reference run (traced vs untraced in the same process) — the gate
+	// holds Overhead under 1.05.
+	Tracing      *TracingBenchEntry `json:"tracing,omitempty"`
+	TotalSeconds float64            `json:"total_seconds"`
 }
 
 // WriteJSON renders the report as indented JSON.
@@ -75,7 +86,10 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 	if len(ids) == 0 {
 		ids = IDs()
 	}
+	version, commit := buildinfo.Resolve()
 	report := &BenchReport{
+		Version:    version,
+		Commit:     commit,
 		Scale:      cfg.Scale,
 		Seed:       cfg.Seed,
 		Parallel:   cfg.Parallel,
@@ -159,6 +173,11 @@ func RunBench(cfg Config, ids []string, w io.Writer) (*BenchReport, error) {
 		return nil, fmt.Errorf("experiments: durability bench: %w", err)
 	}
 	report.Durability = durabilityEntry
+	tracingEntry, err := TracingBench(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: tracing bench: %w", err)
+	}
+	report.Tracing = tracingEntry
 	report.TotalSeconds = time.Since(total).Seconds()
 	return report, nil
 }

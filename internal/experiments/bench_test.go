@@ -28,6 +28,19 @@ func TestRunBenchSequential(t *testing.T) {
 	if !strings.Contains(out.String(), "=== T1") {
 		t.Fatal("experiment output missing from writer")
 	}
+	if report.Version == "" || report.Commit == "" {
+		t.Fatalf("report missing build identity: version=%q commit=%q", report.Version, report.Commit)
+	}
+	tr := report.Tracing
+	if tr == nil {
+		t.Fatal("tracing block missing from bench report")
+	}
+	if tr.UntracedWallSeconds <= 0 || tr.TracedWallSeconds <= 0 || tr.Overhead <= 0 || tr.Spans == 0 {
+		t.Fatalf("tracing timings malformed: %+v", tr)
+	}
+	if !tr.ByteIdentical {
+		t.Fatalf("traced reference run diverged from untraced: %+v", tr)
+	}
 }
 
 // TestRunBenchParallelBaseline: with Parallel > 1 the bench re-runs the

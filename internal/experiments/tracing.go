@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+
+	"zombie/internal/core"
+	"zombie/internal/otrace"
+)
+
+// TracingBenchEntry is the span-tracer overhead block zombie-bench writes
+// to its JSON report: the reference wiki zombie run timed with the span
+// tracer off and on. Overhead is traced wall over untraced wall — the
+// number the bench gate holds under 1.05, making the "observational and
+// near-free" contract a measured artifact rather than a claim. Both runs
+// execute in this same process back to back, so the ratio is
+// hardware-independent in a way comparing absolute wall times across
+// BENCH_*.json files is not.
+type TracingBenchEntry struct {
+	// UntracedWallSeconds and TracedWallSeconds are each side's best
+	// timing sample — informational; the gate reads Overhead.
+	UntracedWallSeconds float64 `json:"untraced_wall_seconds"`
+	TracedWallSeconds   float64 `json:"traced_wall_seconds"`
+	// Overhead is the ratio of the two minima — each side's
+	// interference-free floor (see TracingBench for why min/min).
+	Overhead float64 `json:"overhead"`
+	// Spans is the number of spans the traced run recorded; Dropped how
+	// many its bounded buffer refused.
+	Spans   int   `json:"spans"`
+	Dropped int64 `json:"dropped"`
+	// ByteIdentical reports whether the traced run's curve and quarantine
+	// list matched the untraced run exactly — the determinism contract,
+	// re-proven on every bench run.
+	ByteIdentical bool `json:"byte_identical"`
+}
+
+// TracingBench runs the standard wiki zombie loop twice — without and
+// with a span tracer — and reports the wall-time overhead and whether the
+// results stayed byte-identical.
+func TracingBench(cfg Config) (*TracingBenchEntry, error) {
+	cfg = cfg.withDefaults()
+	wl, err := WikiWorkload(cfg)
+	if err != nil {
+		return nil, err
+	}
+	groups, err := wl.Groups(wl.DefaultK, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	run := func(tracer *otrace.Tracer) (*core.RunResult, error) {
+		eng, err := engineFor(policyFor(wl, "eps-greedy:0.1"), cfg.Seed+2,
+			withWorkloadDefaults(wl, func(c *core.Config) { c.Tracer = tracer }))
+		if err != nil {
+			return nil, err
+		}
+		return eng.Run(wl.Task, groups)
+	}
+	// The reference run is short (tens of milliseconds at bench scale), so
+	// a single traced/untraced pair would gate on scheduler noise, not on
+	// the tracer. Each side instead gets many interleaved runs and keeps
+	// its minimum wall time — a run's floor is its interference-free cost,
+	// so min/min isolates the tracer's true overhead the way a mean or a
+	// single pair cannot on a busy box. Every sample starts on a forced GC
+	// (what testing.B does) so allocation debt from outside the timed
+	// region — the traced side's buffer setup especially — cannot trigger
+	// a collection inside whichever run executes next.
+	const rounds = 16
+	sample := func(tracer *otrace.Tracer) (*core.RunResult, float64, error) {
+		runtime.GC()
+		r, err := run(tracer)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, r.WallTime.Seconds(), nil
+	}
+	var plain, traced *core.RunResult
+	var plainWall, tracedWall float64
+	var spans []otrace.Span
+	var dropped int64
+	// One tracer reused (via Reset) across every traced round: fresh
+	// per-round buffers would grow the traced side's heap and pull GC
+	// cycles into only its runs.
+	tracer := otrace.New("bench-tracing", otrace.DefaultCapacity)
+	for i := 0; i < rounds; i++ {
+		p, pw, err := sample(nil)
+		if err != nil {
+			return nil, err
+		}
+		tracer.Reset()
+		tr, tw, err := sample(tracer)
+		if err != nil {
+			return nil, err
+		}
+		if plain == nil || pw < plainWall {
+			plainWall = pw
+		}
+		if traced == nil || tw < tracedWall {
+			tracedWall = tw
+		}
+		plain, traced = p, tr
+		spans, dropped = tracer.Snapshot()
+	}
+	overhead := 0.0
+	if plainWall > 0 {
+		overhead = tracedWall / plainWall
+	}
+	entry := &TracingBenchEntry{
+		UntracedWallSeconds: plainWall,
+		TracedWallSeconds:   tracedWall,
+		Overhead:            overhead,
+		Spans:               len(spans),
+		Dropped:             dropped,
+		ByteIdentical: reflect.DeepEqual(plain.Curve, traced.Curve) &&
+			reflect.DeepEqual(plain.Quarantined, traced.Quarantined) &&
+			plain.Stop == traced.Stop,
+	}
+	if len(spans) == 0 {
+		return nil, fmt.Errorf("experiments: traced reference run recorded no spans")
+	}
+	return entry, nil
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 
 	"zombie/internal/fault"
+	"zombie/internal/otrace"
 )
 
 // Codec converts cached values to and from their durable byte form. Encode
@@ -67,6 +68,14 @@ type Config struct {
 	// cache counters and nothing else — chaos tests assert results stay
 	// byte-identical to a cache-off run.
 	Faults *fault.Injector
+	// Tracer, when non-nil, records disk-boundary spans ("cache.disk_read",
+	// "cache.disk_write", and a one-shot "cache.demote" when the error limit
+	// trips). In-memory lookups are deliberately untraced here: per-lookup
+	// wall time already rides the run tracer as ns.cache_lookup and the
+	// per-part cost tallies, while disk IO and demotion are process-level
+	// events no single run owns. Tracing is observational: hit/miss
+	// behavior, eviction, and demotion are identical with a nil Tracer.
+	Tracer *otrace.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -144,6 +153,7 @@ type Cache struct {
 	disk         *Segment
 	diskErrLimit int
 	faults       *fault.Injector
+	tracer       *otrace.Tracer
 
 	hits      atomic.Int64
 	misses    atomic.Int64
@@ -166,6 +176,7 @@ func Open(cfg Config, codec Codec) (*Cache, error) {
 		shards:       make([]*shard, cfg.Shards),
 		diskErrLimit: cfg.DiskErrorLimit,
 		faults:       cfg.Faults,
+		tracer:       cfg.Tracer,
 	}
 	per := cfg.MaxBytes / int64(cfg.Shards)
 	if per < 1 {
@@ -299,7 +310,9 @@ func (c *Cache) diskUsable() bool {
 func (c *Cache) noteDiskError() {
 	n := c.diskErrs.Add(1)
 	if c.diskErrLimit > 0 && n >= int64(c.diskErrLimit) {
-		c.demoted.Store(true)
+		if c.demoted.CompareAndSwap(false, true) {
+			c.tracer.Start(0, "cache.demote", otrace.Int("disk_errors", n)).End()
+		}
 	}
 }
 
@@ -322,15 +335,19 @@ func (c *Cache) diskGet(key string) ([]byte, bool) {
 	if !c.diskUsable() {
 		return nil, false
 	}
+	ref := c.tracer.Start(0, "cache.disk_read")
 	if err := c.fire(fault.SiteCacheRead, key); err != nil {
 		c.noteDiskError()
+		ref.End(otrace.String("err", "fault"))
 		return nil, false
 	}
 	b, ok, err := c.disk.Get(key)
 	if err != nil {
 		c.noteDiskError()
+		ref.End(otrace.String("err", "io"))
 		return nil, false
 	}
+	ref.End(otrace.Int("bytes", int64(len(b))))
 	return b, ok
 }
 
@@ -340,6 +357,8 @@ func (c *Cache) diskPut(key string, val []byte) {
 	if !c.diskUsable() {
 		return
 	}
+	ref := c.tracer.Start(0, "cache.disk_write", otrace.Int("bytes", int64(len(val))))
+	defer ref.End()
 	if err := c.fire(fault.SiteCacheWrite, key); err != nil {
 		c.noteDiskError()
 		return

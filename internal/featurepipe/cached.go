@@ -1,6 +1,8 @@
 package featurepipe
 
 import (
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -21,6 +23,73 @@ type CacheCounters struct {
 	// "cache-lookup" phase of the run's PhaseBreakdown — a subset of
 	// extraction time, never additional to it.
 	LookupNanos atomic.Int64
+
+	// Per-part tallies, keyed by the wrapped function's Name (for a
+	// composite feature that is the recipe part name — the dimension the
+	// cost-attribution summary groups extraction time by). The map is
+	// lazily populated on first touch per part; after that a part's
+	// tallies are atomic adds, so the steady-state extract path stays
+	// allocation-free.
+	mu    sync.Mutex
+	parts map[string]*partTally
+}
+
+type partTally struct {
+	hits, misses, lookupNanos, computeNanos atomic.Int64
+}
+
+// partAdd records one cache-mediated extraction against the named part.
+func (c *CacheCounters) partAdd(part string, hit bool, lookup, compute time.Duration) {
+	c.mu.Lock()
+	t := c.parts[part]
+	if t == nil {
+		if c.parts == nil {
+			c.parts = map[string]*partTally{}
+		}
+		t = &partTally{}
+		c.parts[part] = t
+	}
+	c.mu.Unlock()
+	if hit {
+		t.hits.Add(1)
+	} else {
+		t.misses.Add(1)
+	}
+	if lookup > 0 {
+		t.lookupNanos.Add(int64(lookup))
+	}
+	if compute > 0 {
+		t.computeNanos.Add(int64(compute))
+	}
+}
+
+// PartCost is one part's extraction-cost tally: how often the cache
+// served it, the cache overhead it paid, and the feature-code compute it
+// actually ran (zero on hits — that is the reuse the cache buys).
+type PartCost struct {
+	Part         string `json:"part"`
+	Hits         int64  `json:"hits"`
+	Misses       int64  `json:"misses"`
+	LookupNanos  int64  `json:"lookup_ns"`
+	ComputeNanos int64  `json:"compute_ns"`
+}
+
+// Parts returns the per-part cost tallies, sorted by part name.
+func (c *CacheCounters) Parts() []PartCost {
+	c.mu.Lock()
+	out := make([]PartCost, 0, len(c.parts))
+	for name, t := range c.parts {
+		out = append(out, PartCost{
+			Part:         name,
+			Hits:         t.hits.Load(),
+			Misses:       t.misses.Load(),
+			LookupNanos:  t.lookupNanos.Load(),
+			ComputeNanos: t.computeNanos.Load(),
+		})
+	}
+	c.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Part < out[j].Part })
+	return out
 }
 
 // Cached wraps feature code with the extraction cache: Extract serves
@@ -110,6 +179,11 @@ func (c *cachedFunc) Extract(in *corpus.Input) (Result, error) {
 		} else {
 			c.ctrs.Misses.Add(1)
 		}
+		overhead := time.Since(start) - compute
+		if overhead < 0 {
+			overhead = 0
+		}
+		c.ctrs.partAdd(c.inner.Name(), hit, overhead, compute)
 	}
 	return v.(Result), nil
 }

@@ -107,13 +107,13 @@ func writePromSeries(w io.Writer, m *metric) error {
 	return nil
 }
 
-// labelSet renders the series' label block: the metric's constant label
-// (if any) plus the histogram "le" label (when le is non-empty), or the
-// empty string when there are no labels at all.
+// labelSet renders the series' label block: the metric's constant labels
+// (if any, in declaration order) plus the histogram "le" label (when le
+// is non-empty), or the empty string when there are no labels at all.
 func labelSet(m *metric, le string) string {
 	var parts []string
-	if m.labelKey != "" {
-		parts = append(parts, m.labelKey+`="`+escapeLabel(m.labelValue)+`"`)
+	for _, l := range m.labels {
+		parts = append(parts, l.Key+`="`+escapeLabel(l.Value)+`"`)
 	}
 	if le != "" {
 		parts = append(parts, `le="`+le+`"`)

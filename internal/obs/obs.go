@@ -74,14 +74,21 @@ func (k kind) String() string {
 	}
 }
 
-// metric is one registered series: a name, an optional constant label,
-// and exactly one of the value holders.
+// Label is one constant key/value pair on a series. Labels are ordered:
+// series sharing a metric name must declare their labels in the same key
+// order (declaration order is the exposition order).
+type Label struct {
+	Key   string
+	Value string
+}
+
+// metric is one registered series: a name, optional constant labels, and
+// exactly one of the value holders.
 type metric struct {
-	name       string
-	help       string
-	kind       kind
-	labelKey   string
-	labelValue string
+	name   string
+	help   string
+	kind   kind
+	labels []Label
 
 	counter   *Counter
 	gauge     *Gauge
@@ -91,13 +98,23 @@ type metric struct {
 }
 
 // flatName is the metric's key (base) in the flat-JSON exposition: the
-// name, with the label value folded in as a suffix so labeled series stay
-// distinct in a flat namespace.
+// name, with every label value folded in as a suffix in declaration
+// order, so labeled series stay distinct in a flat namespace.
 func (m *metric) flatName() string {
-	if m.labelValue == "" {
-		return m.name
+	name := m.name
+	for _, l := range m.labels {
+		name += "_" + l.Value
 	}
-	return m.name + "_" + m.labelValue
+	return name
+}
+
+// id is the metric's registry identity: the name plus every label value.
+func (m *metric) id() string {
+	id := m.name
+	for _, l := range m.labels {
+		id += "\x00" + l.Value
+	}
+	return id
 }
 
 // Registry holds declared metrics. Declaration is idempotent: declaring
@@ -106,7 +123,7 @@ func (m *metric) flatName() string {
 type Registry struct {
 	mu      sync.Mutex
 	metrics []*metric          // declaration order
-	byID    map[string]*metric // name + "\x00" + labelValue
+	byID    map[string]*metric // name + "\x00" + each label value
 }
 
 // NewRegistry returns an empty registry.
@@ -118,7 +135,7 @@ func NewRegistry() *Registry {
 // the existing entry is returned. A kind clash on one identity is a
 // programming error and panics at declaration time, never at scrape time.
 func (r *Registry) declare(m *metric) *metric {
-	id := m.name + "\x00" + m.labelValue
+	id := m.id()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if have, ok := r.byID[id]; ok {
@@ -150,10 +167,23 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 func (r *Registry) GaugeL(name, help, labelKey, labelValue string) *Gauge {
 	m := r.declare(&metric{
 		name: name, help: help, kind: kindGauge,
-		labelKey: labelKey, labelValue: labelValue,
-		gauge: &Gauge{},
+		labels: []Label{{labelKey, labelValue}},
+		gauge:  &Gauge{},
 	})
 	return m.gauge
+}
+
+// CounterL is Counter with an ordered set of constant labels, e.g.
+// method="step",worker="1". Series sharing a name must declare the same
+// label keys in the same order; the flat-JSON exposition folds every
+// value into the key suffix (dist_rpc_errors_step_1).
+func (r *Registry) CounterL(name, help string, labels ...Label) *Counter {
+	m := r.declare(&metric{
+		name: name, help: help, kind: kindCounter,
+		labels:  append([]Label(nil), labels...),
+		counter: &Counter{},
+	})
+	return m.counter
 }
 
 // GaugeFunc declares a gauge sampled by calling fn at exposition time —
@@ -184,8 +214,8 @@ func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
 func (r *Registry) HistogramL(name, help, labelKey, labelValue string, bounds []float64) *Histogram {
 	m := r.declare(&metric{
 		name: name, help: help, kind: kindHistogram,
-		labelKey: labelKey, labelValue: labelValue,
-		hist: newHistogram(bounds),
+		labels: []Label{{labelKey, labelValue}},
+		hist:   newHistogram(bounds),
 	})
 	return m.hist
 }

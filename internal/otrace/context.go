@@ -1,0 +1,67 @@
+package otrace
+
+import "context"
+
+// The engine loop and the executor seam communicate span context through
+// the context.Context the Executor methods already receive, so adding
+// tracing changed no interfaces: the loop stamps each batch's span into
+// the ctx it passes down, and the distributed coordinator parents its rpc
+// spans there (or traces nothing when the ctx carries no span — the
+// nil-tracer contract again).
+
+type ctxKey struct{}
+
+// Cursor is a mutable ambient trace position. Stamping a ctx with
+// context.WithValue costs two heap allocations, which is real money when
+// the engine loop would pay it per batch; a Cursor is stamped once and
+// Moved to each batch's span instead. The contract: Move only when every
+// consumer of the previous position has returned — the engine's batch
+// barrier (local goroutines and shard RPCs alike join before the next
+// batch starts) guarantees exactly that.
+type Cursor struct {
+	t  *Tracer
+	id SpanID
+}
+
+// Cursor returns a new cursor over this tracer (nil for a nil tracer, and
+// every Cursor method is nil-safe, matching the rest of the package).
+func (t *Tracer) Cursor() *Cursor {
+	if t == nil {
+		return nil
+	}
+	return &Cursor{t: t}
+}
+
+// Move repoints the cursor at the given span.
+func (c *Cursor) Move(id SpanID) {
+	if c != nil {
+		c.id = id
+	}
+}
+
+// ContextWithCursor returns ctx carrying the cursor as the ambient trace
+// position. A nil cursor returns ctx unchanged.
+func ContextWithCursor(ctx context.Context, c *Cursor) context.Context {
+	if c == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, c)
+}
+
+// ContextWithSpan returns ctx carrying (tracer, span) as a fixed ambient
+// trace position. A nil tracer returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, t *Tracer, id SpanID) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, &Cursor{t: t, id: id})
+}
+
+// FromContext returns the ambient tracer and span, or (nil, 0) when the
+// context carries none.
+func FromContext(ctx context.Context) (*Tracer, SpanID) {
+	if c, ok := ctx.Value(ctxKey{}).(*Cursor); ok {
+		return c.t, c.id
+	}
+	return nil, 0
+}

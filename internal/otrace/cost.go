@@ -1,0 +1,120 @@
+package otrace
+
+import (
+	"sort"
+	"strings"
+)
+
+// The cost summary aggregates span attributes into the per-run
+// attribution artifact ROADMAP item 3's cost-normalized reward consumes.
+// The convention: any span attribute named "ns.<phase>" is a wall-time
+// contribution (integer nanoseconds) to that phase; the span's "shard"
+// attribute (absent = -1, the coordinator/local process) and "part"
+// attribute (absent = "", the whole feature) are the other two
+// dimensions. CPU seconds are the span's measured process-CPU delta
+// apportioned across its ns.* attributes by wall share — measured at
+// span granularity, estimated below it (DESIGN.md §16).
+//
+// Cells are attribution views, not a partition: per-shard cells refine
+// the coordinator's phase totals (a dist run's read/extract phases sum
+// the worker-reported nanoseconds) and per-part cells refine per-shard
+// extract time, so summing every cell double-counts by design. Group by
+// the dimension you need.
+
+// CostCell is wall and CPU attributed to one (phase, shard, part) cell.
+type CostCell struct {
+	Phase       string  `json:"phase"`
+	Shard       int     `json:"shard"` // -1 = coordinator/local process
+	Part        string  `json:"part,omitempty"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+}
+
+// CostSummary is the per-run cost-attribution artifact folded into
+// RunInfo and the bench reports.
+type CostSummary struct {
+	WallSeconds  float64    `json:"wall_seconds"`
+	CPUSeconds   float64    `json:"cpu_seconds"`
+	SpanCount    int        `json:"span_count"`
+	SpansDropped int64      `json:"spans_dropped,omitempty"`
+	Cells        []CostCell `json:"cells"`
+}
+
+// nsPrefix marks a span attribute as a phase wall-time contribution.
+const nsPrefix = "ns."
+
+// BuildCost aggregates a span snapshot into the cost summary. Wall and
+// CPU totals come from the root spans (every span without a recorded
+// parent), so a stitched dist tree reports the coordinator's run span
+// once, not once per process.
+func BuildCost(spans []Span, dropped int64) *CostSummary {
+	sum := &CostSummary{SpanCount: len(spans), SpansDropped: dropped}
+	type key struct {
+		phase string
+		shard int
+		part  string
+	}
+	cells := map[key]*CostCell{}
+	known := make(map[SpanID]bool, len(spans))
+	for i := range spans {
+		sp := &spans[i]
+		known[sp.ID] = true
+		if sp.Parent == 0 || !known[sp.Parent] {
+			if sp.DurNanos > 0 {
+				sum.WallSeconds += float64(sp.DurNanos) / 1e9
+			}
+			sum.CPUSeconds += float64(sp.CPUNanos) / 1e9
+		}
+		shard := -1
+		if s, ok := sp.AttrInt("shard"); ok {
+			shard = int(s)
+		}
+		part, _ := sp.Attr("part")
+		var phaseNanos int64
+		for _, a := range sp.Attrs {
+			if strings.HasPrefix(a.Key, nsPrefix) {
+				if n, ok := sp.AttrInt(a.Key); ok && n > 0 {
+					phaseNanos += n
+				}
+			}
+		}
+		if phaseNanos == 0 {
+			continue
+		}
+		for _, a := range sp.Attrs {
+			if !strings.HasPrefix(a.Key, nsPrefix) {
+				continue
+			}
+			n, ok := sp.AttrInt(a.Key)
+			if !ok || n <= 0 {
+				continue
+			}
+			k := key{phase: a.Key[len(nsPrefix):], shard: shard, part: part}
+			c := cells[k]
+			if c == nil {
+				c = &CostCell{Phase: k.phase, Shard: k.shard, Part: k.part}
+				cells[k] = c
+			}
+			c.WallSeconds += float64(n) / 1e9
+			// Apportion the span's measured CPU across its phases by
+			// wall share: exact when the span covers one phase,
+			// estimated when it brackets several.
+			c.CPUSeconds += float64(sp.CPUNanos) / 1e9 * float64(n) / float64(phaseNanos)
+		}
+	}
+	sum.Cells = make([]CostCell, 0, len(cells))
+	for _, c := range cells {
+		sum.Cells = append(sum.Cells, *c)
+	}
+	sort.Slice(sum.Cells, func(i, j int) bool {
+		a, b := sum.Cells[i], sum.Cells[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		if a.Part != b.Part {
+			return a.Part < b.Part
+		}
+		return a.Phase < b.Phase
+	})
+	return sum
+}

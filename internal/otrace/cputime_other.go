@@ -1,0 +1,10 @@
+//go:build !unix
+
+package otrace
+
+import "time"
+
+// processCPU is unavailable off unix; spans record zero CPU and the cost
+// summary's cpu_seconds degrade to zero while wall attribution still
+// works.
+func processCPU() time.Duration { return 0 }

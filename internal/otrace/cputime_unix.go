@@ -1,0 +1,22 @@
+//go:build unix
+
+package otrace
+
+import (
+	"syscall"
+	"time"
+)
+
+// processCPU returns the process's cumulative CPU time (user + system)
+// via getrusage. The per-span CPU delta is the difference between two of
+// these samples; it is process-wide, so concurrent spans each see the
+// whole process's burn (see DESIGN.md §16 for the attribution contract).
+// A sample costs ~0.5µs, which is why the tracer caches it behind
+// cpuSampleInterval instead of paying the syscall on every span.
+func processCPU() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}

@@ -1,0 +1,33 @@
+package otrace
+
+import "testing"
+
+func BenchmarkStartEndBare(b *testing.B) {
+	tr := New("bench", 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&1023 == 0 && tr.Len() > 1<<20-1024 {
+			tr = New("bench", 1<<20)
+		}
+		tr.Start(0, "batch").End()
+	}
+}
+
+func BenchmarkStartEndAttrs(b *testing.B) {
+	tr := New("bench", 1<<20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&1023 == 0 && tr.Len() > 1<<20-1024 {
+			tr = New("bench", 1<<20)
+		}
+		ref := tr.Start(0, "batch", Int("step", int64(i)))
+		ref.End(
+			Dur("ns.select", 100),
+			Dur("ns.read", 200),
+			Dur("ns.extract", 300),
+			Dur("ns.train", 400),
+			Dur("ns.eval", 500),
+			Int("inputs", 4),
+		)
+	}
+}

@@ -7,6 +7,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"zombie/internal/otrace"
 )
 
 // Store file names inside the state directory.
@@ -37,6 +39,7 @@ type Store struct {
 	j       *Journal
 	seq     uint64 // last sequence assigned
 	snapSeq uint64 // sequence covered by the on-disk snapshot
+	tracer  *otrace.Tracer
 }
 
 // Open opens (creating if needed) the store in dir and replays state:
@@ -46,12 +49,24 @@ type Store struct {
 // an error — recovering from the journal alone would silently resurrect
 // pre-snapshot state the journal no longer holds.
 func Open(dir string, snapshot func(state []byte) error, entry func(payload []byte) error) (*Store, error) {
+	return OpenTraced(dir, snapshot, entry, nil)
+}
+
+// OpenTraced is Open with durability spans: recovery is bracketed by one
+// "runstore.recover" span (attrs: snapshot/journal bytes replayed), and
+// the returned store records a "runstore.append" / "runstore.snapshot"
+// span per journal append and snapshot rotation. A nil tracer records
+// nothing; tracing is observational and never alters store behavior.
+func OpenTraced(dir string, snapshot func(state []byte) error, entry func(payload []byte) error, tracer *otrace.Tracer) (*Store, error) {
+	ref := tracer.Start(0, "runstore.recover", otrace.String("dir", dir))
 	if err := os.MkdirAll(dir, 0o755); err != nil {
+		ref.End()
 		return nil, fmt.Errorf("runstore: create state dir: %w", err)
 	}
-	s := &Store{dir: dir}
+	s := &Store{dir: dir, tracer: tracer}
 	state, snapSeq, ok, err := readSnapshot(filepath.Join(dir, snapshotFile))
 	if err != nil {
+		ref.End()
 		return nil, err
 	}
 	if ok {
@@ -59,10 +74,12 @@ func Open(dir string, snapshot func(state []byte) error, entry func(payload []by
 		s.seq = snapSeq
 		if snapshot != nil {
 			if err := snapshot(state); err != nil {
+				ref.End()
 				return nil, fmt.Errorf("runstore: apply snapshot: %w", err)
 			}
 		}
 	}
+	replayed := 0
 	j, err := OpenJournal(filepath.Join(dir, journalFile), func(payload []byte) error {
 		if len(payload) < 8 {
 			return fmt.Errorf("runstore: journal entry shorter than its sequence number")
@@ -77,12 +94,17 @@ func Open(dir string, snapshot func(state []byte) error, entry func(payload []by
 		if entry == nil {
 			return nil
 		}
+		replayed++
 		return entry(payload[8:])
 	})
 	if err != nil {
+		ref.End()
 		return nil, err
 	}
 	s.j = j
+	ref.End(
+		otrace.Int("snapshot_bytes", int64(len(state))),
+		otrace.Int("replayed", int64(replayed)))
 	return s, nil
 }
 
@@ -111,6 +133,8 @@ func readSnapshot(path string) (state []byte, lastSeq uint64, ok bool, err error
 func (s *Store) Append(payload []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ref := s.tracer.Start(0, "runstore.append", otrace.Int("bytes", int64(len(payload))))
+	defer ref.End()
 	s.seq++
 	buf := make([]byte, 0, 8+len(payload))
 	buf = binary.LittleEndian.AppendUint64(buf, s.seq)
@@ -129,6 +153,8 @@ func (s *Store) Append(payload []byte) error {
 func (s *Store) Snapshot(state []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	ref := s.tracer.Start(0, "runstore.snapshot", otrace.Int("bytes", int64(len(state))))
+	defer ref.End()
 	body := make([]byte, 0, 8+len(state))
 	body = binary.LittleEndian.AppendUint64(body, s.seq)
 	body = append(body, state...)

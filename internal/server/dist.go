@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"zombie/internal/dist"
+	"zombie/internal/otrace"
 )
 
 // The /dist/* endpoints make any zombie-serve process a distributed-run
@@ -13,12 +14,26 @@ import (
 // error convention is the server's usual {"error": "..."} body; the HTTP
 // transport surfaces that message verbatim, which is what keeps failures
 // byte-identical to the in-process local transport.
+//
+// Trace context arrives twice on a traced coordinator's requests: as the
+// wire field and mirrored in the standard W3C `traceparent` header. The
+// wire field wins; the header fallback keeps propagation working for
+// coordinators (or middleware) that only speak the header.
+
+// fillTraceparent backfills an empty wire-field traceparent from the
+// request's W3C header.
+func fillTraceparent(tp *string, r *http.Request) {
+	if *tp == "" {
+		*tp = r.Header.Get(otrace.Header)
+	}
+}
 
 func (s *Server) handleDistInit(w http.ResponseWriter, r *http.Request) {
 	var req dist.InitRequest
 	if !readJSON(w, r, &req) {
 		return
 	}
+	fillTraceparent(&req.Traceparent, r)
 	resp, err := s.distWorker.Init(req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)
@@ -32,6 +47,7 @@ func (s *Server) handleDistHoldout(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	fillTraceparent(&req.Traceparent, r)
 	resp, err := s.distWorker.Holdout(req)
 	if err == nil {
 		err = resp.EncodeResults()
@@ -48,6 +64,7 @@ func (s *Server) handleDistStep(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	fillTraceparent(&req.Traceparent, r)
 	resp, err := s.distWorker.Step(req)
 	if err == nil {
 		err = resp.EncodeResult()
@@ -64,6 +81,7 @@ func (s *Server) handleDistStepBatch(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	fillTraceparent(&req.Traceparent, r)
 	resp, err := s.distWorker.StepBatch(req)
 	if err == nil {
 		err = resp.EncodeResults()
@@ -80,6 +98,7 @@ func (s *Server) handleDistFinish(w http.ResponseWriter, r *http.Request) {
 	if !readJSON(w, r, &req) {
 		return
 	}
+	fillTraceparent(&req.Traceparent, r)
 	resp, err := s.distWorker.Finish(req)
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, "%v", err)

@@ -438,6 +438,11 @@ func (m *Manager) runEngine(ctx context.Context, run *Run) (*core.RunResult, err
 	// byte-identical either way (see core.Config.Cache), so this is purely
 	// a wall-clock win across a session's repeated runs.
 	cfg.Cache = m.featCache
+	// The span tracer (nil unless the spec asked for spans) brackets the
+	// engine's phases; distributed runs thread the same tracer through the
+	// coordinator so worker-side spans stitch into one tree.
+	cfg.Tracer = run.tracer
+	m.metrics.ObserveTracer(run.tracer)
 	eng, err := core.New(cfg)
 	if err != nil {
 		return nil, err
@@ -500,6 +505,7 @@ func (m *Manager) runDist(ctx context.Context, run *Run, eng *core.Engine, store
 		FaultSpec:      spec.Faults,
 		FaultSeed:      spec.FaultSeed,
 		Obs:            m.obsRegistry(),
+		Tracer:         run.tracer,
 	}, task, groups)
 	if err != nil {
 		return nil, err

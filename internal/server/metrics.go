@@ -3,6 +3,7 @@ package server
 import (
 	"zombie/internal/featcache"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 )
 
 // Metrics is the server's counter set, declared against an obs.Registry
@@ -44,6 +45,12 @@ type Metrics struct {
 	VersionsRecovered *obs.Counter
 	JournalErrors     *obs.Counter
 	SnapshotMillis    *obs.Counter
+	// Span-tracer counters: spans recorded into any run or process tracer,
+	// and spans refused because a bounded buffer was full (the buffer keeps
+	// the earliest spans — see otrace — so a non-zero drop count means the
+	// tail of a long run is unattributed, not the start).
+	SpansRecorded *obs.Counter
+	SpansDropped  *obs.Counter
 }
 
 // NewMetrics declares the server's counters against reg (a fresh registry
@@ -70,6 +77,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 		VersionsRecovered: reg.Counter("versions_recovered", "Interrupted session versions re-queued from the state directory at startup."),
 		JournalErrors:     reg.Counter("journal_errors", "Run-journal write failures absorbed by the durable store."),
 		SnapshotMillis:    reg.Counter("snapshot_ms", "Cumulative state-snapshot write time in milliseconds."),
+		SpansRecorded:     reg.Counter("spans_recorded", "Timing spans recorded across all span tracers."),
+		SpansDropped:      reg.Counter("spans_dropped", "Timing spans refused by full span buffers."),
 	}
 	reg.CounterFunc("run_seconds", "Cumulative run wall-clock time in whole seconds.",
 		func() int64 { return m.RunWallMillis.Load() / 1000 })
@@ -80,6 +89,33 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 
 // Registry returns the registry the metrics are declared on.
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// ObserveTracer wires a span tracer's per-span hook into the
+// spans_recorded / spans_dropped counters. Nil-safe on both sides.
+func (m *Metrics) ObserveTracer(tr *otrace.Tracer) {
+	if m == nil {
+		return
+	}
+	observeTracer(m.reg, tr)
+}
+
+// observeTracer is ObserveTracer against a bare registry (the session
+// hub holds the registry, not the Metrics struct). Counter declaration is
+// idempotent, so these are the same series NewMetrics declared.
+func observeTracer(reg *obs.Registry, tr *otrace.Tracer) {
+	if reg == nil || tr == nil {
+		return
+	}
+	recorded := reg.Counter("spans_recorded", "Timing spans recorded across all span tracers.")
+	dropped := reg.Counter("spans_dropped", "Timing spans refused by full span buffers.")
+	tr.OnSpan(func(ok bool) {
+		if ok {
+			recorded.Add(1)
+		} else {
+			dropped.Add(1)
+		}
+	})
+}
 
 // registerFeatCacheMetrics exposes the extraction cache's own tallies
 // through the registry under the feat_cache_* keys /metrics has always

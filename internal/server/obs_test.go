@@ -6,6 +6,9 @@ import (
 	"net/http"
 	"strings"
 	"testing"
+	"time"
+
+	"zombie/internal/trace"
 )
 
 // waitDone follows the run's SSE stream until its terminal status event —
@@ -25,7 +28,7 @@ func TestMetricsGoldenKeys(t *testing.T) {
 	path := writeImageCorpus(t, 600, 21)
 	decodeBody[CorpusInfo](t, postJSON(t, ts.URL+"/corpora", corpusAddRequest{Name: "imgs", Path: path}), http.StatusCreated)
 	run := decodeBody[RunInfo](t, postJSON(t, ts.URL+"/runs",
-		RunSpec{Corpus: "imgs", Task: "image", MaxInputs: 60, EvalEvery: 20, Trace: true}), http.StatusAccepted)
+		RunSpec{Corpus: "imgs", Task: "image", MaxInputs: 60, EvalEvery: 20, Trace: true, Spans: true}), http.StatusAccepted)
 	waitDone(t, ts.URL, run.ID)
 
 	flat := decodeBody[map[string]int64](t, mustGet(t, ts.URL+"/metrics"), http.StatusOK)
@@ -68,6 +71,7 @@ func TestMetricsGoldenKeys(t *testing.T) {
 		"runs_timed_out", "inputs_processed", "inputs_quarantined",
 		"run_wall_ms", "run_seconds", "index_builds", "index_cache_hits",
 		"index_build_retries", "queue_depth", "runs_running", "corpora",
+		"spans_recorded", "spans_dropped",
 	} {
 		if _, ok := flat[key]; !ok {
 			t.Errorf("pre-existing flat key %q missing", key)
@@ -87,6 +91,11 @@ func TestMetricsGoldenKeys(t *testing.T) {
 	}
 	if flat["runs_completed"] != 1 || flat["inputs_processed"] != 60 {
 		t.Errorf("run counters: completed=%d inputs=%d", flat["runs_completed"], flat["inputs_processed"])
+	}
+	// The run above asked for spans, so the span counters moved: spans
+	// were recorded and none dropped (the run is far under capacity).
+	if flat["spans_recorded"] <= 0 || flat["spans_dropped"] != 0 {
+		t.Errorf("span counters: recorded=%d dropped=%d", flat["spans_recorded"], flat["spans_dropped"])
 	}
 }
 
@@ -208,6 +217,31 @@ func TestRunTraceStreamAndSnapshot(t *testing.T) {
 		RunSpec{Corpus: "small", Task: "image", MaxInputs: 20}), http.StatusAccepted)
 	waitDone(t, ts.URL, plain.ID)
 	decodeBody[errorBody](t, mustGet(t, ts.URL+"/runs/"+plain.ID+"/trace"), http.StatusNotFound)
+}
+
+// TestTraceFramesReportRingDrops drives a traced run's fan-out path past
+// the ring capacity and asserts the streamed trace frames carry the exact
+// eviction count — a follower must learn the ring wrapped without polling
+// the snapshot endpoint.
+func TestTraceFramesReportRingDrops(t *testing.T) {
+	run := newRun("t-drops", RunSpec{Trace: true}, time.Now())
+	const over = 3
+	for i := 0; i < traceRingCap+over; i++ {
+		run.appendEvent(trace.Event{Step: i + 1})
+	}
+	_, ch, unsubscribe := run.Subscribe()
+	defer unsubscribe()
+	run.appendEvent(trace.Event{Step: traceRingCap + over + 1})
+	msg := <-ch
+	if msg.event == nil {
+		t.Fatalf("frame is not a trace event: %+v", msg)
+	}
+	if msg.dropped != over+1 {
+		t.Fatalf("frame dropped = %d, want %d", msg.dropped, over+1)
+	}
+	if _, dropped, _ := run.TraceSnapshot(); dropped != over+1 {
+		t.Fatalf("snapshot dropped = %d, want %d", dropped, over+1)
+	}
 }
 
 func TestHealthzReportsBuildInfo(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 
 	"zombie/internal/core"
 	"zombie/internal/dist"
+	"zombie/internal/otrace"
 	"zombie/internal/trace"
 )
 
@@ -58,6 +59,13 @@ type RunSpec struct {
 	// run's bounded trace ring, served live at GET /runs/{id}/trace and as
 	// "trace" frames on the curve SSE stream.
 	Trace bool `json:"trace,omitempty"`
+	// Spans enables the run's span tracer: one bounded buffer of timing
+	// spans (engine phases, dist RPCs, worker-side child spans stitched
+	// across processes) served as a tree at GET /runs/{id}/spans and folded
+	// into the run info's cost summary. Like Trace, it is observational:
+	// curves, arms, and quarantine lists are byte-identical with spans on
+	// or off.
+	Spans bool `json:"spans,omitempty"`
 	// TimeoutMillis is this run's wall-clock deadline; 0 inherits the
 	// server's default (Config.RunTimeout). A run over its deadline ends as
 	// cancelled-with-partials, marked timed_out in its info.
@@ -95,10 +103,13 @@ func (s *RunSpec) distributed() bool {
 const traceRingCap = 4096
 
 // streamMsg is one frame of a run's live stream: exactly one of a curve
-// point or a trace event.
+// point or a trace event. Trace frames carry the ring's drop count as of
+// the append, so a stream follower learns the ring wrapped without
+// polling the snapshot endpoint.
 type streamMsg struct {
-	point *core.CurvePoint
-	event *trace.Event
+	point   *core.CurvePoint
+	event   *trace.Event
+	dropped int64
 }
 
 // Run is one managed run: the spec, its lifecycle state, the live learning
@@ -137,6 +148,12 @@ type Run struct {
 	// the ring has its own lock, so appends never contend with r.mu.
 	ring *trace.Ring
 
+	// tracer holds the run's span buffer (nil unless spec.Spans), seeded
+	// with the run ID so the trace ID is stable across re-executions. Like
+	// the ring it has its own lock; spans are not journaled, so a restored
+	// terminal run reports none until re-executed.
+	tracer *otrace.Tracer
+
 	done chan struct{}
 }
 
@@ -151,6 +168,9 @@ func newRun(id string, spec RunSpec, now time.Time) *Run {
 	}
 	if spec.Trace {
 		r.ring = trace.NewRing(traceRingCap)
+	}
+	if spec.Spans {
+		r.tracer = otrace.New(id, otrace.DefaultCapacity)
 	}
 	return r
 }
@@ -184,6 +204,11 @@ func restoreRun(pr *persistRun) *Run {
 		// dense); a re-executed run refills it, a restored terminal run
 		// reports zero retained events.
 		r.ring = trace.NewRing(traceRingCap)
+	}
+	if pr.Spec.Spans {
+		// Same policy as the ring: spans are not journaled, a re-executed
+		// run refills the buffer.
+		r.tracer = otrace.New(pr.ID, otrace.DefaultCapacity)
 	}
 	if r.state.terminal() {
 		close(r.done)
@@ -238,6 +263,13 @@ type RunInfo struct {
 	// run's trace ring (traced runs only; the ring is bounded, so long runs
 	// report the cap).
 	TraceEvents int `json:"trace_events,omitempty"`
+	// Spans / SpansDropped report the span tracer's buffer (runs submitted
+	// with "spans": true only); Cost is the per-run cost attribution built
+	// from those spans — wall and CPU seconds by phase × shard × recipe
+	// part — present once the run is terminal.
+	Spans        int                 `json:"spans,omitempty"`
+	SpansDropped int64               `json:"spans_dropped,omitempty"`
+	Cost         *otrace.CostSummary `json:"cost,omitempty"`
 	// TimedOut marks a cancelled run that hit its deadline rather than a
 	// client's DELETE.
 	TimedOut bool `json:"timed_out,omitempty"`
@@ -295,6 +327,14 @@ func (r *Run) Info() RunInfo {
 	}
 	if r.ring != nil {
 		info.TraceEvents = r.ring.Len()
+	}
+	if r.tracer != nil {
+		info.Spans = r.tracer.Len()
+		info.SpansDropped = r.tracer.Dropped()
+		if r.state.terminal() {
+			spans, dropped := r.tracer.Snapshot()
+			info.Cost = otrace.BuildCost(spans, dropped)
+		}
 	}
 	info.TimedOut = r.timedOut
 	info.Recovered = r.recovered
@@ -363,9 +403,10 @@ func (r *Run) appendPoint(p core.CurvePoint) {
 // traced runs, and must not block (see appendPoint).
 func (r *Run) appendEvent(ev trace.Event) {
 	r.ring.Append(ev)
+	dropped := r.ring.Dropped()
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.fanOutLocked(streamMsg{event: &ev})
+	r.fanOutLocked(streamMsg{event: &ev, dropped: dropped})
 }
 
 func (r *Run) fanOutLocked(msg streamMsg) {
@@ -376,6 +417,21 @@ func (r *Run) fanOutLocked(msg streamMsg) {
 		}
 	}
 }
+
+// SpanSnapshot returns the run's recorded spans (start order, parents
+// before children) and how many newer spans the bounded buffer refused.
+// ok is false for runs submitted without "spans": true. Safe to call
+// while the run executes.
+func (r *Run) SpanSnapshot() (spans []otrace.Span, dropped int64, ok bool) {
+	if r.tracer == nil {
+		return nil, 0, false
+	}
+	spans, dropped = r.tracer.Snapshot()
+	return spans, dropped, true
+}
+
+// Tracer returns the run's span tracer (nil unless spec.Spans).
+func (r *Run) Tracer() *otrace.Tracer { return r.tracer }
 
 // TraceSnapshot returns the trace ring's retained events (oldest first)
 // and how many older ones the ring dropped. ok is false for untraced

@@ -17,6 +17,11 @@
 //	                             ("point" + "trace" frames, then "status")
 //	GET    /runs/{id}/events     step-level trace as CSV (spec.trace runs)
 //	GET    /runs/{id}/trace      trace-ring snapshot as JSON, live mid-run
+//	GET    /runs/{id}/spans      span tree + cost attribution (spec.spans
+//	                             runs); ?format=chrome emits Chrome
+//	                             trace-event JSON for about://tracing
+//	GET    /spans                process-level infrastructure spans (cache
+//	                             disk IO, journal appends, snapshots)
 //	POST   /sessions             open a recipe workspace (SessionSpec)
 //	GET    /sessions             list sessions
 //	GET    /sessions/{id}        session detail: version history with
@@ -54,6 +59,7 @@ import (
 	"zombie/internal/featcache"
 	"zombie/internal/featurepipe"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/trace"
 )
 
@@ -120,6 +126,11 @@ type Server struct {
 	store      RunStore
 	metrics    *Metrics
 	obs        *obs.Registry
+	// procTracer records process-level infrastructure spans no single run
+	// owns: extraction-cache disk IO and demotion, run-journal appends,
+	// snapshot rotations, and the startup recovery replay. Served at
+	// GET /spans.
+	procTracer *otrace.Tracer
 	log        *slog.Logger
 	// httpSeconds times every request the handler serves (SSE streams
 	// included, observed at disconnect).
@@ -144,6 +155,8 @@ func New(cfg Config) (*Server, error) {
 	metrics := NewMetrics(reg)
 	registry := NewRegistry()
 	cache := NewIndexCache(metrics)
+	procTracer := otrace.New("process", otrace.DefaultCapacity)
+	metrics.ObserveTracer(procTracer)
 	// One extraction cache shared by every run the server executes — the
 	// server is the long-lived process an engineering session talks to, so
 	// cross-run reuse is the norm, not the exception.
@@ -151,6 +164,7 @@ func New(cfg Config) (*Server, error) {
 		MaxBytes: int64(cfg.CacheMemMB) << 20,
 		Dir:      cfg.CacheDir,
 		Faults:   cfg.Faults,
+		Tracer:   procTracer,
 	}, featurepipe.ResultCodec{})
 	if err != nil {
 		return nil, err
@@ -161,7 +175,7 @@ func New(cfg Config) (*Server, error) {
 	var store RunStore = NewMemStore()
 	var recovered *persistState
 	if cfg.StateDir != "" {
-		ds, rec, err := OpenDurableStore(cfg.StateDir, metrics, cfg.Faults, cfg.Logger)
+		ds, rec, err := OpenDurableStore(cfg.StateDir, metrics, cfg.Faults, cfg.Logger, procTracer)
 		if err != nil {
 			featCache.Close() //nolint:errcheck // already failing
 			return nil, err
@@ -204,6 +218,7 @@ func New(cfg Config) (*Server, error) {
 		distWorker: dist.NewWorker(registry.Get, featCache, reg),
 		metrics:    metrics,
 		obs:        reg,
+		procTracer: procTracer,
 		log:        cfg.Logger,
 		httpSeconds: reg.Histogram("zombie_http_request_seconds",
 			"HTTP request service time (streaming requests observe at disconnect).",
@@ -239,10 +254,13 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /runs/{id}/curve", s.handleRunCurve)
 	s.mux.HandleFunc("GET /runs/{id}/events", s.handleRunEvents)
 	s.mux.HandleFunc("GET /runs/{id}/trace", s.handleRunTrace)
+	s.mux.HandleFunc("GET /runs/{id}/spans", s.handleRunSpans)
+	s.mux.HandleFunc("GET /spans", s.handleProcessSpans)
 	s.mux.HandleFunc("POST /sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("GET /sessions", s.handleSessionList)
 	s.mux.HandleFunc("GET /sessions/{id}", s.handleSessionGet)
 	s.mux.HandleFunc("POST /sessions/{id}/runs", s.handleSessionRun)
+	s.mux.HandleFunc("GET /sessions/{id}/spans", s.handleSessionSpans)
 	s.mux.HandleFunc("DELETE /cache", s.handleCacheInvalidate)
 	s.mux.HandleFunc("POST /dist/init", s.handleDistInit)
 	s.mux.HandleFunc("POST /dist/holdout", s.handleDistHoldout)
@@ -546,6 +564,10 @@ type traceEventJSON struct {
 	SimMillis   float64 `json:"sim_ms"`
 	CacheHit    bool    `json:"cache_hit"`
 	Quarantined bool    `json:"quarantined"`
+	// Dropped is the trace ring's eviction count as of this frame (SSE
+	// frames only): non-zero means the ring wrapped and a late-joining
+	// snapshot will not see the oldest steps.
+	Dropped int64 `json:"dropped,omitempty"`
 }
 
 func toTraceJSON(e trace.Event) traceEventJSON {
@@ -639,7 +661,9 @@ func (s *Server) streamCurve(w http.ResponseWriter, r *http.Request, run *Run) {
 						return
 					}
 				case msg.event != nil:
-					if !send("trace", toTraceJSON(*msg.event)) {
+					frame := toTraceJSON(*msg.event)
+					frame.Dropped = msg.dropped
+					if !send("trace", frame) {
 						return
 					}
 				}

@@ -15,6 +15,7 @@ import (
 	"zombie/internal/featcache"
 	"zombie/internal/index"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/parallel"
 	"zombie/internal/recipe"
 	"zombie/internal/rng"
@@ -49,6 +50,12 @@ type SessionSpec struct {
 	EvalEvery int  `json:"eval_every,omitempty"`
 	EarlyStop bool `json:"early_stop,omitempty"`
 	Batch     int  `json:"batch,omitempty"`
+	// Spans gives the session one span tracer shared by every version run,
+	// served at GET /sessions/{id}/spans: the accumulated tree shows how
+	// each version's extraction cost shrinks as the shared cache warms, and
+	// the per-part cells attribute what remains to the recipe parts that
+	// actually changed. Observational, like RunSpec.Spans.
+	Spans bool `json:"spans,omitempty"`
 }
 
 func (spec *SessionSpec) normalize() {
@@ -94,6 +101,11 @@ type Session struct {
 	mu        sync.Mutex
 	workspace *recipe.Session // built lazily by the first run
 	versions  []*sessionVersion
+
+	// tracer is the session's span buffer (nil unless spec.Spans), shared
+	// by every version run so the tree accumulates the whole workspace's
+	// history. Spans are not journaled; a restored session starts empty.
+	tracer *otrace.Tracer
 }
 
 // SessionInfo is the wire form of a session.
@@ -108,6 +120,11 @@ type SessionInfo struct {
 	Decay       float64              `json:"decay"`
 	CreatedUnix int64                `json:"created_unix"`
 	Versions    []sessionVersionInfo `json:"versions"`
+	// Spans / SpansDropped report the session tracer's buffer (sessions
+	// created with "spans": true only); the tree itself is served at
+	// GET /sessions/{id}/spans.
+	Spans        int   `json:"spans,omitempty"`
+	SpansDropped int64 `json:"spans_dropped,omitempty"`
 }
 
 // sessionPartInfo is the wire form of one compiled recipe part.
@@ -262,6 +279,10 @@ func (h *SessionHub) Create(spec SessionSpec) (*Session, error) {
 	s := &Session{ID: "s" + strconv.Itoa(h.nextID), spec: spec, created: time.Now()}
 	if s.spec.Name == "" {
 		s.spec.Name = s.ID
+	}
+	if spec.Spans {
+		s.tracer = otrace.New(s.ID, otrace.DefaultCapacity)
+		observeTracer(h.obsReg, s.tracer)
 	}
 	h.sessions[s.ID] = s
 	h.order = append(h.order, s.ID)
@@ -420,6 +441,9 @@ func (h *SessionHub) buildWorkspace(ctx context.Context, s *Session) (*recipe.Se
 	cfg := h.engineConfig(spec)
 	cfg.Cache = h.featCache
 	cfg.Obs = h.obsReg
+	// Every version's engine shares the session tracer (nil unless the
+	// session asked for spans), so one tree spans the whole edit history.
+	cfg.Tracer = s.tracer
 	ws, err := recipe.NewSession(spec.Name, task, groups, recipe.Config{Engine: cfg, Decay: *spec.Decay})
 	if err != nil {
 		return nil, err
@@ -501,8 +525,25 @@ func (s *Session) Info() SessionInfo {
 		}
 		info.Versions = append(info.Versions, vi)
 	}
+	if s.tracer != nil {
+		info.Spans = s.tracer.Len()
+		info.SpansDropped = s.tracer.Dropped()
+	}
 	return info
 }
+
+// SpanSnapshot returns the session tracer's recorded spans; ok is false
+// for sessions created without "spans": true.
+func (s *Session) SpanSnapshot() (spans []otrace.Span, dropped int64, ok bool) {
+	if s.tracer == nil {
+		return nil, 0, false
+	}
+	spans, dropped = s.tracer.Snapshot()
+	return spans, dropped, true
+}
+
+// Tracer returns the session's span tracer (nil unless spec.Spans).
+func (s *Session) Tracer() *otrace.Tracer { return s.tracer }
 
 // restore rebuilds the hub's session table from recovered state:
 // terminal versions come back with their curves, diffs, and warm-start
@@ -524,6 +565,12 @@ func (h *SessionHub) restore(st *persistState) {
 		if s.spec.Decay == nil {
 			d := defaultSessionDecay
 			s.spec.Decay = &d
+		}
+		if s.spec.Spans {
+			// Same policy as runs: spans are not journaled, the tracer
+			// starts empty and refills as new versions execute.
+			s.tracer = otrace.New(id, otrace.DefaultCapacity)
+			observeTracer(h.obsReg, s.tracer)
 		}
 		for _, pv := range ps.Versions {
 			v := restoreVersion(pv)

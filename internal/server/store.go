@@ -11,6 +11,7 @@ import (
 	"zombie/internal/core"
 	"zombie/internal/fault"
 	"zombie/internal/obs"
+	"zombie/internal/otrace"
 	"zombie/internal/recipe"
 	"zombie/internal/runstore"
 )
@@ -405,8 +406,11 @@ type DurableStore struct {
 // in dir, replays it, and returns the store plus an immutable copy of the
 // recovered state for the Manager and SessionHub to restore from. A
 // corrupt snapshot or unreadable journal is an error: silently starting
-// empty would orphan the very state the flag exists to keep.
-func OpenDurableStore(dir string, metrics *Metrics, faults *fault.Injector, log *slog.Logger) (*DurableStore, *persistState, error) {
+// empty would orphan the very state the flag exists to keep. A non-nil
+// tracer (the server's process tracer) records runstore durability spans:
+// the startup recovery replay, plus every journal append and snapshot
+// rotation.
+func OpenDurableStore(dir string, metrics *Metrics, faults *fault.Injector, log *slog.Logger, tracer *otrace.Tracer) (*DurableStore, *persistState, error) {
 	if log == nil {
 		log = obs.NopLogger()
 	}
@@ -418,7 +422,7 @@ func OpenDurableStore(dir string, metrics *Metrics, faults *fault.Injector, log 
 		snapStop: make(chan struct{}),
 		snapDone: make(chan struct{}),
 	}
-	st, err := runstore.Open(dir,
+	st, err := runstore.OpenTraced(dir,
 		func(state []byte) error { return json.Unmarshal(state, ds.state) },
 		func(payload []byte) error {
 			var rec walRecord
@@ -427,7 +431,8 @@ func OpenDurableStore(dir string, metrics *Metrics, faults *fault.Injector, log 
 			}
 			ds.state.apply(&rec)
 			return nil
-		})
+		},
+		tracer)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -50,6 +50,14 @@ func (r *Ring) Snapshot() (events []Event, dropped int64) {
 	return events, r.dropped
 }
 
+// Dropped returns how many events have been evicted so far — cheap
+// enough to stamp onto every streamed frame, unlike Snapshot.
+func (r *Ring) Dropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
 // Len returns the number of resident events.
 func (r *Ring) Len() int {
 	r.mu.Lock()

@@ -22,6 +22,38 @@ func TestRingRetainsNewestAndCountsDrops(t *testing.T) {
 	}
 }
 
+// TestRingWraparoundExactDrops pins the eviction arithmetic across
+// multiple full wraparounds: after N appends into a cap-C ring the drop
+// count is exactly N-C (not off by the number of wraps), the resident
+// window is the last C events oldest-first, and Dropped agrees with
+// Snapshot without copying the buffer.
+func TestRingWraparoundExactDrops(t *testing.T) {
+	const cap, total = 4, 11 // 2 full wraps plus a partial third
+	r := NewRing(cap)
+	for step := 1; step <= total; step++ {
+		r.Append(Event{Step: step})
+		wantDropped := int64(step - cap)
+		if wantDropped < 0 {
+			wantDropped = 0
+		}
+		if got := r.Dropped(); got != wantDropped {
+			t.Fatalf("after %d appends Dropped = %d, want %d", step, got, wantDropped)
+		}
+	}
+	events, dropped := r.Snapshot()
+	if dropped != total-cap {
+		t.Fatalf("dropped = %d, want exactly %d", dropped, total-cap)
+	}
+	if len(events) != cap {
+		t.Fatalf("resident = %d, want %d", len(events), cap)
+	}
+	for i, e := range events {
+		if want := total - cap + 1 + i; e.Step != want {
+			t.Fatalf("events[%d].Step = %d, want %d (window %d..%d)", i, e.Step, want, total-cap+1, total)
+		}
+	}
+}
+
 func TestRingUnderfilled(t *testing.T) {
 	r := NewRing(8)
 	r.Append(Event{Step: 1})
